@@ -1,0 +1,589 @@
+//! A Berkeley-DB-style B+tree index on disk or SSD.
+//!
+//! The paper also evaluated BDB's B-tree access method and found it slower
+//! than the hash index for fingerprint workloads (§7.2.2); this
+//! implementation exists so that comparison can be reproduced. It is a
+//! page-based B+tree: fixed-size device pages, leaves chained for scans, an
+//! LRU write-back page cache shared with the same cost characteristics as
+//! [`crate::BdbHashIndex`].
+
+use std::collections::HashMap;
+
+use flashsim::{Device, LatencyRecorder, SimDuration};
+
+use crate::error::{BaselineError, Result};
+
+const NODE_MAGIC: u32 = 0x4254_5245; // "BTRE"
+const HEADER: usize = 24;
+const KEY_SIZE: usize = 8;
+const VAL_SIZE: usize = 8;
+/// Child pointers are 4-byte page numbers.
+const PTR_SIZE: usize = 4;
+const NO_PAGE: u32 = u32::MAX;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum NodeKind {
+    Leaf,
+    Internal,
+}
+
+struct CachedPage {
+    data: Vec<u8>,
+    dirty: bool,
+    last_used: u64,
+}
+
+/// A page-based B+tree over 64-bit keys and values.
+pub struct BdbBtreeIndex<D: Device> {
+    device: D,
+    page_size: usize,
+    root: u32,
+    next_free_page: u32,
+    total_pages: u64,
+    cache: HashMap<u32, CachedPage>,
+    cache_capacity_pages: usize,
+    clock: u64,
+    entries: u64,
+    /// Latency of insert operations.
+    pub insert_latency: LatencyRecorder,
+    /// Latency of lookup operations.
+    pub lookup_latency: LatencyRecorder,
+}
+
+impl<D: Device> BdbBtreeIndex<D> {
+    /// Creates an empty B+tree spanning the device, with a DRAM page cache
+    /// of `cache_bytes`.
+    pub fn new(device: D, cache_bytes: usize) -> Result<Self> {
+        let geom = device.geometry();
+        let page_size = geom.page_size as usize;
+        if page_size < HEADER + 4 * (KEY_SIZE + VAL_SIZE) {
+            return Err(BaselineError::InvalidConfig("page size too small for B-tree nodes".into()));
+        }
+        let mut tree = BdbBtreeIndex {
+            device,
+            page_size,
+            root: 0,
+            next_free_page: 1,
+            total_pages: geom.pages(),
+            cache: HashMap::new(),
+            cache_capacity_pages: (cache_bytes / page_size).max(8),
+            clock: 0,
+            entries: 0,
+            insert_latency: LatencyRecorder::new(),
+            lookup_latency: LatencyRecorder::new(),
+        };
+        // Initialise the root as an empty leaf.
+        let root_data = tree.new_node(NodeKind::Leaf);
+        tree.cache.insert(0, CachedPage { data: root_data, dirty: true, last_used: 0 });
+        Ok(tree)
+    }
+
+    /// Number of entries stored.
+    pub fn len(&self) -> u64 {
+        self.entries
+    }
+
+    /// Returns `true` if the tree holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+
+    /// Access to the underlying device.
+    pub fn device(&self) -> &D {
+        &self.device
+    }
+
+    /// Mutable access to the underlying device.
+    pub fn device_mut(&mut self) -> &mut D {
+        &mut self.device
+    }
+
+    // ------------- node layout helpers -------------
+    //
+    // Header: magic u32 | kind u8 | pad u8 | count u16 | next_leaf u32 | pad
+    // Leaf payload:      count * (key u64, value u64)
+    // Internal payload:  count * (key u64, child u32)  plus one extra child
+    //                    stored in the header's next_leaf field (leftmost).
+
+    fn new_node(&self, kind: NodeKind) -> Vec<u8> {
+        let mut data = vec![0u8; self.page_size];
+        data[0..4].copy_from_slice(&NODE_MAGIC.to_le_bytes());
+        data[4] = match kind {
+            NodeKind::Leaf => 0,
+            NodeKind::Internal => 1,
+        };
+        data[8..12].copy_from_slice(&NO_PAGE.to_le_bytes());
+        data
+    }
+
+    fn kind(data: &[u8]) -> NodeKind {
+        if data[4] == 0 {
+            NodeKind::Leaf
+        } else {
+            NodeKind::Internal
+        }
+    }
+
+    fn count(data: &[u8]) -> usize {
+        u16::from_le_bytes(data[6..8].try_into().unwrap()) as usize
+    }
+
+    fn set_count(data: &mut [u8], count: usize) {
+        data[6..8].copy_from_slice(&(count as u16).to_le_bytes());
+    }
+
+    fn aux(data: &[u8]) -> u32 {
+        u32::from_le_bytes(data[8..12].try_into().unwrap())
+    }
+
+    fn set_aux(data: &mut [u8], value: u32) {
+        data[8..12].copy_from_slice(&value.to_le_bytes());
+    }
+
+    fn leaf_capacity(&self) -> usize {
+        (self.page_size - HEADER) / (KEY_SIZE + VAL_SIZE)
+    }
+
+    fn internal_capacity(&self) -> usize {
+        (self.page_size - HEADER) / (KEY_SIZE + PTR_SIZE)
+    }
+
+    fn leaf_entry(data: &[u8], i: usize) -> (u64, u64) {
+        let at = HEADER + i * (KEY_SIZE + VAL_SIZE);
+        (
+            u64::from_le_bytes(data[at..at + 8].try_into().unwrap()),
+            u64::from_le_bytes(data[at + 8..at + 16].try_into().unwrap()),
+        )
+    }
+
+    fn set_leaf_entry(data: &mut [u8], i: usize, key: u64, value: u64) {
+        let at = HEADER + i * (KEY_SIZE + VAL_SIZE);
+        data[at..at + 8].copy_from_slice(&key.to_le_bytes());
+        data[at + 8..at + 16].copy_from_slice(&value.to_le_bytes());
+    }
+
+    fn internal_entry(data: &[u8], i: usize) -> (u64, u32) {
+        let at = HEADER + i * (KEY_SIZE + PTR_SIZE);
+        (
+            u64::from_le_bytes(data[at..at + 8].try_into().unwrap()),
+            u32::from_le_bytes(data[at + 8..at + 12].try_into().unwrap()),
+        )
+    }
+
+    fn set_internal_entry(data: &mut [u8], i: usize, key: u64, child: u32) {
+        let at = HEADER + i * (KEY_SIZE + PTR_SIZE);
+        data[at..at + 8].copy_from_slice(&key.to_le_bytes());
+        data[at + 8..at + 12].copy_from_slice(&child.to_le_bytes());
+    }
+
+    // ------------- page cache -------------
+
+    fn load_page(&mut self, page_no: u32) -> Result<SimDuration> {
+        self.clock += 1;
+        if let Some(p) = self.cache.get_mut(&page_no) {
+            p.last_used = self.clock;
+            return Ok(SimDuration::ZERO);
+        }
+        let mut latency = SimDuration::ZERO;
+        if self.cache.len() >= self.cache_capacity_pages {
+            latency += self.evict_one()?;
+        }
+        let mut data = vec![0u8; self.page_size];
+        latency += self.device.read_at(page_no as u64 * self.page_size as u64, &mut data)?;
+        let clock = self.clock;
+        self.cache.insert(page_no, CachedPage { data, dirty: false, last_used: clock });
+        Ok(latency)
+    }
+
+    fn evict_one(&mut self) -> Result<SimDuration> {
+        // Never evict the root (page 0); it is touched on every operation.
+        let Some((&victim, _)) = self
+            .cache
+            .iter()
+            .filter(|(&n, _)| n != self.root)
+            .min_by_key(|(_, p)| p.last_used)
+        else {
+            return Ok(SimDuration::ZERO);
+        };
+        let page = self.cache.remove(&victim).expect("victim exists");
+        if page.dirty {
+            Ok(self.device.write_at(victim as u64 * self.page_size as u64, &page.data)?)
+        } else {
+            Ok(SimDuration::ZERO)
+        }
+    }
+
+    fn allocate_page(&mut self, kind: NodeKind) -> Result<u32> {
+        if self.next_free_page as u64 >= self.total_pages {
+            return Err(BaselineError::Full);
+        }
+        // Keep the cache within its budget; the write-back of the evicted
+        // page is visible in the device statistics.
+        while self.cache.len() >= self.cache_capacity_pages {
+            self.evict_one()?;
+        }
+        let no = self.next_free_page;
+        self.next_free_page += 1;
+        let data = self.new_node(kind);
+        self.clock += 1;
+        let clock = self.clock;
+        self.cache.insert(no, CachedPage { data, dirty: true, last_used: clock });
+        Ok(no)
+    }
+
+    /// Writes back every dirty cached page.
+    pub fn flush(&mut self) -> Result<SimDuration> {
+        let mut latency = SimDuration::ZERO;
+        let dirty: Vec<u32> = self.cache.iter().filter(|(_, p)| p.dirty).map(|(&n, _)| n).collect();
+        for page_no in dirty {
+            let data = self.cache.get(&page_no).expect("cached").data.clone();
+            latency += self.device.write_at(page_no as u64 * self.page_size as u64, &data)?;
+            self.cache.get_mut(&page_no).expect("cached").dirty = false;
+        }
+        Ok(latency)
+    }
+
+    // ------------- operations -------------
+
+    /// Looks up `key`, returning the value (if any) and the simulated latency.
+    pub fn lookup(&mut self, key: u64) -> Result<(Option<u64>, SimDuration)> {
+        let mut latency = SimDuration::ZERO;
+        let mut page_no = self.root;
+        loop {
+            latency += self.load_page(page_no)?;
+            let page = &self.cache[&page_no];
+            match Self::kind(&page.data) {
+                NodeKind::Internal => {
+                    page_no = self.child_for(&page.data.clone(), key);
+                }
+                NodeKind::Leaf => {
+                    let data = &page.data;
+                    let count = Self::count(data);
+                    let mut result = None;
+                    for i in 0..count {
+                        let (k, v) = Self::leaf_entry(data, i);
+                        if k == key {
+                            result = Some(v);
+                            break;
+                        }
+                        if k > key {
+                            break;
+                        }
+                    }
+                    self.lookup_latency.record(latency);
+                    return Ok((result, latency));
+                }
+            }
+        }
+    }
+
+    fn child_for(&self, data: &[u8], key: u64) -> u32 {
+        let count = Self::count(data);
+        let mut child = Self::aux(data); // leftmost child
+        for i in 0..count {
+            let (k, c) = Self::internal_entry(data, i);
+            if key >= k {
+                child = c;
+            } else {
+                break;
+            }
+        }
+        child
+    }
+
+    /// Inserts or updates `key` with `value`, returning the simulated latency.
+    pub fn insert(&mut self, key: u64, value: u64) -> Result<SimDuration> {
+        let mut latency = SimDuration::ZERO;
+        // Descend, remembering the path for splits.
+        let mut path: Vec<u32> = Vec::new();
+        let mut page_no = self.root;
+        loop {
+            latency += self.load_page(page_no)?;
+            let kind = Self::kind(&self.cache[&page_no].data);
+            match kind {
+                NodeKind::Internal => {
+                    path.push(page_no);
+                    page_no = self.child_for(&self.cache[&page_no].data.clone(), key);
+                }
+                NodeKind::Leaf => break,
+            }
+        }
+        // Insert into the leaf (sorted position).
+        let inserted_new = {
+            let leaf = self.cache.get_mut(&page_no).expect("leaf cached");
+            let count = Self::count(&leaf.data);
+            let mut pos = count;
+            let mut update = false;
+            for i in 0..count {
+                let (k, _) = Self::leaf_entry(&leaf.data, i);
+                if k == key {
+                    pos = i;
+                    update = true;
+                    break;
+                }
+                if k > key {
+                    pos = i;
+                    break;
+                }
+            }
+            if update {
+                Self::set_leaf_entry(&mut leaf.data, pos, key, value);
+                leaf.dirty = true;
+                false
+            } else {
+                // Shift right and insert.
+                for i in (pos..count).rev() {
+                    let (k, v) = Self::leaf_entry(&leaf.data, i);
+                    Self::set_leaf_entry(&mut leaf.data, i + 1, k, v);
+                }
+                Self::set_leaf_entry(&mut leaf.data, pos, key, value);
+                Self::set_count(&mut leaf.data, count + 1);
+                leaf.dirty = true;
+                true
+            }
+        };
+        if inserted_new {
+            self.entries += 1;
+        }
+        // Split up the path while nodes overflow.
+        let mut child_no = page_no;
+        loop {
+            let needs_split = {
+                let node = &self.cache[&child_no];
+                match Self::kind(&node.data) {
+                    NodeKind::Leaf => Self::count(&node.data) > self.leaf_capacity() - 1,
+                    NodeKind::Internal => Self::count(&node.data) > self.internal_capacity() - 1,
+                }
+            };
+            if !needs_split {
+                break;
+            }
+            let (sep_key, new_page) = self.split_node(child_no)?;
+            match path.pop() {
+                Some(parent) => {
+                    latency += self.load_page(parent)?;
+                    self.insert_into_internal(parent, sep_key, new_page);
+                    child_no = parent;
+                }
+                None => {
+                    // Splitting the root: create a new root.
+                    let new_root = self.allocate_page(NodeKind::Internal)?;
+                    {
+                        let root = self.cache.get_mut(&new_root).expect("cached");
+                        Self::set_aux(&mut root.data, child_no);
+                        Self::set_internal_entry(&mut root.data, 0, sep_key, new_page);
+                        Self::set_count(&mut root.data, 1);
+                        root.dirty = true;
+                    }
+                    self.root = new_root;
+                    break;
+                }
+            }
+        }
+        self.insert_latency.record(latency);
+        Ok(latency)
+    }
+
+    fn insert_into_internal(&mut self, page_no: u32, key: u64, child: u32) {
+        let node = self.cache.get_mut(&page_no).expect("internal cached");
+        let count = Self::count(&node.data);
+        let mut pos = count;
+        for i in 0..count {
+            let (k, _) = Self::internal_entry(&node.data, i);
+            if k > key {
+                pos = i;
+                break;
+            }
+        }
+        for i in (pos..count).rev() {
+            let (k, c) = Self::internal_entry(&node.data, i);
+            Self::set_internal_entry(&mut node.data, i + 1, k, c);
+        }
+        Self::set_internal_entry(&mut node.data, pos, key, child);
+        Self::set_count(&mut node.data, count + 1);
+        node.dirty = true;
+    }
+
+    /// Splits `page_no` in half; returns the separator key and the new
+    /// right-sibling page number.
+    fn split_node(&mut self, page_no: u32) -> Result<(u64, u32)> {
+        let kind = Self::kind(&self.cache[&page_no].data);
+        let new_no = self.allocate_page(kind)?;
+        // Allocating the sibling may have evicted `page_no`; bring it back.
+        self.load_page(page_no)?;
+        let (sep, old_data, new_data) = {
+            let old = &self.cache[&page_no].data;
+            let count = Self::count(old);
+            let mid = count / 2;
+            let mut new_data = self.new_node(kind);
+            let mut old_data = old.clone();
+            let sep;
+            match kind {
+                NodeKind::Leaf => {
+                    for (j, i) in (mid..count).enumerate() {
+                        let (k, v) = Self::leaf_entry(old, i);
+                        Self::set_leaf_entry(&mut new_data, j, k, v);
+                    }
+                    Self::set_count(&mut new_data, count - mid);
+                    Self::set_count(&mut old_data, mid);
+                    // Chain leaves for range scans.
+                    let old_next = Self::aux(old);
+                    Self::set_aux(&mut new_data, old_next);
+                    Self::set_aux(&mut old_data, new_no);
+                    sep = Self::leaf_entry(old, mid).0;
+                }
+                NodeKind::Internal => {
+                    // The middle key moves up; its child becomes the new
+                    // node's leftmost child.
+                    let (mid_key, mid_child) = Self::internal_entry(old, mid);
+                    Self::set_aux(&mut new_data, mid_child);
+                    for (j, i) in (mid + 1..count).enumerate() {
+                        let (k, c) = Self::internal_entry(old, i);
+                        Self::set_internal_entry(&mut new_data, j, k, c);
+                    }
+                    Self::set_count(&mut new_data, count - mid - 1);
+                    Self::set_count(&mut old_data, mid);
+                    sep = mid_key;
+                }
+            }
+            (sep, old_data, new_data)
+        };
+        self.cache.get_mut(&page_no).expect("cached").data = old_data;
+        self.cache.get_mut(&page_no).expect("cached").dirty = true;
+        self.cache.get_mut(&new_no).expect("cached").data = new_data;
+        self.cache.get_mut(&new_no).expect("cached").dirty = true;
+        Ok((sep, new_no))
+    }
+
+    /// Scans all entries in key order (debug / verification helper). Walks
+    /// the leaf chain starting from the leftmost leaf.
+    pub fn scan_all(&mut self) -> Result<Vec<(u64, u64)>> {
+        // Find the leftmost leaf.
+        let mut page_no = self.root;
+        loop {
+            self.load_page(page_no)?;
+            let data = &self.cache[&page_no].data;
+            match Self::kind(data) {
+                NodeKind::Internal => page_no = Self::aux(data),
+                NodeKind::Leaf => break,
+            }
+        }
+        let mut out = Vec::new();
+        loop {
+            self.load_page(page_no)?;
+            let data = self.cache[&page_no].data.clone();
+            let count = Self::count(&data);
+            for i in 0..count {
+                out.push(Self::leaf_entry(&data, i));
+            }
+            let next = Self::aux(&data);
+            if next == NO_PAGE {
+                break;
+            }
+            page_no = next;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flashsim::Ssd;
+
+    fn tree() -> BdbBtreeIndex<Ssd> {
+        BdbBtreeIndex::new(Ssd::intel(8 << 20).unwrap(), 64 * 1024).unwrap()
+    }
+
+    fn key(i: u64) -> u64 {
+        i.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+    }
+
+    #[test]
+    fn insert_and_lookup_small() {
+        let mut t = tree();
+        for i in 0..100u64 {
+            t.insert(key(i), i).unwrap();
+        }
+        for i in 0..100u64 {
+            assert_eq!(t.lookup(key(i)).unwrap().0, Some(i));
+        }
+        assert_eq!(t.lookup(key(1000)).unwrap().0, None);
+    }
+
+    #[test]
+    fn survives_many_inserts_with_splits() {
+        let mut t = tree();
+        let n = 30_000u64;
+        for i in 0..n {
+            t.insert(key(i), i).unwrap();
+        }
+        assert_eq!(t.len(), n);
+        for i in (0..n).step_by(371) {
+            assert_eq!(t.lookup(key(i)).unwrap().0, Some(i), "key {i}");
+        }
+    }
+
+    #[test]
+    fn scan_returns_sorted_unique_keys() {
+        let mut t = tree();
+        for i in 0..5_000u64 {
+            t.insert(key(i), i).unwrap();
+        }
+        let all = t.scan_all().unwrap();
+        assert_eq!(all.len(), 5_000);
+        assert!(all.windows(2).all(|w| w[0].0 < w[1].0), "scan must be sorted and duplicate-free");
+    }
+
+    #[test]
+    fn updates_replace_existing_values() {
+        let mut t = tree();
+        for i in 0..2_000u64 {
+            t.insert(key(i), i).unwrap();
+        }
+        for i in 0..2_000u64 {
+            t.insert(key(i), i + 1_000_000).unwrap();
+        }
+        assert_eq!(t.len(), 2_000);
+        for i in (0..2_000u64).step_by(191) {
+            assert_eq!(t.lookup(key(i)).unwrap().0, Some(i + 1_000_000));
+        }
+    }
+
+    #[test]
+    fn sequential_keys_also_work() {
+        let mut t = tree();
+        for i in 0..10_000u64 {
+            t.insert(i, i * 2).unwrap();
+        }
+        for i in (0..10_000u64).step_by(503) {
+            assert_eq!(t.lookup(i).unwrap().0, Some(i * 2));
+        }
+        let all = t.scan_all().unwrap();
+        assert_eq!(all.len(), 10_000);
+    }
+
+    #[test]
+    fn flush_persists_dirty_pages() {
+        let mut t = tree();
+        for i in 0..1_000u64 {
+            t.insert(key(i), i).unwrap();
+        }
+        let before = t.device().stats().writes;
+        t.flush().unwrap();
+        assert!(t.device().stats().writes > before);
+    }
+
+    #[test]
+    fn random_lookups_cost_device_reads_once_tree_exceeds_cache() {
+        let mut t = tree();
+        for i in 0..50_000u64 {
+            t.insert(key(i), i).unwrap();
+        }
+        t.device_mut().reset_stats();
+        for i in 0..500u64 {
+            t.lookup(key(i * 37)).unwrap();
+        }
+        assert!(t.device().stats().reads > 300, "reads: {}", t.device().stats().reads);
+    }
+}

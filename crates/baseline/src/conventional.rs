@@ -1,0 +1,214 @@
+//! A conventional hash table stored directly on flash (§4).
+//!
+//! This is the strawman the paper argues against: a single large
+//! open-addressed hash table whose slots live on the device. Every insert
+//! hashes to a random page, reads it, modifies it in place and writes it
+//! back — small random writes and in-place updates, exactly the access
+//! pattern flash handles worst (design principles P1–P3). It exists as the
+//! "BufferHash without buffering" ablation baseline (§7.3.1).
+
+use flashsim::{Device, SimDuration};
+
+use crate::error::{BaselineError, Result};
+
+/// Number of (key, value) slot pairs per page.
+fn slots_per_page(page_size: usize) -> usize {
+    page_size / 16
+}
+
+/// A conventional open-addressed hash table living directly on a device.
+///
+/// Empty slots are encoded as all-zero (key 0 is reserved; callers use
+/// hashed fingerprints, for which 0 is vanishingly unlikely and rejected).
+pub struct ConventionalFlashHash<D: Device> {
+    device: D,
+    num_pages: u64,
+    page_size: usize,
+    entries: u64,
+    insert_latency: flashsim::LatencyRecorder,
+    lookup_latency: flashsim::LatencyRecorder,
+}
+
+impl<D: Device> ConventionalFlashHash<D> {
+    /// Creates a table spanning the whole device.
+    pub fn new(device: D) -> Result<Self> {
+        let geom = device.geometry();
+        let page_size = geom.page_size as usize;
+        if slots_per_page(page_size) == 0 {
+            return Err(BaselineError::InvalidConfig("page too small for 16-byte entries".into()));
+        }
+        Ok(ConventionalFlashHash {
+            num_pages: geom.pages(),
+            page_size,
+            device,
+            entries: 0,
+            insert_latency: flashsim::LatencyRecorder::new(),
+            lookup_latency: flashsim::LatencyRecorder::new(),
+        })
+    }
+
+    /// Number of entries stored.
+    pub fn len(&self) -> u64 {
+        self.entries
+    }
+
+    /// Returns `true` if the table holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+
+    /// Access to the underlying device.
+    pub fn device(&self) -> &D {
+        &self.device
+    }
+
+    /// Insert latency recorder.
+    pub fn insert_latencies(&mut self) -> &mut flashsim::LatencyRecorder {
+        &mut self.insert_latency
+    }
+
+    /// Lookup latency recorder.
+    pub fn lookup_latencies(&mut self) -> &mut flashsim::LatencyRecorder {
+        &mut self.lookup_latency
+    }
+
+    fn home_page(&self, key: u64) -> u64 {
+        // Mix the key so sequential fingerprints spread across the table.
+        let mut x = key;
+        x ^= x >> 33;
+        x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        x ^= x >> 33;
+        x % self.num_pages
+    }
+
+    /// Inserts or updates `key` (non-zero) with `value`.
+    ///
+    /// Returns the simulated latency of the operation.
+    pub fn insert(&mut self, key: u64, value: u64) -> Result<SimDuration> {
+        if key == 0 {
+            return Err(BaselineError::InvalidConfig("key 0 is reserved".into()));
+        }
+        let mut latency = SimDuration::ZERO;
+        let mut page_idx = self.home_page(key);
+        for _probe in 0..self.num_pages {
+            let offset = page_idx * self.page_size as u64;
+            let mut page = vec![0u8; self.page_size];
+            latency += self.device.read_at(offset, &mut page)?;
+            // Probe the slots within this page.
+            let slots = slots_per_page(self.page_size);
+            for s in 0..slots {
+                let at = s * 16;
+                let k = u64::from_le_bytes(page[at..at + 8].try_into().unwrap());
+                if k == key || k == 0 {
+                    page[at..at + 8].copy_from_slice(&key.to_le_bytes());
+                    page[at + 8..at + 16].copy_from_slice(&value.to_le_bytes());
+                    latency += self.device.write_at(offset, &page)?;
+                    if k == 0 {
+                        self.entries += 1;
+                    }
+                    self.insert_latency.record(latency);
+                    return Ok(latency);
+                }
+            }
+            page_idx = (page_idx + 1) % self.num_pages;
+        }
+        Err(BaselineError::Full)
+    }
+
+    /// Looks up `key`, returning its value if present along with the
+    /// simulated latency.
+    pub fn lookup(&mut self, key: u64) -> Result<(Option<u64>, SimDuration)> {
+        let mut latency = SimDuration::ZERO;
+        let mut page_idx = self.home_page(key);
+        for _probe in 0..self.num_pages {
+            let offset = page_idx * self.page_size as u64;
+            let mut page = vec![0u8; self.page_size];
+            latency += self.device.read_at(offset, &mut page)?;
+            let slots = slots_per_page(self.page_size);
+            let mut page_full = true;
+            for s in 0..slots {
+                let at = s * 16;
+                let k = u64::from_le_bytes(page[at..at + 8].try_into().unwrap());
+                if k == key {
+                    let v = u64::from_le_bytes(page[at + 8..at + 16].try_into().unwrap());
+                    self.lookup_latency.record(latency);
+                    return Ok((Some(v), latency));
+                }
+                if k == 0 {
+                    page_full = false;
+                    break;
+                }
+            }
+            if !page_full {
+                break;
+            }
+            page_idx = (page_idx + 1) % self.num_pages;
+        }
+        self.lookup_latency.record(latency);
+        Ok((None, latency))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flashsim::Ssd;
+
+    fn table() -> ConventionalFlashHash<Ssd> {
+        ConventionalFlashHash::new(Ssd::intel(2 << 20).unwrap()).unwrap()
+    }
+
+    fn key(i: u64) -> u64 {
+        i.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1
+    }
+
+    #[test]
+    fn insert_lookup_round_trip() {
+        let mut t = table();
+        for i in 0..500u64 {
+            t.insert(key(i), i).unwrap();
+        }
+        for i in 0..500u64 {
+            assert_eq!(t.lookup(key(i)).unwrap().0, Some(i));
+        }
+        assert_eq!(t.lookup(key(10_000)).unwrap().0, None);
+        assert_eq!(t.len(), 500);
+    }
+
+    #[test]
+    fn update_in_place_does_not_grow_the_table() {
+        let mut t = table();
+        t.insert(key(1), 10).unwrap();
+        t.insert(key(1), 20).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.lookup(key(1)).unwrap().0, Some(20));
+    }
+
+    #[test]
+    fn zero_key_is_rejected() {
+        let mut t = table();
+        assert!(t.insert(0, 1).is_err());
+    }
+
+    #[test]
+    fn every_insert_performs_flash_io() {
+        let mut t = table();
+        for i in 0..200u64 {
+            t.insert(key(i), i).unwrap();
+        }
+        let stats = t.device().stats();
+        assert!(stats.writes >= 200, "each insert should write a page");
+        assert!(stats.reads >= 200, "each insert should read its page first");
+    }
+
+    #[test]
+    fn inserts_are_much_slower_than_bufferhash_style_buffered_inserts() {
+        let mut t = table();
+        for i in 0..300u64 {
+            t.insert(key(i), i).unwrap();
+        }
+        // Every insert costs at least a page read + page write on flash.
+        let mean = t.insert_latencies().mean();
+        assert!(mean > SimDuration::from_micros(100), "conventional insert mean {mean}");
+    }
+}

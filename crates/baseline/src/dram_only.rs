@@ -1,0 +1,128 @@
+//! DRAM-only hash stores (RamSan-style appliances and plain host DRAM).
+//!
+//! The paper's §1/§2 cost comparison pits the CLAM against DRAM-SSD
+//! appliances: blazingly fast but so expensive that their hash
+//! operations/second/dollar is one to two orders of magnitude worse. This
+//! module provides that comparison point: a hash table held entirely in
+//! (modelled) DRAM, with the appliance's latency and price attached.
+
+use std::collections::HashMap;
+
+use flashsim::{DeviceProfile, LatencyRecorder, SimDuration};
+
+/// A hash table held entirely in DRAM with an attached cost profile.
+pub struct DramHashStore {
+    map: HashMap<u64, u64>,
+    profile: DeviceProfile,
+    /// Latency of insert operations.
+    pub insert_latency: LatencyRecorder,
+    /// Latency of lookup operations.
+    pub lookup_latency: LatencyRecorder,
+}
+
+impl DramHashStore {
+    /// A store modelling a RamSan-class DRAM-SSD appliance.
+    pub fn ramsan() -> Self {
+        Self::with_profile(DeviceProfile::ramsan_dram_ssd())
+    }
+
+    /// A store modelling plain host DRAM.
+    pub fn host_dram() -> Self {
+        Self::with_profile(DeviceProfile::dram())
+    }
+
+    /// A store with an arbitrary profile.
+    pub fn with_profile(profile: DeviceProfile) -> Self {
+        DramHashStore {
+            map: HashMap::new(),
+            profile,
+            insert_latency: LatencyRecorder::new(),
+            lookup_latency: LatencyRecorder::new(),
+        }
+    }
+
+    /// The cost/latency profile backing this store.
+    pub fn profile(&self) -> &DeviceProfile {
+        &self.profile
+    }
+
+    /// Number of entries stored.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Returns `true` if the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    fn op_cost(&self) -> SimDuration {
+        // One device access of a 16-byte entry.
+        self.profile.read_cost.cost(16)
+    }
+
+    /// Inserts or updates a key, returning the simulated latency.
+    pub fn insert(&mut self, key: u64, value: u64) -> SimDuration {
+        let lat = self.op_cost();
+        self.map.insert(key, value);
+        self.insert_latency.record(lat);
+        lat
+    }
+
+    /// Looks up a key, returning the value (if any) and the latency.
+    pub fn lookup(&mut self, key: u64) -> (Option<u64>, SimDuration) {
+        let lat = self.op_cost();
+        self.lookup_latency.record(lat);
+        (self.map.get(&key).copied(), lat)
+    }
+
+    /// Deletes a key, returning whether it was present and the latency.
+    pub fn delete(&mut self, key: u64) -> (bool, SimDuration) {
+        let lat = self.op_cost();
+        (self.map.remove(&key).is_some(), lat)
+    }
+
+    /// Sustainable operations per second implied by the latency model.
+    pub fn ops_per_second(&self) -> f64 {
+        let per_op = self.op_cost().as_secs_f64();
+        if per_op <= 0.0 {
+            f64::INFINITY
+        } else {
+            1.0 / per_op
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_map_semantics() {
+        let mut s = DramHashStore::host_dram();
+        s.insert(1, 10);
+        s.insert(2, 20);
+        s.insert(1, 11);
+        assert_eq!(s.lookup(1).0, Some(11));
+        assert_eq!(s.lookup(3).0, None);
+        assert_eq!(s.len(), 2);
+        assert!(s.delete(2).0);
+        assert!(!s.delete(2).0);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn ramsan_is_fast_but_latency_is_nonzero() {
+        let mut s = DramHashStore::ramsan();
+        let lat = s.insert(1, 1);
+        assert!(lat > SimDuration::ZERO);
+        assert!(lat < SimDuration::from_micros(100));
+        assert!(s.ops_per_second() > 100_000.0);
+    }
+
+    #[test]
+    fn appliance_price_is_recorded_for_cost_analysis() {
+        let s = DramHashStore::ramsan();
+        assert!(s.profile().dollar_cost > 50_000.0);
+    }
+}

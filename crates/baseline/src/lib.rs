@@ -1,0 +1,32 @@
+//! # baseline — comparison systems for the CLAM evaluation
+//!
+//! The paper compares BufferHash-based CLAMs against the approaches a
+//! practitioner would otherwise use. This crate implements those baselines
+//! on the same simulated devices so every figure can be reproduced:
+//!
+//! * [`ConventionalFlashHash`] — a hash table whose slots live directly on
+//!   flash (the "BufferHash without buffering" strawman of §7.3.1);
+//! * [`BdbHashIndex`] — a Berkeley-DB-style page hash index with overflow
+//!   chains and an LRU page cache (the `DB+SSD` / `DB+Disk` comparator of
+//!   §7.2.2 and §8);
+//! * [`BdbBtreeIndex`] — the B-tree access method of the same database;
+//! * [`DramHashStore`] — DRAM-only stores (host DRAM and RamSan-class
+//!   appliances) for the ops/sec/$ comparison;
+//! * [`cost`] — hash-operations-per-second-per-dollar calculations.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod bdb;
+mod btree;
+mod conventional;
+pub mod cost;
+mod dram_only;
+mod error;
+
+pub use bdb::{BdbConfig, BdbHashIndex};
+pub use btree::BdbBtreeIndex;
+pub use conventional::ConventionalFlashHash;
+pub use cost::{cost_effectiveness, cost_effectiveness_from_rate, CostEffectiveness, SystemCost};
+pub use dram_only::DramHashStore;
+pub use error::{BaselineError, Result};

@@ -1,0 +1,76 @@
+//! Criterion micro-benchmarks for the in-memory hot paths: cuckoo buffer,
+//! Bloom filters, bit-sliced filters, Rabin-Karp chunking and SHA-1.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use bufferhash::{BitSlicedBloomSet, BloomFilter, CuckooBuffer};
+use wanopt::{chunk_boundaries, ChunkerConfig, Sha1};
+
+fn bench_cuckoo(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cuckoo_buffer");
+    group.bench_function("insert_4096", |b| {
+        b.iter(|| {
+            let mut buf = CuckooBuffer::with_byte_budget(128 * 1024, 16, 0.5);
+            for i in 0..4096u64 {
+                buf.insert(bufferhash::hash_with_seed(i, 1), i);
+            }
+            black_box(buf.len())
+        })
+    });
+    let mut buf = CuckooBuffer::with_byte_budget(128 * 1024, 16, 0.5);
+    for i in 0..4096u64 {
+        buf.insert(bufferhash::hash_with_seed(i, 1), i);
+    }
+    group.bench_function("lookup_hit", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 4096;
+            black_box(buf.get(bufferhash::hash_with_seed(i, 1)))
+        })
+    });
+    group.finish();
+}
+
+fn bench_filters(c: &mut Criterion) {
+    let mut group = c.benchmark_group("filters");
+    let mut bloom = BloomFilter::with_budget(4096, 16.0);
+    for i in 0..4096u64 {
+        bloom.insert(bufferhash::hash_with_seed(i, 2));
+    }
+    group.bench_function("bloom_query", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(bloom.contains(bufferhash::hash_with_seed(i, 3)))
+        })
+    });
+    let mut sliced = BitSlicedBloomSet::new(16, 1 << 16, 7);
+    for inc in 0..16u64 {
+        sliced.push_incarnation((0..4096u64).map(|i| bufferhash::hash_with_seed(i, inc + 10)));
+    }
+    group.bench_function("bitsliced_query_16_incarnations", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(sliced.query(bufferhash::hash_with_seed(i, 99)).len())
+        })
+    });
+    group.finish();
+}
+
+fn bench_content_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("content_pipeline");
+    let data: Vec<u8> =
+        (0..1_000_000u32).map(|i| (i.wrapping_mul(2_654_435_761) >> 13) as u8).collect();
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.bench_function("sha1_1mb", |b| b.iter(|| black_box(Sha1::digest(&data))));
+    group.bench_function("rabin_chunking_1mb", |b| {
+        let cfg = ChunkerConfig::paper_default();
+        b.iter(|| black_box(chunk_boundaries(&data, &cfg).len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cuckoo, bench_filters, bench_content_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion benchmarks for the WAN-optimizer pipeline (chunk → fingerprint
+//! → index → cache) on the simulated substrate.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use bufferhash::{Clam, ClamConfig};
+use flashsim::{MagneticDisk, Ssd};
+use wanopt::{
+    generate_trace, ClamStore, CompressionEngine, ContentCache, EngineConfig, TraceConfig,
+};
+
+fn bench_wan_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wan_pipeline");
+    group.sample_size(10);
+    let objects =
+        generate_trace(&TraceConfig { num_objects: 4, ..TraceConfig::high_redundancy(4) });
+    let total: usize = objects.iter().map(|o| o.len()).sum();
+    group.throughput(Throughput::Bytes(total as u64));
+    group.bench_function("process_4_objects_clam", |b| {
+        b.iter(|| {
+            let cfg = ClamConfig::small_test(16 << 20, 4 << 20).unwrap();
+            let clam = Clam::new(Ssd::transcend(16 << 20).unwrap(), cfg).unwrap();
+            let mut engine = CompressionEngine::new(
+                ClamStore::new(clam),
+                ContentCache::new(MagneticDisk::new(64 << 20).unwrap()),
+                EngineConfig::default(),
+            );
+            let mut compressed = 0usize;
+            for obj in &objects {
+                compressed += engine.process_object(&obj.data).unwrap().compressed_bytes;
+            }
+            black_box(compressed)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_wan_pipeline);
+criterion_main!(benches);

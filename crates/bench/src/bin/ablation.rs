@@ -1,0 +1,60 @@
+//! §7.3.1 ablations: what buffering, Bloom filters and bit-slicing each
+//! contribute to CLAM performance (Intel SSD).
+
+use bench::{
+    build_clam_with, ms, print_header, print_row, run_mixed_workload,
+    run_mixed_workload_continuing, standard_config, Ablation, Medium,
+};
+
+fn main() {
+    println!("Ablation study (Intel SSD): contribution of each BufferHash mechanism\n");
+    let widths = [26, 16, 16, 16, 16];
+    print_header(
+        &[
+            "configuration",
+            "insert (ms)",
+            "lookup40 (ms)",
+            "lookup80 (ms)",
+            "reads/lookup",
+        ],
+        &widths,
+    );
+    for ablation in [
+        Ablation::Full,
+        Ablation::NoBloomFilters,
+        Ablation::NoBitSlicing,
+        Ablation::NoBuffering,
+    ] {
+        let mut row = vec![ablation.label().to_string()];
+        let mut reads_per_lookup = 0.0;
+        let mut insert_ms = String::new();
+        for (idx, lsr) in [0.4f64, 0.8].iter().enumerate() {
+            let cfg = ablation.apply(standard_config(bench::FLASH_BYTES, bench::DRAM_BYTES));
+            let mut clam = build_clam_with(Medium::IntelSsd, cfg);
+            // Smaller warm-up for the unbuffered case (every insert hits flash).
+            let warm = if ablation == Ablation::NoBuffering { 40_000 } else { 600_000 };
+            run_mixed_workload(&mut clam, warm, 0.0, 0.0, 41);
+            clam.reset_stats();
+            let ops = if ablation == Ablation::NoBuffering { 6_000 } else { 30_000 };
+            let result =
+                run_mixed_workload_continuing(&mut clam, ops, 0.5, *lsr, 42, warm as u64);
+            if idx == 0 {
+                insert_ms = ms(result.inserts.mean());
+                let stats = clam.stats();
+                reads_per_lookup =
+                    stats.lookup_flash_reads as f64 / stats.lookups.len().max(1) as f64;
+            }
+            if idx == 0 {
+                row.push(insert_ms.clone());
+            }
+            row.push(ms(result.lookups.mean()));
+        }
+        row.push(format!("{reads_per_lookup:.2}"));
+        print_row(&row, &widths);
+    }
+    println!(
+        "\nPaper anchors: buffering turns ~5 ms unbuffered inserts into ~0.006 ms;\n\
+         Bloom filters cut lookup flash I/O by 10-30x (misses no longer probe every\n\
+         incarnation); bit-slicing shaves ~20% off memory-bound lookups."
+    );
+}

@@ -1,0 +1,59 @@
+//! §3: merging a smaller deduplication index into a larger one, with the
+//! target index held in a CLAM versus a BerkeleyDB-style index.
+
+use baseline::{BdbConfig, BdbHashIndex};
+use bench::{print_header, print_row};
+use bufferhash::{Clam, ClamConfig};
+use dedup::{merge_indexes, FingerprintSet};
+use flashsim::Ssd;
+use wanopt::{BdbStore, ClamStore, FingerprintStore};
+
+const FLASH: u64 = 64 << 20;
+
+fn populate<S: FingerprintStore>(store: &mut S, set: &FingerprintSet) {
+    for &(fp, addr) in &set.entries {
+        store.insert(fp, addr).expect("insert");
+    }
+}
+
+fn main() {
+    println!("Index merge: looking up and inserting every fingerprint of a smaller index\n");
+    // The "large" index already holds this dataset; the "small" one shares
+    // 30% of its fingerprints with it.
+    let existing = FingerprintSet::synthetic(200_000, 0.3, 1, 2);
+    let incoming = FingerprintSet::synthetic(50_000, 0.3, 2, 1);
+
+    let cfg = ClamConfig::small_test(FLASH, 16 << 20).expect("config");
+    let mut clam = ClamStore::new(Clam::new(Ssd::intel(FLASH).expect("ssd"), cfg).expect("clam"));
+    populate(&mut clam, &existing);
+    let clam_report = merge_indexes(&mut clam, &incoming).expect("clam merge");
+
+    let idx = BdbHashIndex::new(
+        Ssd::intel(FLASH).expect("ssd"),
+        BdbConfig { cache_bytes: 2 << 20, ..Default::default() },
+    )
+    .expect("bdb");
+    let mut bdb = BdbStore::new(idx, usize::MAX);
+    populate(&mut bdb, &existing);
+    let bdb_report = merge_indexes(&mut bdb, &incoming).expect("bdb merge");
+
+    let widths = [28, 16, 16, 18];
+    print_header(&["target index", "merge time (s)", "fp/s", "already present"], &widths);
+    for (label, report) in [("CLAM (Intel SSD)", clam_report), ("BerkeleyDB (Intel SSD)", bdb_report)]
+    {
+        print_row(
+            &[
+                label.to_string(),
+                format!("{:.2}", report.total_time.as_secs_f64()),
+                format!("{:.0}", report.fingerprints_per_second()),
+                format!("{}", report.already_present),
+            ],
+            &widths,
+        );
+    }
+    println!(
+        "\nPaper anchor: merging fingerprints into a large index takes on the order of\n\
+         2 hours with BerkeleyDB but under 2 minutes with a CLAM — a 50-100x gap,\n\
+         which is the ratio to look for between the two rows above."
+    );
+}

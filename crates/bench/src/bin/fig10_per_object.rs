@@ -1,0 +1,67 @@
+//! Figure 10: per-object throughput improvement under heavy load (10 Mbps
+//! link, 50% redundancy), for the CLAM-backed and BDB-backed optimizers.
+
+use baseline::{BdbConfig, BdbHashIndex};
+use bench::{print_header, print_row};
+use bufferhash::{Clam, ClamConfig};
+use flashsim::{MagneticDisk, Ssd};
+use wanopt::{
+    generate_trace, mean_improvement, BdbStore, ClamStore, CompressionEngine, ContentCache,
+    EngineConfig, FingerprintStore, Link, ObjectReport, TraceConfig, WanOptimizer,
+};
+
+const FLASH: u64 = 32 << 20;
+
+fn report_table(label: &str, reports: &[ObjectReport]) {
+    println!("-- {label} --");
+    let widths = [14, 14, 14, 16];
+    print_header(&["object", "size (KB)", "savings", "improvement"], &widths);
+    for r in reports {
+        print_row(
+            &[
+                format!("{}", r.id),
+                format!("{}", r.original_bytes / 1024),
+                format!("{:.2}", 1.0 - r.compressed_bytes as f64 / r.original_bytes.max(1) as f64),
+                format!("{:.2}", r.improvement_factor()),
+            ],
+            &widths,
+        );
+    }
+    println!("mean per-object improvement: {:.2}\n", mean_improvement(reports));
+}
+
+fn run_with<S: FingerprintStore>(store: S, objects: &[wanopt::TraceObject]) -> Vec<ObjectReport> {
+    let engine = CompressionEngine::new(
+        store,
+        ContentCache::new(MagneticDisk::new(256 << 20).expect("disk")),
+        EngineConfig::default(),
+    );
+    let mut optimizer = WanOptimizer::new(engine, Link::mbps(10.0));
+    optimizer.load_test(objects).expect("load test")
+}
+
+fn main() {
+    println!("Figure 10: per-object throughput improvement (10 Mbps, 50% redundancy)\n");
+    let objects =
+        generate_trace(&TraceConfig { num_objects: 25, ..TraceConfig::high_redundancy(25) });
+
+    let cfg = ClamConfig::small_test(FLASH, 8 << 20).expect("config");
+    let clam = Clam::new(Ssd::transcend(FLASH).expect("ssd"), cfg).expect("clam");
+    let clam_reports = run_with(ClamStore::new(clam), &objects);
+    report_table("BufferHash CLAM + Transcend SSD", &clam_reports);
+
+    let idx = BdbHashIndex::new(
+        Ssd::transcend(FLASH).expect("ssd"),
+        BdbConfig { cache_bytes: 1 << 20, ..Default::default() },
+    )
+    .expect("bdb");
+    let bdb_reports = run_with(BdbStore::new(idx, 1 << 21), &objects);
+    report_table("BerkeleyDB + Transcend SSD", &bdb_reports);
+
+    println!(
+        "Paper anchors: with BerkeleyDB many objects (especially small ones) see their\n\
+         throughput *reduced* (factor < 1) because index operations delay them; the\n\
+         CLAM-based optimizer slows far fewer objects and its mean per-object\n\
+         improvement (~3.1x in the paper) clearly beats BDB's (~1.9x)."
+    );
+}

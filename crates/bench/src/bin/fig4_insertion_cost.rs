@@ -1,0 +1,52 @@
+//! Figure 4: amortized and worst-case insertion cost vs per-table buffer
+//! size, on a raw flash chip and on an Intel-class SSD.
+//!
+//! Panels (a)/(b) use the §6.1 cost model for a raw chip (C1 + C2 + C3);
+//! panels (c)/(d) use the SSD form (C1 only). A simulated spot check at the
+//! 128 KiB point cross-validates the model against the device simulator.
+
+use bench::{build_clam_with, ms, print_header, print_row, standard_config, workload_key, Medium};
+use bufferhash::analysis::FlashCostModel;
+use flashsim::DeviceProfile;
+
+fn main() {
+    let chip = FlashCostModel::from_profile(&DeviceProfile::flash_chip());
+    let ssd = FlashCostModel::from_profile(&DeviceProfile::intel_x18m());
+    let s_eff = 32usize;
+    let widths = [18, 20, 20, 20, 20];
+    println!("Figure 4: insertion cost vs buffer size (analytical, §6.1)\n");
+    print_header(
+        &["buffer (KB)", "chip avg (ms)", "chip max (ms)", "SSD avg (ms)", "SSD max (ms)"],
+        &widths,
+    );
+    for kb in [1u64, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096, 10 * 1024, 100 * 1024] {
+        let bytes = (kb * 1024) as usize;
+        print_row(
+            &[
+                format!("{kb}"),
+                format!("{:.5}", chip.insert_amortized(bytes, s_eff).as_millis_f64()),
+                format!("{:.3}", chip.insert_worst_case(bytes).as_millis_f64()),
+                format!("{:.5}", ssd.insert_amortized(bytes, s_eff).as_millis_f64()),
+                format!("{:.3}", ssd.insert_worst_case(bytes).as_millis_f64()),
+            ],
+            &widths,
+        );
+    }
+
+    // Simulated spot check at the paper's chosen 128 KiB (here the standard
+    // scaled configuration's 32 KiB buffer) on the Intel SSD.
+    let cfg = standard_config(bench::FLASH_BYTES, bench::DRAM_BYTES);
+    let mut clam = build_clam_with(Medium::IntelSsd, cfg);
+    for i in 0..120_000u64 {
+        clam.insert(workload_key(i), i);
+    }
+    let stats = clam.stats();
+    println!("\nSimulated cross-check (Intel SSD, standard scaled config):");
+    println!("  measured average insert latency: {} ms", ms(stats.inserts.mean()));
+    println!("  measured worst-case insert latency: {} ms", ms(stats.inserts.max()));
+    println!(
+        "\nPaper anchors: on the raw chip both curves are minimised when the buffer\n\
+         matches the erase-block size; on the SSD larger buffers keep lowering the\n\
+         average cost but raise the worst case (Figures 4a-4d)."
+    );
+}

@@ -1,0 +1,92 @@
+//! Figure 8 / §7.4: cost of the flexible eviction policies.
+//!
+//! (a) CCDF of insert latencies under the update-based partial-discard
+//!     policy on the Intel and Transcend SSDs;
+//! (b) CDF of the number of incarnations tried per eviction (cascades);
+//! plus the LRU and priority-based policies' average insert cost.
+
+use bench::{build_clam_with, ms, print_header, print_row, standard_config, Medium};
+use bufferhash::EvictionPolicy;
+use flashsim::LatencyRecorder;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn drive(medium: Medium, policy: EvictionPolicy, ops: u64) -> (bench::AnyClam, LatencyRecorder) {
+    let mut cfg = standard_config(bench::FLASH_BYTES / 4, bench::DRAM_BYTES / 4);
+    cfg.eviction = policy;
+    let mut clam = build_clam_with(medium, cfg);
+    let mut rng = StdRng::seed_from_u64(77);
+    let mut inserts = LatencyRecorder::new();
+    for i in 0..ops {
+        // 40% of operations update recently inserted keys; 60% are new keys
+        // (the paper's 40%-update workload), interleaved with lookups.
+        let key = if rng.gen_bool(0.4) {
+            bench::workload_key(rng.gen_range(0..=i))
+        } else {
+            bench::workload_key(i)
+        };
+        if rng.gen_bool(0.5) {
+            inserts.record(clam.insert(key, i));
+        } else {
+            clam.lookup(key);
+        }
+    }
+    (clam, inserts)
+}
+
+fn main() {
+    println!("Figure 8: eviction policies (40% update workload)\n");
+
+    // (a) CCDF of insert latencies with the update-based policy.
+    for medium in [Medium::IntelSsd, Medium::TranscendSsd] {
+        let (_clam, mut inserts) = drive(medium, EvictionPolicy::UpdateBased, 150_000);
+        println!(
+            "Update-based eviction on {}: mean insert {} ms, p99 {} ms, max {} ms",
+            medium.label(),
+            ms(inserts.mean()),
+            ms(inserts.quantile(0.99)),
+            ms(inserts.max())
+        );
+        let lo = flashsim::SimDuration::from_micros(1);
+        let hi = inserts.max();
+        println!("# CCDF: insert latency, update-based, {}", medium.label());
+        for (p, frac) in inserts.ccdf(&LatencyRecorder::log_spaced_points(lo, hi, 16)) {
+            println!("{:>12.4}  {:.5}", p.as_millis_f64(), frac);
+        }
+        println!();
+    }
+
+    // (b) CDF of incarnations tried per eviction cascade (Transcend).
+    let (clam, _) = drive(Medium::TranscendSsd, EvictionPolicy::UpdateBased, 150_000);
+    let hist = &clam.stats().cascade_histogram;
+    let total: u64 = hist.iter().sum();
+    println!("# CDF: incarnations tried per buffer flush (update-based, Transcend)");
+    let mut cum = 0u64;
+    for (tried, count) in hist.iter().enumerate() {
+        if *count == 0 {
+            continue;
+        }
+        cum += count;
+        println!("{tried:>4}  {:.4}", cum as f64 / total.max(1) as f64);
+    }
+
+    // Comparison of policies on the Transcend SSD.
+    println!("\nAverage insert latency by policy (Transcend SSD):");
+    let widths = [24, 18];
+    print_header(&["policy", "insert mean (ms)"], &widths);
+    for (name, policy) in [
+        ("FIFO (full discard)", EvictionPolicy::Fifo),
+        ("LRU", EvictionPolicy::Lru),
+        ("update-based", EvictionPolicy::UpdateBased),
+        ("priority-based", EvictionPolicy::priority_threshold(u64::MAX / 2)),
+    ] {
+        let (_clam, inserts) = drive(Medium::TranscendSsd, policy, 100_000);
+        print_row(&[name.to_string(), ms(inserts.mean())], &widths);
+    }
+    println!(
+        "\nPaper anchors: FIFO and LRU keep the ~0.007-0.008 ms average insert; the\n\
+         partial-discard policies leave most inserts untouched but add a heavy tail\n\
+         (cascaded evictions), raising the average substantially; ~90% of cascades\n\
+         touch at most 3 incarnations."
+    );
+}

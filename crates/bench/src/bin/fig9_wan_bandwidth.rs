@@ -1,0 +1,80 @@
+//! Figure 9: effective bandwidth improvement of a WAN optimizer vs link
+//! speed, for 50% and 15% redundancy traces, with the fingerprint index
+//! held in a CLAM or in a BerkeleyDB-style index (both on a Transcend SSD).
+
+use baseline::{BdbConfig, BdbHashIndex};
+use bench::{print_header, print_row};
+use bufferhash::{Clam, ClamConfig};
+use flashsim::{MagneticDisk, Ssd};
+use wanopt::{
+    generate_trace, BdbStore, ClamStore, CompressionEngine, ContentCache, EngineConfig, Link,
+    TraceConfig, TraceObject, WanOptimizer,
+};
+
+const FLASH: u64 = 32 << 20;
+const DRAM: u64 = 8 << 20;
+
+fn clam_optimizer(link: Link) -> WanOptimizer<ClamStore<Ssd>, MagneticDisk> {
+    let cfg = ClamConfig::small_test(FLASH, DRAM).expect("config");
+    let clam = Clam::new(Ssd::transcend(FLASH).expect("ssd"), cfg).expect("clam");
+    let engine = CompressionEngine::new(
+        ClamStore::new(clam),
+        ContentCache::new(MagneticDisk::new(256 << 20).expect("disk")),
+        EngineConfig::default(),
+    );
+    WanOptimizer::new(engine, link)
+}
+
+fn bdb_optimizer(link: Link) -> WanOptimizer<BdbStore<Ssd>, MagneticDisk> {
+    let idx = BdbHashIndex::new(
+        Ssd::transcend(FLASH).expect("ssd"),
+        BdbConfig { cache_bytes: 1 << 20, ..Default::default() },
+    )
+    .expect("bdb");
+    let engine = CompressionEngine::new(
+        BdbStore::new(idx, 1 << 21),
+        ContentCache::new(MagneticDisk::new(256 << 20).expect("disk")),
+        EngineConfig::default(),
+    );
+    WanOptimizer::new(engine, link)
+}
+
+fn run(objects: &[TraceObject], redundancy_label: &str) {
+    println!("-- {redundancy_label} redundancy trace --");
+    let widths = [18, 22, 22, 14];
+    print_header(
+        &["link (Mbps)", "BufferHash+SSD", "BerkeleyDB+SSD", "ideal"],
+        &widths,
+    );
+    for mbps in [10.0, 20.0, 100.0, 200.0, 300.0, 400.0] {
+        let mut clam = clam_optimizer(Link::mbps(mbps));
+        let clam_report = clam.throughput_test(objects).expect("clam run");
+        let mut bdb = bdb_optimizer(Link::mbps(mbps));
+        let bdb_report = bdb.throughput_test(objects).expect("bdb run");
+        print_row(
+            &[
+                format!("{mbps:.0}"),
+                format!("{:.2}", clam_report.improvement_factor()),
+                format!("{:.2}", bdb_report.improvement_factor()),
+                format!("{:.2}", clam_report.ideal_improvement()),
+            ],
+            &widths,
+        );
+    }
+    println!();
+}
+
+fn main() {
+    println!("Figure 9: effective bandwidth improvement vs link speed (Transcend SSD)\n");
+    let high = generate_trace(&TraceConfig { num_objects: 30, ..TraceConfig::high_redundancy(30) });
+    run(&high, "50%");
+    let low = generate_trace(&TraceConfig { num_objects: 30, ..TraceConfig::low_redundancy(30) });
+    run(&low, "15%");
+    println!(
+        "Paper anchors: the BDB-backed optimizer is only effective up to ~10-20 Mbps\n\
+         and then *reduces* effective bandwidth (factor < 1); the CLAM-backed\n\
+         optimizer stays near the ideal factor through ~100-200 Mbps and degrades\n\
+         gracefully beyond; with the low-redundancy trace it keeps helping at even\n\
+         higher rates because fewer lookups hit flash."
+    );
+}

@@ -1,0 +1,41 @@
+//! Table 3: per-operation latency as the lookup fraction of the workload
+//! varies, for BufferHash and the BDB-style index on a Transcend SSD
+//! (LSR = 0.4 throughout).
+
+use bench::{
+    build_bdb, build_clam, print_header, print_row, run_mixed_workload,
+    run_mixed_workload_continuing, Medium,
+};
+
+fn main() {
+    println!("Table 3: per-operation latency vs lookup fraction (Transcend SSD, LSR = 0.4)\n");
+    let widths = [18, 22, 22];
+    print_header(&["lookup fraction", "BufferHash (ms/op)", "BerkeleyDB (ms/op)"], &widths);
+    for &fraction in &[0.0, 0.3, 0.5, 0.7, 1.0] {
+        let mut clam = build_clam(Medium::TranscendSsd, bench::FLASH_BYTES, bench::DRAM_BYTES);
+        run_mixed_workload(&mut clam, 400_000, 0.0, 0.0, 31);
+        clam.reset_stats();
+        let clam_result =
+            run_mixed_workload_continuing(&mut clam, 20_000, fraction, 0.4, 32, 400_000);
+
+        let mut bdb = build_bdb(Medium::TranscendSsd, bench::FLASH_BYTES);
+        run_mixed_workload(&mut bdb, 40_000, 0.0, 0.0, 31);
+        let bdb_result =
+            run_mixed_workload_continuing(&mut bdb, 8_000, fraction, 0.4, 32, 40_000);
+
+        print_row(
+            &[
+                format!("{fraction:.1}"),
+                format!("{:.3}", clam_result.mean_per_op().as_millis_f64()),
+                format!("{:.3}", bdb_result.mean_per_op().as_millis_f64()),
+            ],
+            &widths,
+        );
+    }
+    println!(
+        "\nPaper anchors: BufferHash gets cheaper as the workload becomes more\n\
+         write-heavy (buffered inserts), down to ~0.007 ms/op for pure inserts, while\n\
+         BerkeleyDB gets dramatically more expensive (18+ ms/op for pure inserts on\n\
+         the Transcend SSD); for pure lookups the gap narrows."
+    );
+}

@@ -1,0 +1,429 @@
+//! Shared harness code for regenerating the paper's tables and figures.
+//!
+//! Each `src/bin/*.rs` binary reproduces one experiment (see DESIGN.md's
+//! per-experiment index); this library provides what they share: standard
+//! device/CLAM/BDB constructions scaled to run in seconds on a laptop,
+//! workload drivers with a controllable lookup-success rate, and small
+//! table/CDF printing helpers.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use baseline::{BdbConfig, BdbHashIndex};
+use bufferhash::{hash_with_seed, Clam, ClamConfig, FilterMode};
+use flashsim::{LatencyRecorder, MagneticDisk, SimDuration, Ssd};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Default scaled-down flash size used by the simulated experiments.
+///
+/// The paper's prototype used 32 GB of flash and 4 GB of DRAM; the
+/// experiments here keep the same *ratios* (flash : buffers : Bloom
+/// filters : incarnations-per-table) at 1/512 the size so every figure
+/// regenerates in seconds. Absolute sizes can be raised freely.
+pub const FLASH_BYTES: u64 = 64 << 20;
+/// Default scaled-down DRAM budget (see [`FLASH_BYTES`]).
+pub const DRAM_BYTES: u64 = 8 << 20;
+
+/// Which storage medium a CLAM or baseline index runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Medium {
+    /// Intel X18-M class SSD.
+    IntelSsd,
+    /// Transcend TS32GSSD25 class SSD.
+    TranscendSsd,
+    /// Hitachi 7K80 class magnetic disk.
+    Disk,
+}
+
+impl Medium {
+    /// Human-readable name used in output tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Medium::IntelSsd => "Intel SSD",
+            Medium::TranscendSsd => "Transcend SSD",
+            Medium::Disk => "Disk",
+        }
+    }
+}
+
+/// A CLAM on any of the three media, unified behind one type so the
+/// experiment drivers can iterate over media.
+pub enum AnyClam {
+    /// CLAM on an Intel-class SSD.
+    Intel(Clam<Ssd>),
+    /// CLAM on a Transcend-class SSD.
+    Transcend(Clam<Ssd>),
+    /// CLAM on a magnetic disk.
+    Disk(Clam<MagneticDisk>),
+}
+
+impl AnyClam {
+    /// Inserts a key, returning the simulated latency.
+    pub fn insert(&mut self, key: u64, value: u64) -> SimDuration {
+        match self {
+            AnyClam::Intel(c) | AnyClam::Transcend(c) => c.insert(key, value).expect("insert").latency,
+            AnyClam::Disk(c) => c.insert(key, value).expect("insert").latency,
+        }
+    }
+
+    /// Looks up a key, returning the value and the simulated latency.
+    pub fn lookup(&mut self, key: u64) -> (Option<u64>, SimDuration) {
+        match self {
+            AnyClam::Intel(c) | AnyClam::Transcend(c) => {
+                let out = c.lookup(key).expect("lookup");
+                (out.value, out.latency)
+            }
+            AnyClam::Disk(c) => {
+                let out = c.lookup(key).expect("lookup");
+                (out.value, out.latency)
+            }
+        }
+    }
+
+    /// Read-only view of the CLAM statistics.
+    pub fn stats(&self) -> &bufferhash::ClamStats {
+        match self {
+            AnyClam::Intel(c) | AnyClam::Transcend(c) => c.stats(),
+            AnyClam::Disk(c) => c.stats(),
+        }
+    }
+
+    /// Clears statistics.
+    pub fn reset_stats(&mut self) {
+        match self {
+            AnyClam::Intel(c) | AnyClam::Transcend(c) => c.reset_stats(),
+            AnyClam::Disk(c) => c.reset_stats(),
+        }
+    }
+}
+
+/// Standard CLAM configuration used across the experiments (32 KiB buffers,
+/// FIFO eviction, bit-sliced filters).
+pub fn standard_config(flash: u64, dram: u64) -> ClamConfig {
+    ClamConfig::small_test(flash, dram).expect("valid standard config")
+}
+
+/// Builds a CLAM on the given medium with the standard configuration.
+pub fn build_clam(medium: Medium, flash: u64, dram: u64) -> AnyClam {
+    build_clam_with(medium, standard_config(flash, dram))
+}
+
+/// Builds a CLAM on the given medium with an explicit configuration.
+pub fn build_clam_with(medium: Medium, config: ClamConfig) -> AnyClam {
+    let flash = config.flash_capacity;
+    match medium {
+        Medium::IntelSsd => {
+            AnyClam::Intel(Clam::new(Ssd::intel(flash).expect("ssd"), config).expect("clam"))
+        }
+        Medium::TranscendSsd => AnyClam::Transcend(
+            Clam::new(Ssd::transcend(flash).expect("ssd"), config).expect("clam"),
+        ),
+        Medium::Disk => AnyClam::Disk(
+            Clam::new(MagneticDisk::new(flash).expect("disk"), config).expect("clam"),
+        ),
+    }
+}
+
+/// A configuration variant for the §7.3.1 ablations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ablation {
+    /// The full design.
+    Full,
+    /// Membership filters disabled: lookups probe every incarnation.
+    NoBloomFilters,
+    /// Plain per-incarnation filters instead of bit-sliced storage.
+    NoBitSlicing,
+    /// Buffering disabled: every insert flushes straight to flash.
+    NoBuffering,
+}
+
+impl Ablation {
+    /// Label used in output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Ablation::Full => "full BufferHash",
+            Ablation::NoBloomFilters => "without Bloom filters",
+            Ablation::NoBitSlicing => "without bit-slicing",
+            Ablation::NoBuffering => "without buffering",
+        }
+    }
+
+    /// Applies the ablation to a configuration.
+    pub fn apply(&self, mut config: ClamConfig) -> ClamConfig {
+        match self {
+            Ablation::Full => {}
+            Ablation::NoBloomFilters => config.filter_mode = FilterMode::Disabled,
+            Ablation::NoBitSlicing => config.filter_mode = FilterMode::PerIncarnation,
+            Ablation::NoBuffering => config.enable_buffering = false,
+        }
+        config
+    }
+}
+
+/// A BDB-style index on the given medium, unified for the drivers.
+pub enum AnyBdb {
+    /// Index on an SSD.
+    Ssd(BdbHashIndex<Ssd>),
+    /// Index on a magnetic disk.
+    Disk(BdbHashIndex<MagneticDisk>),
+}
+
+impl AnyBdb {
+    /// Inserts a key, returning the simulated latency.
+    pub fn insert(&mut self, key: u64, value: u64) -> SimDuration {
+        match self {
+            AnyBdb::Ssd(i) => i.insert(key, value).expect("insert"),
+            AnyBdb::Disk(i) => i.insert(key, value).expect("insert"),
+        }
+    }
+
+    /// Looks up a key, returning the value and the simulated latency.
+    pub fn lookup(&mut self, key: u64) -> (Option<u64>, SimDuration) {
+        match self {
+            AnyBdb::Ssd(i) => i.lookup(key).expect("lookup"),
+            AnyBdb::Disk(i) => i.lookup(key).expect("lookup"),
+        }
+    }
+}
+
+/// Builds a BDB-style index on the given medium. The cache is sized like the
+/// paper's BDB configuration: large enough to be useful, far smaller than
+/// the index. SSDs are preconditioned (every logical page written once, in
+/// random order) so the FTL starts from the steady state a long-lived index
+/// would be in — this is what exposes the garbage-collection penalty the
+/// paper observes for BDB on SSDs (§7.2.2).
+pub fn build_bdb(medium: Medium, capacity: u64) -> AnyBdb {
+    let config = BdbConfig { primary_fraction: 0.8, cache_bytes: (capacity / 32) as usize };
+    match medium {
+        Medium::IntelSsd => {
+            let mut ssd = Ssd::intel(capacity).expect("ssd");
+            ssd.precondition(1.0);
+            AnyBdb::Ssd(BdbHashIndex::new(ssd, config).expect("bdb"))
+        }
+        Medium::TranscendSsd => {
+            let mut ssd = Ssd::transcend(capacity).expect("ssd");
+            ssd.precondition(1.0);
+            AnyBdb::Ssd(BdbHashIndex::new(ssd, config).expect("bdb"))
+        }
+        Medium::Disk => AnyBdb::Disk(
+            BdbHashIndex::new(MagneticDisk::new(capacity).expect("disk"), config).expect("bdb"),
+        ),
+    }
+}
+
+/// Latency recorders produced by a mixed workload run.
+#[derive(Debug, Default, Clone)]
+pub struct WorkloadResult {
+    /// Insert latencies.
+    pub inserts: LatencyRecorder,
+    /// Lookup latencies.
+    pub lookups: LatencyRecorder,
+    /// Observed lookup hits.
+    pub hits: u64,
+    /// Observed lookup misses.
+    pub misses: u64,
+}
+
+impl WorkloadResult {
+    /// Mean latency across all operations.
+    pub fn mean_per_op(&self) -> SimDuration {
+        let total = self.inserts.total() + self.lookups.total();
+        let n = (self.inserts.len() + self.lookups.len()) as u64;
+        if n == 0 {
+            SimDuration::ZERO
+        } else {
+            total / n
+        }
+    }
+
+    /// Observed lookup success rate.
+    pub fn observed_lsr(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Key used by the workload drivers (the i-th inserted key).
+pub fn workload_key(i: u64) -> u64 {
+    hash_with_seed(i, 0x5eed_5eed)
+}
+
+/// A key-value store that can be driven by the workload runner.
+pub trait KvBench {
+    /// Inserts a key, returning the simulated latency.
+    fn bench_insert(&mut self, key: u64, value: u64) -> SimDuration;
+    /// Looks up a key, returning whether it hit and the simulated latency.
+    fn bench_lookup(&mut self, key: u64) -> (bool, SimDuration);
+}
+
+impl KvBench for AnyClam {
+    fn bench_insert(&mut self, key: u64, value: u64) -> SimDuration {
+        self.insert(key, value)
+    }
+    fn bench_lookup(&mut self, key: u64) -> (bool, SimDuration) {
+        let (v, l) = self.lookup(key);
+        (v.is_some(), l)
+    }
+}
+
+impl KvBench for AnyBdb {
+    fn bench_insert(&mut self, key: u64, value: u64) -> SimDuration {
+        self.insert(key, value)
+    }
+    fn bench_lookup(&mut self, key: u64) -> (bool, SimDuration) {
+        let (v, l) = self.lookup(key);
+        (v.is_some(), l)
+    }
+}
+
+/// Drives a mixed insert/lookup workload against a store.
+///
+/// * `lookup_fraction` — fraction of operations that are lookups;
+/// * `target_lsr` — fraction of lookups aimed at keys that exist.
+///
+/// The driver mirrors the paper's synthetic workload (§7.2): keys are
+/// random, lookups precede inserts for the same key stream, and the
+/// workload is continuously backlogged. Keys are `workload_key(0..n)`; the
+/// driver starts numbering at zero, so back-to-back calls on the same store
+/// keep extending the same key space (see [`run_mixed_workload_continuing`]
+/// to target keys loaded by an earlier warm-up phase).
+pub fn run_mixed_workload<S: KvBench>(
+    store: &mut S,
+    operations: usize,
+    lookup_fraction: f64,
+    target_lsr: f64,
+    seed: u64,
+) -> WorkloadResult {
+    run_mixed_workload_continuing(store, operations, lookup_fraction, target_lsr, seed, 0)
+}
+
+/// Like [`run_mixed_workload`], but aware that keys `workload_key(0..already_inserted)`
+/// were loaded by an earlier phase: successful lookups draw from the whole
+/// population and new inserts continue the numbering, so measured phases
+/// after a warm-up exercise flash-resident keys the way the paper's
+/// steady-state workloads do.
+pub fn run_mixed_workload_continuing<S: KvBench>(
+    store: &mut S,
+    operations: usize,
+    lookup_fraction: f64,
+    target_lsr: f64,
+    seed: u64,
+    already_inserted: u64,
+) -> WorkloadResult {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut result = WorkloadResult::default();
+    let mut inserted: u64 = already_inserted;
+    for op in 0..operations {
+        let do_lookup = rng.gen_bool(lookup_fraction.clamp(0.0, 1.0)) && inserted > 0;
+        if do_lookup {
+            let hit_intended = rng.gen_bool(target_lsr.clamp(0.0, 1.0));
+            let key = if hit_intended {
+                workload_key(rng.gen_range(0..inserted))
+            } else {
+                hash_with_seed(op as u64, 0xdead_0000 + seed)
+            };
+            let (hit, lat) = store.bench_lookup(key);
+            result.lookups.record(lat);
+            if hit {
+                result.hits += 1;
+            } else {
+                result.misses += 1;
+            }
+        } else {
+            let key = workload_key(inserted);
+            let lat = store.bench_insert(key, inserted);
+            result.inserts.record(lat);
+            inserted += 1;
+        }
+    }
+    result
+}
+
+/// Prints a fixed-width table row.
+pub fn print_row(cells: &[String], widths: &[usize]) {
+    let line: Vec<String> = cells
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:>width$}", width = w))
+        .collect();
+    println!("{}", line.join("  "));
+}
+
+/// Prints a header row followed by a separator.
+pub fn print_header(cells: &[&str], widths: &[usize]) {
+    print_row(&cells.iter().map(|s| s.to_string()).collect::<Vec<_>>(), widths);
+    let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+    println!("{}", "-".repeat(total));
+}
+
+/// Formats a simulated duration in milliseconds with three decimals.
+pub fn ms(d: SimDuration) -> String {
+    format!("{:.3}", d.as_millis_f64())
+}
+
+/// Prints a CDF as `latency_ms fraction` pairs at log-spaced points.
+pub fn print_cdf(label: &str, recorder: &mut LatencyRecorder, points: usize) {
+    println!("# CDF: {label} ({} samples)", recorder.len());
+    if recorder.is_empty() {
+        return;
+    }
+    let lo = recorder.min().max(SimDuration::from_nanos(100));
+    let hi = recorder.max();
+    let pts = LatencyRecorder::log_spaced_points(lo, hi, points);
+    for (p, f) in recorder.cdf(&pts) {
+        println!("{:>12.4}  {:.4}", p.as_millis_f64(), f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixed_workload_hits_the_requested_mix() {
+        let mut clam = build_clam(Medium::IntelSsd, 16 << 20, 4 << 20);
+        let result = run_mixed_workload(&mut clam, 20_000, 0.5, 0.4, 1);
+        let lookups = result.lookups.len() as f64;
+        let total = (result.lookups.len() + result.inserts.len()) as f64;
+        assert!((lookups / total - 0.5).abs() < 0.05);
+        assert!((result.observed_lsr() - 0.4).abs() < 0.08, "lsr {}", result.observed_lsr());
+    }
+
+    #[test]
+    fn ablations_modify_the_config() {
+        let cfg = standard_config(16 << 20, 4 << 20);
+        assert_eq!(Ablation::NoBloomFilters.apply(cfg.clone()).filter_mode, FilterMode::Disabled);
+        assert_eq!(
+            Ablation::NoBitSlicing.apply(cfg.clone()).filter_mode,
+            FilterMode::PerIncarnation
+        );
+        assert!(!Ablation::NoBuffering.apply(cfg.clone()).enable_buffering);
+        assert_eq!(Ablation::Full.apply(cfg.clone()), cfg);
+    }
+
+    #[test]
+    fn builders_produce_working_stores_on_every_medium() {
+        for medium in [Medium::IntelSsd, Medium::TranscendSsd, Medium::Disk] {
+            let mut clam = build_clam(medium, 8 << 20, 2 << 20);
+            clam.insert(1, 2);
+            assert_eq!(clam.lookup(1).0, Some(2));
+            let mut bdb = build_bdb(medium, 8 << 20);
+            bdb.insert(3, 4);
+            assert_eq!(bdb.lookup(3).0, Some(4));
+        }
+    }
+
+    #[test]
+    fn clam_is_faster_than_bdb_on_the_same_medium() {
+        let mut clam = build_clam(Medium::TranscendSsd, 16 << 20, 4 << 20);
+        let mut bdb = build_bdb(Medium::TranscendSsd, 16 << 20);
+        let clam_result = run_mixed_workload(&mut clam, 10_000, 0.5, 0.4, 2);
+        let bdb_result = run_mixed_workload(&mut bdb, 10_000, 0.5, 0.4, 2);
+        assert!(clam_result.mean_per_op() * 5 < bdb_result.mean_per_op());
+    }
+}

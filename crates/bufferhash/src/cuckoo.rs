@@ -1,0 +1,302 @@
+//! In-memory buffer hash table using two-choice cuckoo hashing.
+//!
+//! Newly inserted entries accumulate in a per-super-table buffer before being
+//! flushed to flash as an incarnation (§5.1). The paper's prototype uses
+//! cuckoo hashing with two hash functions, which keeps space utilisation
+//! high without chaining; we follow that choice.
+
+use serde::{Deserialize, Serialize};
+
+use crate::types::{hash_with_seed, Entry, Key, Value};
+
+/// Maximum displacement chain length before an insert is declared failed.
+/// Failures at 50% utilisation are vanishingly rare; the super table reacts
+/// by flushing the buffer early.
+const MAX_KICKS: usize = 128;
+
+/// Outcome of a buffer insert.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BufferInsert {
+    /// The entry was stored (possibly overwriting an older value for the
+    /// same key, in which case the previous value is returned).
+    Stored(Option<Value>),
+    /// The buffer is at capacity (or a cuckoo cycle was hit); the caller must
+    /// flush before retrying.
+    Full,
+}
+
+/// A fixed-capacity cuckoo hash table of [`Entry`] values.
+///
+/// A small stash absorbs the (rare) displacement cycles so that no entry is
+/// ever silently dropped; the admission limit (`capacity()`) is what forces
+/// the super table to flush.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CuckooBuffer {
+    slots: Vec<Option<Entry>>,
+    /// Overflow stash for entries left homeless by a displacement cycle.
+    stash: Vec<Entry>,
+    /// Maximum number of entries admitted (capacity × max utilisation).
+    max_entries: usize,
+    len: usize,
+}
+
+impl CuckooBuffer {
+    /// Creates a buffer with `num_slots` slots, admitting entries up to
+    /// `max_utilization` (e.g. 0.5 per the paper's configuration).
+    pub fn new(num_slots: usize, max_utilization: f64) -> Self {
+        let num_slots = num_slots.max(2);
+        let max_utilization = max_utilization.clamp(0.05, 1.0);
+        let max_entries = ((num_slots as f64 * max_utilization).floor() as usize).max(1);
+        CuckooBuffer { slots: vec![None; num_slots], stash: Vec::new(), max_entries, len: 0 }
+    }
+
+    /// Creates a buffer sized for a byte budget: `buffer_bytes / entry_size`
+    /// slots (the paper sizes buffers in bytes, e.g. 128 KiB).
+    pub fn with_byte_budget(buffer_bytes: usize, entry_size: usize, max_utilization: f64) -> Self {
+        Self::new(buffer_bytes / entry_size.max(1), max_utilization)
+    }
+
+    /// Number of slots.
+    pub fn num_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of entries currently stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the buffer holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Maximum number of entries admitted before the buffer reports full.
+    pub fn capacity(&self) -> usize {
+        self.max_entries
+    }
+
+    /// Returns `true` once the buffer has reached its admission capacity.
+    pub fn is_full(&self) -> bool {
+        self.len >= self.max_entries
+    }
+
+    /// Current utilisation (entries / slots).
+    pub fn utilization(&self) -> f64 {
+        self.len as f64 / self.slots.len() as f64
+    }
+
+    /// Approximate memory footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.slots.len() * std::mem::size_of::<Option<Entry>>()
+    }
+
+    #[inline]
+    fn index(&self, key: Key, which: u64) -> usize {
+        (hash_with_seed(key, 0xc0ff_ee00 + which) % self.slots.len() as u64) as usize
+    }
+
+    /// Looks up `key`, returning its value if present.
+    pub fn get(&self, key: Key) -> Option<Value> {
+        for which in 0..2 {
+            if let Some(e) = self.slots[self.index(key, which)] {
+                if e.key == key {
+                    return Some(e.value);
+                }
+            }
+        }
+        self.stash.iter().find(|e| e.key == key).map(|e| e.value)
+    }
+
+    /// Inserts or updates `key` with `value`.
+    ///
+    /// Returns [`BufferInsert::Full`] when the admission limit is reached or
+    /// a displacement cycle is detected; the caller should flush and retry.
+    pub fn insert(&mut self, key: Key, value: Value) -> BufferInsert {
+        // Update in place if the key is already present (§5.1.1: updates hit
+        // the buffer directly while the entry is still in memory).
+        for which in 0..2 {
+            let idx = self.index(key, which);
+            if let Some(e) = self.slots[idx] {
+                if e.key == key {
+                    self.slots[idx] = Some(Entry::new(key, value));
+                    return BufferInsert::Stored(Some(e.value));
+                }
+            }
+        }
+        if let Some(e) = self.stash.iter_mut().find(|e| e.key == key) {
+            let prev = e.value;
+            e.value = value;
+            return BufferInsert::Stored(Some(prev));
+        }
+        if self.is_full() {
+            return BufferInsert::Full;
+        }
+        // Standard cuckoo displacement.
+        let mut current = Entry::new(key, value);
+        let mut which = 0u64;
+        for _ in 0..MAX_KICKS {
+            let idx = self.index(current.key, which);
+            match self.slots[idx] {
+                None => {
+                    self.slots[idx] = Some(current);
+                    self.len += 1;
+                    return BufferInsert::Stored(None);
+                }
+                Some(existing) => {
+                    self.slots[idx] = Some(current);
+                    current = existing;
+                    // The displaced entry moves to its alternate location.
+                    which = if self.index(current.key, 0) == idx { 1 } else { 0 };
+                }
+            }
+        }
+        // Displacement cycle: every previously stored entry is still in the
+        // table, only `current` (which may be an old, displaced entry) is
+        // homeless. Park it in the stash so nothing is lost.
+        self.stash.push(current);
+        self.len += 1;
+        BufferInsert::Stored(None)
+    }
+
+    /// Removes `key` from the buffer, returning its value if it was present.
+    pub fn remove(&mut self, key: Key) -> Option<Value> {
+        for which in 0..2 {
+            let idx = self.index(key, which);
+            if let Some(e) = self.slots[idx] {
+                if e.key == key {
+                    self.slots[idx] = None;
+                    self.len -= 1;
+                    return Some(e.value);
+                }
+            }
+        }
+        if let Some(pos) = self.stash.iter().position(|e| e.key == key) {
+            let e = self.stash.swap_remove(pos);
+            self.len -= 1;
+            return Some(e.value);
+        }
+        None
+    }
+
+    /// Iterates over all entries (in unspecified order).
+    pub fn iter(&self) -> impl Iterator<Item = Entry> + '_ {
+        self.slots.iter().filter_map(|s| *s).chain(self.stash.iter().copied())
+    }
+
+    /// Drains all entries, leaving the buffer empty.
+    pub fn drain(&mut self) -> Vec<Entry> {
+        let out: Vec<Entry> = self.iter().collect();
+        self.slots.fill(None);
+        self.stash.clear();
+        self.len = 0;
+        out
+    }
+
+    /// Removes all entries.
+    pub fn clear(&mut self) {
+        self.slots.fill(None);
+        self.stash.clear();
+        self.len = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn insert_get_remove_round_trip() {
+        let mut b = CuckooBuffer::new(1024, 0.5);
+        assert_eq!(b.insert(42, 100), BufferInsert::Stored(None));
+        assert_eq!(b.get(42), Some(100));
+        assert_eq!(b.remove(42), Some(100));
+        assert_eq!(b.get(42), None);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn update_in_place_returns_previous_value() {
+        let mut b = CuckooBuffer::new(64, 0.5);
+        b.insert(7, 1);
+        assert_eq!(b.insert(7, 2), BufferInsert::Stored(Some(1)));
+        assert_eq!(b.get(7), Some(2));
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn fills_to_half_utilization_without_failures() {
+        let mut b = CuckooBuffer::new(8192, 0.5);
+        let mut stored = 0;
+        for i in 0..b.capacity() as u64 {
+            match b.insert(hash_with_seed(i, 3), i) {
+                BufferInsert::Stored(_) => stored += 1,
+                BufferInsert::Full => break,
+            }
+        }
+        assert_eq!(stored, b.capacity(), "cuckoo table should fill to 50% without cycles");
+        assert!(b.is_full());
+        assert_eq!(b.insert(u64::MAX, 0), BufferInsert::Full);
+    }
+
+    #[test]
+    fn matches_a_reference_hashmap() {
+        let mut b = CuckooBuffer::new(4096, 0.5);
+        let mut model: HashMap<Key, Value> = HashMap::new();
+        for i in 0..1500u64 {
+            let k = hash_with_seed(i % 700, 9);
+            let v = i;
+            if let BufferInsert::Stored(_) = b.insert(k, v) {
+                model.insert(k, v);
+            }
+            if i % 3 == 0 {
+                let rk = hash_with_seed((i / 2) % 700, 9);
+                assert_eq!(b.remove(rk), model.remove(&rk));
+            }
+        }
+        for (k, v) in &model {
+            assert_eq!(b.get(*k), Some(*v));
+        }
+        assert_eq!(b.len(), model.len());
+    }
+
+    #[test]
+    fn drain_returns_everything_and_empties() {
+        let mut b = CuckooBuffer::new(256, 0.5);
+        for i in 0..100u64 {
+            b.insert(hash_with_seed(i, 1), i);
+        }
+        let drained = b.drain();
+        assert_eq!(drained.len(), 100);
+        assert!(b.is_empty());
+        assert_eq!(b.get(hash_with_seed(5, 1)), None);
+    }
+
+    #[test]
+    fn byte_budget_constructor_matches_paper_configuration() {
+        // 128 KiB buffer, 16-byte entries, 50% utilisation -> 4096 entries.
+        let b = CuckooBuffer::with_byte_budget(128 * 1024, 16, 0.5);
+        assert_eq!(b.num_slots(), 8192);
+        assert_eq!(b.capacity(), 4096);
+    }
+
+    #[test]
+    fn degenerate_sizes_are_clamped() {
+        let b = CuckooBuffer::new(0, 0.0);
+        assert!(b.num_slots() >= 2);
+        assert!(b.capacity() >= 1);
+    }
+
+    #[test]
+    fn iter_visits_each_entry_once() {
+        let mut b = CuckooBuffer::new(128, 0.5);
+        for i in 0..50u64 {
+            b.insert(hash_with_seed(i, 77), i);
+        }
+        let mut seen: Vec<Key> = b.iter().map(|e| e.key).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 50);
+    }
+}

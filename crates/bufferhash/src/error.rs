@@ -1,0 +1,81 @@
+//! Error types for BufferHash and CLAM.
+
+use std::fmt;
+
+use flashsim::DeviceError;
+
+/// Errors returned by BufferHash / CLAM operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BufferHashError {
+    /// The configuration is internally inconsistent (e.g. buffer larger than
+    /// flash, zero super tables, Bloom budget of zero bits with filters
+    /// enabled).
+    InvalidConfig(String),
+    /// An error bubbled up from the storage device.
+    Device(DeviceError),
+    /// An incarnation read back from flash failed validation (bad magic or
+    /// truncated page). Indicates corruption or a layout bug.
+    CorruptIncarnation {
+        /// Byte offset of the offending page on flash.
+        flash_offset: u64,
+        /// Explanation of what failed to validate.
+        reason: String,
+    },
+    /// The in-memory buffer could not accept an entry even after flushing
+    /// (e.g. pathological cuckoo collisions with a tiny buffer).
+    BufferInsertFailed,
+}
+
+impl fmt::Display for BufferHashError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BufferHashError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            BufferHashError::Device(e) => write!(f, "device error: {e}"),
+            BufferHashError::CorruptIncarnation { flash_offset, reason } => {
+                write!(f, "corrupt incarnation at flash offset {flash_offset}: {reason}")
+            }
+            BufferHashError::BufferInsertFailed => {
+                write!(f, "buffer insert failed even after flushing")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BufferHashError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BufferHashError::Device(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DeviceError> for BufferHashError {
+    fn from(e: DeviceError) -> Self {
+        BufferHashError::Device(e)
+    }
+}
+
+/// Result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, BufferHashError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn device_errors_convert_and_chain() {
+        let e: BufferHashError = DeviceError::DeviceFull.into();
+        assert!(matches!(e, BufferHashError::Device(_)));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(e.to_string().contains("device error"));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = BufferHashError::CorruptIncarnation { flash_offset: 4096, reason: "bad magic".into() };
+        assert!(e.to_string().contains("4096"));
+        assert!(e.to_string().contains("bad magic"));
+        assert!(BufferHashError::InvalidConfig("x".into()).to_string().contains('x'));
+    }
+}

@@ -1,0 +1,276 @@
+//! The per-super-table bank of incarnation Bloom filters.
+//!
+//! [`FilterBank`] abstracts over the three configurations evaluated in the
+//! paper: the default bit-sliced organisation (§5.1.3), plain
+//! one-filter-per-incarnation storage (used by the bit-slicing ablation in
+//! §7.3.1), and no filters at all (the Bloom-filter ablation, where every
+//! incarnation must be probed on flash).
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+use crate::bitslice::BitSlicedBloomSet;
+use crate::bloom::BloomFilter;
+use crate::types::Key;
+
+/// How incarnation membership filters are organised.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FilterMode {
+    /// Bit-sliced filters with a sliding window (the paper's default).
+    BitSliced,
+    /// One independent Bloom filter per incarnation.
+    PerIncarnation,
+    /// No filters: lookups must probe every incarnation (ablation only).
+    Disabled,
+}
+
+/// The bank of membership filters for one super table's incarnations.
+#[derive(Debug, Clone)]
+pub enum FilterBank {
+    /// Bit-sliced storage.
+    BitSliced(BitSlicedBloomSet),
+    /// Plain per-incarnation filters, newest at the front (index = age).
+    Plain {
+        /// The filters, newest first.
+        filters: VecDeque<BloomFilter>,
+        /// Bits per filter.
+        bits_per_filter: usize,
+        /// Hash functions per filter.
+        num_hashes: u32,
+        /// Maximum number of incarnations.
+        capacity: usize,
+    },
+    /// Filters disabled; only the incarnation count is tracked.
+    Disabled {
+        /// Number of live incarnations.
+        count: usize,
+        /// Maximum number of incarnations.
+        capacity: usize,
+    },
+}
+
+impl FilterBank {
+    /// Creates a filter bank for up to `capacity` incarnations with
+    /// `bits_per_filter` bits and `num_hashes` hash functions each.
+    pub fn new(mode: FilterMode, capacity: usize, bits_per_filter: usize, num_hashes: u32) -> Self {
+        match mode {
+            FilterMode::BitSliced => {
+                FilterBank::BitSliced(BitSlicedBloomSet::new(capacity, bits_per_filter, num_hashes))
+            }
+            FilterMode::PerIncarnation => FilterBank::Plain {
+                filters: VecDeque::with_capacity(capacity),
+                bits_per_filter,
+                num_hashes,
+                capacity,
+            },
+            FilterMode::Disabled => FilterBank::Disabled { count: 0, capacity },
+        }
+    }
+
+    /// Number of live incarnations tracked.
+    pub fn len(&self) -> usize {
+        match self {
+            FilterBank::BitSliced(s) => s.len(),
+            FilterBank::Plain { filters, .. } => filters.len(),
+            FilterBank::Disabled { count, .. } => *count,
+        }
+    }
+
+    /// Returns `true` if no incarnations are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Maximum number of incarnations.
+    pub fn capacity(&self) -> usize {
+        match self {
+            FilterBank::BitSliced(s) => s.capacity(),
+            FilterBank::Plain { capacity, .. } => *capacity,
+            FilterBank::Disabled { capacity, .. } => *capacity,
+        }
+    }
+
+    /// Registers a new youngest incarnation containing `keys`.
+    ///
+    /// The caller must have evicted first if the bank is at capacity.
+    pub fn push_newest(&mut self, keys: &[Key]) {
+        match self {
+            FilterBank::BitSliced(s) => s.push_incarnation(keys.iter().copied()),
+            FilterBank::Plain { filters, bits_per_filter, num_hashes, capacity } => {
+                assert!(filters.len() < *capacity, "push into a full FilterBank");
+                let mut f = BloomFilter::new(*bits_per_filter, *num_hashes);
+                for &k in keys {
+                    f.insert(k);
+                }
+                filters.push_front(f);
+            }
+            FilterBank::Disabled { count, capacity } => {
+                assert!(*count < *capacity, "push into a full FilterBank");
+                *count += 1;
+            }
+        }
+    }
+
+    /// Drops the oldest incarnation's filter.
+    pub fn evict_oldest(&mut self) {
+        match self {
+            FilterBank::BitSliced(s) => s.evict_oldest(),
+            FilterBank::Plain { filters, .. } => {
+                filters.pop_back();
+            }
+            FilterBank::Disabled { count, .. } => {
+                *count = count.saturating_sub(1);
+            }
+        }
+    }
+
+    /// Ages (0 = youngest) of the incarnations that may contain `key`,
+    /// youngest first. With filters disabled every age is returned.
+    pub fn query(&self, key: Key) -> Vec<usize> {
+        match self {
+            FilterBank::BitSliced(s) => s.query(key),
+            FilterBank::Plain { filters, .. } => filters
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| f.contains(key))
+                .map(|(age, _)| age)
+                .collect(),
+            FilterBank::Disabled { count, .. } => (0..*count).collect(),
+        }
+    }
+
+    /// Returns `true` if the incarnation at `age` may contain `key`.
+    ///
+    /// Used by the update-based eviction policy to decide whether an entry
+    /// of the evicted incarnation has been superseded by a younger one.
+    pub fn may_contain_in(&self, age: usize, key: Key) -> bool {
+        match self {
+            FilterBank::BitSliced(s) => s.contains_in(age, key),
+            FilterBank::Plain { filters, .. } => {
+                filters.get(age).map(|f| f.contains(key)).unwrap_or(false)
+            }
+            FilterBank::Disabled { count, .. } => age < *count,
+        }
+    }
+
+    /// Approximate DRAM footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        match self {
+            FilterBank::BitSliced(s) => s.memory_bytes(),
+            FilterBank::Plain { filters, bits_per_filter, capacity, .. } => {
+                // Account the full capacity (the DRAM is reserved even while
+                // some slots are empty), matching the paper's budgeting.
+                (*bits_per_filter / 8) * (*capacity).max(filters.len())
+            }
+            FilterBank::Disabled { .. } => 0,
+        }
+    }
+
+    /// Number of 64-bit DRAM words touched by one membership query, used for
+    /// in-memory latency accounting. Bit-slicing touches `h` slices of a few
+    /// words; plain filters touch `h` scattered words per live incarnation.
+    pub fn words_per_query(&self) -> usize {
+        match self {
+            FilterBank::BitSliced(s) => s.words_per_query(),
+            FilterBank::Plain { filters, num_hashes, .. } => {
+                filters.len() * *num_hashes as usize
+            }
+            FilterBank::Disabled { .. } => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::hash_with_seed;
+
+    fn keys(tag: u64, n: u64) -> Vec<Key> {
+        (0..n).map(|i| hash_with_seed(i, tag + 1)).collect()
+    }
+
+    fn check_semantics(mode: FilterMode) {
+        let mut bank = FilterBank::new(mode, 4, 1 << 13, 5);
+        for inc in 0..4u64 {
+            bank.push_newest(&keys(inc, 80));
+        }
+        assert_eq!(bank.len(), 4);
+        // Keys of the youngest incarnation must be reported at age 0.
+        for k in keys(3, 80) {
+            assert!(bank.query(k).contains(&0));
+            assert!(bank.may_contain_in(0, k));
+        }
+        // Keys of the oldest incarnation must be reported at age 3.
+        for k in keys(0, 80) {
+            assert!(bank.query(k).contains(&3));
+        }
+        bank.evict_oldest();
+        assert_eq!(bank.len(), 3);
+        // The old incarnation 1 is now the oldest (age 2).
+        for k in keys(1, 80) {
+            assert!(bank.query(k).contains(&2));
+        }
+    }
+
+    #[test]
+    fn bitsliced_semantics() {
+        check_semantics(FilterMode::BitSliced);
+    }
+
+    #[test]
+    fn per_incarnation_semantics() {
+        check_semantics(FilterMode::PerIncarnation);
+    }
+
+    #[test]
+    fn disabled_returns_every_incarnation() {
+        let mut bank = FilterBank::new(FilterMode::Disabled, 8, 0, 0);
+        bank.push_newest(&keys(0, 10));
+        bank.push_newest(&keys(1, 10));
+        bank.push_newest(&keys(2, 10));
+        assert_eq!(bank.query(123_456), vec![0, 1, 2]);
+        assert_eq!(bank.words_per_query(), 0);
+        assert_eq!(bank.memory_bytes(), 0);
+        bank.evict_oldest();
+        assert_eq!(bank.query(123_456), vec![0, 1]);
+    }
+
+    #[test]
+    fn bitsliced_queries_touch_fewer_words_than_plain() {
+        let mut sliced = FilterBank::new(FilterMode::BitSliced, 16, 1 << 13, 7);
+        let mut plain = FilterBank::new(FilterMode::PerIncarnation, 16, 1 << 13, 7);
+        for inc in 0..16u64 {
+            sliced.push_newest(&keys(inc, 50));
+            plain.push_newest(&keys(inc, 50));
+        }
+        assert!(
+            sliced.words_per_query() < plain.words_per_query(),
+            "bit-slicing should reduce memory traffic ({} vs {})",
+            sliced.words_per_query(),
+            plain.words_per_query()
+        );
+    }
+
+    #[test]
+    fn spurious_matches_are_rare_for_both_filter_modes() {
+        for mode in [FilterMode::BitSliced, FilterMode::PerIncarnation] {
+            let mut bank = FilterBank::new(mode, 8, 1 << 14, 6);
+            for inc in 0..8u64 {
+                bank.push_newest(&keys(inc, 200));
+            }
+            let spurious: usize =
+                (0..10_000u64).map(|i| bank.query(hash_with_seed(i, 0xbad)).len()).sum();
+            assert!(spurious < 200, "mode {mode:?}: too many spurious matches: {spurious}");
+        }
+    }
+
+    #[test]
+    fn eviction_on_empty_bank_is_a_noop() {
+        for mode in [FilterMode::BitSliced, FilterMode::PerIncarnation, FilterMode::Disabled] {
+            let mut bank = FilterBank::new(mode, 4, 1024, 3);
+            bank.evict_oldest();
+            assert_eq!(bank.len(), 0);
+        }
+    }
+}

@@ -1,0 +1,375 @@
+//! On-flash incarnation format.
+//!
+//! When a buffer fills, its entries are written to flash as an
+//! *incarnation*: a small, immutable hash table laid out so that looking up
+//! a key needs to read only one flash page (§5.1.1). Keys are assigned to
+//! pages by hash; each page stores its entries sorted, behind a small
+//! header. Because the buffer runs at 50% utilisation, pages have roughly 2×
+//! the room they need on average and overflow is rare; when a page does
+//! overflow, the excess spills into the next page and the page is flagged so
+//! lookups know to continue.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{BufferHashError, Result};
+use crate::types::{hash_with_seed, Entry, Key, Value, ENTRY_SIZE};
+
+/// Magic number identifying an incarnation page ("BHIN").
+const PAGE_MAGIC: u32 = 0x4248_494e;
+/// Bytes reserved for the per-page header.
+pub const PAGE_HEADER_SIZE: usize = 16;
+/// Flag bit: this page overflowed into the next page.
+const FLAG_OVERFLOW: u16 = 1;
+
+/// Geometry of an incarnation: how many pages it spans and how large each is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IncarnationLayout {
+    /// Flash page (or SSD sector) size in bytes.
+    pub page_size: usize,
+    /// Number of pages per incarnation.
+    pub num_pages: usize,
+}
+
+impl IncarnationLayout {
+    /// Creates a layout for an incarnation of `incarnation_bytes` total size
+    /// on pages of `page_size` bytes.
+    pub fn new(incarnation_bytes: usize, page_size: usize) -> Result<Self> {
+        if page_size <= PAGE_HEADER_SIZE + ENTRY_SIZE {
+            return Err(BufferHashError::InvalidConfig(format!(
+                "page size {page_size} too small for incarnation pages"
+            )));
+        }
+        let num_pages = (incarnation_bytes / page_size).max(1);
+        Ok(IncarnationLayout { page_size, num_pages })
+    }
+
+    /// Total size of a serialized incarnation in bytes.
+    pub fn total_bytes(&self) -> usize {
+        self.page_size * self.num_pages
+    }
+
+    /// Number of entries one page can hold.
+    pub fn entries_per_page(&self) -> usize {
+        (self.page_size - PAGE_HEADER_SIZE) / ENTRY_SIZE
+    }
+
+    /// Maximum number of entries the incarnation can hold.
+    pub fn max_entries(&self) -> usize {
+        self.entries_per_page() * self.num_pages
+    }
+
+    /// The page a key hashes to.
+    pub fn page_of_key(&self, key: Key) -> usize {
+        (hash_with_seed(key, 0x9a6e_5c01) % self.num_pages as u64) as usize
+    }
+
+    /// Serializes `entries` into an incarnation image of
+    /// `total_bytes()` bytes.
+    ///
+    /// Entries whose home page is full spill into subsequent pages; the
+    /// overflowing page is flagged so lookups follow the chain. Returns an
+    /// error if there are more entries than the incarnation can hold.
+    pub fn serialize(&self, entries: &[Entry]) -> Result<Vec<u8>> {
+        if entries.len() > self.max_entries() {
+            return Err(BufferHashError::InvalidConfig(format!(
+                "{} entries exceed incarnation capacity {}",
+                entries.len(),
+                self.max_entries()
+            )));
+        }
+        let per_page = self.entries_per_page();
+        // Bucket entries by home page.
+        let mut buckets: Vec<Vec<Entry>> = vec![Vec::new(); self.num_pages];
+        for &e in entries {
+            buckets[self.page_of_key(e.key)].push(e);
+        }
+        // Spill overflow forward (with wraparound). Because the total volume
+        // fits, each sweep pushes any remaining excess at least one page
+        // further, so at most `num_pages` sweeps reach a fixed point.
+        let mut overflowed = vec![false; self.num_pages];
+        for _sweep in 0..self.num_pages {
+            let mut moved = false;
+            for i in 0..self.num_pages {
+                if buckets[i].len() > per_page {
+                    let excess = buckets[i].split_off(per_page);
+                    overflowed[i] = true;
+                    buckets[(i + 1) % self.num_pages].extend(excess);
+                    moved = true;
+                }
+            }
+            if !moved {
+                break;
+            }
+        }
+        // Any bucket still overflowing would mean max_entries was exceeded.
+        if buckets.iter().any(|b| b.len() > per_page) {
+            return Err(BufferHashError::InvalidConfig(
+                "incarnation overflow could not be resolved; too many entries".into(),
+            ));
+        }
+        // Emit pages.
+        let mut out = vec![0u8; self.total_bytes()];
+        for (i, bucket) in buckets.iter_mut().enumerate() {
+            bucket.sort_unstable_by_key(|e| e.key);
+            let page = &mut out[i * self.page_size..(i + 1) * self.page_size];
+            page[0..4].copy_from_slice(&PAGE_MAGIC.to_le_bytes());
+            page[4..6].copy_from_slice(&(bucket.len() as u16).to_le_bytes());
+            let flags = if overflowed[i] { FLAG_OVERFLOW } else { 0 };
+            page[6..8].copy_from_slice(&flags.to_le_bytes());
+            // Bytes 8..16 reserved.
+            for (j, e) in bucket.iter().enumerate() {
+                let at = PAGE_HEADER_SIZE + j * ENTRY_SIZE;
+                page[at..at + ENTRY_SIZE].copy_from_slice(&e.to_bytes());
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Result of probing one incarnation page for a key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PageLookup {
+    /// The key was found with this value.
+    Found(Value),
+    /// The key is not on this page and the page did not overflow: the key is
+    /// not in this incarnation.
+    Absent,
+    /// The key is not on this page but the page overflowed into the next
+    /// one; the search must continue there.
+    Continue,
+}
+
+/// Probes a single serialized page for `key`.
+pub fn lookup_in_page(page: &[u8], key: Key) -> Result<PageLookup> {
+    let (count, flags) = parse_header(page)?;
+    let entries = &page[PAGE_HEADER_SIZE..];
+    // Binary search over the sorted, densely packed entries.
+    let mut lo = 0usize;
+    let mut hi = count;
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        let e = Entry::from_bytes(&entries[mid * ENTRY_SIZE..]).ok_or_else(|| {
+            BufferHashError::CorruptIncarnation { flash_offset: 0, reason: "truncated entry".into() }
+        })?;
+        match e.key.cmp(&key) {
+            std::cmp::Ordering::Equal => return Ok(PageLookup::Found(e.value)),
+            std::cmp::Ordering::Less => lo = mid + 1,
+            std::cmp::Ordering::Greater => hi = mid,
+        }
+    }
+    if flags & FLAG_OVERFLOW != 0 {
+        Ok(PageLookup::Continue)
+    } else {
+        Ok(PageLookup::Absent)
+    }
+}
+
+/// Parses all entries from a serialized page (used by partial-discard
+/// eviction scans).
+pub fn parse_page_entries(page: &[u8]) -> Result<Vec<Entry>> {
+    let (count, _) = parse_header(page)?;
+    let mut out = Vec::with_capacity(count);
+    for j in 0..count {
+        let at = PAGE_HEADER_SIZE + j * ENTRY_SIZE;
+        let e = Entry::from_bytes(&page[at..at + ENTRY_SIZE]).ok_or_else(|| {
+            BufferHashError::CorruptIncarnation { flash_offset: 0, reason: "truncated entry".into() }
+        })?;
+        out.push(e);
+    }
+    Ok(out)
+}
+
+/// Parses every entry of a whole serialized incarnation.
+pub fn parse_incarnation(bytes: &[u8], layout: &IncarnationLayout) -> Result<Vec<Entry>> {
+    let mut out = Vec::new();
+    for i in 0..layout.num_pages {
+        let page = &bytes[i * layout.page_size..(i + 1) * layout.page_size];
+        out.extend(parse_page_entries(page)?);
+    }
+    Ok(out)
+}
+
+fn parse_header(page: &[u8]) -> Result<(usize, u16)> {
+    if page.len() < PAGE_HEADER_SIZE {
+        return Err(BufferHashError::CorruptIncarnation {
+            flash_offset: 0,
+            reason: format!("page of {} bytes is smaller than the header", page.len()),
+        });
+    }
+    let magic = u32::from_le_bytes(page[0..4].try_into().unwrap());
+    if magic != PAGE_MAGIC {
+        return Err(BufferHashError::CorruptIncarnation {
+            flash_offset: 0,
+            reason: format!("bad page magic {magic:#x}"),
+        });
+    }
+    let count = u16::from_le_bytes(page[4..6].try_into().unwrap()) as usize;
+    let flags = u16::from_le_bytes(page[6..8].try_into().unwrap());
+    let max = (page.len() - PAGE_HEADER_SIZE) / ENTRY_SIZE;
+    if count > max {
+        return Err(BufferHashError::CorruptIncarnation {
+            flash_offset: 0,
+            reason: format!("entry count {count} exceeds page capacity {max}"),
+        });
+    }
+    Ok((count, flags))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout() -> IncarnationLayout {
+        // 128 KiB incarnation on 2 KiB pages, as in the paper's flash-chip
+        // configuration.
+        IncarnationLayout::new(128 * 1024, 2048).unwrap()
+    }
+
+    fn sample_entries(n: u64) -> Vec<Entry> {
+        (0..n).map(|i| Entry::new(hash_with_seed(i, 5), i * 10)).collect()
+    }
+
+    #[test]
+    fn layout_capacities() {
+        let l = layout();
+        assert_eq!(l.num_pages, 64);
+        assert_eq!(l.entries_per_page(), 127);
+        assert_eq!(l.total_bytes(), 128 * 1024);
+        assert!(l.max_entries() >= 4096);
+    }
+
+    #[test]
+    fn every_entry_is_findable_via_single_page_probe_chain() {
+        let l = layout();
+        let entries = sample_entries(4096);
+        let image = l.serialize(&entries).unwrap();
+        for e in &entries {
+            let mut page_idx = l.page_of_key(e.key);
+            let mut hops = 0;
+            loop {
+                let page = &image[page_idx * l.page_size..(page_idx + 1) * l.page_size];
+                match lookup_in_page(page, e.key).unwrap() {
+                    PageLookup::Found(v) => {
+                        assert_eq!(v, e.value);
+                        break;
+                    }
+                    PageLookup::Continue => {
+                        page_idx = (page_idx + 1) % l.num_pages;
+                        hops += 1;
+                        assert!(hops < l.num_pages, "unbounded overflow chain");
+                    }
+                    PageLookup::Absent => panic!("entry {e:?} not found"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn most_lookups_touch_exactly_one_page() {
+        let l = layout();
+        let entries = sample_entries(4096);
+        let image = l.serialize(&entries).unwrap();
+        let multi_hop = entries
+            .iter()
+            .filter(|e| {
+                let page_idx = l.page_of_key(e.key);
+                let page = &image[page_idx * l.page_size..(page_idx + 1) * l.page_size];
+                !matches!(lookup_in_page(page, e.key).unwrap(), PageLookup::Found(_))
+            })
+            .count();
+        // At 50% page fill, overflow is essentially non-existent.
+        assert!(multi_hop * 100 < entries.len(), "too many multi-page lookups: {multi_hop}");
+    }
+
+    #[test]
+    fn absent_keys_report_absent() {
+        let l = layout();
+        let entries = sample_entries(1000);
+        let image = l.serialize(&entries).unwrap();
+        let absent_key = hash_with_seed(999_999, 777);
+        let page_idx = l.page_of_key(absent_key);
+        let page = &image[page_idx * l.page_size..(page_idx + 1) * l.page_size];
+        assert!(matches!(
+            lookup_in_page(page, absent_key).unwrap(),
+            PageLookup::Absent | PageLookup::Continue
+        ));
+    }
+
+    #[test]
+    fn parse_incarnation_recovers_all_entries() {
+        let l = layout();
+        let entries = sample_entries(3000);
+        let image = l.serialize(&entries).unwrap();
+        let mut recovered = parse_incarnation(&image, &l).unwrap();
+        let mut expected = entries.clone();
+        recovered.sort_unstable_by_key(|e| e.key);
+        expected.sort_unstable_by_key(|e| e.key);
+        assert_eq!(recovered, expected);
+    }
+
+    #[test]
+    fn overflow_pages_are_flagged_and_followable() {
+        // Force overflow with a tiny layout: 4 pages of 256 bytes -> 15
+        // entries per page, 60 total; insert 50 entries that all hash
+        // wherever they like — some pages will overflow with high
+        // probability when we use many entries relative to capacity.
+        let l = IncarnationLayout::new(1024, 256).unwrap();
+        assert_eq!(l.num_pages, 4);
+        let entries = sample_entries(55);
+        let image = l.serialize(&entries).unwrap();
+        // Every entry must still be findable.
+        for e in &entries {
+            let mut page_idx = l.page_of_key(e.key);
+            let mut found = false;
+            for _ in 0..l.num_pages {
+                let page = &image[page_idx * l.page_size..(page_idx + 1) * l.page_size];
+                match lookup_in_page(page, e.key).unwrap() {
+                    PageLookup::Found(v) => {
+                        assert_eq!(v, e.value);
+                        found = true;
+                        break;
+                    }
+                    PageLookup::Continue => page_idx = (page_idx + 1) % l.num_pages,
+                    PageLookup::Absent => break,
+                }
+            }
+            assert!(found, "entry {e:?} lost after overflow spill");
+        }
+    }
+
+    #[test]
+    fn serialize_rejects_too_many_entries() {
+        let l = IncarnationLayout::new(1024, 256).unwrap();
+        let entries = sample_entries(l.max_entries() as u64 + 1);
+        assert!(l.serialize(&entries).is_err());
+    }
+
+    #[test]
+    fn corrupt_pages_are_detected() {
+        let l = layout();
+        let image = l.serialize(&sample_entries(10)).unwrap();
+        let mut bad = image.clone();
+        bad[0] ^= 0xff; // clobber the magic
+        assert!(matches!(
+            lookup_in_page(&bad[..l.page_size], 1),
+            Err(BufferHashError::CorruptIncarnation { .. })
+        ));
+        let mut bad_count = image;
+        bad_count[4] = 0xff;
+        bad_count[5] = 0xff;
+        assert!(lookup_in_page(&bad_count[..l.page_size], 1).is_err());
+        assert!(lookup_in_page(&[0u8; 8], 1).is_err());
+    }
+
+    #[test]
+    fn tiny_page_size_is_rejected() {
+        assert!(IncarnationLayout::new(1024, 16).is_err());
+    }
+
+    #[test]
+    fn empty_incarnation_serializes_and_parses() {
+        let l = layout();
+        let image = l.serialize(&[]).unwrap();
+        assert_eq!(parse_incarnation(&image, &l).unwrap(), Vec::new());
+    }
+}

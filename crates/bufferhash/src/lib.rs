@@ -1,0 +1,72 @@
+//! # bufferhash — BufferHash and CLAMs (cheap and large CAMs)
+//!
+//! This crate implements the core contribution of *"Cheap and Large CAMs for
+//! High Performance Data-Intensive Networked Systems"* (NSDI 2010):
+//! **BufferHash**, a flash-friendly hash table, and **CLAM**, the resulting
+//! large, cheap content-addressable store built from a little DRAM and a lot
+//! of flash.
+//!
+//! ## How it works
+//!
+//! * The key space is partitioned across many [super tables](SuperTable).
+//! * Each super table buffers inserts in a small in-DRAM cuckoo hash table
+//!   ([`CuckooBuffer`]); when the buffer fills it is written to flash
+//!   sequentially as an immutable *incarnation*.
+//! * One in-DRAM Bloom filter per incarnation (stored [bit-sliced with a
+//!   sliding window](BitSlicedBloomSet)) routes lookups to the few
+//!   incarnations that may hold the key, so most lookups cost at most one
+//!   flash page read.
+//! * Updates and deletes are lazy; space is reclaimed when incarnations are
+//!   evicted, under FIFO, LRU, update-based or priority-based
+//!   [eviction policies](EvictionPolicy).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use bufferhash::{Clam, ClamConfig};
+//! use flashsim::Ssd;
+//!
+//! // 8 MiB of simulated flash, 2 MiB of DRAM.
+//! let config = ClamConfig::small_test(8 << 20, 2 << 20).unwrap();
+//! let device = Ssd::intel(8 << 20).unwrap();
+//! let mut clam = Clam::new(device, config).unwrap();
+//!
+//! clam.insert(0xfeed_beef, 42).unwrap();
+//! let found = clam.lookup(0xfeed_beef).unwrap();
+//! assert_eq!(found.value, Some(42));
+//! println!("lookup took {} (simulated)", found.latency);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod analysis;
+mod bitslice;
+mod bloom;
+mod clam;
+mod config;
+mod cuckoo;
+mod error;
+mod eviction;
+mod filters;
+mod incarnation;
+mod log;
+mod shared;
+mod stats;
+mod supertable;
+mod types;
+
+pub use bitslice::BitSlicedBloomSet;
+pub use bloom::BloomFilter;
+pub use clam::{Clam, InsertOutcome, LookupOutcome, LookupSource, MemoryUsage};
+pub use config::{tuning, ClamConfig, FlashLayoutMode};
+pub use cuckoo::{BufferInsert, CuckooBuffer};
+pub use error::{BufferHashError, Result};
+pub use eviction::{EvictionPolicy, PriorityFn, RetainDecision};
+pub use filters::{FilterBank, FilterMode};
+pub use incarnation::{lookup_in_page, parse_incarnation, IncarnationLayout, PageLookup};
+pub use log::{LogAllocator, SlotAllocation, SlotOwner};
+pub use shared::{SharedClam, StripedClam};
+pub use stats::ClamStats;
+pub use supertable::{IncarnationMeta, SuperTable};
+pub use types::{hash_with_seed, mix64, Entry, Key, Value, ENTRY_SIZE};

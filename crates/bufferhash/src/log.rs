@@ -1,0 +1,318 @@
+//! Flash-space allocation for incarnations (§5.2).
+//!
+//! Flash is divided into fixed-size *slots*, one per incarnation. The
+//! allocator hands out slots in one of two layouts:
+//!
+//! * **global log** (SSD): a single circular sequence over the whole device,
+//!   slots written in flush order regardless of which super table they
+//!   belong to — the layout that keeps writes sequential under an FTL;
+//! * **partition per table** (raw flash chip): each super table owns a
+//!   contiguous region written circularly, with erase blocks recycled just
+//!   before they are rewritten.
+//!
+//! When the log wraps onto a slot whose incarnation is still live, that
+//! incarnation must be force-evicted from its owning super table; the
+//! allocator reports those owners so the CLAM can do so before the write.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::FlashLayoutMode;
+use crate::error::{BufferHashError, Result};
+
+/// Identifies the incarnation occupying a slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SlotOwner {
+    /// Super table that owns the incarnation.
+    pub table: usize,
+    /// The flush sequence number of the incarnation.
+    pub seq: u64,
+}
+
+/// The placement decision for one incarnation flush.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlotAllocation {
+    /// Byte offset on flash where the incarnation must be written.
+    pub offset: u64,
+    /// Erase-block indices that must be erased before writing (raw flash
+    /// chips only; empty for SSDs).
+    pub blocks_to_erase: Vec<u64>,
+    /// Live incarnations displaced by this allocation (the slot being
+    /// overwritten, plus — on raw flash — other slots sharing an erase block
+    /// that is about to be erased). Their owning super tables must drop them
+    /// before the write happens.
+    pub displaced: Vec<SlotOwner>,
+}
+
+/// Allocator of incarnation slots on flash.
+#[derive(Debug, Clone)]
+pub struct LogAllocator {
+    mode: FlashLayoutMode,
+    slot_size: u64,
+    num_slots: u64,
+    block_size: u64,
+    /// Owner of each slot (`None` = free or already evicted).
+    owners: Vec<Option<SlotOwner>>,
+    /// Next slot in the global log.
+    next_slot: u64,
+    /// Next slot within each table's partition (partitioned layout).
+    per_table_next: Vec<u64>,
+    /// Slots per table partition (partitioned layout).
+    slots_per_table: u64,
+}
+
+impl LogAllocator {
+    /// Creates an allocator for a device of `flash_capacity` bytes divided
+    /// into slots of `slot_size` bytes, shared by `num_tables` super tables.
+    ///
+    /// `block_size` is the erase-block size (used only by the partitioned
+    /// layout to schedule erasure).
+    pub fn new(
+        mode: FlashLayoutMode,
+        flash_capacity: u64,
+        slot_size: u64,
+        block_size: u64,
+        num_tables: usize,
+    ) -> Result<Self> {
+        if slot_size == 0 || flash_capacity < slot_size {
+            return Err(BufferHashError::InvalidConfig(
+                "flash must hold at least one incarnation slot".into(),
+            ));
+        }
+        let num_slots = flash_capacity / slot_size;
+        if (num_slots as usize) < num_tables {
+            return Err(BufferHashError::InvalidConfig(format!(
+                "{num_slots} slots cannot serve {num_tables} super tables"
+            )));
+        }
+        let slots_per_table = num_slots / num_tables.max(1) as u64;
+        Ok(LogAllocator {
+            mode,
+            slot_size,
+            num_slots,
+            block_size: block_size.max(1),
+            owners: vec![None; num_slots as usize],
+            next_slot: 0,
+            per_table_next: vec![0; num_tables.max(1)],
+            slots_per_table,
+        })
+    }
+
+    /// Slot size in bytes.
+    pub fn slot_size(&self) -> u64 {
+        self.slot_size
+    }
+
+    /// Total number of slots.
+    pub fn num_slots(&self) -> u64 {
+        self.num_slots
+    }
+
+    /// Number of slots currently owned by live incarnations.
+    pub fn live_slots(&self) -> usize {
+        self.owners.iter().filter(|o| o.is_some()).count()
+    }
+
+    /// Allocates the slot for a new incarnation of `table` with flush
+    /// sequence `seq`.
+    pub fn allocate(&mut self, table: usize, seq: u64) -> Result<SlotAllocation> {
+        match self.mode {
+            FlashLayoutMode::GlobalLog => self.allocate_global(table, seq),
+            FlashLayoutMode::PartitionPerTable => self.allocate_partitioned(table, seq),
+        }
+    }
+
+    /// Marks a slot's incarnation as no longer live (after its super table
+    /// evicted it). The space is reclaimed when the log wraps around.
+    pub fn release(&mut self, offset: u64) {
+        let slot = offset / self.slot_size;
+        if let Some(owner) = self.owners.get_mut(slot as usize) {
+            *owner = None;
+        }
+    }
+
+    fn allocate_global(&mut self, table: usize, seq: u64) -> Result<SlotAllocation> {
+        let slot = self.next_slot;
+        self.next_slot = (self.next_slot + 1) % self.num_slots;
+        let mut displaced = Vec::new();
+        if let Some(owner) = self.owners[slot as usize].take() {
+            displaced.push(owner);
+        }
+        self.owners[slot as usize] = Some(SlotOwner { table, seq });
+        Ok(SlotAllocation { offset: slot * self.slot_size, blocks_to_erase: Vec::new(), displaced })
+    }
+
+    fn allocate_partitioned(&mut self, table: usize, seq: u64) -> Result<SlotAllocation> {
+        if table >= self.per_table_next.len() {
+            return Err(BufferHashError::InvalidConfig(format!(
+                "table index {table} out of range for the allocator"
+            )));
+        }
+        let base_slot = table as u64 * self.slots_per_table;
+        let within = self.per_table_next[table];
+        self.per_table_next[table] = (within + 1) % self.slots_per_table;
+        let slot = base_slot + within;
+        let offset = slot * self.slot_size;
+
+        let mut displaced = Vec::new();
+        let mut blocks_to_erase = Vec::new();
+
+        if self.slot_size >= self.block_size {
+            // Slot spans one or more whole erase blocks: erase exactly those.
+            let first_block = offset / self.block_size;
+            let blocks = self.slot_size.div_ceil(self.block_size);
+            blocks_to_erase.extend(first_block..first_block + blocks);
+            if let Some(owner) = self.owners[slot as usize].take() {
+                displaced.push(owner);
+            }
+        } else {
+            // Several slots share an erase block. Erase the block lazily:
+            // only when the write lands on its first slot. All other live
+            // slots in that block necessarily hold older incarnations of the
+            // same table (the partition is written circularly), so they are
+            // displaced together.
+            if offset % self.block_size == 0 {
+                blocks_to_erase.push(offset / self.block_size);
+                let slots_per_block = (self.block_size / self.slot_size).max(1);
+                for s in slot..(slot + slots_per_block).min(base_slot + self.slots_per_table) {
+                    if let Some(owner) = self.owners[s as usize].take() {
+                        displaced.push(owner);
+                    }
+                }
+            } else if let Some(owner) = self.owners[slot as usize].take() {
+                // Mid-block slot: it was already erased when the block was.
+                displaced.push(owner);
+            }
+        }
+        self.owners[slot as usize] = Some(SlotOwner { table, seq });
+        Ok(SlotAllocation { offset, blocks_to_erase, displaced })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_log_appends_sequentially_and_wraps() {
+        let mut a =
+            LogAllocator::new(FlashLayoutMode::GlobalLog, 8 * 128 * 1024, 128 * 1024, 256 * 1024, 2)
+                .unwrap();
+        assert_eq!(a.num_slots(), 8);
+        let mut offsets = Vec::new();
+        for seq in 0..8u64 {
+            let alloc = a.allocate((seq % 2) as usize, seq).unwrap();
+            assert!(alloc.displaced.is_empty(), "no displacement before the log wraps");
+            assert!(alloc.blocks_to_erase.is_empty());
+            offsets.push(alloc.offset);
+        }
+        assert_eq!(offsets, (0..8).map(|i| i * 128 * 1024).collect::<Vec<_>>());
+        // The 9th allocation wraps onto slot 0 and displaces its owner.
+        let alloc = a.allocate(0, 8).unwrap();
+        assert_eq!(alloc.offset, 0);
+        assert_eq!(alloc.displaced, vec![SlotOwner { table: 0, seq: 0 }]);
+    }
+
+    #[test]
+    fn released_slots_do_not_report_displacement() {
+        let mut a =
+            LogAllocator::new(FlashLayoutMode::GlobalLog, 4 * 64 * 1024, 64 * 1024, 64 * 1024, 1)
+                .unwrap();
+        let first = a.allocate(0, 0).unwrap();
+        for seq in 1..4u64 {
+            a.allocate(0, seq).unwrap();
+        }
+        a.release(first.offset);
+        let wrapped = a.allocate(0, 4).unwrap();
+        assert_eq!(wrapped.offset, first.offset);
+        assert!(wrapped.displaced.is_empty());
+        assert_eq!(a.live_slots(), 4);
+    }
+
+    #[test]
+    fn partitioned_layout_keeps_tables_in_their_regions() {
+        // 16 slots of 64 KiB over 4 tables -> 4 slots per table.
+        let mut a = LogAllocator::new(
+            FlashLayoutMode::PartitionPerTable,
+            16 * 64 * 1024,
+            64 * 1024,
+            64 * 1024,
+            4,
+        )
+        .unwrap();
+        for round in 0..8u64 {
+            for table in 0..4usize {
+                let alloc = a.allocate(table, round).unwrap();
+                let partition = alloc.offset / (4 * 64 * 1024);
+                assert_eq!(partition as usize, table, "slot landed outside the partition");
+            }
+        }
+    }
+
+    #[test]
+    fn partitioned_layout_erases_blocks_before_rewrite() {
+        // Slot size == block size: every allocation erases its block.
+        let mut a = LogAllocator::new(
+            FlashLayoutMode::PartitionPerTable,
+            8 * 128 * 1024,
+            128 * 1024,
+            128 * 1024,
+            2,
+        )
+        .unwrap();
+        let alloc = a.allocate(0, 0).unwrap();
+        assert_eq!(alloc.blocks_to_erase, vec![0]);
+        let alloc = a.allocate(1, 0).unwrap();
+        assert_eq!(alloc.blocks_to_erase, vec![4]);
+    }
+
+    #[test]
+    fn small_slots_share_an_erase_block_and_displace_together() {
+        // 4 slots of 32 KiB per 128 KiB block, one table with 8 slots.
+        let mut a = LogAllocator::new(
+            FlashLayoutMode::PartitionPerTable,
+            8 * 32 * 1024,
+            32 * 1024,
+            128 * 1024,
+            1,
+        )
+        .unwrap();
+        // Fill all 8 slots.
+        for seq in 0..8u64 {
+            let alloc = a.allocate(0, seq).unwrap();
+            if seq % 4 == 0 {
+                assert_eq!(alloc.blocks_to_erase.len(), 1, "block-aligned slot erases its block");
+            } else {
+                assert!(alloc.blocks_to_erase.is_empty());
+            }
+        }
+        // Wrapping onto slot 0 erases block 0 and displaces all four live
+        // incarnations that shared it.
+        let alloc = a.allocate(0, 8).unwrap();
+        assert_eq!(alloc.blocks_to_erase, vec![0]);
+        assert_eq!(alloc.displaced.len(), 4);
+        assert!(alloc.displaced.iter().all(|o| o.seq < 4));
+    }
+
+    #[test]
+    fn slot_larger_than_block_erases_all_covered_blocks() {
+        let mut a = LogAllocator::new(
+            FlashLayoutMode::PartitionPerTable,
+            4 * 256 * 1024,
+            256 * 1024,
+            128 * 1024,
+            1,
+        )
+        .unwrap();
+        let alloc = a.allocate(0, 0).unwrap();
+        assert_eq!(alloc.blocks_to_erase, vec![0, 1]);
+    }
+
+    #[test]
+    fn invalid_configurations_are_rejected() {
+        assert!(LogAllocator::new(FlashLayoutMode::GlobalLog, 0, 128, 128, 1).is_err());
+        assert!(LogAllocator::new(FlashLayoutMode::GlobalLog, 64, 128, 128, 1).is_err());
+        assert!(LogAllocator::new(FlashLayoutMode::GlobalLog, 256, 128, 128, 4).is_err());
+        let mut a = LogAllocator::new(FlashLayoutMode::PartitionPerTable, 512, 128, 128, 2).unwrap();
+        assert!(a.allocate(5, 0).is_err());
+    }
+}

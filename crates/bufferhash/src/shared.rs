@@ -1,0 +1,238 @@
+//! Thread-safe CLAM wrappers.
+//!
+//! The systems the paper targets (WAN optimizers, dedup servers, content
+//! directories) serve many connections at once. [`SharedClam`] wraps a
+//! [`Clam`] in a [`parking_lot::Mutex`] behind an [`Arc`] so worker threads
+//! can share one index, and [`StripedClam`] goes one step further by
+//! striping the key space across several independent CLAMs (each typically
+//! on its own SSD, as §5.2 suggests) so operations on different stripes
+//! proceed in parallel.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use flashsim::Device;
+
+use crate::clam::{Clam, InsertOutcome, LookupOutcome};
+use crate::error::Result;
+use crate::stats::ClamStats;
+use crate::types::{hash_with_seed, Key, Value};
+
+/// A cloneable, thread-safe handle to a single CLAM.
+pub struct SharedClam<D: Device> {
+    inner: Arc<Mutex<Clam<D>>>,
+}
+
+impl<D: Device> Clone for SharedClam<D> {
+    fn clone(&self) -> Self {
+        SharedClam { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl<D: Device> SharedClam<D> {
+    /// Wraps a CLAM for shared use.
+    pub fn new(clam: Clam<D>) -> Self {
+        SharedClam { inner: Arc::new(Mutex::new(clam)) }
+    }
+
+    /// Inserts (or updates) a key.
+    pub fn insert(&self, key: Key, value: Value) -> Result<InsertOutcome> {
+        self.inner.lock().insert(key, value)
+    }
+
+    /// Looks up a key.
+    pub fn lookup(&self, key: Key) -> Result<LookupOutcome> {
+        self.inner.lock().lookup(key)
+    }
+
+    /// Deletes a key.
+    pub fn delete(&self, key: Key) -> Result<()> {
+        self.inner.lock().delete(key)?;
+        Ok(())
+    }
+
+    /// Snapshot of the operation statistics.
+    pub fn stats(&self) -> ClamStats {
+        self.inner.lock().stats().clone()
+    }
+
+    /// Runs `f` with exclusive access to the underlying CLAM (e.g. for
+    /// `flush_all` or configuration inspection).
+    pub fn with<R>(&self, f: impl FnOnce(&mut Clam<D>) -> R) -> R {
+        f(&mut self.inner.lock())
+    }
+}
+
+/// A CLAM striped over several devices: stripe `i` holds the keys that hash
+/// to it, so lookups and inserts for different stripes contend on different
+/// locks (and, conceptually, different SSDs).
+pub struct StripedClam<D: Device> {
+    stripes: Vec<SharedClam<D>>,
+}
+
+impl<D: Device> StripedClam<D> {
+    /// Builds a striped CLAM from per-stripe CLAMs (one per device).
+    ///
+    /// Returns an error-free constructor; an empty stripe list is rejected
+    /// by panicking early because it is a static misconfiguration.
+    pub fn new(stripes: Vec<Clam<D>>) -> Self {
+        assert!(!stripes.is_empty(), "StripedClam needs at least one stripe");
+        StripedClam { stripes: stripes.into_iter().map(SharedClam::new).collect() }
+    }
+
+    /// Number of stripes.
+    pub fn num_stripes(&self) -> usize {
+        self.stripes.len()
+    }
+
+    fn stripe_of(&self, key: Key) -> &SharedClam<D> {
+        let idx = (hash_with_seed(key, 0x57e1_9e) % self.stripes.len() as u64) as usize;
+        &self.stripes[idx]
+    }
+
+    /// Inserts (or updates) a key on its stripe.
+    pub fn insert(&self, key: Key, value: Value) -> Result<InsertOutcome> {
+        self.stripe_of(key).insert(key, value)
+    }
+
+    /// Looks up a key on its stripe.
+    pub fn lookup(&self, key: Key) -> Result<LookupOutcome> {
+        self.stripe_of(key).lookup(key)
+    }
+
+    /// Deletes a key on its stripe.
+    pub fn delete(&self, key: Key) -> Result<()> {
+        self.stripe_of(key).delete(key)
+    }
+
+    /// Aggregated statistics across all stripes.
+    pub fn stats(&self) -> ClamStats {
+        let mut total = ClamStats::new();
+        for stripe in &self.stripes {
+            let s = stripe.stats();
+            total.inserts.merge(&s.inserts);
+            total.lookups.merge(&s.lookups);
+            total.deletes.merge(&s.deletes);
+            total.lookup_hits += s.lookup_hits;
+            total.lookup_misses += s.lookup_misses;
+            total.flushes += s.flushes;
+            total.forced_evictions += s.forced_evictions;
+            total.reinsertions += s.reinsertions;
+            total.spurious_flash_reads += s.spurious_flash_reads;
+            total.lookup_flash_reads += s.lookup_flash_reads;
+        }
+        total
+    }
+
+    /// A cloneable handle to stripe `i` (for per-thread pinning).
+    pub fn stripe(&self, i: usize) -> Option<SharedClam<D>> {
+        self.stripes.get(i).cloned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ClamConfig;
+    use flashsim::Ssd;
+    use std::thread;
+
+    fn clam() -> Clam<Ssd> {
+        let cfg = ClamConfig::small_test(4 << 20, 1 << 20).unwrap();
+        Clam::new(Ssd::intel(4 << 20).unwrap(), cfg).unwrap()
+    }
+
+    fn key(i: u64) -> Key {
+        hash_with_seed(i, 42)
+    }
+
+    #[test]
+    fn shared_clam_is_usable_from_multiple_threads() {
+        let shared = SharedClam::new(clam());
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let handle = shared.clone();
+            handles.push(thread::spawn(move || {
+                for i in 0..5_000u64 {
+                    let k = key(t * 1_000_000 + i);
+                    handle.insert(k, i).unwrap();
+                    assert_eq!(handle.lookup(k).unwrap().value, Some(i));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(shared.stats().inserts.len(), 20_000);
+        assert!(shared.stats().lookup_hits >= 20_000);
+    }
+
+    #[test]
+    fn shared_clam_with_gives_exclusive_access() {
+        let shared = SharedClam::new(clam());
+        shared.insert(key(1), 1).unwrap();
+        let flushes = shared.with(|c| {
+            c.flush_all().unwrap();
+            c.stats().flushes
+        });
+        assert!(flushes >= 1);
+    }
+
+    #[test]
+    fn striped_clam_routes_keys_consistently() {
+        let striped = StripedClam::new(vec![clam(), clam(), clam()]);
+        assert_eq!(striped.num_stripes(), 3);
+        for i in 0..10_000u64 {
+            striped.insert(key(i), i).unwrap();
+        }
+        for i in (0..10_000u64).step_by(37) {
+            assert_eq!(striped.lookup(key(i)).unwrap().value, Some(i), "key {i}");
+        }
+        striped.delete(key(0)).unwrap();
+        assert_eq!(striped.lookup(key(0)).unwrap().value, None);
+        // Work is spread across stripes.
+        let stats = striped.stats();
+        assert_eq!(stats.inserts.len(), 10_000);
+        for s in 0..3 {
+            let stripe_inserts = striped.stripe(s).unwrap().stats().inserts.len();
+            assert!(
+                stripe_inserts > 1_000,
+                "stripe {s} got only {stripe_inserts} inserts; routing is unbalanced"
+            );
+        }
+    }
+
+    #[test]
+    fn striped_clam_parallel_threads() {
+        let striped = std::sync::Arc::new(StripedClam::new(vec![clam(), clam()]));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let s = std::sync::Arc::clone(&striped);
+            handles.push(thread::spawn(move || {
+                for i in 0..3_000u64 {
+                    let k = key(t * 10_000_000 + i);
+                    s.insert(k, i).unwrap();
+                    assert_eq!(s.lookup(k).unwrap().value, Some(i));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(striped.stats().inserts.len(), 12_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stripe")]
+    fn empty_stripe_list_is_rejected() {
+        let _ = StripedClam::<Ssd>::new(Vec::new());
+    }
+
+    #[test]
+    fn missing_stripe_handle_is_none() {
+        let striped = StripedClam::new(vec![clam()]);
+        assert!(striped.stripe(0).is_some());
+        assert!(striped.stripe(5).is_none());
+    }
+}

@@ -1,0 +1,146 @@
+//! Operation statistics for a CLAM.
+//!
+//! Every hash-table operation records its end-to-end simulated latency plus
+//! the breakdown the paper's evaluation reports: flash reads per lookup
+//! (Table 2), buffer flushes and cascaded evictions (Figure 8b), Bloom
+//! false positives, and so on.
+
+use flashsim::{LatencyRecorder, SimDuration};
+
+/// Counters and latency recorders for one CLAM instance.
+#[derive(Debug, Clone, Default)]
+pub struct ClamStats {
+    /// Latency of insert operations.
+    pub inserts: LatencyRecorder,
+    /// Latency of lookup operations.
+    pub lookups: LatencyRecorder,
+    /// Latency of delete operations.
+    pub deletes: LatencyRecorder,
+    /// Lookups that found a value.
+    pub lookup_hits: u64,
+    /// Lookups that found nothing (or a deleted key).
+    pub lookup_misses: u64,
+    /// Buffer flushes (incarnations written to flash).
+    pub flushes: u64,
+    /// Incarnations force-evicted because the flash log wrapped onto them.
+    pub forced_evictions: u64,
+    /// Entries re-inserted into buffers by partial-discard eviction or LRU.
+    pub reinsertions: u64,
+    /// Flash page reads that did not yield the key (Bloom false positives
+    /// or overflow-chain hops).
+    pub spurious_flash_reads: u64,
+    /// Total flash page reads performed by lookups.
+    pub lookup_flash_reads: u64,
+    /// Histogram of flash reads per lookup: `flash_reads_histogram[i]` is the
+    /// number of lookups that performed exactly `i` flash reads (the last
+    /// bucket accumulates everything at or beyond its index).
+    pub flash_reads_histogram: Vec<u64>,
+    /// Histogram of incarnations tried per eviction cascade (Figure 8b):
+    /// index = number of incarnations evicted in one flush chain.
+    pub cascade_histogram: Vec<u64>,
+    /// Simulated latency spent in asynchronous LRU re-insertions (not
+    /// charged to the triggering lookups).
+    pub async_reinsert_time: SimDuration,
+}
+
+/// Maximum histogram index tracked explicitly; larger values accumulate in
+/// the final bucket.
+const HISTOGRAM_CAP: usize = 64;
+
+impl ClamStats {
+    /// Creates empty statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the number of flash reads a lookup performed.
+    pub fn record_lookup_reads(&mut self, reads: usize) {
+        self.lookup_flash_reads += reads as u64;
+        let idx = reads.min(HISTOGRAM_CAP);
+        if self.flash_reads_histogram.len() <= idx {
+            self.flash_reads_histogram.resize(idx + 1, 0);
+        }
+        self.flash_reads_histogram[idx] += 1;
+    }
+
+    /// Records the number of incarnations evicted by one flush chain.
+    pub fn record_cascade(&mut self, incarnations_tried: usize) {
+        let idx = incarnations_tried.min(HISTOGRAM_CAP);
+        if self.cascade_histogram.len() <= idx {
+            self.cascade_histogram.resize(idx + 1, 0);
+        }
+        self.cascade_histogram[idx] += 1;
+    }
+
+    /// Total number of operations recorded.
+    pub fn total_ops(&self) -> usize {
+        self.inserts.len() + self.lookups.len() + self.deletes.len()
+    }
+
+    /// Fraction of lookups that performed exactly `n` flash reads.
+    pub fn lookup_read_fraction(&self, n: usize) -> f64 {
+        let total: u64 = self.flash_reads_histogram.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        self.flash_reads_histogram.get(n).copied().unwrap_or(0) as f64 / total as f64
+    }
+
+    /// Lookup success rate observed so far.
+    pub fn lookup_success_rate(&self) -> f64 {
+        let total = self.lookup_hits + self.lookup_misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.lookup_hits as f64 / total as f64
+    }
+
+    /// Clears all statistics.
+    pub fn reset(&mut self) {
+        *self = ClamStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histograms_accumulate_and_cap() {
+        let mut s = ClamStats::new();
+        s.record_lookup_reads(0);
+        s.record_lookup_reads(0);
+        s.record_lookup_reads(1);
+        s.record_lookup_reads(1000);
+        assert_eq!(s.flash_reads_histogram[0], 2);
+        assert_eq!(s.flash_reads_histogram[1], 1);
+        assert_eq!(*s.flash_reads_histogram.last().unwrap(), 1);
+        assert_eq!(s.lookup_flash_reads, 1001);
+        assert!((s.lookup_read_fraction(0) - 0.5).abs() < 1e-9);
+        assert_eq!(s.lookup_read_fraction(7), 0.0);
+    }
+
+    #[test]
+    fn cascade_histogram() {
+        let mut s = ClamStats::new();
+        s.record_cascade(1);
+        s.record_cascade(3);
+        s.record_cascade(3);
+        assert_eq!(s.cascade_histogram[1], 1);
+        assert_eq!(s.cascade_histogram[3], 2);
+    }
+
+    #[test]
+    fn success_rate_and_reset() {
+        let mut s = ClamStats::new();
+        assert_eq!(s.lookup_success_rate(), 0.0);
+        s.lookup_hits = 40;
+        s.lookup_misses = 60;
+        assert!((s.lookup_success_rate() - 0.4).abs() < 1e-9);
+        s.inserts.record(SimDuration::from_micros(5));
+        assert_eq!(s.total_ops(), 1);
+        s.reset();
+        assert_eq!(s.total_ops(), 0);
+        assert_eq!(s.lookup_hits, 0);
+    }
+}

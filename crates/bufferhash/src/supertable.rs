@@ -1,0 +1,464 @@
+//! Super tables (§5.1): the in-memory half of one key-space partition.
+//!
+//! A super table owns the DRAM-resident state for its partition — the
+//! buffer, the per-incarnation membership filters and the delete list — plus
+//! the metadata describing where its incarnations live on flash. All flash
+//! I/O is orchestrated by [`crate::clam::Clam`], which keeps this type
+//! purely in-memory and easy to test.
+
+use std::collections::HashSet;
+use std::collections::VecDeque;
+
+use crate::cuckoo::{BufferInsert, CuckooBuffer};
+use crate::eviction::{EvictionPolicy, RetainDecision};
+use crate::filters::{FilterBank, FilterMode};
+use crate::incarnation::IncarnationLayout;
+use crate::types::{Entry, Key, Value, ENTRY_SIZE};
+
+/// Metadata for one on-flash incarnation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IncarnationMeta {
+    /// Byte offset of the incarnation on flash.
+    pub flash_offset: u64,
+    /// Number of entries stored in the incarnation.
+    pub entries: usize,
+    /// Global flush sequence number (unique across the whole CLAM).
+    pub seq: u64,
+}
+
+/// The DRAM-resident state of one key-space partition.
+#[derive(Debug)]
+pub struct SuperTable {
+    /// Index of this super table within the CLAM.
+    id: usize,
+    buffer: CuckooBuffer,
+    filters: FilterBank,
+    /// Incarnation metadata, youngest first (index = age, matching the
+    /// filter bank's convention).
+    incarnations: VecDeque<IncarnationMeta>,
+    /// Keys deleted while their entries were already on flash (§5.1.1).
+    delete_list: HashSet<Key>,
+    /// Layout used to serialize/parse this table's incarnations.
+    layout: IncarnationLayout,
+    max_incarnations: usize,
+}
+
+impl SuperTable {
+    /// Creates an empty super table.
+    pub fn new(
+        id: usize,
+        buffer_bytes: usize,
+        max_utilization: f64,
+        max_incarnations: usize,
+        filter_mode: FilterMode,
+        bloom_bits_per_incarnation: usize,
+        bloom_hashes: u32,
+        layout: IncarnationLayout,
+    ) -> Self {
+        SuperTable {
+            id,
+            buffer: CuckooBuffer::with_byte_budget(buffer_bytes, ENTRY_SIZE, max_utilization),
+            filters: FilterBank::new(
+                filter_mode,
+                max_incarnations.max(1),
+                bloom_bits_per_incarnation,
+                bloom_hashes,
+            ),
+            incarnations: VecDeque::with_capacity(max_incarnations),
+            delete_list: HashSet::new(),
+            layout,
+            max_incarnations: max_incarnations.max(1),
+        }
+    }
+
+    /// Index of this super table.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The incarnation serialization layout.
+    pub fn layout(&self) -> IncarnationLayout {
+        self.layout
+    }
+
+    /// Maximum incarnations held on flash for this table (`k`).
+    pub fn max_incarnations(&self) -> usize {
+        self.max_incarnations
+    }
+
+    /// Number of live incarnations.
+    pub fn num_incarnations(&self) -> usize {
+        self.incarnations.len()
+    }
+
+    /// Number of entries currently in the buffer.
+    pub fn buffer_len(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Returns `true` when the buffer has reached its admission capacity.
+    pub fn buffer_full(&self) -> bool {
+        self.buffer.is_full()
+    }
+
+    /// Metadata of the incarnation at `age` (0 = youngest).
+    pub fn incarnation_at(&self, age: usize) -> Option<IncarnationMeta> {
+        self.incarnations.get(age).copied()
+    }
+
+    /// Metadata of the oldest incarnation.
+    pub fn oldest_incarnation(&self) -> Option<IncarnationMeta> {
+        self.incarnations.back().copied()
+    }
+
+    /// Looks up `key` in the in-memory state only.
+    ///
+    /// Returns `Some(Some(value))` if the buffer holds the key,
+    /// `Some(None)` if the key is known to be deleted, and `None` when the
+    /// caller must consult flash.
+    pub fn memory_lookup(&self, key: Key) -> Option<Option<Value>> {
+        if self.delete_list.contains(&key) {
+            return Some(None);
+        }
+        self.buffer.get(key).map(|v| Some(v))
+    }
+
+    /// Inserts into the buffer. A new value for a deleted key revives it.
+    pub fn buffer_insert(&mut self, key: Key, value: Value) -> BufferInsert {
+        let res = self.buffer.insert(key, value);
+        if matches!(res, BufferInsert::Stored(_)) {
+            self.delete_list.remove(&key);
+        }
+        res
+    }
+
+    /// Deletes `key`: removes it from the buffer if present, otherwise
+    /// records it in the delete list so flash copies are ignored (§5.1.1).
+    ///
+    /// Returns `true` if the key was present in the buffer.
+    pub fn delete(&mut self, key: Key) -> bool {
+        if self.buffer.remove(key).is_some() {
+            // Older values may still exist on flash; shadow them too.
+            if self.num_incarnations() > 0 {
+                self.delete_list.insert(key);
+            }
+            true
+        } else {
+            self.delete_list.insert(key);
+            false
+        }
+    }
+
+    /// Returns `true` if `key` is in the delete list.
+    pub fn is_deleted(&self, key: Key) -> bool {
+        self.delete_list.contains(&key)
+    }
+
+    /// Number of keys in the delete list.
+    pub fn delete_list_len(&self) -> usize {
+        self.delete_list.len()
+    }
+
+    /// Drains the buffer for a flush, returning all entries.
+    pub fn drain_buffer(&mut self) -> Vec<Entry> {
+        self.buffer.drain()
+    }
+
+    /// Registers a freshly written incarnation as the youngest.
+    ///
+    /// The caller must have made room first (`num_incarnations() <
+    /// max_incarnations()`).
+    pub fn register_incarnation(&mut self, meta: IncarnationMeta, keys: &[Key]) {
+        assert!(
+            self.incarnations.len() < self.max_incarnations,
+            "register_incarnation on a full incarnation table"
+        );
+        self.filters.push_newest(keys);
+        self.incarnations.push_front(meta);
+    }
+
+    /// Drops the oldest incarnation, returning its metadata.
+    pub fn drop_oldest_incarnation(&mut self) -> Option<IncarnationMeta> {
+        let meta = self.incarnations.pop_back();
+        if meta.is_some() {
+            self.filters.evict_oldest();
+        }
+        meta
+    }
+
+    /// Force-drops the incarnation with sequence number `seq` (used when the
+    /// global log wraps onto its slot). Because the log is written in flush
+    /// order, that incarnation is the oldest or among the oldest; any older
+    /// ones are dropped along with it.
+    ///
+    /// Returns the metadata of every incarnation dropped.
+    pub fn force_evict_up_to(&mut self, seq: u64) -> Vec<IncarnationMeta> {
+        let mut dropped = Vec::new();
+        while let Some(oldest) = self.incarnations.back().copied() {
+            if oldest.seq > seq {
+                break;
+            }
+            self.drop_oldest_incarnation();
+            dropped.push(oldest);
+        }
+        dropped
+    }
+
+    /// Ages (0 = youngest) of incarnations that may contain `key`, youngest
+    /// first, according to the membership filters.
+    pub fn candidate_incarnations(&self, key: Key) -> Vec<usize> {
+        self.filters.query(key)
+    }
+
+    /// DRAM words touched by one filter query (for latency accounting).
+    pub fn filter_words_per_query(&self) -> usize {
+        self.filters.words_per_query()
+    }
+
+    /// Decides whether `entry` from the evicted (oldest) incarnation should
+    /// be retained under `policy` (§5.1.2).
+    ///
+    /// For the update-based policy an entry is dead if its key was deleted,
+    /// is present in the buffer, or may appear in a *younger* incarnation
+    /// (checked through the Bloom filters, so false positives can
+    /// occasionally drop a live entry). For the priority-based policy an
+    /// entry is dead when its priority is below the threshold.
+    pub fn retain_decision(&self, entry: &Entry, policy: &EvictionPolicy) -> RetainDecision {
+        match policy {
+            EvictionPolicy::Fifo | EvictionPolicy::Lru => RetainDecision::Discard,
+            EvictionPolicy::UpdateBased => {
+                if self.delete_list.contains(&entry.key) || self.buffer.get(entry.key).is_some() {
+                    return RetainDecision::Discard;
+                }
+                // Ages 0..len-1 are younger than the oldest (len-1).
+                let oldest_age = self.num_incarnations().saturating_sub(1);
+                for age in 0..oldest_age {
+                    if self.filters.may_contain_in(age, entry.key) {
+                        return RetainDecision::Discard;
+                    }
+                }
+                RetainDecision::Retain
+            }
+            EvictionPolicy::PriorityBased { threshold, priority } => {
+                if self.delete_list.contains(&entry.key) {
+                    return RetainDecision::Discard;
+                }
+                if priority(entry) >= *threshold {
+                    RetainDecision::Retain
+                } else {
+                    RetainDecision::Discard
+                }
+            }
+        }
+    }
+
+    /// Removes delete-list entries whose on-flash copies have all been
+    /// evicted. Called after the oldest incarnation is dropped; with the
+    /// oldest gone, any deleted key that no longer matches a younger
+    /// incarnation's filter cannot exist on flash any more.
+    pub fn prune_delete_list(&mut self) {
+        if self.incarnations.is_empty() {
+            self.delete_list.clear();
+            return;
+        }
+        let filters = &self.filters;
+        let live = self.incarnations.len();
+        self.delete_list.retain(|&k| (0..live).any(|age| filters.may_contain_in(age, k)));
+    }
+
+    /// Approximate DRAM footprint of this super table in bytes (buffer
+    /// slots, filters and delete list).
+    pub fn memory_bytes(&self) -> usize {
+        self.buffer.num_slots() * ENTRY_SIZE
+            + self.filters.memory_bytes()
+            + self.delete_list.len() * std::mem::size_of::<Key>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::hash_with_seed;
+
+    fn table() -> SuperTable {
+        SuperTable::new(
+            0,
+            16 * 1024,
+            0.5,
+            4,
+            FilterMode::BitSliced,
+            1 << 13,
+            6,
+            IncarnationLayout::new(16 * 1024, 2048).unwrap(),
+        )
+    }
+
+    fn meta(seq: u64) -> IncarnationMeta {
+        IncarnationMeta { flash_offset: seq * 16 * 1024, entries: 10, seq }
+    }
+
+    #[test]
+    fn buffer_insert_and_memory_lookup() {
+        let mut t = table();
+        assert!(matches!(t.buffer_insert(1, 10), BufferInsert::Stored(None)));
+        assert_eq!(t.memory_lookup(1), Some(Some(10)));
+        assert_eq!(t.memory_lookup(2), None);
+        assert_eq!(t.buffer_len(), 1);
+    }
+
+    #[test]
+    fn delete_semantics() {
+        let mut t = table();
+        t.buffer_insert(1, 10);
+        // Deleting a buffered key removes it outright (no flash copies yet).
+        assert!(t.delete(1));
+        assert_eq!(t.memory_lookup(1), None);
+        assert_eq!(t.delete_list_len(), 0);
+        // Deleting an unbuffered key goes to the delete list and shadows
+        // flash lookups.
+        assert!(!t.delete(2));
+        assert!(t.is_deleted(2));
+        assert_eq!(t.memory_lookup(2), Some(None));
+        // Re-inserting revives the key.
+        t.buffer_insert(2, 20);
+        assert!(!t.is_deleted(2));
+        assert_eq!(t.memory_lookup(2), Some(Some(20)));
+    }
+
+    #[test]
+    fn delete_of_buffered_key_with_flash_copies_shadows_them() {
+        let mut t = table();
+        t.register_incarnation(meta(0), &[7]);
+        t.buffer_insert(7, 70);
+        assert!(t.delete(7));
+        // The flash copy must remain shadowed.
+        assert!(t.is_deleted(7));
+        assert_eq!(t.memory_lookup(7), Some(None));
+    }
+
+    #[test]
+    fn incarnation_registration_and_age_order() {
+        let mut t = table();
+        for seq in 0..4u64 {
+            let keys: Vec<Key> = (0..10).map(|i| hash_with_seed(i, seq + 1)).collect();
+            t.register_incarnation(meta(seq), &keys);
+        }
+        assert_eq!(t.num_incarnations(), 4);
+        // Youngest (seq 3) is age 0; oldest (seq 0) is age 3.
+        assert_eq!(t.incarnation_at(0).unwrap().seq, 3);
+        assert_eq!(t.oldest_incarnation().unwrap().seq, 0);
+        // Filter candidates agree with ages.
+        let key_of_seq0 = hash_with_seed(5, 1);
+        assert!(t.candidate_incarnations(key_of_seq0).contains(&3));
+    }
+
+    #[test]
+    fn drop_oldest_keeps_filters_in_sync() {
+        let mut t = table();
+        for seq in 0..4u64 {
+            let keys: Vec<Key> = (0..10).map(|i| hash_with_seed(i, seq + 1)).collect();
+            t.register_incarnation(meta(seq), &keys);
+        }
+        let dropped = t.drop_oldest_incarnation().unwrap();
+        assert_eq!(dropped.seq, 0);
+        assert_eq!(t.num_incarnations(), 3);
+        // Keys of seq 1 are now the oldest (age 2).
+        let key_of_seq1 = hash_with_seed(3, 2);
+        assert!(t.candidate_incarnations(key_of_seq1).contains(&2));
+    }
+
+    #[test]
+    fn force_evict_drops_everything_up_to_seq() {
+        let mut t = table();
+        for seq in 0..4u64 {
+            t.register_incarnation(meta(seq), &[seq]);
+        }
+        let dropped = t.force_evict_up_to(1);
+        assert_eq!(dropped.len(), 2);
+        assert_eq!(t.num_incarnations(), 2);
+        assert_eq!(t.oldest_incarnation().unwrap().seq, 2);
+        // Evicting a seq that is not present does nothing.
+        assert!(t.force_evict_up_to(1).is_empty());
+    }
+
+    #[test]
+    fn retain_decision_fifo_always_discards() {
+        let t = table();
+        let e = Entry::new(1, 2);
+        assert_eq!(t.retain_decision(&e, &EvictionPolicy::Fifo), RetainDecision::Discard);
+        assert_eq!(t.retain_decision(&e, &EvictionPolicy::Lru), RetainDecision::Discard);
+    }
+
+    #[test]
+    fn retain_decision_update_based() {
+        let mut t = table();
+        // Oldest incarnation (about to be evicted) holds keys 100..110.
+        let old_keys: Vec<Key> = (100..110).collect();
+        t.register_incarnation(meta(0), &old_keys);
+        // A younger incarnation holds key 100 (so 100 was updated).
+        t.register_incarnation(meta(1), &[100]);
+        // Key 101 is in the buffer (updated), key 102 is deleted.
+        t.buffer_insert(101, 1);
+        t.delete(102);
+        assert_eq!(
+            t.retain_decision(&Entry::new(100, 0), &EvictionPolicy::UpdateBased),
+            RetainDecision::Discard
+        );
+        assert_eq!(
+            t.retain_decision(&Entry::new(101, 0), &EvictionPolicy::UpdateBased),
+            RetainDecision::Discard
+        );
+        assert_eq!(
+            t.retain_decision(&Entry::new(102, 0), &EvictionPolicy::UpdateBased),
+            RetainDecision::Discard
+        );
+        // Key 105 was never touched again: retain it.
+        assert_eq!(
+            t.retain_decision(&Entry::new(105, 0), &EvictionPolicy::UpdateBased),
+            RetainDecision::Retain
+        );
+    }
+
+    #[test]
+    fn retain_decision_priority_based() {
+        let t = table();
+        let policy = EvictionPolicy::priority_threshold(50);
+        assert_eq!(t.retain_decision(&Entry::new(1, 99), &policy), RetainDecision::Retain);
+        assert_eq!(t.retain_decision(&Entry::new(1, 10), &policy), RetainDecision::Discard);
+    }
+
+    #[test]
+    fn prune_delete_list_drops_unreachable_keys() {
+        let mut t = table();
+        t.register_incarnation(meta(0), &[42]);
+        t.delete(42);
+        t.delete(43); // never on flash
+        assert_eq!(t.delete_list_len(), 2);
+        t.prune_delete_list();
+        // 42 still matches the live incarnation's filter; 43 matches nothing
+        // (up to Bloom false positives, absent at this filter size).
+        assert!(t.is_deleted(42));
+        assert!(t.delete_list_len() <= 2);
+        t.drop_oldest_incarnation();
+        t.prune_delete_list();
+        assert_eq!(t.delete_list_len(), 0);
+    }
+
+    #[test]
+    fn memory_accounting_is_positive_and_grows_with_filters() {
+        let mut t = table();
+        let before = t.memory_bytes();
+        t.register_incarnation(meta(0), &[1, 2, 3]);
+        assert!(t.memory_bytes() >= before);
+        assert!(t.memory_bytes() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "full incarnation table")]
+    fn registering_beyond_capacity_panics() {
+        let mut t = table();
+        for seq in 0..5u64 {
+            t.register_incarnation(meta(seq), &[seq]);
+        }
+    }
+}

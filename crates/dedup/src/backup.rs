@@ -1,0 +1,190 @@
+//! Online backup service (§3).
+//!
+//! Online backup services let many clients continuously push "diffs" of the
+//! files they edit to a central repository and fetch changes back on demand.
+//! The central repository is exactly the deduplicating chunk store of
+//! [`crate::DedupStore`]; this module adds the multi-client workload on top
+//! so the aggregate insert/lookup rates the paper motivates can be driven
+//! against either a CLAM- or a BDB-backed index.
+
+use flashsim::{Device, SimDuration};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wanopt::{FingerprintStore, Result};
+
+use crate::store::DedupStore;
+
+/// A client with a local dataset that it periodically edits and backs up.
+#[derive(Debug, Clone)]
+pub struct BackupClient {
+    /// Client identifier.
+    pub id: u64,
+    dataset: Vec<u8>,
+    rng: StdRng,
+}
+
+impl BackupClient {
+    /// Creates a client with `dataset_bytes` of initial data.
+    pub fn new(id: u64, dataset_bytes: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ id.wrapping_mul(0x9e37_79b9));
+        let dataset = (0..dataset_bytes).map(|_| rng.gen()).collect();
+        BackupClient { id, dataset, rng }
+    }
+
+    /// Current dataset contents.
+    pub fn dataset(&self) -> &[u8] {
+        &self.dataset
+    }
+
+    /// Edits a random region of the dataset (as a user saving a file would)
+    /// and returns the number of bytes touched.
+    pub fn edit(&mut self, edit_bytes: usize) -> usize {
+        if self.dataset.is_empty() {
+            return 0;
+        }
+        let edit = edit_bytes.min(self.dataset.len());
+        let start = self.rng.gen_range(0..=self.dataset.len() - edit);
+        for b in &mut self.dataset[start..start + edit] {
+            *b = self.rng.gen();
+        }
+        edit
+    }
+}
+
+/// Aggregate statistics of a backup round.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct BackupStats {
+    /// Backups performed.
+    pub backups: u64,
+    /// Total bytes offered by clients.
+    pub bytes_offered: u64,
+    /// Bytes actually stored after deduplication.
+    pub bytes_stored: u64,
+    /// Total simulated time spent in the repository.
+    pub repository_time: SimDuration,
+}
+
+impl BackupStats {
+    /// Fraction of offered bytes eliminated by deduplication.
+    pub fn dedup_ratio(&self) -> f64 {
+        if self.bytes_offered == 0 {
+            0.0
+        } else {
+            1.0 - self.bytes_stored as f64 / self.bytes_offered as f64
+        }
+    }
+}
+
+/// The central backup repository serving many clients.
+pub struct BackupServer<S: FingerprintStore, D: Device> {
+    store: DedupStore<S, D>,
+    stats: BackupStats,
+}
+
+impl<S: FingerprintStore, D: Device> BackupServer<S, D> {
+    /// Creates a server over a deduplicating store.
+    pub fn new(store: DedupStore<S, D>) -> Self {
+        BackupServer { store, stats: BackupStats::default() }
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> BackupStats {
+        self.stats
+    }
+
+    /// Access to the underlying store.
+    pub fn store(&self) -> &DedupStore<S, D> {
+        &self.store
+    }
+
+    /// Mutable access to the underlying store (e.g. to merge another
+    /// dataset's fingerprints into the repository index).
+    pub fn store_mut(&mut self) -> &mut DedupStore<S, D> {
+        &mut self.store
+    }
+
+    /// Performs a full backup of one client's dataset.
+    pub fn backup(&mut self, client: &BackupClient) -> Result<SimDuration> {
+        let stored_before = self.store.stats().bytes_stored;
+        let t = self.store.ingest(client.dataset())?;
+        self.stats.backups += 1;
+        self.stats.bytes_offered += client.dataset().len() as u64;
+        self.stats.bytes_stored += self.store.stats().bytes_stored - stored_before;
+        self.stats.repository_time += t;
+        Ok(t)
+    }
+
+    /// Runs `rounds` of edit-then-backup across all `clients`, returning the
+    /// aggregate statistics.
+    pub fn run_rounds(
+        &mut self,
+        clients: &mut [BackupClient],
+        rounds: usize,
+        edit_bytes: usize,
+    ) -> Result<BackupStats> {
+        for _ in 0..rounds {
+            for client in clients.iter_mut() {
+                client.edit(edit_bytes);
+                self.backup(client)?;
+            }
+        }
+        Ok(self.stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bufferhash::{Clam, ClamConfig};
+    use flashsim::{MagneticDisk, Ssd};
+    use wanopt::ClamStore;
+
+    fn server() -> BackupServer<ClamStore<Ssd>, MagneticDisk> {
+        let cfg = ClamConfig::small_test(8 << 20, 2 << 20).unwrap();
+        let clam = Clam::new(Ssd::intel(8 << 20).unwrap(), cfg).unwrap();
+        let store = DedupStore::new(ClamStore::new(clam), MagneticDisk::new(64 << 20).unwrap());
+        BackupServer::new(store)
+    }
+
+    #[test]
+    fn first_backup_stores_everything_later_backups_store_little() {
+        let mut server = server();
+        let mut clients = vec![BackupClient::new(0, 300_000, 7)];
+        server.backup(&clients[0]).unwrap();
+        let after_first = server.stats();
+        assert!(after_first.dedup_ratio() < 0.05);
+        // Small edits followed by repeated full backups dedupe heavily.
+        server.run_rounds(&mut clients, 3, 20_000).unwrap();
+        let final_stats = server.stats();
+        assert!(
+            final_stats.dedup_ratio() > 0.5,
+            "repeated backups should deduplicate well, ratio {}",
+            final_stats.dedup_ratio()
+        );
+        assert_eq!(final_stats.backups, 4);
+    }
+
+    #[test]
+    fn multiple_clients_with_distinct_data_do_not_cross_deduplicate() {
+        let mut server = server();
+        let mut clients: Vec<BackupClient> =
+            (0..3).map(|i| BackupClient::new(i, 150_000, 11)).collect();
+        server.run_rounds(&mut clients, 1, 0).unwrap();
+        let stats = server.stats();
+        // Three distinct datasets: nothing to share on the first round.
+        assert!(stats.dedup_ratio() < 0.05, "ratio {}", stats.dedup_ratio());
+        assert_eq!(stats.backups, 3);
+        assert!(stats.repository_time > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn edits_change_only_the_requested_amount() {
+        let mut c = BackupClient::new(1, 100_000, 3);
+        let before = c.dataset().to_vec();
+        let touched = c.edit(5_000);
+        assert_eq!(touched, 5_000);
+        let diff = c.dataset().iter().zip(&before).filter(|(a, b)| a != b).count();
+        assert!(diff <= 5_000);
+        assert!(diff > 3_000, "random rewrite should change most touched bytes ({diff})");
+    }
+}

@@ -1,0 +1,21 @@
+//! # dedup — deduplication, backup and index-merge applications on CLAMs
+//!
+//! The paper motivates CLAMs with three application classes (§3); besides
+//! the WAN optimizer (the `wanopt` crate), it describes **data
+//! deduplication / backup** systems whose fingerprint indexes reach tens of
+//! gigabytes, and whose most painful maintenance task is merging one
+//! dataset's index into another. This crate builds those applications on
+//! top of the same [`wanopt::FingerprintStore`] abstraction so the
+//! CLAM-vs-BerkeleyDB comparison of §3 ("2 hours with BDB, under 2 minutes
+//! with a CLAM") can be reproduced.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod backup;
+mod merge;
+mod store;
+
+pub use backup::{BackupClient, BackupServer, BackupStats};
+pub use merge::{merge_indexes, FingerprintSet, MergeReport};
+pub use store::{DedupStats, DedupStore};

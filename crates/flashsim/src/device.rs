@@ -1,0 +1,126 @@
+//! The [`Device`] trait: the sans-I/O boundary between data structures
+//! (BufferHash, baseline indexes) and the storage media they run on.
+//!
+//! Every operation returns the simulated latency it would have taken on the
+//! modelled hardware. Callers decide how to account for that latency (e.g.
+//! charge it to the triggering hash-table operation, or overlap it with
+//! other work).
+
+use crate::error::Result;
+use crate::geometry::Geometry;
+use crate::profiles::DeviceProfile;
+use crate::stats::IoStats;
+use crate::time::SimDuration;
+
+/// A byte-addressed storage device with simulated latencies.
+///
+/// Implementations model the medium's cost structure: page-granular I/O,
+/// sequential-vs-random asymmetry, erase-before-write for raw flash, FTL
+/// garbage collection for SSDs, and seek/rotation for disks.
+pub trait Device: Send {
+    /// The parameter set this device was built from.
+    fn profile(&self) -> &DeviceProfile;
+
+    /// Capacity and page/block layout.
+    fn geometry(&self) -> Geometry;
+
+    /// Reads `buf.len()` bytes starting at byte `offset`.
+    ///
+    /// Returns the simulated time the read took. Reads smaller than a page
+    /// are charged a full page (paper design principle P2).
+    fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> Result<SimDuration>;
+
+    /// Writes `data` starting at byte `offset`.
+    ///
+    /// Returns the simulated time the write took, including any FTL
+    /// garbage-collection work it triggered (SSDs) or erase-block management
+    /// the model charges to the writer.
+    fn write_at(&mut self, offset: u64, data: &[u8]) -> Result<SimDuration>;
+
+    /// Erases the erase block with index `block` (raw flash chips).
+    ///
+    /// Devices without caller-visible erasure (SSD, disk, DRAM) return
+    /// [`DeviceError::Unsupported`](crate::DeviceError::Unsupported) or treat
+    /// it as a hint, as documented by the implementation.
+    fn erase_block(&mut self, block: u64) -> Result<SimDuration>;
+
+    /// Declares the byte range `[offset, offset + len)` as no longer live
+    /// (a TRIM hint). SSD models use it to cheapen future garbage
+    /// collection; other media ignore it.
+    fn trim(&mut self, _offset: u64, _len: u64) -> Result<SimDuration> {
+        Ok(SimDuration::ZERO)
+    }
+
+    /// Informs the device that the workload was idle for `idle` simulated
+    /// time. SSD models use this to run background garbage collection for
+    /// free, mirroring how real SSDs recover their clean-block pool during
+    /// quiet periods.
+    fn on_idle(&mut self, _idle: SimDuration) {}
+
+    /// Snapshot of the I/O counters.
+    fn stats(&self) -> IoStats;
+
+    /// Resets the I/O counters.
+    fn reset_stats(&mut self);
+
+    /// Human-readable device name.
+    fn name(&self) -> &'static str {
+        self.profile().name
+    }
+}
+
+/// Blanket implementation so `Box<dyn Device>` is itself a `Device`, which
+/// lets higher layers be generic over `D: Device` while still supporting
+/// dynamic dispatch where convenient.
+impl<D: Device + ?Sized> Device for Box<D> {
+    fn profile(&self) -> &DeviceProfile {
+        (**self).profile()
+    }
+    fn geometry(&self) -> Geometry {
+        (**self).geometry()
+    }
+    fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> Result<SimDuration> {
+        (**self).read_at(offset, buf)
+    }
+    fn write_at(&mut self, offset: u64, data: &[u8]) -> Result<SimDuration> {
+        (**self).write_at(offset, data)
+    }
+    fn erase_block(&mut self, block: u64) -> Result<SimDuration> {
+        (**self).erase_block(block)
+    }
+    fn trim(&mut self, offset: u64, len: u64) -> Result<SimDuration> {
+        (**self).trim(offset, len)
+    }
+    fn on_idle(&mut self, idle: SimDuration) {
+        (**self).on_idle(idle)
+    }
+    fn stats(&self) -> IoStats {
+        (**self).stats()
+    }
+    fn reset_stats(&mut self) {
+        (**self).reset_stats()
+    }
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dram::DramDevice;
+
+    #[test]
+    fn boxed_device_dispatches() {
+        let mut dev: Box<dyn Device> = Box::new(DramDevice::new(1 << 20).unwrap());
+        let lat = dev.write_at(0, &[1, 2, 3]).unwrap();
+        assert!(lat > SimDuration::ZERO);
+        let mut buf = [0u8; 3];
+        dev.read_at(0, &mut buf).unwrap();
+        assert_eq!(buf, [1, 2, 3]);
+        assert_eq!(dev.stats().writes, 1);
+        dev.reset_stats();
+        assert_eq!(dev.stats().writes, 0);
+        assert_eq!(dev.name(), "DRAM");
+    }
+}

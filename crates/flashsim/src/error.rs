@@ -1,0 +1,98 @@
+//! Error types for the storage substrate.
+
+use std::fmt;
+
+/// Errors returned by device models.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeviceError {
+    /// An access extended past the end of the device.
+    OutOfBounds {
+        /// Requested byte offset.
+        offset: u64,
+        /// Requested length in bytes.
+        len: usize,
+        /// Device capacity in bytes.
+        capacity: u64,
+    },
+    /// A flash page was programmed without being erased first.
+    ///
+    /// Raw flash chips (no FTL) require the caller to erase a block before
+    /// rewriting any of its pages; violating this is a logic error in the
+    /// caller (design principle P1 in the paper).
+    WriteToDirtyPage {
+        /// Byte offset of the offending page.
+        page_offset: u64,
+    },
+    /// An erase was requested for a block index that does not exist.
+    InvalidBlock {
+        /// Requested erase-block index.
+        block: u64,
+        /// Number of erase blocks on the device.
+        blocks: u64,
+    },
+    /// The device ran out of physical space (SSD over-provisioning exhausted
+    /// and garbage collection could not reclaim any block).
+    DeviceFull,
+    /// The operation is not supported by this device type (e.g. `erase_block`
+    /// on a magnetic disk).
+    Unsupported(&'static str),
+    /// An I/O error from a real-file backend.
+    Io(String),
+    /// Invalid configuration (e.g. page size of zero, capacity not a
+    /// multiple of the block size).
+    InvalidConfig(String),
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceError::OutOfBounds { offset, len, capacity } => write!(
+                f,
+                "access out of bounds: offset {offset} + len {len} exceeds capacity {capacity}"
+            ),
+            DeviceError::WriteToDirtyPage { page_offset } => {
+                write!(f, "programming non-erased flash page at offset {page_offset}")
+            }
+            DeviceError::InvalidBlock { block, blocks } => {
+                write!(f, "invalid erase block {block} (device has {blocks} blocks)")
+            }
+            DeviceError::DeviceFull => write!(f, "device is full: no clean blocks available"),
+            DeviceError::Unsupported(what) => write!(f, "operation not supported: {what}"),
+            DeviceError::Io(e) => write!(f, "file backend I/O error: {e}"),
+            DeviceError::InvalidConfig(e) => write!(f, "invalid device configuration: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {}
+
+impl From<std::io::Error> for DeviceError {
+    fn from(e: std::io::Error) -> Self {
+        DeviceError::Io(e.to_string())
+    }
+}
+
+/// Result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, DeviceError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_key_fields() {
+        let e = DeviceError::OutOfBounds { offset: 10, len: 20, capacity: 16 };
+        assert!(e.to_string().contains("10"));
+        assert!(e.to_string().contains("16"));
+        let e = DeviceError::InvalidBlock { block: 7, blocks: 4 };
+        assert!(e.to_string().contains('7'));
+        assert!(DeviceError::DeviceFull.to_string().contains("full"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing");
+        let e: DeviceError = io.into();
+        assert!(matches!(e, DeviceError::Io(_)));
+    }
+}

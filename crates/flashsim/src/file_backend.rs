@@ -1,0 +1,143 @@
+//! Real-file storage backend.
+//!
+//! [`FileDevice`] stores bytes in an actual file on the host filesystem and
+//! reports *measured wall-clock* latencies instead of simulated ones. It
+//! exists so the data-structure layers can also be exercised against real
+//! storage (the paper's prototype ran on ext3 files over real SSDs); the
+//! simulated devices remain the default for reproducible experiments.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+use std::time::Instant;
+
+use crate::device::Device;
+use crate::error::{DeviceError, Result};
+use crate::geometry::Geometry;
+use crate::profiles::{DeviceProfile, MediumKind};
+use crate::stats::IoStats;
+use crate::time::SimDuration;
+
+/// A device backed by a real file, reporting wall-clock latencies.
+#[derive(Debug)]
+pub struct FileDevice {
+    profile: DeviceProfile,
+    geometry: Geometry,
+    file: File,
+    stats: IoStats,
+}
+
+impl FileDevice {
+    /// Creates (or truncates) a backing file of `capacity` bytes.
+    pub fn create<P: AsRef<Path>>(path: P, capacity: u64) -> Result<Self> {
+        if capacity == 0 {
+            return Err(DeviceError::InvalidConfig("capacity must be non-zero".into()));
+        }
+        let page = 4096u32;
+        let capacity = capacity.div_ceil(page as u64) * page as u64;
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        file.set_len(capacity)?;
+        let profile = DeviceProfile {
+            name: "File-backed device",
+            kind: MediumKind::Ssd,
+            page_size: page,
+            block_size: page,
+            ..DeviceProfile::intel_x18m()
+        };
+        let geometry = Geometry::new(capacity, page, page)?;
+        Ok(FileDevice { profile, geometry, file, stats: IoStats::default() })
+    }
+}
+
+impl Device for FileDevice {
+    fn profile(&self) -> &DeviceProfile {
+        &self.profile
+    }
+
+    fn geometry(&self) -> Geometry {
+        self.geometry
+    }
+
+    fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> Result<SimDuration> {
+        self.geometry.check_bounds(offset, buf.len())?;
+        let start = Instant::now();
+        self.file.seek(SeekFrom::Start(offset))?;
+        self.file.read_exact(buf)?;
+        let lat = SimDuration::from_nanos(start.elapsed().as_nanos() as u64);
+        self.stats.reads += 1;
+        self.stats.bytes_read += buf.len() as u64;
+        self.stats.read_time += lat;
+        Ok(lat)
+    }
+
+    fn write_at(&mut self, offset: u64, data: &[u8]) -> Result<SimDuration> {
+        self.geometry.check_bounds(offset, data.len())?;
+        let start = Instant::now();
+        self.file.seek(SeekFrom::Start(offset))?;
+        self.file.write_all(data)?;
+        let lat = SimDuration::from_nanos(start.elapsed().as_nanos() as u64);
+        self.stats.writes += 1;
+        self.stats.bytes_written += data.len() as u64;
+        self.stats.write_time += lat;
+        Ok(lat)
+    }
+
+    fn erase_block(&mut self, _block: u64) -> Result<SimDuration> {
+        Err(DeviceError::Unsupported("erase_block on a file-backed device"))
+    }
+
+    fn stats(&self) -> IoStats {
+        self.stats.clone()
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("flashsim-test-{}-{}", std::process::id(), name));
+        p
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let path = temp_path("roundtrip");
+        {
+            let mut dev = FileDevice::create(&path, 1 << 20).unwrap();
+            dev.write_at(4096, b"persisted bytes").unwrap();
+            let mut buf = [0u8; 15];
+            dev.read_at(4096, &mut buf).unwrap();
+            assert_eq!(&buf, b"persisted bytes");
+            assert_eq!(dev.stats().writes, 1);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn file_device_respects_bounds() {
+        let path = temp_path("bounds");
+        {
+            let mut dev = FileDevice::create(&path, 8192).unwrap();
+            assert!(dev.write_at(8192, &[1]).is_err());
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn zero_capacity_is_rejected() {
+        let path = temp_path("zerocap");
+        assert!(FileDevice::create(&path, 0).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

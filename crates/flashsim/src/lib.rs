@@ -1,0 +1,122 @@
+//! # flashsim — simulated storage substrate for CLAM experiments
+//!
+//! This crate provides the storage media that the BufferHash/CLAM stack and
+//! its baselines run on:
+//!
+//! * [`FlashChip`] — a raw NAND flash chip (page program, block erase, no FTL);
+//! * [`Ssd`] — an SSD with a page-mapped FTL, greedy garbage collection and
+//!   an over-provisioned block pool (profiles for Intel X18-M and Transcend
+//!   TS32GSSD25 class drives);
+//! * [`MagneticDisk`] — a rotating disk with seek/rotation costs;
+//! * [`DramDevice`] — DRAM;
+//! * [`FileDevice`] — a real-file backend reporting wall-clock latencies.
+//!
+//! All media implement the [`Device`] trait and return simulated
+//! [`SimDuration`] latencies, so higher layers are *sans-I/O*: the same
+//! BufferHash code runs on any medium, and experiments are deterministic.
+//!
+//! ## Example
+//!
+//! ```
+//! use flashsim::{Device, Ssd};
+//!
+//! let mut ssd = Ssd::intel(8 << 20).unwrap();
+//! let write_latency = ssd.write_at(0, b"hello flash").unwrap();
+//! let mut buf = [0u8; 11];
+//! let read_latency = ssd.read_at(0, &mut buf).unwrap();
+//! assert_eq!(&buf, b"hello flash");
+//! assert!(read_latency.as_millis_f64() < 1.0);
+//! assert!(write_latency.as_millis_f64() < 5.0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod cost;
+mod device;
+mod disk;
+mod dram;
+mod error;
+mod file_backend;
+mod flash_chip;
+mod geometry;
+mod profiles;
+mod ssd;
+mod stats;
+mod store;
+mod time;
+
+pub use cost::LinearCost;
+pub use device::Device;
+pub use disk::MagneticDisk;
+pub use dram::DramDevice;
+pub use error::{DeviceError, Result};
+pub use file_backend::FileDevice;
+pub use flash_chip::FlashChip;
+pub use geometry::Geometry;
+pub use profiles::{DeviceProfile, MediumKind};
+pub use ssd::Ssd;
+pub use stats::{IoStats, LatencyRecorder};
+pub use store::SparseStore;
+pub use time::{SimClock, SimDuration};
+
+/// Convenience constructors for the media evaluated in the paper.
+pub mod media {
+    use super::*;
+
+    /// Intel X18-M class SSD of `capacity` bytes.
+    pub fn intel_ssd(capacity: u64) -> Ssd {
+        Ssd::intel(capacity).expect("valid capacity")
+    }
+
+    /// Transcend TS32GSSD25 class SSD of `capacity` bytes.
+    pub fn transcend_ssd(capacity: u64) -> Ssd {
+        Ssd::transcend(capacity).expect("valid capacity")
+    }
+
+    /// Raw NAND flash chip of `capacity` bytes.
+    pub fn flash_chip(capacity: u64) -> FlashChip {
+        FlashChip::new(capacity).expect("valid capacity")
+    }
+
+    /// Hitachi 7K80 class magnetic disk of `capacity` bytes.
+    pub fn disk(capacity: u64) -> MagneticDisk {
+        MagneticDisk::new(capacity).expect("valid capacity")
+    }
+
+    /// DRAM region of `capacity` bytes.
+    pub fn dram(capacity: u64) -> DramDevice {
+        DramDevice::new(capacity).expect("valid capacity")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn media_constructors_produce_expected_kinds() {
+        assert_eq!(media::intel_ssd(1 << 20).profile().kind, MediumKind::Ssd);
+        assert_eq!(media::transcend_ssd(1 << 20).profile().kind, MediumKind::Ssd);
+        assert_eq!(media::flash_chip(1 << 20).profile().kind, MediumKind::FlashChip);
+        assert_eq!(media::disk(1 << 20).profile().kind, MediumKind::Disk);
+        assert_eq!(media::dram(1 << 20).profile().kind, MediumKind::Dram);
+    }
+
+    #[test]
+    fn relative_speed_ordering_matches_the_paper() {
+        // Random 4 KiB reads: DRAM << SSD << disk.
+        let mut dram = media::dram(8 << 20);
+        let mut ssd = media::intel_ssd(8 << 20);
+        let mut disk = media::disk(8 << 20);
+        dram.write_at(4 << 20, &[1u8; 4096]).unwrap();
+        ssd.write_at(4 << 20, &[1u8; 4096]).unwrap();
+        disk.write_at(4 << 20, &[1u8; 4096]).unwrap();
+        disk.read_at(0, &mut [0u8; 512]).unwrap(); // move the head away
+        let l_dram = dram.read_at(4 << 20, &mut [0u8; 4096]).unwrap();
+        let l_ssd = ssd.read_at(4 << 20, &mut [0u8; 4096]).unwrap();
+        let l_disk = disk.read_at(4 << 20, &mut [0u8; 4096]).unwrap();
+        assert!(l_dram < l_ssd);
+        assert!(l_ssd < l_disk);
+    }
+}

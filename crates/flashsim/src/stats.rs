@@ -1,0 +1,319 @@
+//! I/O statistics and latency recording.
+//!
+//! [`IoStats`] counts device-level operations; [`LatencyRecorder`] collects
+//! per-operation latency samples and can report means, percentiles, CDFs and
+//! CCDFs — the building blocks for regenerating the paper's figures.
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimDuration;
+
+/// Counters describing the I/O a device has performed.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct IoStats {
+    /// Number of read commands.
+    pub reads: u64,
+    /// Number of write/program commands.
+    pub writes: u64,
+    /// Number of block erase commands (flash/SSD only).
+    pub erases: u64,
+    /// Bytes read.
+    pub bytes_read: u64,
+    /// Bytes written.
+    pub bytes_written: u64,
+    /// Garbage-collection runs triggered (SSD only).
+    pub gc_runs: u64,
+    /// Valid pages relocated by garbage collection (SSD only).
+    pub gc_pages_copied: u64,
+    /// Simulated time spent in reads.
+    pub read_time: SimDuration,
+    /// Simulated time spent in writes (including any GC charged to them).
+    pub write_time: SimDuration,
+    /// Simulated time spent erasing blocks.
+    pub erase_time: SimDuration,
+}
+
+impl IoStats {
+    /// Total simulated device-busy time.
+    pub fn busy_time(&self) -> SimDuration {
+        self.read_time + self.write_time + self.erase_time
+    }
+
+    /// Total number of I/O commands.
+    pub fn total_ops(&self) -> u64 {
+        self.reads + self.writes + self.erases
+    }
+
+    /// Merges counters from another stats block into this one.
+    pub fn merge(&mut self, other: &IoStats) {
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.erases += other.erases;
+        self.bytes_read += other.bytes_read;
+        self.bytes_written += other.bytes_written;
+        self.gc_runs += other.gc_runs;
+        self.gc_pages_copied += other.gc_pages_copied;
+        self.read_time += other.read_time;
+        self.write_time += other.write_time;
+        self.erase_time += other.erase_time;
+    }
+
+    /// Resets all counters to zero.
+    pub fn reset(&mut self) {
+        *self = IoStats::default();
+    }
+}
+
+/// Collects latency samples for one class of operation.
+///
+/// Samples are stored exactly (nanoseconds), so percentiles and CDFs are
+/// exact rather than bucketed. The expected sample counts in this project
+/// (≤ a few million per experiment) make this affordable.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LatencyRecorder {
+    samples_ns: Vec<u64>,
+    total_ns: u64,
+    sorted: bool,
+}
+
+impl LatencyRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty recorder with capacity for `n` samples.
+    pub fn with_capacity(n: usize) -> Self {
+        LatencyRecorder { samples_ns: Vec::with_capacity(n), total_ns: 0, sorted: true }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, d: SimDuration) {
+        self.samples_ns.push(d.as_nanos());
+        self.total_ns = self.total_ns.saturating_add(d.as_nanos());
+        self.sorted = false;
+    }
+
+    /// Number of samples recorded.
+    pub fn len(&self) -> usize {
+        self.samples_ns.len()
+    }
+
+    /// Returns `true` if no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples_ns.is_empty()
+    }
+
+    /// Sum of all samples.
+    pub fn total(&self) -> SimDuration {
+        SimDuration::from_nanos(self.total_ns)
+    }
+
+    /// Arithmetic mean of the samples (zero if empty).
+    pub fn mean(&self) -> SimDuration {
+        if self.samples_ns.is_empty() {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_nanos(self.total_ns / self.samples_ns.len() as u64)
+        }
+    }
+
+    /// Maximum sample (zero if empty).
+    pub fn max(&self) -> SimDuration {
+        SimDuration::from_nanos(self.samples_ns.iter().copied().max().unwrap_or(0))
+    }
+
+    /// Minimum sample (zero if empty).
+    pub fn min(&self) -> SimDuration {
+        SimDuration::from_nanos(self.samples_ns.iter().copied().min().unwrap_or(0))
+    }
+
+    fn sorted_samples(&mut self) -> &[u64] {
+        if !self.sorted {
+            self.samples_ns.sort_unstable();
+            self.sorted = true;
+        }
+        &self.samples_ns
+    }
+
+    /// The `q`-th quantile (`q` in `[0, 1]`), using nearest-rank.
+    pub fn quantile(&mut self, q: f64) -> SimDuration {
+        if self.samples_ns.is_empty() {
+            return SimDuration::ZERO;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let samples = self.sorted_samples();
+        let rank = ((samples.len() as f64 - 1.0) * q).round() as usize;
+        SimDuration::from_nanos(samples[rank])
+    }
+
+    /// Median latency.
+    pub fn median(&mut self) -> SimDuration {
+        self.quantile(0.5)
+    }
+
+    /// Fraction of samples that are `<= threshold`.
+    pub fn fraction_at_most(&self, threshold: SimDuration) -> f64 {
+        if self.samples_ns.is_empty() {
+            return 0.0;
+        }
+        let n = self.samples_ns.iter().filter(|&&s| s <= threshold.as_nanos()).count();
+        n as f64 / self.samples_ns.len() as f64
+    }
+
+    /// Empirical CDF evaluated at `points.len()` thresholds; returns
+    /// `(threshold, fraction <= threshold)` pairs.
+    pub fn cdf(&mut self, points: &[SimDuration]) -> Vec<(SimDuration, f64)> {
+        let n = self.samples_ns.len();
+        if n == 0 {
+            return points.iter().map(|&p| (p, 0.0)).collect();
+        }
+        let samples = self.sorted_samples();
+        points
+            .iter()
+            .map(|&p| {
+                let count = samples.partition_point(|&s| s <= p.as_nanos());
+                (p, count as f64 / n as f64)
+            })
+            .collect()
+    }
+
+    /// Complementary CDF (fraction of samples strictly greater than each
+    /// threshold), used for Figure 8(a).
+    pub fn ccdf(&mut self, points: &[SimDuration]) -> Vec<(SimDuration, f64)> {
+        self.cdf(points).into_iter().map(|(p, f)| (p, 1.0 - f)).collect()
+    }
+
+    /// Logarithmically spaced thresholds between `lo` and `hi`, convenient
+    /// for CDF plots that span several orders of magnitude.
+    pub fn log_spaced_points(lo: SimDuration, hi: SimDuration, n: usize) -> Vec<SimDuration> {
+        if n == 0 || lo.is_zero() || hi <= lo {
+            return Vec::new();
+        }
+        let lo_f = lo.as_nanos() as f64;
+        let hi_f = hi.as_nanos() as f64;
+        (0..n)
+            .map(|i| {
+                let t = i as f64 / (n - 1).max(1) as f64;
+                SimDuration::from_nanos((lo_f * (hi_f / lo_f).powf(t)).round() as u64)
+            })
+            .collect()
+    }
+
+    /// Merges another recorder's samples into this one.
+    pub fn merge(&mut self, other: &LatencyRecorder) {
+        self.samples_ns.extend_from_slice(&other.samples_ns);
+        self.total_ns = self.total_ns.saturating_add(other.total_ns);
+        self.sorted = false;
+    }
+
+    /// Discards all samples.
+    pub fn clear(&mut self) {
+        self.samples_ns.clear();
+        self.total_ns = 0;
+        self.sorted = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iostats_merge_and_busy_time() {
+        let mut a = IoStats { reads: 1, read_time: SimDuration::from_millis(1), ..Default::default() };
+        let b = IoStats {
+            writes: 2,
+            write_time: SimDuration::from_millis(2),
+            erases: 1,
+            erase_time: SimDuration::from_millis(3),
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.total_ops(), 4);
+        assert_eq!(a.busy_time(), SimDuration::from_millis(6));
+        a.reset();
+        assert_eq!(a, IoStats::default());
+    }
+
+    #[test]
+    fn recorder_mean_min_max() {
+        let mut r = LatencyRecorder::new();
+        for ms in [1u64, 2, 3, 4] {
+            r.record(SimDuration::from_millis(ms));
+        }
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.mean(), SimDuration::from_micros(2500));
+        assert_eq!(r.min(), SimDuration::from_millis(1));
+        assert_eq!(r.max(), SimDuration::from_millis(4));
+        assert_eq!(r.total(), SimDuration::from_millis(10));
+    }
+
+    #[test]
+    fn recorder_quantiles() {
+        let mut r = LatencyRecorder::new();
+        for i in 1..=100u64 {
+            r.record(SimDuration::from_micros(i));
+        }
+        let median = r.median();
+        assert!(
+            median == SimDuration::from_micros(50) || median == SimDuration::from_micros(51),
+            "median of 1..=100us should be 50 or 51us, got {median}"
+        );
+        assert_eq!(r.quantile(0.0), SimDuration::from_micros(1));
+        assert_eq!(r.quantile(1.0), SimDuration::from_micros(100));
+        assert_eq!(r.quantile(0.99), SimDuration::from_micros(99));
+    }
+
+    #[test]
+    fn recorder_cdf_and_ccdf() {
+        let mut r = LatencyRecorder::new();
+        for i in 1..=10u64 {
+            r.record(SimDuration::from_millis(i));
+        }
+        let pts = vec![SimDuration::from_millis(5), SimDuration::from_millis(10)];
+        let cdf = r.cdf(&pts);
+        assert!((cdf[0].1 - 0.5).abs() < 1e-9);
+        assert!((cdf[1].1 - 1.0).abs() < 1e-9);
+        let ccdf = r.ccdf(&pts);
+        assert!((ccdf[0].1 - 0.5).abs() < 1e-9);
+        assert!((ccdf[1].1 - 0.0).abs() < 1e-9);
+        assert!((r.fraction_at_most(SimDuration::from_millis(3)) - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn recorder_empty_behaviour() {
+        let mut r = LatencyRecorder::new();
+        assert!(r.is_empty());
+        assert_eq!(r.mean(), SimDuration::ZERO);
+        assert_eq!(r.median(), SimDuration::ZERO);
+        assert_eq!(r.fraction_at_most(SimDuration::from_millis(1)), 0.0);
+        assert_eq!(r.cdf(&[SimDuration::from_millis(1)])[0].1, 0.0);
+    }
+
+    #[test]
+    fn log_spaced_points_are_monotone() {
+        let pts = LatencyRecorder::log_spaced_points(
+            SimDuration::from_micros(1),
+            SimDuration::from_millis(10),
+            50,
+        );
+        assert_eq!(pts.len(), 50);
+        assert!(pts.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(pts[0], SimDuration::from_micros(1));
+        assert_eq!(*pts.last().unwrap(), SimDuration::from_millis(10));
+    }
+
+    #[test]
+    fn recorder_merge_and_clear() {
+        let mut a = LatencyRecorder::new();
+        a.record(SimDuration::from_millis(1));
+        let mut b = LatencyRecorder::new();
+        b.record(SimDuration::from_millis(3));
+        a.merge(&b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.mean(), SimDuration::from_millis(2));
+        a.clear();
+        assert!(a.is_empty());
+    }
+}

@@ -1,0 +1,192 @@
+//! Sparse in-memory byte store backing the simulated devices.
+//!
+//! Simulated devices can be tens of gigabytes "large" while only a fraction
+//! of that space is ever written during an experiment. [`SparseStore`] keeps
+//! only the pages that have actually been written; unwritten regions read
+//! back as zeroes.
+
+use std::collections::HashMap;
+
+/// A sparse, page-granular byte store.
+#[derive(Debug, Clone)]
+pub struct SparseStore {
+    page_size: usize,
+    pages: HashMap<u64, Box<[u8]>>,
+}
+
+impl SparseStore {
+    /// Creates a store with the given backing page size (the allocation
+    /// granularity; independent of the device's logical page size, though
+    /// using the same value avoids straddling).
+    pub fn new(page_size: usize) -> Self {
+        assert!(page_size > 0, "page size must be non-zero");
+        SparseStore { page_size, pages: HashMap::new() }
+    }
+
+    /// Backing page size in bytes.
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// Number of backing pages currently materialised.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Approximate resident memory in bytes.
+    pub fn resident_bytes(&self) -> usize {
+        self.pages.len() * self.page_size
+    }
+
+    /// Reads `buf.len()` bytes starting at `offset` into `buf`.
+    pub fn read(&self, offset: u64, buf: &mut [u8]) {
+        let mut done = 0usize;
+        while done < buf.len() {
+            let pos = offset + done as u64;
+            let page_idx = pos / self.page_size as u64;
+            let in_page = (pos % self.page_size as u64) as usize;
+            let n = (self.page_size - in_page).min(buf.len() - done);
+            match self.pages.get(&page_idx) {
+                Some(page) => buf[done..done + n].copy_from_slice(&page[in_page..in_page + n]),
+                None => buf[done..done + n].fill(0),
+            }
+            done += n;
+        }
+    }
+
+    /// Writes `data` starting at `offset`.
+    pub fn write(&mut self, offset: u64, data: &[u8]) {
+        let page_size = self.page_size;
+        let mut done = 0usize;
+        while done < data.len() {
+            let pos = offset + done as u64;
+            let page_idx = pos / page_size as u64;
+            let in_page = (pos % page_size as u64) as usize;
+            let n = (page_size - in_page).min(data.len() - done);
+            let page = self
+                .pages
+                .entry(page_idx)
+                .or_insert_with(|| vec![0u8; page_size].into_boxed_slice());
+            page[in_page..in_page + n].copy_from_slice(&data[done..done + n]);
+            done += n;
+        }
+    }
+
+    /// Zeroes (and releases) whole backing pages fully covered by
+    /// `[offset, offset+len)`, and zeroes the partial edges.
+    pub fn erase(&mut self, offset: u64, len: u64) {
+        if len == 0 {
+            return;
+        }
+        let page_size = self.page_size as u64;
+        let end = offset + len;
+        let first_full = offset.div_ceil(page_size);
+        let last_full = end / page_size; // exclusive
+        // Drop fully covered pages.
+        for p in first_full..last_full {
+            self.pages.remove(&p);
+        }
+        // Zero leading partial page.
+        if offset % page_size != 0 {
+            let lead_len = (page_size - offset % page_size).min(len);
+            let zeros = vec![0u8; lead_len as usize];
+            self.write(offset, &zeros);
+        }
+        // Zero trailing partial page.
+        if end % page_size != 0 && end / page_size >= first_full {
+            let tail_start = end - end % page_size;
+            if tail_start >= offset {
+                let zeros = vec![0u8; (end - tail_start) as usize];
+                self.write(tail_start, &zeros);
+            }
+        }
+    }
+
+    /// Drops all data.
+    pub fn clear(&mut self) {
+        self.pages.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwritten_regions_read_zero() {
+        let store = SparseStore::new(4096);
+        let mut buf = [1u8; 64];
+        store.read(1 << 30, &mut buf);
+        assert!(buf.iter().all(|&b| b == 0));
+        assert_eq!(store.resident_pages(), 0);
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let mut store = SparseStore::new(4096);
+        let data: Vec<u8> = (0..10_000).map(|i| (i % 251) as u8).collect();
+        store.write(5000, &data);
+        let mut buf = vec![0u8; data.len()];
+        store.read(5000, &mut buf);
+        assert_eq!(buf, data);
+        // Straddles three backing pages.
+        assert_eq!(store.resident_pages(), 3);
+    }
+
+    #[test]
+    fn sparse_writes_far_apart_stay_sparse() {
+        let mut store = SparseStore::new(4096);
+        store.write(0, &[1, 2, 3]);
+        store.write(10 << 30, &[4, 5, 6]);
+        assert_eq!(store.resident_pages(), 2);
+        let mut buf = [0u8; 3];
+        store.read(10 << 30, &mut buf);
+        assert_eq!(buf, [4, 5, 6]);
+    }
+
+    #[test]
+    fn erase_releases_full_pages_and_zeroes_partials() {
+        let mut store = SparseStore::new(1024);
+        store.write(0, &vec![0xAB; 4096]);
+        assert_eq!(store.resident_pages(), 4);
+        // Erase from the middle of page 0 to the middle of page 3.
+        store.erase(512, 1024 * 2 + 512 + 512);
+        // Pages 1 and 2 are fully covered and released; 0 and 3 remain.
+        assert_eq!(store.resident_pages(), 2);
+        let mut buf = vec![0u8; 4096];
+        store.read(0, &mut buf);
+        assert!(buf[..512].iter().all(|&b| b == 0xAB));
+        assert!(buf[512..3584].iter().all(|&b| b == 0));
+        assert!(buf[3584..].iter().all(|&b| b == 0xAB));
+    }
+
+    #[test]
+    fn erase_zero_length_is_noop() {
+        let mut store = SparseStore::new(1024);
+        store.write(0, &[7; 10]);
+        store.erase(0, 0);
+        let mut buf = [0u8; 10];
+        store.read(0, &mut buf);
+        assert_eq!(buf, [7; 10]);
+    }
+
+    #[test]
+    fn clear_drops_everything() {
+        let mut store = SparseStore::new(1024);
+        store.write(0, &[1; 2048]);
+        store.clear();
+        assert_eq!(store.resident_pages(), 0);
+    }
+
+    #[test]
+    fn overwrite_replaces_data() {
+        let mut store = SparseStore::new(256);
+        store.write(100, &[1; 300]);
+        store.write(150, &[2; 100]);
+        let mut buf = [0u8; 300];
+        store.read(100, &mut buf);
+        assert!(buf[..50].iter().all(|&b| b == 1));
+        assert!(buf[50..150].iter().all(|&b| b == 2));
+        assert!(buf[150..].iter().all(|&b| b == 1));
+    }
+}

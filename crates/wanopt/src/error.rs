@@ -1,0 +1,61 @@
+//! Error type for the WAN-optimizer crate.
+
+use std::fmt;
+
+/// Errors returned by the WAN optimizer components.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WanError {
+    /// The fingerprint index failed.
+    Index(String),
+    /// The content cache failed.
+    Cache(String),
+    /// Invalid configuration.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for WanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WanError::Index(e) => write!(f, "fingerprint index error: {e}"),
+            WanError::Cache(e) => write!(f, "content cache error: {e}"),
+            WanError::InvalidConfig(e) => write!(f, "invalid configuration: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WanError {}
+
+impl From<bufferhash::BufferHashError> for WanError {
+    fn from(e: bufferhash::BufferHashError) -> Self {
+        WanError::Index(e.to_string())
+    }
+}
+
+impl From<baseline::BaselineError> for WanError {
+    fn from(e: baseline::BaselineError) -> Self {
+        WanError::Index(e.to_string())
+    }
+}
+
+impl From<flashsim::DeviceError> for WanError {
+    fn from(e: flashsim::DeviceError) -> Self {
+        WanError::Cache(e.to_string())
+    }
+}
+
+/// Result alias for the crate.
+pub type Result<T> = std::result::Result<T, WanError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_preserve_messages() {
+        let e: WanError = flashsim::DeviceError::DeviceFull.into();
+        assert!(e.to_string().contains("full"));
+        let e: WanError = baseline::BaselineError::Full.into();
+        assert!(e.to_string().contains("full"));
+        assert!(WanError::InvalidConfig("x".into()).to_string().contains('x'));
+    }
+}

@@ -1,0 +1,40 @@
+//! # wanopt — a WAN optimizer built on CLAM fingerprint indexes
+//!
+//! The paper's flagship application (§3, §8): a WAN optimizer that
+//! fingerprints content-defined chunks of every transferred object, looks
+//! the fingerprints up in a very large hash table, and suppresses chunks the
+//! far side has already received. This crate implements the whole pipeline:
+//!
+//! * [`rabin`] / [`sha1`] — content-defined chunking and SHA-1 fingerprints;
+//! * [`FingerprintStore`] — the index abstraction, with CLAM-, BerkeleyDB-
+//!   and DRAM-backed implementations;
+//! * [`ContentCache`] — the on-disk chunk store;
+//! * [`CompressionEngine`] — per-object deduplication;
+//! * [`WanOptimizer`] — the end-to-end system plus the paper's two
+//!   evaluation scenarios (throughput test, acceleration under load);
+//! * [`trace`] — synthetic object traces with controllable redundancy.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod content_cache;
+mod engine;
+mod error;
+mod network;
+pub mod rabin;
+pub mod sha1;
+mod store;
+pub mod trace;
+mod optimizer;
+
+pub use content_cache::ContentCache;
+pub use engine::{
+    CompressionEngine, EngineConfig, ProcessedObject, LITERAL_HEADER_BYTES, MATCH_TOKEN_BYTES,
+};
+pub use error::{Result, WanError};
+pub use network::Link;
+pub use optimizer::{mean_improvement, ObjectReport, ThroughputReport, WanOptimizer};
+pub use rabin::{chunk_boundaries, ChunkerConfig, RabinHasher, WINDOW_SIZE};
+pub use sha1::{Sha1, Sha1Digest};
+pub use store::{BdbStore, ClamStore, DramStore, FingerprintStore};
+pub use trace::{generate_trace, measured_block_redundancy, TraceConfig, TraceObject};

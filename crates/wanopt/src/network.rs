@@ -1,0 +1,82 @@
+//! WAN link model (the paper's "network sub-system").
+//!
+//! The paper's prototype transmits with UDP at close to link speed, with
+//! congestion control disabled, so the only property that matters is the
+//! link's serialisation rate. [`Link`] converts byte counts to transmit
+//! times at a configured rate.
+
+use flashsim::SimDuration;
+
+/// A fixed-rate WAN link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Link {
+    /// Link rate in bits per second.
+    pub bits_per_second: f64,
+}
+
+impl Link {
+    /// A link of the given megabits per second.
+    pub fn mbps(rate: f64) -> Self {
+        Link { bits_per_second: rate * 1e6 }
+    }
+
+    /// A link of the given gigabits per second.
+    pub fn gbps(rate: f64) -> Self {
+        Link { bits_per_second: rate * 1e9 }
+    }
+
+    /// The link rate in Mbps.
+    pub fn rate_mbps(&self) -> f64 {
+        self.bits_per_second / 1e6
+    }
+
+    /// Time to serialise `bytes` onto the link.
+    pub fn transmit_time(&self, bytes: usize) -> SimDuration {
+        if self.bits_per_second <= 0.0 {
+            return SimDuration::ZERO;
+        }
+        let secs = bytes as f64 * 8.0 / self.bits_per_second;
+        SimDuration::from_nanos((secs * 1e9).round() as u64)
+    }
+
+    /// Bytes that can be transmitted in `duration`.
+    pub fn bytes_in(&self, duration: SimDuration) -> usize {
+        (self.bits_per_second * duration.as_secs_f64() / 8.0) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transmit_time_matches_rate() {
+        let link = Link::mbps(10.0);
+        // 10 Mbps -> 1.25 MB/s; 1.25 MB takes 1 s.
+        let t = link.transmit_time(1_250_000);
+        assert!((t.as_secs_f64() - 1.0).abs() < 1e-6);
+        let fast = Link::mbps(500.0);
+        assert!(fast.transmit_time(1_250_000) < t);
+    }
+
+    #[test]
+    fn gbps_and_mbps_agree() {
+        assert_eq!(Link::gbps(1.0).transmit_time(1 << 20), Link::mbps(1000.0).transmit_time(1 << 20));
+        assert!((Link::gbps(0.5).rate_mbps() - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bytes_in_inverts_transmit_time() {
+        let link = Link::mbps(100.0);
+        let bytes = 3_000_000usize;
+        let t = link.transmit_time(bytes);
+        let back = link.bytes_in(t);
+        assert!((back as i64 - bytes as i64).abs() < 100);
+    }
+
+    #[test]
+    fn zero_rate_is_handled() {
+        let link = Link { bits_per_second: 0.0 };
+        assert_eq!(link.transmit_time(100), SimDuration::ZERO);
+    }
+}

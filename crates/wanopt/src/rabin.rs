@@ -1,0 +1,236 @@
+//! Rabin-Karp rolling hash and content-defined chunking.
+//!
+//! WAN optimizers split byte streams into chunks at *content-defined*
+//! boundaries (§8): a window of bytes is hashed with a rolling polynomial
+//! hash, and positions where the hash matches a pattern become chunk
+//! boundaries. Because boundaries depend only on content, insertions or
+//! deletions in a stream shift chunk boundaries only locally, so duplicate
+//! data still produces duplicate chunks (and therefore fingerprint hits).
+
+/// Width of the rolling window in bytes.
+pub const WINDOW_SIZE: usize = 48;
+
+/// Rolling-hash parameters and derived tables.
+#[derive(Debug, Clone)]
+pub struct RabinHasher {
+    /// Multiplier (an odd constant "irreducible-polynomial-like" base).
+    base: u64,
+    /// `base^WINDOW_SIZE`, used to remove the outgoing byte.
+    base_pow_window: u64,
+}
+
+impl Default for RabinHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RabinHasher {
+    /// Creates a hasher with the default base.
+    pub fn new() -> Self {
+        let base: u64 = 0x0100_0193; // FNV-ish prime, odd
+        // The outgoing byte carries weight base^(WINDOW_SIZE - 1).
+        let mut pow = 1u64;
+        for _ in 0..WINDOW_SIZE - 1 {
+            pow = pow.wrapping_mul(base);
+        }
+        RabinHasher { base, base_pow_window: pow }
+    }
+
+    /// Hash of a full window (used to initialise the rolling state).
+    pub fn hash_window(&self, window: &[u8]) -> u64 {
+        window.iter().fold(0u64, |acc, &b| acc.wrapping_mul(self.base).wrapping_add(b as u64 + 1))
+    }
+
+    /// Rolls the hash forward: removes `outgoing` (the byte that leaves the
+    /// window) and appends `incoming`.
+    #[inline]
+    pub fn roll(&self, hash: u64, outgoing: u8, incoming: u8) -> u64 {
+        hash.wrapping_sub(self.base_pow_window.wrapping_mul(outgoing as u64 + 1))
+            .wrapping_mul(self.base)
+            .wrapping_add(incoming as u64 + 1)
+    }
+}
+
+/// Content-defined chunker configuration.
+#[derive(Debug, Clone)]
+pub struct ChunkerConfig {
+    /// A boundary is declared when `hash % modulus == target`; the expected
+    /// chunk size is therefore roughly `modulus` bytes.
+    pub modulus: u64,
+    /// Boundary target value.
+    pub target: u64,
+    /// Minimum chunk size (boundaries closer than this are ignored).
+    pub min_size: usize,
+    /// Maximum chunk size (a boundary is forced at this size).
+    pub max_size: usize,
+}
+
+impl ChunkerConfig {
+    /// The paper's configuration: ~4–8 KiB average chunks.
+    pub fn paper_default() -> Self {
+        ChunkerConfig { modulus: 4096, target: 13, min_size: 1024, max_size: 16 * 1024 }
+    }
+
+    /// A configuration with a given average chunk size.
+    pub fn with_average_size(avg: usize) -> Self {
+        let avg = avg.max(256);
+        ChunkerConfig {
+            modulus: avg as u64,
+            target: 13 % avg as u64,
+            min_size: avg / 4,
+            max_size: avg * 4,
+        }
+    }
+}
+
+/// Splits `data` into content-defined chunk ranges (`[start, end)` offsets).
+pub fn chunk_boundaries(data: &[u8], config: &ChunkerConfig) -> Vec<(usize, usize)> {
+    let mut chunks = Vec::new();
+    if data.is_empty() {
+        return chunks;
+    }
+    let hasher = RabinHasher::new();
+    let mut start = 0usize;
+    let mut hash = 0u64;
+    let mut window_filled = false;
+    let mut pos = 0usize;
+    while pos < data.len() {
+        let len_so_far = pos - start + 1;
+        // Maintain the rolling hash over the last WINDOW_SIZE bytes.
+        if len_so_far <= WINDOW_SIZE {
+            hash = hash.wrapping_mul(hasher.base).wrapping_add(data[pos] as u64 + 1);
+            window_filled = len_so_far == WINDOW_SIZE;
+        } else {
+            hash = hasher.roll(hash, data[pos - WINDOW_SIZE], data[pos]);
+        }
+        let at_boundary = window_filled
+            && len_so_far >= config.min_size
+            && hash % config.modulus == target_for(config);
+        let at_max = len_so_far >= config.max_size;
+        if at_boundary || at_max {
+            chunks.push((start, pos + 1));
+            start = pos + 1;
+            hash = 0;
+            window_filled = false;
+        }
+        pos += 1;
+    }
+    if start < data.len() {
+        chunks.push((start, data.len()));
+    }
+    chunks
+}
+
+fn target_for(config: &ChunkerConfig) -> u64 {
+    config.target % config.modulus.max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn random_bytes(n: usize, seed: u64) -> Vec<u8> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen()).collect()
+    }
+
+    #[test]
+    fn boundaries_cover_the_whole_input_exactly() {
+        let data = random_bytes(200_000, 1);
+        let cfg = ChunkerConfig::paper_default();
+        let chunks = chunk_boundaries(&data, &cfg);
+        assert!(!chunks.is_empty());
+        assert_eq!(chunks[0].0, 0);
+        assert_eq!(chunks.last().unwrap().1, data.len());
+        for w in chunks.windows(2) {
+            assert_eq!(w[0].1, w[1].0, "chunks must be contiguous");
+        }
+    }
+
+    #[test]
+    fn chunk_sizes_respect_min_and_max() {
+        let data = random_bytes(500_000, 2);
+        let cfg = ChunkerConfig::paper_default();
+        let chunks = chunk_boundaries(&data, &cfg);
+        for &(s, e) in &chunks[..chunks.len() - 1] {
+            let len = e - s;
+            assert!(len >= cfg.min_size, "chunk of {len} below min {}", cfg.min_size);
+            assert!(len <= cfg.max_size, "chunk of {len} above max {}", cfg.max_size);
+        }
+    }
+
+    #[test]
+    fn average_chunk_size_is_near_the_modulus() {
+        let data = random_bytes(2_000_000, 3);
+        let cfg = ChunkerConfig::paper_default();
+        let chunks = chunk_boundaries(&data, &cfg);
+        let avg = data.len() / chunks.len();
+        assert!(
+            (2_000..12_000).contains(&avg),
+            "average chunk size {avg} far from the ~4–8 KiB target"
+        );
+    }
+
+    #[test]
+    fn chunking_is_deterministic() {
+        let data = random_bytes(100_000, 4);
+        let cfg = ChunkerConfig::paper_default();
+        assert_eq!(chunk_boundaries(&data, &cfg), chunk_boundaries(&data, &cfg));
+    }
+
+    #[test]
+    fn identical_content_produces_identical_chunks_despite_prefix_shift() {
+        // The defining property of content-defined chunking: inserting bytes
+        // at the front only perturbs chunking locally, so most chunk
+        // *contents* are preserved.
+        let shared = random_bytes(400_000, 5);
+        let mut shifted = random_bytes(977, 6);
+        shifted.extend_from_slice(&shared);
+        let cfg = ChunkerConfig::paper_default();
+        let a: std::collections::HashSet<Vec<u8>> = chunk_boundaries(&shared, &cfg)
+            .iter()
+            .map(|&(s, e)| shared[s..e].to_vec())
+            .collect();
+        let b: Vec<Vec<u8>> = chunk_boundaries(&shifted, &cfg)
+            .iter()
+            .map(|&(s, e)| shifted[s..e].to_vec())
+            .collect();
+        let matched = b.iter().filter(|c| a.contains(*c)).count();
+        assert!(
+            matched * 10 >= b.len() * 7,
+            "only {matched}/{} chunks survived a prefix shift",
+            b.len()
+        );
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let cfg = ChunkerConfig::paper_default();
+        assert!(chunk_boundaries(&[], &cfg).is_empty());
+        let tiny = vec![7u8; 100];
+        let chunks = chunk_boundaries(&tiny, &cfg);
+        assert_eq!(chunks, vec![(0, 100)]);
+    }
+
+    #[test]
+    fn rolling_hash_matches_recomputation() {
+        let hasher = RabinHasher::new();
+        let data = random_bytes(1000, 7);
+        let mut rolling = hasher.hash_window(&data[..WINDOW_SIZE]);
+        for pos in WINDOW_SIZE..data.len() {
+            rolling = hasher.roll(rolling, data[pos - WINDOW_SIZE], data[pos]);
+            let direct = hasher.hash_window(&data[pos + 1 - WINDOW_SIZE..=pos]);
+            assert_eq!(rolling, direct, "rolling hash diverged at {pos}");
+        }
+    }
+
+    #[test]
+    fn with_average_size_scales_chunk_sizes() {
+        let data = random_bytes(1_000_000, 8);
+        let small = chunk_boundaries(&data, &ChunkerConfig::with_average_size(1024));
+        let large = chunk_boundaries(&data, &ChunkerConfig::with_average_size(16 * 1024));
+        assert!(small.len() > large.len() * 2);
+    }
+}

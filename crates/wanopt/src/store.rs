@@ -1,0 +1,233 @@
+//! The fingerprint index abstraction.
+//!
+//! The compression engine needs a large hash table mapping chunk
+//! fingerprints to content-cache addresses. The paper evaluates two
+//! implementations — a CLAM and a Berkeley-DB index — and §1 also compares
+//! against DRAM appliances. [`FingerprintStore`] is the common interface so
+//! the optimizer code is identical for all of them.
+
+use std::collections::{HashSet, VecDeque};
+
+use baseline::{BdbHashIndex, DramHashStore};
+use bufferhash::Clam;
+use flashsim::{Device, SimDuration};
+
+use crate::error::Result;
+
+/// A large fingerprint → address index with simulated per-operation latency.
+pub trait FingerprintStore {
+    /// Inserts (or updates) a fingerprint, returning the simulated latency.
+    fn insert(&mut self, fingerprint: u64, address: u64) -> Result<SimDuration>;
+
+    /// Looks up a fingerprint, returning the stored address (if any) and the
+    /// simulated latency.
+    fn lookup(&mut self, fingerprint: u64) -> Result<(Option<u64>, SimDuration)>;
+
+    /// Human-readable description (used in benchmark output).
+    fn name(&self) -> String;
+}
+
+/// A [`FingerprintStore`] backed by a CLAM (BufferHash on DRAM + flash).
+pub struct ClamStore<D: Device> {
+    clam: Clam<D>,
+}
+
+impl<D: Device> ClamStore<D> {
+    /// Wraps a CLAM.
+    pub fn new(clam: Clam<D>) -> Self {
+        ClamStore { clam }
+    }
+
+    /// Access to the wrapped CLAM (e.g. for statistics).
+    pub fn clam(&self) -> &Clam<D> {
+        &self.clam
+    }
+
+    /// Mutable access to the wrapped CLAM.
+    pub fn clam_mut(&mut self) -> &mut Clam<D> {
+        &mut self.clam
+    }
+}
+
+impl<D: Device> FingerprintStore for ClamStore<D> {
+    fn insert(&mut self, fingerprint: u64, address: u64) -> Result<SimDuration> {
+        Ok(self.clam.insert(fingerprint, address)?.latency)
+    }
+
+    fn lookup(&mut self, fingerprint: u64) -> Result<(Option<u64>, SimDuration)> {
+        let out = self.clam.lookup(fingerprint)?;
+        Ok((out.value, out.latency))
+    }
+
+    fn name(&self) -> String {
+        format!("BufferHash CLAM on {}", self.clam.device().name())
+    }
+}
+
+/// A [`FingerprintStore`] backed by the Berkeley-DB-style hash index.
+///
+/// FIFO aging is emulated the way the paper describes for its BDB-based WAN
+/// optimizer: an in-memory list of invalidated (aged-out) fingerprints is
+/// consulted before lookups, and entries are never rewritten in place.
+pub struct BdbStore<D: Device> {
+    index: BdbHashIndex<D>,
+    /// Insertion order, for FIFO invalidation.
+    order: VecDeque<u64>,
+    /// Fingerprints that have been aged out.
+    invalidated: HashSet<u64>,
+    /// Maximum number of live fingerprints before FIFO aging kicks in.
+    capacity: usize,
+}
+
+impl<D: Device> BdbStore<D> {
+    /// Wraps a BDB-style index, aging out fingerprints FIFO beyond
+    /// `capacity` live entries.
+    pub fn new(index: BdbHashIndex<D>, capacity: usize) -> Self {
+        BdbStore { index, order: VecDeque::new(), invalidated: HashSet::new(), capacity: capacity.max(1) }
+    }
+
+    /// Access to the wrapped index.
+    pub fn index(&self) -> &BdbHashIndex<D> {
+        &self.index
+    }
+
+    /// Mutable access to the wrapped index.
+    pub fn index_mut(&mut self) -> &mut BdbHashIndex<D> {
+        &mut self.index
+    }
+}
+
+impl<D: Device> FingerprintStore for BdbStore<D> {
+    fn insert(&mut self, fingerprint: u64, address: u64) -> Result<SimDuration> {
+        let latency = self.index.insert(fingerprint, address)?;
+        self.invalidated.remove(&fingerprint);
+        self.order.push_back(fingerprint);
+        while self.order.len() > self.capacity {
+            if let Some(old) = self.order.pop_front() {
+                self.invalidated.insert(old);
+            }
+        }
+        Ok(latency)
+    }
+
+    fn lookup(&mut self, fingerprint: u64) -> Result<(Option<u64>, SimDuration)> {
+        if self.invalidated.contains(&fingerprint) {
+            return Ok((None, SimDuration::from_nanos(500)));
+        }
+        let (value, latency) = self.index.lookup(fingerprint)?;
+        Ok((value, latency))
+    }
+
+    fn name(&self) -> String {
+        format!("BerkeleyDB hash index on {}", self.index.device().name())
+    }
+}
+
+/// A [`FingerprintStore`] backed by a DRAM-only hash table (RamSan-class
+/// appliance or host DRAM), used for the cost comparison.
+pub struct DramStore {
+    store: DramHashStore,
+}
+
+impl DramStore {
+    /// Wraps a DRAM store.
+    pub fn new(store: DramHashStore) -> Self {
+        DramStore { store }
+    }
+}
+
+impl FingerprintStore for DramStore {
+    fn insert(&mut self, fingerprint: u64, address: u64) -> Result<SimDuration> {
+        Ok(self.store.insert(fingerprint, address))
+    }
+
+    fn lookup(&mut self, fingerprint: u64) -> Result<(Option<u64>, SimDuration)> {
+        Ok(self.store.lookup(fingerprint))
+    }
+
+    fn name(&self) -> String {
+        format!("DRAM hash table ({})", self.store.profile().name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use baseline::BdbConfig;
+    use bufferhash::ClamConfig;
+    use flashsim::Ssd;
+
+    fn fp(i: u64) -> u64 {
+        i.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1
+    }
+
+    fn check_store<S: FingerprintStore>(store: &mut S) {
+        for i in 0..500u64 {
+            store.insert(fp(i), i).unwrap();
+        }
+        for i in 0..500u64 {
+            assert_eq!(store.lookup(fp(i)).unwrap().0, Some(i));
+        }
+        assert_eq!(store.lookup(fp(100_000)).unwrap().0, None);
+        assert!(!store.name().is_empty());
+    }
+
+    #[test]
+    fn clam_store_round_trips() {
+        let cfg = ClamConfig::small_test(4 << 20, 1 << 20).unwrap();
+        let mut s = ClamStore::new(Clam::new(Ssd::intel(4 << 20).unwrap(), cfg).unwrap());
+        check_store(&mut s);
+        assert!(s.clam().stats().inserts.len() >= 500);
+    }
+
+    #[test]
+    fn bdb_store_round_trips() {
+        let idx = BdbHashIndex::new(Ssd::intel(4 << 20).unwrap(), BdbConfig::default()).unwrap();
+        let mut s = BdbStore::new(idx, 100_000);
+        check_store(&mut s);
+    }
+
+    #[test]
+    fn dram_store_round_trips() {
+        let mut s = DramStore::new(DramHashStore::ramsan());
+        check_store(&mut s);
+    }
+
+    #[test]
+    fn bdb_store_ages_out_old_fingerprints_fifo() {
+        let idx = BdbHashIndex::new(Ssd::intel(4 << 20).unwrap(), BdbConfig::default()).unwrap();
+        let mut s = BdbStore::new(idx, 100);
+        for i in 0..300u64 {
+            s.insert(fp(i), i).unwrap();
+        }
+        // The first 200 fingerprints are invalidated, the last 100 live.
+        assert_eq!(s.lookup(fp(0)).unwrap().0, None);
+        assert_eq!(s.lookup(fp(150)).unwrap().0, None);
+        assert_eq!(s.lookup(fp(250)).unwrap().0, Some(250));
+        // Re-inserting an invalidated fingerprint revives it.
+        s.insert(fp(0), 7).unwrap();
+        assert_eq!(s.lookup(fp(0)).unwrap().0, Some(7));
+    }
+
+    #[test]
+    fn clam_store_is_faster_than_bdb_store_for_inserts() {
+        let cfg = ClamConfig::small_test(4 << 20, 1 << 20).unwrap();
+        let mut clam = ClamStore::new(Clam::new(Ssd::intel(4 << 20).unwrap(), cfg).unwrap());
+        let idx = BdbHashIndex::new(
+            Ssd::intel(4 << 20).unwrap(),
+            BdbConfig { cache_bytes: 64 * 1024, ..Default::default() },
+        )
+        .unwrap();
+        let mut bdb = BdbStore::new(idx, 1 << 20);
+        let mut clam_total = SimDuration::ZERO;
+        let mut bdb_total = SimDuration::ZERO;
+        for i in 0..5_000u64 {
+            clam_total += clam.insert(fp(i), i).unwrap();
+            bdb_total += bdb.insert(fp(i), i).unwrap();
+        }
+        assert!(
+            clam_total * 5 < bdb_total,
+            "CLAM inserts ({clam_total}) should be much cheaper than BDB inserts ({bdb_total})"
+        );
+    }
+}

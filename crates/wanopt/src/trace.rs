@@ -1,0 +1,189 @@
+//! Workload traces for the WAN-optimizer evaluation.
+//!
+//! The paper replays object-level traces derived from real packet captures
+//! (university access link and a busy web server), characterised mainly by
+//! their redundancy fraction (15% and 50%) and object-size mix. Those
+//! captures are not public, so this module generates synthetic object
+//! traces with the same controllable properties — redundancy fraction,
+//! object-size distribution and arrival pattern — which §8 notes give
+//! qualitatively similar results.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One transferred object (e.g. one HTTP response / connection payload).
+#[derive(Debug, Clone)]
+pub struct TraceObject {
+    /// Identifier within the trace.
+    pub id: u64,
+    /// Object payload.
+    pub data: Vec<u8>,
+}
+
+impl TraceObject {
+    /// Object size in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` for an empty object.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+/// Configuration of the synthetic trace generator.
+#[derive(Debug, Clone)]
+pub struct TraceConfig {
+    /// Number of objects to generate.
+    pub num_objects: usize,
+    /// Smallest object size in bytes.
+    pub min_object_size: usize,
+    /// Largest object size in bytes.
+    pub max_object_size: usize,
+    /// Fraction of the byte volume that is redundant (copied from content
+    /// seen earlier in the trace), in `[0, 1]`.
+    pub redundancy: f64,
+    /// RNG seed, so traces are reproducible.
+    pub seed: u64,
+}
+
+impl TraceConfig {
+    /// The paper's high-redundancy trace (~50% duplicate bytes).
+    pub fn high_redundancy(num_objects: usize) -> Self {
+        TraceConfig {
+            num_objects,
+            min_object_size: 64 * 1024,
+            max_object_size: 1024 * 1024,
+            redundancy: 0.5,
+            seed: 42,
+        }
+    }
+
+    /// The paper's low-redundancy trace (~15% duplicate bytes).
+    pub fn low_redundancy(num_objects: usize) -> Self {
+        TraceConfig { redundancy: 0.15, ..Self::high_redundancy(num_objects) }
+    }
+
+    /// A trace with an explicit redundancy fraction.
+    pub fn with_redundancy(num_objects: usize, redundancy: f64) -> Self {
+        TraceConfig { redundancy: redundancy.clamp(0.0, 1.0), ..Self::high_redundancy(num_objects) }
+    }
+}
+
+/// Generates a synthetic object trace.
+///
+/// Redundancy is produced the way WAN traffic produces it: objects are
+/// concatenations of multi-kilobyte *segments* (attachments, web objects,
+/// file regions), and with probability `redundancy` a segment is a
+/// byte-identical repeat of one sent earlier in the trace. Because repeated
+/// segments are large relative to the chunker's average chunk size,
+/// content-defined chunking rediscovers most of the duplicate bytes
+/// regardless of how the segments are packed into objects.
+pub fn generate_trace(config: &TraceConfig) -> Vec<TraceObject> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut objects: Vec<TraceObject> = Vec::with_capacity(config.num_objects);
+    // Pool of previously emitted segments that later objects may repeat.
+    let mut pool: Vec<Vec<u8>> = Vec::new();
+    let min = config.min_object_size.max(1024);
+    let max = config.max_object_size.max(min + 1);
+
+    for id in 0..config.num_objects as u64 {
+        let size = rng.gen_range(min..max);
+        let mut data = Vec::with_capacity(size);
+        while data.len() < size {
+            let remaining = size - data.len();
+            let reuse = !pool.is_empty() && rng.gen_bool(config.redundancy);
+            if reuse {
+                let src = &pool[rng.gen_range(0..pool.len())];
+                let take = src.len().min(remaining);
+                data.extend_from_slice(&src[..take]);
+            } else {
+                // Fresh (unique) segment, large enough that content-defined
+                // chunking resynchronises well inside it when repeated.
+                let seg_len = rng.gen_range(24 * 1024..=96 * 1024).min(remaining.max(4 * 1024));
+                let mut segment = vec![0u8; seg_len];
+                rng.fill(&mut segment[..]);
+                let take = segment.len().min(remaining);
+                data.extend_from_slice(&segment[..take]);
+                pool.push(segment);
+                // Bound generator memory for very long traces.
+                if pool.len() > 512 {
+                    pool.remove(rng.gen_range(0..256));
+                }
+            }
+        }
+        objects.push(TraceObject { id, data });
+    }
+    objects
+}
+
+/// Measures the redundancy a content-defined-chunking deduplicator can
+/// discover in the trace: the fraction of bytes belonging to chunks whose
+/// fingerprint was already seen earlier in the trace.
+pub fn measured_block_redundancy(objects: &[TraceObject]) -> f64 {
+    use std::collections::HashSet;
+    let cfg = crate::rabin::ChunkerConfig::paper_default();
+    let mut seen: HashSet<u64> = HashSet::new();
+    let mut total = 0usize;
+    let mut dup = 0usize;
+    for obj in objects {
+        for (start, end) in crate::rabin::chunk_boundaries(&obj.data, &cfg) {
+            let fp = crate::sha1::Sha1::digest(&obj.data[start..end]).fingerprint64();
+            total += end - start;
+            if !seen.insert(fp) {
+                dup += end - start;
+            }
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        dup as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_has_requested_shape() {
+        let cfg = TraceConfig { num_objects: 20, ..TraceConfig::high_redundancy(20) };
+        let objs = generate_trace(&cfg);
+        assert_eq!(objs.len(), 20);
+        for o in &objs {
+            assert!(o.len() >= cfg.min_object_size);
+            assert!(o.len() <= cfg.max_object_size);
+        }
+    }
+
+    #[test]
+    fn traces_are_reproducible() {
+        let cfg = TraceConfig::high_redundancy(5);
+        let a = generate_trace(&cfg);
+        let b = generate_trace(&cfg);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.data, y.data);
+        }
+    }
+
+    #[test]
+    fn high_redundancy_trace_is_more_redundant_than_low() {
+        let high = generate_trace(&TraceConfig::high_redundancy(25));
+        let low = generate_trace(&TraceConfig::low_redundancy(25));
+        let rh = measured_block_redundancy(&high);
+        let rl = measured_block_redundancy(&low);
+        assert!(rh > rl + 0.1, "high {rh} should exceed low {rl}");
+        assert!(rh > 0.3, "high-redundancy trace should contain substantial duplication ({rh})");
+        assert!(rl < 0.3, "low-redundancy trace too redundant ({rl})");
+    }
+
+    #[test]
+    fn zero_redundancy_trace_has_no_duplicates() {
+        let cfg = TraceConfig::with_redundancy(10, 0.0);
+        let objs = generate_trace(&cfg);
+        assert!(measured_block_redundancy(&objs) < 0.02);
+    }
+}

@@ -1,0 +1,51 @@
+//! Deduplicating backup store plus the §3 index-merge experiment.
+//!
+//! Ingests repeated backups of an edited dataset into a CLAM-backed
+//! deduplication store, then merges a second dataset's fingerprint index
+//! into it and reports the merge throughput.
+//!
+//! Run with: `cargo run --release --example dedup_merge`
+
+use clam::bufferhash::{Clam, ClamConfig};
+use clam::dedup::{merge_indexes, BackupClient, BackupServer, DedupStore, FingerprintSet};
+use clam::flashsim::{MagneticDisk, Ssd};
+use clam::wanopt::ClamStore;
+
+fn main() {
+    let config = ClamConfig::small_test(32 << 20, 8 << 20).expect("config");
+    let clam = Clam::new(Ssd::intel(32 << 20).expect("ssd"), config).expect("clam");
+    let store = DedupStore::new(ClamStore::new(clam), MagneticDisk::new(256 << 20).expect("disk"));
+    let mut server = BackupServer::new(store);
+
+    // Three clients back up their datasets four times, editing ~64 KiB
+    // between backups (the online-backup workload of §3).
+    let mut clients: Vec<BackupClient> =
+        (0..3).map(|i| BackupClient::new(i, 1 << 20, 99)).collect();
+    server.run_rounds(&mut clients, 4, 64 * 1024).expect("backup rounds");
+    let stats = server.stats();
+    println!(
+        "Backups: {} runs, {:.1} MB offered, {:.1} MB stored ({}% deduplicated)",
+        stats.backups,
+        stats.bytes_offered as f64 / 1e6,
+        stats.bytes_stored as f64 / 1e6,
+        (stats.dedup_ratio() * 100.0) as u32
+    );
+    println!(
+        "Repository time spent in index + archive work: {:.1} ms (simulated)\n",
+        stats.repository_time.as_millis_f64()
+    );
+
+    // Merge a second dataset's fingerprint index into the repository index.
+    let incoming = FingerprintSet::synthetic(50_000, 0.25, 5, 6);
+    let report = merge_indexes(server.store_mut().index_mut(), &incoming).expect("merge");
+    println!(
+        "Index merge: {} fingerprints, {} already present, {} inserted",
+        report.fingerprints, report.already_present, report.inserted
+    );
+    println!(
+        "Merge took {:.2} s simulated ({:.0} fingerprints/s) — the operation the paper\n\
+         estimates at ~2 hours with BerkeleyDB and under 2 minutes with a CLAM.",
+        report.total_time.as_secs_f64(),
+        report.fingerprints_per_second()
+    );
+}

@@ -1,0 +1,53 @@
+//! Parameter tuning walkthrough (§6.4): how much DRAM to give to buffers vs
+//! Bloom filters, and how many super tables to use, for a target flash size.
+//!
+//! Run with: `cargo run --release --example parameter_tuning`
+
+use clam::bufferhash::analysis::FlashCostModel;
+use clam::bufferhash::{tuning, ClamConfig};
+use clam::flashsim::{DeviceProfile, Geometry};
+
+fn main() {
+    let flash: u64 = 32 << 30; // the paper's 32 GB prototype
+    let entry = 16usize;
+    let s_eff = entry * 2; // 50% buffer utilisation -> 32 effective bytes/entry
+    let model = FlashCostModel::from_profile(&DeviceProfile::intel_x18m());
+
+    println!("Target: F = {} GB of flash, {}-byte entries (s_eff = {} bytes)\n", flash >> 30, entry, s_eff);
+
+    let b_opt = tuning::optimal_total_buffer_bytes(flash, s_eff);
+    println!("1. Optimal total buffer memory  B_opt = F/(s·ln²2) = {:.2} GB", b_opt as f64 / (1u64 << 30) as f64);
+
+    let cr = model.page_read_cost().as_millis_f64();
+    for target in [1.0, 0.1, 0.01] {
+        let bloom = tuning::bloom_bytes_for_target_overhead(flash, s_eff, cr, target);
+        println!(
+            "2. Bloom memory for expected lookup I/O overhead <= {:>5.2} ms: {:.2} GB",
+            target,
+            bloom as f64 / (1u64 << 30) as f64
+        );
+    }
+
+    println!("\n3. Per-table buffer size vs insert cost (Intel SSD cost model):");
+    for kb in [16u64, 64, 128, 256, 1024] {
+        let bytes = (kb * 1024) as usize;
+        println!(
+            "   buffer {:>5} KB: amortized {:.5} ms/insert, worst case {:.3} ms",
+            kb,
+            model.insert_amortized(bytes, s_eff).as_millis_f64(),
+            model.insert_worst_case(bytes).as_millis_f64()
+        );
+    }
+
+    // Put it together the way `ClamConfig::recommended` does.
+    let geometry = Geometry::new(1 << 30, 4096, 256 * 1024).expect("geometry");
+    let cfg = ClamConfig::recommended(1 << 30, 256 << 20, geometry).expect("config");
+    println!(
+        "\n4. ClamConfig::recommended for a 1 GB device with 256 MB DRAM:\n   {} super tables x {} KB buffers, {} incarnations each, {} Bloom hashes (expected FPR {:.5})",
+        cfg.num_super_tables(),
+        cfg.buffer_bytes_per_table / 1024,
+        cfg.incarnations_per_table(),
+        cfg.bloom_hashes(),
+        cfg.expected_false_positive_rate()
+    );
+}

@@ -1,0 +1,60 @@
+//! Quickstart: build a CLAM on a simulated SSD, insert a million
+//! fingerprints, look some up, and print the latency profile.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use clam::bufferhash::{Clam, ClamConfig};
+use clam::flashsim::Ssd;
+
+fn main() {
+    // A scaled-down version of the paper's 32 GB flash / 4 GB DRAM CLAM:
+    // 64 MiB of simulated flash, 8 MiB of DRAM.
+    let config = ClamConfig::small_test(64 << 20, 8 << 20).expect("config");
+    println!(
+        "CLAM configuration: {} super tables, {} incarnations each, {} Bloom hash functions",
+        config.num_super_tables(),
+        config.incarnations_per_table(),
+        config.bloom_hashes()
+    );
+    let device = Ssd::intel(64 << 20).expect("device");
+    let mut clam = Clam::new(device, config).expect("clam");
+
+    // Insert a million (fingerprint -> address) mappings.
+    let n: u64 = 1_000_000;
+    for i in 0..n {
+        let fingerprint = clam::bufferhash::hash_with_seed(i, 7);
+        clam.insert(fingerprint, i).expect("insert");
+    }
+
+    // Look up a mix of present and absent keys.
+    let mut hits = 0;
+    for i in 0..100_000u64 {
+        let key = if i % 5 < 2 {
+            clam::bufferhash::hash_with_seed(i * 7 % n, 7) // present
+        } else {
+            clam::bufferhash::hash_with_seed(i, 0xdead) // absent
+        };
+        if clam.lookup(key).expect("lookup").value.is_some() {
+            hits += 1;
+        }
+    }
+
+    let stats = clam.stats_mut();
+    println!("\nAfter {n} inserts and 100k lookups ({hits} hits):");
+    println!(
+        "  insert latency: mean {:.4} ms, p99 {:.4} ms, max {:.3} ms",
+        stats.inserts.mean().as_millis_f64(),
+        stats.inserts.quantile(0.99).as_millis_f64(),
+        stats.inserts.max().as_millis_f64()
+    );
+    println!(
+        "  lookup latency: mean {:.4} ms, p99 {:.4} ms, max {:.3} ms",
+        stats.lookups.mean().as_millis_f64(),
+        stats.lookups.quantile(0.99).as_millis_f64(),
+        stats.lookups.max().as_millis_f64()
+    );
+    println!(
+        "  buffer flushes: {}, spurious flash reads: {}",
+        stats.flushes, stats.spurious_flash_reads
+    );
+}

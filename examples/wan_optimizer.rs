@@ -1,0 +1,48 @@
+//! WAN optimizer end-to-end: replay a 50%-redundancy trace through a
+//! CLAM-backed optimizer at several link speeds and report the effective
+//! bandwidth improvement (the paper's §8 scenario 1).
+//!
+//! Run with: `cargo run --release --example wan_optimizer`
+
+use clam::bufferhash::{Clam, ClamConfig};
+use clam::flashsim::{MagneticDisk, Ssd};
+use clam::wanopt::{
+    generate_trace, ClamStore, CompressionEngine, ContentCache, EngineConfig, Link, TraceConfig,
+    WanOptimizer,
+};
+
+fn main() {
+    let objects = generate_trace(&TraceConfig::high_redundancy(20));
+    let total_bytes: usize = objects.iter().map(|o| o.len()).sum();
+    println!(
+        "Trace: {} objects, {:.1} MB total, ~50% redundant bytes\n",
+        objects.len(),
+        total_bytes as f64 / 1e6
+    );
+
+    for mbps in [10.0, 100.0, 300.0] {
+        // Fresh optimizer per link speed so each run starts with a cold index.
+        let config = ClamConfig::small_test(32 << 20, 8 << 20).expect("config");
+        let clam = Clam::new(Ssd::transcend(32 << 20).expect("ssd"), config).expect("clam");
+        let engine = CompressionEngine::new(
+            ClamStore::new(clam),
+            ContentCache::new(MagneticDisk::new(256 << 20).expect("disk")),
+            EngineConfig::default(),
+        );
+        let mut optimizer = WanOptimizer::new(engine, Link::mbps(mbps));
+        let report = optimizer.throughput_test(&objects).expect("throughput test");
+        println!(
+            "link {:>5.0} Mbps: {:.1} MB sent instead of {:.1} MB, effective bandwidth x{:.2} (ideal x{:.2})",
+            mbps,
+            report.compressed_bytes as f64 / 1e6,
+            report.original_bytes as f64 / 1e6,
+            report.improvement_factor(),
+            report.ideal_improvement()
+        );
+    }
+    println!(
+        "\nThe improvement stays near the ideal factor until the fingerprint index\n\
+         becomes the bottleneck at high link speeds — exactly the trade-off the\n\
+         paper's Figure 9 explores (and where the CLAM beats BerkeleyDB)."
+    );
+}

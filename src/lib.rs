@@ -1,0 +1,46 @@
+//! # clam — Cheap and Large CAMs (umbrella crate)
+//!
+//! Reproduction of *"Cheap and Large CAMs for High Performance
+//! Data-Intensive Networked Systems"* (NSDI 2010). This umbrella crate
+//! re-exports the workspace members so applications can depend on a single
+//! crate:
+//!
+//! * [`flashsim`] — simulated flash chips, SSDs, disks and DRAM;
+//! * [`bufferhash`] — the BufferHash data structure and the CLAM facade;
+//! * [`baseline`] — BerkeleyDB-style and DRAM-only comparators;
+//! * [`wanopt`] — the WAN-optimizer application;
+//! * [`dedup`] — deduplication, backup and index-merge applications.
+//!
+//! See `examples/` for runnable end-to-end scenarios and `DESIGN.md` /
+//! `EXPERIMENTS.md` for the experiment index.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use baseline;
+pub use bufferhash;
+pub use dedup;
+pub use flashsim;
+pub use wanopt;
+
+/// Builds the paper's "candidate configuration" scaled by `scale` (1.0 means
+/// 32 GB flash + 4 GB DRAM; 1/512 of that runs comfortably in tests), on an
+/// Intel-class simulated SSD.
+pub fn paper_clam(scale: f64) -> bufferhash::Clam<flashsim::Ssd> {
+    let scale = scale.clamp(1.0 / 4096.0, 1.0);
+    let flash = ((32u64 << 30) as f64 * scale) as u64;
+    let dram = ((4u64 << 30) as f64 * scale) as u64;
+    let config = bufferhash::ClamConfig::small_test(flash, dram).expect("valid scaled config");
+    let device = flashsim::Ssd::intel(flash).expect("valid capacity");
+    bufferhash::Clam::new(device, config).expect("valid CLAM")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn paper_clam_scales_down_and_works() {
+        let mut clam = super::paper_clam(1.0 / 512.0);
+        clam.insert(1, 2).unwrap();
+        assert_eq!(clam.lookup(1).unwrap().value, Some(2));
+    }
+}
