@@ -71,7 +71,8 @@ impl<D: Device> BdbHashIndex<D> {
             return Err(BaselineError::InvalidConfig("page size too small".into()));
         }
         let total_pages = geom.pages();
-        let num_buckets = ((total_pages as f64 * config.primary_fraction.clamp(0.1, 0.95)) as u64).max(1);
+        let num_buckets =
+            ((total_pages as f64 * config.primary_fraction.clamp(0.1, 0.95)) as u64).max(1);
         let overflow_pages = total_pages - num_buckets;
         let cache_capacity_pages = (config.cache_bytes / page_size).max(4);
         Ok(BdbHashIndex {
@@ -173,12 +174,7 @@ impl<D: Device> BdbHashIndex<D> {
     /// Writes back every dirty cached page.
     pub fn flush(&mut self) -> Result<SimDuration> {
         let mut latency = SimDuration::ZERO;
-        let dirty: Vec<u64> = self
-            .cache
-            .iter()
-            .filter(|(_, p)| p.dirty)
-            .map(|(&n, _)| n)
-            .collect();
+        let dirty: Vec<u64> = self.cache.iter().filter(|(_, p)| p.dirty).map(|(&n, _)| n).collect();
         for page_no in dirty {
             let data = self.cache.get(&page_no).expect("page cached").data.clone();
             latency += self.device.write_at(page_no * self.page_size as u64, &data)?;

@@ -57,7 +57,9 @@ impl<D: Device> BdbBtreeIndex<D> {
         let geom = device.geometry();
         let page_size = geom.page_size as usize;
         if page_size < HEADER + 4 * (KEY_SIZE + VAL_SIZE) {
-            return Err(BaselineError::InvalidConfig("page size too small for B-tree nodes".into()));
+            return Err(BaselineError::InvalidConfig(
+                "page size too small for B-tree nodes".into(),
+            ));
         }
         let mut tree = BdbBtreeIndex {
             device,
@@ -197,11 +199,8 @@ impl<D: Device> BdbBtreeIndex<D> {
 
     fn evict_one(&mut self) -> Result<SimDuration> {
         // Never evict the root (page 0); it is touched on every operation.
-        let Some((&victim, _)) = self
-            .cache
-            .iter()
-            .filter(|(&n, _)| n != self.root)
-            .min_by_key(|(_, p)| p.last_used)
+        let Some((&victim, _)) =
+            self.cache.iter().filter(|(&n, _)| n != self.root).min_by_key(|(_, p)| p.last_used)
         else {
             return Ok(SimDuration::ZERO);
         };
@@ -417,8 +416,7 @@ impl<D: Device> BdbBtreeIndex<D> {
             let mid = count / 2;
             let mut new_data = self.new_node(kind);
             let mut old_data = old.clone();
-            let sep;
-            match kind {
+            let sep = match kind {
                 NodeKind::Leaf => {
                     for (j, i) in (mid..count).enumerate() {
                         let (k, v) = Self::leaf_entry(old, i);
@@ -430,7 +428,7 @@ impl<D: Device> BdbBtreeIndex<D> {
                     let old_next = Self::aux(old);
                     Self::set_aux(&mut new_data, old_next);
                     Self::set_aux(&mut old_data, new_no);
-                    sep = Self::leaf_entry(old, mid).0;
+                    Self::leaf_entry(old, mid).0
                 }
                 NodeKind::Internal => {
                     // The middle key moves up; its child becomes the new
@@ -443,9 +441,9 @@ impl<D: Device> BdbBtreeIndex<D> {
                     }
                     Self::set_count(&mut new_data, count - mid - 1);
                     Self::set_count(&mut old_data, mid);
-                    sep = mid_key;
+                    mid_key
                 }
-            }
+            };
             (sep, old_data, new_data)
         };
         self.cache.get_mut(&page_no).expect("cached").data = old_data;

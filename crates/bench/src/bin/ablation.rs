@@ -10,21 +10,12 @@ fn main() {
     println!("Ablation study (Intel SSD): contribution of each BufferHash mechanism\n");
     let widths = [26, 16, 16, 16, 16];
     print_header(
-        &[
-            "configuration",
-            "insert (ms)",
-            "lookup40 (ms)",
-            "lookup80 (ms)",
-            "reads/lookup",
-        ],
+        &["configuration", "insert (ms)", "lookup40 (ms)", "lookup80 (ms)", "reads/lookup"],
         &widths,
     );
-    for ablation in [
-        Ablation::Full,
-        Ablation::NoBloomFilters,
-        Ablation::NoBitSlicing,
-        Ablation::NoBuffering,
-    ] {
+    for ablation in
+        [Ablation::Full, Ablation::NoBloomFilters, Ablation::NoBitSlicing, Ablation::NoBuffering]
+    {
         let mut row = vec![ablation.label().to_string()];
         let mut reads_per_lookup = 0.0;
         let mut insert_ms = String::new();
@@ -36,8 +27,7 @@ fn main() {
             run_mixed_workload(&mut clam, warm, 0.0, 0.0, 41);
             clam.reset_stats();
             let ops = if ablation == Ablation::NoBuffering { 6_000 } else { 30_000 };
-            let result =
-                run_mixed_workload_continuing(&mut clam, ops, 0.5, *lsr, 42, warm as u64);
+            let result = run_mixed_workload_continuing(&mut clam, ops, 0.5, *lsr, 42, warm as u64);
             if idx == 0 {
                 insert_ms = ms(result.inserts.mean());
                 let stats = clam.stats();

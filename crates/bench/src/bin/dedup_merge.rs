@@ -39,7 +39,8 @@ fn main() {
 
     let widths = [28, 16, 16, 18];
     print_header(&["target index", "merge time (s)", "fp/s", "already present"], &widths);
-    for (label, report) in [("CLAM (Intel SSD)", clam_report), ("BerkeleyDB (Intel SSD)", bdb_report)]
+    for (label, report) in
+        [("CLAM (Intel SSD)", clam_report), ("BerkeleyDB (Intel SSD)", bdb_report)]
     {
         print_row(
             &[

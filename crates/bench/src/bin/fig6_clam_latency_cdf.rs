@@ -11,8 +11,7 @@ fn main() {
         // Warm: fill a good part of the table first.
         run_mixed_workload(&mut clam, 400_000, 0.0, 0.0, 11);
         clam.reset_stats();
-        let mut result =
-            run_mixed_workload_continuing(&mut clam, 40_000, 0.5, 0.4, 12, 400_000);
+        let mut result = run_mixed_workload_continuing(&mut clam, 40_000, 0.5, 0.4, 12, 400_000);
         println!("== BufferHash + {} ==", medium.label());
         println!(
             "  mean lookup {} ms   (p99 {} ms, max {} ms)",

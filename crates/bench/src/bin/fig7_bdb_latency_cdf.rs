@@ -9,8 +9,7 @@ fn main() {
     for medium in [Medium::IntelSsd, Medium::Disk] {
         let mut bdb = build_bdb(medium, bench::FLASH_BYTES);
         run_mixed_workload(&mut bdb, 60_000, 0.0, 0.0, 21);
-        let mut result =
-            run_mixed_workload_continuing(&mut bdb, 20_000, 0.5, 0.4, 22, 60_000);
+        let mut result = run_mixed_workload_continuing(&mut bdb, 20_000, 0.5, 0.4, 22, 60_000);
         println!("== BerkeleyDB hash index + {} ==", medium.label());
         println!(
             "  mean lookup {} ms   (p99 {} ms)",

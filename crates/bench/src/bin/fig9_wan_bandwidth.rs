@@ -42,10 +42,7 @@ fn bdb_optimizer(link: Link) -> WanOptimizer<BdbStore<Ssd>, MagneticDisk> {
 fn run(objects: &[TraceObject], redundancy_label: &str) {
     println!("-- {redundancy_label} redundancy trace --");
     let widths = [18, 22, 22, 14];
-    print_header(
-        &["link (Mbps)", "BufferHash+SSD", "BerkeleyDB+SSD", "ideal"],
-        &widths,
-    );
+    print_header(&["link (Mbps)", "BufferHash+SSD", "BerkeleyDB+SSD", "ideal"], &widths);
     for mbps in [10.0, 20.0, 100.0, 200.0, 300.0, 400.0] {
         let mut clam = clam_optimizer(Link::mbps(mbps));
         let clam_report = clam.throughput_test(objects).expect("clam run");

@@ -1,7 +1,9 @@
 //! Table 2: how many flash I/Os a lookup performs, and what each count
 //! costs, at 0% and 40% lookup success rates.
 
-use bench::{build_clam, print_header, print_row, run_mixed_workload, run_mixed_workload_continuing, Medium};
+use bench::{
+    build_clam, print_header, print_row, run_mixed_workload, run_mixed_workload_continuing, Medium,
+};
 use bufferhash::analysis::FlashCostModel;
 use flashsim::DeviceProfile;
 

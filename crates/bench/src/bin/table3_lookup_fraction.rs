@@ -20,8 +20,7 @@ fn main() {
 
         let mut bdb = build_bdb(Medium::TranscendSsd, bench::FLASH_BYTES);
         run_mixed_workload(&mut bdb, 40_000, 0.0, 0.0, 31);
-        let bdb_result =
-            run_mixed_workload_continuing(&mut bdb, 8_000, fraction, 0.4, 32, 40_000);
+        let bdb_result = run_mixed_workload_continuing(&mut bdb, 8_000, fraction, 0.4, 32, 40_000);
 
         print_row(
             &[

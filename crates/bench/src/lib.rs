@@ -62,7 +62,9 @@ impl AnyClam {
     /// Inserts a key, returning the simulated latency.
     pub fn insert(&mut self, key: u64, value: u64) -> SimDuration {
         match self {
-            AnyClam::Intel(c) | AnyClam::Transcend(c) => c.insert(key, value).expect("insert").latency,
+            AnyClam::Intel(c) | AnyClam::Transcend(c) => {
+                c.insert(key, value).expect("insert").latency
+            }
             AnyClam::Disk(c) => c.insert(key, value).expect("insert").latency,
         }
     }
@@ -119,9 +121,9 @@ pub fn build_clam_with(medium: Medium, config: ClamConfig) -> AnyClam {
         Medium::TranscendSsd => AnyClam::Transcend(
             Clam::new(Ssd::transcend(flash).expect("ssd"), config).expect("clam"),
         ),
-        Medium::Disk => AnyClam::Disk(
-            Clam::new(MagneticDisk::new(flash).expect("disk"), config).expect("clam"),
-        ),
+        Medium::Disk => {
+            AnyClam::Disk(Clam::new(MagneticDisk::new(flash).expect("disk"), config).expect("clam"))
+        }
     }
 }
 
@@ -346,11 +348,8 @@ pub fn run_mixed_workload_continuing<S: KvBench>(
 
 /// Prints a fixed-width table row.
 pub fn print_row(cells: &[String], widths: &[usize]) {
-    let line: Vec<String> = cells
-        .iter()
-        .zip(widths)
-        .map(|(c, w)| format!("{c:>width$}", width = w))
-        .collect();
+    let line: Vec<String> =
+        cells.iter().zip(widths).map(|(c, w)| format!("{c:>width$}", width = w)).collect();
     println!("{}", line.join("  "));
 }
 

@@ -95,7 +95,11 @@ impl FlashCostModel {
 
     /// Amortized insert cost: `(C1 + C2 + C3)·s/B'` where `s` is the
     /// *effective* entry size (entry size / buffer utilisation).
-    pub fn insert_amortized(&self, buffer_bytes: usize, effective_entry_size: usize) -> SimDuration {
+    pub fn insert_amortized(
+        &self,
+        buffer_bytes: usize,
+        effective_entry_size: usize,
+    ) -> SimDuration {
         let worst = self.insert_worst_case(buffer_bytes);
         let per_flush_inserts = (buffer_bytes / effective_entry_size.max(1)).max(1) as u64;
         worst / per_flush_inserts

@@ -155,7 +155,7 @@ impl BitSlicedBloomSet {
         }
         self.window_start = (self.window_start + 1) % self.lane_space;
         self.count -= 1;
-        if self.window_start % 64 == 0 {
+        if self.window_start.is_multiple_of(64) {
             // The word we just finished leaving contains only dead lanes.
             let words = self.words_per_slice;
             let word_behind = (self.window_start / 64 + words - 1) % words;
@@ -175,8 +175,8 @@ impl BitSlicedBloomSet {
         let mut acc = vec![u64::MAX; self.words_per_slice];
         for row in self.rows(key) {
             let base = row * self.words_per_slice;
-            for w in 0..self.words_per_slice {
-                acc[w] &= self.slices[base + w];
+            for (word, slice_word) in acc.iter_mut().zip(&self.slices[base..]) {
+                *word &= slice_word;
             }
         }
         // Collect window lanes whose AND bit is set, youngest first.
@@ -197,9 +197,8 @@ impl BitSlicedBloomSet {
             return false;
         }
         let lane = self.lane_of_age(age);
-        self.rows(key).all(|row| {
-            self.slices[row * self.words_per_slice + lane / 64] >> (lane % 64) & 1 == 1
-        })
+        self.rows(key)
+            .all(|row| self.slices[row * self.words_per_slice + lane / 64] >> (lane % 64) & 1 == 1)
     }
 
     /// Number of 64-bit words touched by one query (for latency accounting:

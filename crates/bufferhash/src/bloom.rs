@@ -136,9 +136,7 @@ mod tests {
             f.insert(hash_with_seed(k, 99));
         }
         let trials = 100_000;
-        let fp = (0..trials)
-            .filter(|&i| f.contains(hash_with_seed(i as u64, 12_345)))
-            .count();
+        let fp = (0..trials).filter(|&i| f.contains(hash_with_seed(i as u64, 12_345))).count();
         let measured = fp as f64 / trials as f64;
         let expected = f.expected_fpr();
         // 16 bits/item with optimal h gives ~0.0005; allow generous slack.

@@ -217,18 +217,14 @@ impl<D: Device> Clam<D> {
         let delete_lists: usize =
             self.tables.iter().map(|t| t.delete_list_len() * std::mem::size_of::<Key>()).sum();
         let total: usize = self.tables.iter().map(|t| t.memory_bytes()).sum();
-        MemoryUsage {
-            buffers,
-            filters: total.saturating_sub(buffers + delete_lists),
-            delete_lists,
-        }
+        MemoryUsage { buffers, filters: total.saturating_sub(buffers + delete_lists), delete_lists }
     }
 
     /// Super table responsible for `key` (the paper partitions on the first
     /// `k1` bits of the key; hashing achieves the same uniform split without
     /// requiring a power-of-two table count).
     fn table_of(&self, key: Key) -> usize {
-        (hash_with_seed(key, 0x7ab1_e5) % self.tables.len() as u64) as usize
+        (hash_with_seed(key, 0x7a_b1e5) % self.tables.len() as u64) as usize
     }
 
     /// Cost of touching `words` 64-bit words of DRAM.
@@ -282,8 +278,7 @@ impl<D: Device> Clam<D> {
     pub fn lookup(&mut self, key: Key) -> Result<LookupOutcome> {
         let t = self.table_of(key);
         let filter_words = self.tables[t].filter_words_per_query();
-        let mut latency =
-            BASE_OP_OVERHEAD + self.mem_words_cost(BUFFER_PROBE_WORDS + filter_words);
+        let mut latency = BASE_OP_OVERHEAD + self.mem_words_cost(BUFFER_PROBE_WORDS + filter_words);
         let mut flash_reads = 0usize;
 
         // 1. Buffer and delete list.
@@ -505,7 +500,8 @@ impl<D: Device> Clam<D> {
         self.tables[t].drop_oldest_incarnation();
         self.tables[t].prune_delete_list();
         self.allocator.release(oldest.flash_offset);
-        latency += self.device.trim(oldest.flash_offset, self.tables[t].layout().total_bytes() as u64)?;
+        latency +=
+            self.device.trim(oldest.flash_offset, self.tables[t].layout().total_bytes() as u64)?;
         Ok((latency, retained))
     }
 }
@@ -688,10 +684,7 @@ mod tests {
             clam.insert(key(i), i).unwrap();
         }
         let mean = clam.stats().inserts.mean();
-        assert!(
-            mean < SimDuration::from_micros(60),
-            "average insert latency too high: {mean}"
-        );
+        assert!(mean < SimDuration::from_micros(60), "average insert latency too high: {mean}");
         let max = clam.stats().inserts.max();
         assert!(max > mean * 10, "worst-case insert should be dominated by flushes");
     }
@@ -709,10 +702,7 @@ mod tests {
             clam.lookup(k).unwrap();
         }
         let mean = clam.stats().lookups.mean();
-        assert!(
-            mean < SimDuration::from_micros(300),
-            "average lookup latency too high: {mean}"
-        );
+        assert!(mean < SimDuration::from_micros(300), "average lookup latency too high: {mean}");
     }
 
     #[test]

@@ -91,9 +91,8 @@ impl ClamConfig {
     /// prototype.
     pub fn small_test(flash_capacity: u64, dram_bytes: u64) -> Result<Self> {
         let buffer_bytes_per_table = 32 * 1024u64;
-        let buffer_bytes_total =
-            tuning::optimal_total_buffer_bytes(flash_capacity, ENTRY_SIZE * 2)
-                .clamp(buffer_bytes_per_table, dram_bytes / 2);
+        let buffer_bytes_total = tuning::optimal_total_buffer_bytes(flash_capacity, ENTRY_SIZE * 2)
+            .clamp(buffer_bytes_per_table, dram_bytes / 2);
         let cfg = ClamConfig {
             flash_capacity,
             dram_bytes,
@@ -226,9 +225,9 @@ pub mod tuning {
             return f64::INFINITY;
         }
         let k = flash_capacity as f64 / total_buffer_bytes as f64;
-        let exponent = (bloom_bytes as f64 * 8.0) * s_effective as f64 * 8.0
-            * std::f64::consts::LN_2
-            / (flash_capacity as f64 * 8.0);
+        let exponent =
+            (bloom_bytes as f64 * 8.0) * s_effective as f64 * 8.0 * std::f64::consts::LN_2
+                / (flash_capacity as f64 * 8.0);
         k * 0.5f64.powf(exponent) * page_read_cost
     }
 

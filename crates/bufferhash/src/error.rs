@@ -73,7 +73,8 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = BufferHashError::CorruptIncarnation { flash_offset: 4096, reason: "bad magic".into() };
+        let e =
+            BufferHashError::CorruptIncarnation { flash_offset: 4096, reason: "bad magic".into() };
         assert!(e.to_string().contains("4096"));
         assert!(e.to_string().contains("bad magic"));
         assert!(BufferHashError::InvalidConfig("x".into()).to_string().contains('x'));

@@ -24,11 +24,12 @@ pub fn value_as_priority(e: &Entry) -> u64 {
 }
 
 /// How a super table makes room when its incarnation table is full.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub enum EvictionPolicy {
     /// Drop the oldest incarnation wholesale (full discard). The most
     /// efficient policy and the BufferHash default; matches how commercial
     /// WAN optimizers age out fingerprints.
+    #[default]
     Fifo,
     /// FIFO plus re-insertion: whenever a lookup finds an item in an
     /// incarnation (not the buffer), the item is re-inserted into the
@@ -85,12 +86,6 @@ impl EvictionPolicy {
     /// as its priority.
     pub fn priority_threshold(threshold: u64) -> Self {
         EvictionPolicy::PriorityBased { threshold, priority: value_as_priority }
-    }
-}
-
-impl Default for EvictionPolicy {
-    fn default() -> Self {
-        EvictionPolicy::Fifo
     }
 }
 

@@ -173,9 +173,7 @@ impl FilterBank {
     pub fn words_per_query(&self) -> usize {
         match self {
             FilterBank::BitSliced(s) => s.words_per_query(),
-            FilterBank::Plain { filters, num_hashes, .. } => {
-                filters.len() * *num_hashes as usize
-            }
+            FilterBank::Plain { filters, num_hashes, .. } => filters.len() * *num_hashes as usize,
             FilterBank::Disabled { .. } => 0,
         }
     }

@@ -149,7 +149,10 @@ pub fn lookup_in_page(page: &[u8], key: Key) -> Result<PageLookup> {
     while lo < hi {
         let mid = (lo + hi) / 2;
         let e = Entry::from_bytes(&entries[mid * ENTRY_SIZE..]).ok_or_else(|| {
-            BufferHashError::CorruptIncarnation { flash_offset: 0, reason: "truncated entry".into() }
+            BufferHashError::CorruptIncarnation {
+                flash_offset: 0,
+                reason: "truncated entry".into(),
+            }
         })?;
         match e.key.cmp(&key) {
             std::cmp::Ordering::Equal => return Ok(PageLookup::Found(e.value)),
@@ -172,7 +175,10 @@ pub fn parse_page_entries(page: &[u8]) -> Result<Vec<Entry>> {
     for j in 0..count {
         let at = PAGE_HEADER_SIZE + j * ENTRY_SIZE;
         let e = Entry::from_bytes(&page[at..at + ENTRY_SIZE]).ok_or_else(|| {
-            BufferHashError::CorruptIncarnation { flash_offset: 0, reason: "truncated entry".into() }
+            BufferHashError::CorruptIncarnation {
+                flash_offset: 0,
+                reason: "truncated entry".into(),
+            }
         })?;
         out.push(e);
     }

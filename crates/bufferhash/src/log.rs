@@ -170,7 +170,7 @@ impl LogAllocator {
             // slots in that block necessarily hold older incarnations of the
             // same table (the partition is written circularly), so they are
             // displaced together.
-            if offset % self.block_size == 0 {
+            if offset.is_multiple_of(self.block_size) {
                 blocks_to_erase.push(offset / self.block_size);
                 let slots_per_block = (self.block_size / self.slot_size).max(1);
                 for s in slot..(slot + slots_per_block).min(base_slot + self.slots_per_table) {
@@ -194,9 +194,14 @@ mod tests {
 
     #[test]
     fn global_log_appends_sequentially_and_wraps() {
-        let mut a =
-            LogAllocator::new(FlashLayoutMode::GlobalLog, 8 * 128 * 1024, 128 * 1024, 256 * 1024, 2)
-                .unwrap();
+        let mut a = LogAllocator::new(
+            FlashLayoutMode::GlobalLog,
+            8 * 128 * 1024,
+            128 * 1024,
+            256 * 1024,
+            2,
+        )
+        .unwrap();
         assert_eq!(a.num_slots(), 8);
         let mut offsets = Vec::new();
         for seq in 0..8u64 {
@@ -312,7 +317,8 @@ mod tests {
         assert!(LogAllocator::new(FlashLayoutMode::GlobalLog, 0, 128, 128, 1).is_err());
         assert!(LogAllocator::new(FlashLayoutMode::GlobalLog, 64, 128, 128, 1).is_err());
         assert!(LogAllocator::new(FlashLayoutMode::GlobalLog, 256, 128, 128, 4).is_err());
-        let mut a = LogAllocator::new(FlashLayoutMode::PartitionPerTable, 512, 128, 128, 2).unwrap();
+        let mut a =
+            LogAllocator::new(FlashLayoutMode::PartitionPerTable, 512, 128, 128, 2).unwrap();
         assert!(a.allocate(5, 0).is_err());
     }
 }

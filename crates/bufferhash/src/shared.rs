@@ -87,7 +87,7 @@ impl<D: Device> StripedClam<D> {
     }
 
     fn stripe_of(&self, key: Key) -> &SharedClam<D> {
-        let idx = (hash_with_seed(key, 0x57e1_9e) % self.stripes.len() as u64) as usize;
+        let idx = (hash_with_seed(key, 0x57_e19e) % self.stripes.len() as u64) as usize;
         &self.stripes[idx]
     }
 

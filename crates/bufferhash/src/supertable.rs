@@ -45,6 +45,7 @@ pub struct SuperTable {
 
 impl SuperTable {
     /// Creates an empty super table.
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         id: usize,
         buffer_bytes: usize,
@@ -120,7 +121,7 @@ impl SuperTable {
         if self.delete_list.contains(&key) {
             return Some(None);
         }
-        self.buffer.get(key).map(|v| Some(v))
+        self.buffer.get(key).map(Some)
     }
 
     /// Inserts into the buffer. A new value for a deleted key revives it.

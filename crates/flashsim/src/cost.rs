@@ -32,15 +32,9 @@ impl LinearCost {
     /// Convenience constructor taking the fixed part in microseconds and a
     /// sustained bandwidth in MB/s for the variable part.
     pub fn from_latency_bandwidth(fixed_us: f64, bandwidth_mb_s: f64) -> Self {
-        let per_byte_ns = if bandwidth_mb_s > 0.0 {
-            1e9 / (bandwidth_mb_s * 1024.0 * 1024.0)
-        } else {
-            0.0
-        };
-        LinearCost {
-            fixed_ns: (fixed_us * 1e3).round() as u64,
-            per_byte_ns,
-        }
+        let per_byte_ns =
+            if bandwidth_mb_s > 0.0 { 1e9 / (bandwidth_mb_s * 1024.0 * 1024.0) } else { 0.0 };
+        LinearCost { fixed_ns: (fixed_us * 1e3).round() as u64, per_byte_ns }
     }
 
     /// Cost of an operation touching `bytes` bytes.

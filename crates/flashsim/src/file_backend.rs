@@ -35,12 +35,8 @@ impl FileDevice {
         }
         let page = 4096u32;
         let capacity = capacity.div_ceil(page as u64) * page as u64;
-        let file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(true)
-            .open(path)?;
+        let file =
+            OpenOptions::new().read(true).write(true).create(true).truncate(true).open(path)?;
         file.set_len(capacity)?;
         let profile = DeviceProfile {
             name: "File-backed device",

@@ -134,8 +134,7 @@ impl Device for FlashChip {
         for page in start_page..start_page + self.geometry.pages_per_block() as u64 {
             self.set_programmed(page, false);
         }
-        self.store
-            .erase(self.geometry.block_offset(block), self.geometry.block_size as u64);
+        self.store.erase(self.geometry.block_offset(block), self.geometry.block_size as u64);
         let lat = self.profile.erase_cost.cost(self.geometry.block_size as usize);
         self.stats.erases += 1;
         self.stats.erase_time += lat;
@@ -235,10 +234,7 @@ mod tests {
     fn invalid_block_erase_is_rejected() {
         let mut c = chip();
         let blocks = c.geometry().blocks();
-        assert!(matches!(
-            c.erase_block(blocks),
-            Err(DeviceError::InvalidBlock { .. })
-        ));
+        assert!(matches!(c.erase_block(blocks), Err(DeviceError::InvalidBlock { .. })));
     }
 
     #[test]

@@ -26,12 +26,12 @@ impl Geometry {
         if page_size == 0 {
             return Err(DeviceError::InvalidConfig("page_size must be non-zero".into()));
         }
-        if block_size == 0 || block_size % page_size != 0 {
+        if block_size == 0 || !block_size.is_multiple_of(page_size) {
             return Err(DeviceError::InvalidConfig(
                 "block_size must be a non-zero multiple of page_size".into(),
             ));
         }
-        if capacity == 0 || capacity % block_size as u64 != 0 {
+        if capacity == 0 || !capacity.is_multiple_of(block_size as u64) {
             return Err(DeviceError::InvalidConfig(
                 "capacity must be a non-zero multiple of block_size".into(),
             ));

@@ -122,7 +122,7 @@ impl Ssd {
         let logical_pages = self.geometry.pages();
         let to_map = (logical_pages as f64 * fill) as u64;
         // Deterministic "random-ish" order: stride by a large odd constant.
-        let stride = 2_654_435_761u64 % logical_pages.max(1) | 1;
+        let stride = (2_654_435_761u64 % logical_pages.max(1)) | 1;
         let mut lpn = 0u64;
         for _ in 0..to_map {
             lpn = (lpn + stride) % logical_pages;
@@ -405,7 +405,8 @@ mod tests {
         let mut small_total = SimDuration::ZERO;
         for i in 0..32u64 {
             // Scatter writes across the logical space.
-            small_total += ssd.write_at((i * 37 % 60) * 64 * 1024 + (1 << 20), &[1u8; 4096]).unwrap();
+            small_total +=
+                ssd.write_at((i * 37 % 60) * 64 * 1024 + (1 << 20), &[1u8; 4096]).unwrap();
         }
         // Same number of bytes (128 KiB) written in both cases.
         assert!(large < small_total, "sequential {large} vs random {small_total}");
@@ -454,7 +455,8 @@ mod tests {
             }
         }
         let s = ssd.stats();
-        let copied_per_gc = if s.gc_runs == 0 { 0.0 } else { s.gc_pages_copied as f64 / s.gc_runs as f64 };
+        let copied_per_gc =
+            if s.gc_runs == 0 { 0.0 } else { s.gc_pages_copied as f64 / s.gc_runs as f64 };
         assert!(
             copied_per_gc < 8.0,
             "sequential overwrite should leave mostly-invalid victims, got {copied_per_gc} copied/GC"

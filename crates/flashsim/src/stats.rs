@@ -221,7 +221,8 @@ mod tests {
 
     #[test]
     fn iostats_merge_and_busy_time() {
-        let mut a = IoStats { reads: 1, read_time: SimDuration::from_millis(1), ..Default::default() };
+        let mut a =
+            IoStats { reads: 1, read_time: SimDuration::from_millis(1), ..Default::default() };
         let b = IoStats {
             writes: 2,
             write_time: SimDuration::from_millis(2),

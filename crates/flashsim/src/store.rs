@@ -81,19 +81,19 @@ impl SparseStore {
         let page_size = self.page_size as u64;
         let end = offset + len;
         let first_full = offset.div_ceil(page_size);
-        let last_full = end / page_size; // exclusive
-        // Drop fully covered pages.
+        // `last_full` is exclusive. Drop fully covered pages.
+        let last_full = end / page_size;
         for p in first_full..last_full {
             self.pages.remove(&p);
         }
         // Zero leading partial page.
-        if offset % page_size != 0 {
+        if !offset.is_multiple_of(page_size) {
             let lead_len = (page_size - offset % page_size).min(len);
             let zeros = vec![0u8; lead_len as usize];
             self.write(offset, &zeros);
         }
         // Zero trailing partial page.
-        if end % page_size != 0 && end / page_size >= first_full {
+        if !end.is_multiple_of(page_size) && end / page_size >= first_full {
             let tail_start = end - end % page_size;
             if tail_start >= offset {
                 let zeros = vec![0u8; (end - tail_start) as usize];

@@ -18,7 +18,9 @@ use serde::{Deserialize, Serialize};
 /// `SimDuration` is deliberately separate from [`std::time::Duration`] so
 /// that simulated latencies cannot be accidentally mixed with wall-clock
 /// measurements.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimDuration(u64);
 
 impl SimDuration {
@@ -157,11 +159,7 @@ impl Mul<f64> for SimDuration {
 impl Div<u64> for SimDuration {
     type Output = SimDuration;
     fn div(self, rhs: u64) -> SimDuration {
-        if rhs == 0 {
-            SimDuration::ZERO
-        } else {
-            SimDuration(self.0 / rhs)
-        }
+        SimDuration(self.0.checked_div(rhs).unwrap_or(0))
     }
 }
 

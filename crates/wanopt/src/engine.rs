@@ -230,10 +230,7 @@ mod tests {
         // and must be reconstructable.
         let verified = e.verify_reconstruction(&trace[3].data).unwrap();
         let chunks = chunk_boundaries(&trace[3].data, &ChunkerConfig::paper_default()).len();
-        assert!(
-            verified * 10 >= chunks * 9,
-            "only {verified}/{chunks} chunks reconstructable"
-        );
+        assert!(verified * 10 >= chunks * 9, "only {verified}/{chunks} chunks reconstructable");
     }
 
     #[test]

@@ -21,11 +21,11 @@ mod content_cache;
 mod engine;
 mod error;
 mod network;
+mod optimizer;
 pub mod rabin;
 pub mod sha1;
 mod store;
 pub mod trace;
-mod optimizer;
 
 pub use content_cache::ContentCache;
 pub use engine::{

@@ -61,7 +61,10 @@ mod tests {
 
     #[test]
     fn gbps_and_mbps_agree() {
-        assert_eq!(Link::gbps(1.0).transmit_time(1 << 20), Link::mbps(1000.0).transmit_time(1 << 20));
+        assert_eq!(
+            Link::gbps(1.0).transmit_time(1 << 20),
+            Link::mbps(1000.0).transmit_time(1 << 20)
+        );
         assert!((Link::gbps(0.5).rate_mbps() - 500.0).abs() < 1e-9);
     }
 

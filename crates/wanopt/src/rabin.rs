@@ -28,7 +28,8 @@ impl Default for RabinHasher {
 impl RabinHasher {
     /// Creates a hasher with the default base.
     pub fn new() -> Self {
-        let base: u64 = 0x0100_0193; // FNV-ish prime, odd
+        // FNV-ish prime, odd.
+        let base: u64 = 0x0100_0193;
         // The outgoing byte carries weight base^(WINDOW_SIZE - 1).
         let mut pow = 1u64;
         for _ in 0..WINDOW_SIZE - 1 {
@@ -189,14 +190,10 @@ mod tests {
         let mut shifted = random_bytes(977, 6);
         shifted.extend_from_slice(&shared);
         let cfg = ChunkerConfig::paper_default();
-        let a: std::collections::HashSet<Vec<u8>> = chunk_boundaries(&shared, &cfg)
-            .iter()
-            .map(|&(s, e)| shared[s..e].to_vec())
-            .collect();
-        let b: Vec<Vec<u8>> = chunk_boundaries(&shifted, &cfg)
-            .iter()
-            .map(|&(s, e)| shifted[s..e].to_vec())
-            .collect();
+        let a: std::collections::HashSet<Vec<u8>> =
+            chunk_boundaries(&shared, &cfg).iter().map(|&(s, e)| shared[s..e].to_vec()).collect();
+        let b: Vec<Vec<u8>> =
+            chunk_boundaries(&shifted, &cfg).iter().map(|&(s, e)| shifted[s..e].to_vec()).collect();
         let matched = b.iter().filter(|c| a.contains(*c)).count();
         assert!(
             matched * 10 >= b.len() * 7,

@@ -119,12 +119,8 @@ impl Sha1 {
                 40..=59 => ((b & c) | (b & d) | (c & d), 0x8F1B_BCDC),
                 _ => (b ^ c ^ d, 0xCA62_C1D6),
             };
-            let temp = a
-                .rotate_left(5)
-                .wrapping_add(f)
-                .wrapping_add(e)
-                .wrapping_add(k)
-                .wrapping_add(wi);
+            let temp =
+                a.rotate_left(5).wrapping_add(f).wrapping_add(e).wrapping_add(k).wrapping_add(wi);
             e = d;
             d = c;
             c = b.rotate_left(30);
@@ -146,24 +142,15 @@ mod tests {
     #[test]
     fn known_vectors() {
         // FIPS 180-1 test vectors.
-        assert_eq!(
-            Sha1::digest(b"abc").to_hex(),
-            "a9993e364706816aba3e25717850c26c9cd0d89d"
-        );
+        assert_eq!(Sha1::digest(b"abc").to_hex(), "a9993e364706816aba3e25717850c26c9cd0d89d");
         assert_eq!(
             Sha1::digest(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq").to_hex(),
             "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
         );
-        assert_eq!(
-            Sha1::digest(b"").to_hex(),
-            "da39a3ee5e6b4b0d3255bfef95601890afd80709"
-        );
+        assert_eq!(Sha1::digest(b"").to_hex(), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
         // One million 'a's.
         let million = vec![b'a'; 1_000_000];
-        assert_eq!(
-            Sha1::digest(&million).to_hex(),
-            "34aa973cd4c4daa4f61eeb2bdbad27316534016f"
-        );
+        assert_eq!(Sha1::digest(&million).to_hex(), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
     }
 
     #[test]

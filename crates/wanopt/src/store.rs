@@ -83,7 +83,12 @@ impl<D: Device> BdbStore<D> {
     /// Wraps a BDB-style index, aging out fingerprints FIFO beyond
     /// `capacity` live entries.
     pub fn new(index: BdbHashIndex<D>, capacity: usize) -> Self {
-        BdbStore { index, order: VecDeque::new(), invalidated: HashSet::new(), capacity: capacity.max(1) }
+        BdbStore {
+            index,
+            order: VecDeque::new(),
+            invalidated: HashSet::new(),
+            capacity: capacity.max(1),
+        }
     }
 
     /// Access to the wrapped index.

@@ -101,7 +101,8 @@ pub fn generate_trace(config: &TraceConfig) -> Vec<TraceObject> {
             } else {
                 // Fresh (unique) segment, large enough that content-defined
                 // chunking resynchronises well inside it when repeated.
-                let seg_len = rng.gen_range(24 * 1024..=96 * 1024).min(remaining.max(4 * 1024));
+                let seg_len =
+                    rng.gen_range(24 * 1024usize..=96 * 1024).min(remaining.max(4 * 1024));
                 let mut segment = vec![0u8; seg_len];
                 rng.fill(&mut segment[..]);
                 let take = segment.len().min(remaining);

@@ -15,8 +15,7 @@ fn location(host: u32, shard: u32) -> u64 {
 
 fn main() {
     let config = ClamConfig::small_test(64 << 20, 8 << 20).expect("config");
-    let mut directory =
-        Clam::new(Ssd::intel(64 << 20).expect("ssd"), config).expect("clam");
+    let mut directory = Clam::new(Ssd::intel(64 << 20).expect("ssd"), config).expect("clam");
 
     // 500k content names published by 1000 hosts.
     let names: u64 = 500_000;

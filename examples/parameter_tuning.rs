@@ -13,10 +13,18 @@ fn main() {
     let s_eff = entry * 2; // 50% buffer utilisation -> 32 effective bytes/entry
     let model = FlashCostModel::from_profile(&DeviceProfile::intel_x18m());
 
-    println!("Target: F = {} GB of flash, {}-byte entries (s_eff = {} bytes)\n", flash >> 30, entry, s_eff);
+    println!(
+        "Target: F = {} GB of flash, {}-byte entries (s_eff = {} bytes)\n",
+        flash >> 30,
+        entry,
+        s_eff
+    );
 
     let b_opt = tuning::optimal_total_buffer_bytes(flash, s_eff);
-    println!("1. Optimal total buffer memory  B_opt = F/(s·ln²2) = {:.2} GB", b_opt as f64 / (1u64 << 30) as f64);
+    println!(
+        "1. Optimal total buffer memory  B_opt = F/(s·ln²2) = {:.2} GB",
+        b_opt as f64 / (1u64 << 30) as f64
+    );
 
     let cr = model.page_read_cost().as_millis_f64();
     for target in [1.0, 0.1, 0.01] {

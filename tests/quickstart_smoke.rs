@@ -1,0 +1,40 @@
+//! Quickstart smoke test: drives the paper's candidate configuration at
+//! 1/512 scale through an insert/lookup/delete round trip, mirroring the
+//! doc example in `crates/bufferhash/src/lib.rs` and the `quickstart`
+//! example.
+
+use clam::paper_clam;
+
+#[test]
+fn paper_clam_insert_lookup_roundtrip() {
+    let mut clam = paper_clam(1.0 / 512.0);
+
+    // Enough inserts to flush several buffers to flash, so lookups exercise
+    // the Bloom-filter → incarnation path and not just the DRAM buffer.
+    let n = 20_000u64;
+    for i in 0..n {
+        let key = clam::bufferhash::hash_with_seed(i, 0x51de);
+        clam.insert(key, i * 3 + 1).unwrap();
+    }
+
+    // Every inserted key is found with its latest value.
+    for i in 0..n {
+        let key = clam::bufferhash::hash_with_seed(i, 0x51de);
+        let hit = clam.lookup(key).unwrap();
+        assert_eq!(hit.value, Some(i * 3 + 1), "key {i} lost");
+    }
+
+    // Updates shadow older incarnations.
+    let key = clam::bufferhash::hash_with_seed(7, 0x51de);
+    clam.insert(key, 999).unwrap();
+    assert_eq!(clam.lookup(key).unwrap().value, Some(999));
+
+    // Deletes are observed.
+    clam.delete(key).unwrap();
+    assert_eq!(clam.lookup(key).unwrap().value, None);
+
+    // Absent keys miss (the filter may route us to flash, but the value
+    // must come back None).
+    let absent = clam::bufferhash::hash_with_seed(u64::MAX, 0xdead);
+    assert_eq!(clam.lookup(absent).unwrap().value, None);
+}

@@ -1,0 +1,172 @@
+//! Minimal, dependency-free stand-in for `criterion` (the build
+//! environment is offline). It keeps criterion's API shape —
+//! `criterion_group!` / `criterion_main!`, benchmark groups, `Bencher::iter`
+//! and `Throughput` — and reports mean wall-clock time per iteration. No
+//! statistics, warm-up tuning or HTML reports.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export so `criterion::black_box` resolves as upstream.
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    sample_size: Option<usize>,
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size.unwrap_or(10),
+            throughput: None,
+            _parent: self,
+        }
+    }
+
+    /// Runs a stand-alone benchmark outside any group.
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let sample_size = self.sample_size.unwrap_or(10);
+        run_benchmark(&name.into(), sample_size, None, &mut f);
+        self
+    }
+
+    /// Sets the default number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = Some(n);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples for subsequent benchmarks in the group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Declares the volume of work per iteration so the report can show a
+    /// rate alongside the latency.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, name.into());
+        run_benchmark(&full, self.sample_size, self.throughput, &mut f);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Work volume per iteration, for rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Passed to each benchmark closure; call [`Bencher::iter`] with the code
+/// under test.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Times `f`, recording `iters_per_sample` iterations per sample.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        // Warm-up / calibration: aim for samples of at least ~1ms, capped
+        // so cargo-test-style invocations stay fast.
+        let start = Instant::now();
+        black_box(f());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let iters = (Duration::from_millis(1).as_nanos() / once.as_nanos()).clamp(1, 10_000) as u64;
+        self.iters_per_sample = iters;
+        let samples = self.sample_size.max(1);
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn run_benchmark(
+    name: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    let mut bencher =
+        Bencher { samples: Vec::with_capacity(sample_size), sample_size, iters_per_sample: 1 };
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("{name}: no samples recorded");
+        return;
+    }
+    let total: Duration = bencher.samples.iter().sum();
+    let iters = bencher.iters_per_sample * bencher.samples.len() as u64;
+    let per_iter = total.as_secs_f64() / iters as f64;
+    let rate = match throughput {
+        Some(Throughput::Bytes(bytes)) => {
+            format!("  {:.1} MiB/s", bytes as f64 / per_iter / (1 << 20) as f64)
+        }
+        Some(Throughput::Elements(n)) => format!("  {:.0} elem/s", n as f64 / per_iter),
+        None => String::new(),
+    };
+    println!("{name}: {:.3} µs/iter{rate}", per_iter * 1e6);
+}
+
+/// Declares a function that runs the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

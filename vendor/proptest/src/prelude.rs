@@ -1,0 +1,5 @@
+//! Glob-import surface: `use proptest::prelude::*;`.
+
+pub use crate::strategy::{any, Any, Strategy};
+pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};

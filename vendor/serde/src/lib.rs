@@ -1,0 +1,16 @@
+//! Minimal, dependency-free stand-in for `serde` (the build environment is
+//! offline). The workspace only *derives* `Serialize`/`Deserialize` as
+//! forward-looking annotations — nothing actually serializes yet — so the
+//! traits are markers and the derives expand to nothing. Swapping in the
+//! real `serde` later requires no source changes.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+/// Marker for types that may be serialized (no-op stand-in).
+pub trait Serialize {}
+
+/// Marker for types that may be deserialized (no-op stand-in).
+pub trait Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};

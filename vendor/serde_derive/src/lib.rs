@@ -1,0 +1,19 @@
+//! No-op `Serialize`/`Deserialize` derives for the vendored serde stand-in.
+//! Deriving is purely an annotation in this workspace (nothing serializes),
+//! so the expansion is empty — which also sidesteps generics handling.
+
+#![warn(missing_docs)]
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; accepts any item.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; accepts any item.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
