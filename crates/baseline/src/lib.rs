@@ -13,6 +13,23 @@
 //! * [`DramHashStore`] — DRAM-only stores (host DRAM and RamSan-class
 //!   appliances) for the ops/sec/$ comparison;
 //! * [`cost`] — hash-operations-per-second-per-dollar calculations.
+//!
+//! ## How these are used
+//!
+//! All baselines run on the same simulated [`flashsim`] devices as the
+//! CLAM and return simulated latencies, so comparisons isolate the data
+//! structure from the medium: `fig7_bdb_latency_cdf` (BDB latency CDFs),
+//! `table3_lookup_fraction` (BufferHash vs. BDB as the lookup fraction
+//! varies), `ops_per_dollar` (§8's cost-effectiveness table) and the
+//! `ablation` binary (which degrades BufferHash toward
+//! [`ConventionalFlashHash`]) all live in `crates/bench/src/bin/`. The
+//! BDB-style indexes deliberately have **no batched pipeline** — they
+//! update pages in place per op, which is exactly the behavior the
+//! paper's buffering + batching design is built to avoid; in `wanopt`
+//! they fall back to `FingerprintStore`'s per-op default batch methods.
+//!
+//! See EXPERIMENTS.md in the repository root for the full experiment
+//! index.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]

@@ -2,7 +2,7 @@
 //! contribute to CLAM performance (Intel SSD).
 
 use bench::{
-    build_clam_with, ms, print_header, print_row, run_mixed_workload,
+    build_clam_with, bulk_load, ms, print_header, print_row, run_mixed_workload,
     run_mixed_workload_continuing, standard_config, Ablation, Medium,
 };
 
@@ -22,9 +22,14 @@ fn main() {
         for (idx, lsr) in [0.4f64, 0.8].iter().enumerate() {
             let cfg = ablation.apply(standard_config(bench::FLASH_BYTES, bench::DRAM_BYTES));
             let mut clam = build_clam_with(Medium::IntelSsd, cfg);
-            // Smaller warm-up for the unbuffered case (every insert hits flash).
-            let warm = if ablation == Ablation::NoBuffering { 40_000 } else { 600_000 };
-            run_mixed_workload(&mut clam, warm, 0.0, 0.0, 41);
+            // Smaller, per-op warm-up for the unbuffered case (every insert
+            // hits flash); the buffered cases batch-load 1/128-scale fills.
+            let warm = if ablation == Ablation::NoBuffering { 40_000 } else { 2_400_000 };
+            if ablation == Ablation::NoBuffering {
+                run_mixed_workload(&mut clam, warm, 0.0, 0.0, 41);
+            } else {
+                bulk_load(&mut clam, 0, warm as u64);
+            }
             clam.reset_stats();
             let ops = if ablation == Ablation::NoBuffering { 6_000 } else { 30_000 };
             let result = run_mixed_workload_continuing(&mut clam, ops, 0.5, *lsr, 42, warm as u64);

@@ -5,7 +5,7 @@
 //! creates more incarnations (more filters to match against). The measured
 //! spurious-flash-read rate has a sweet spot, as in the paper's Figure 5.
 
-use bench::{build_clam_with, print_header, print_row, standard_config, workload_key, Medium};
+use bench::{build_clam_with, bulk_load, print_header, print_row, standard_config, Medium};
 
 fn main() {
     println!("Figure 5: spurious lookup rate vs memory allocated to buffers");
@@ -30,11 +30,10 @@ fn main() {
             continue;
         }
         let mut clam = build_clam_with(Medium::IntelSsd, cfg.clone());
-        // Fill the table, then issue lookups for absent keys: every flash
-        // read they trigger is spurious (Bloom false positive).
-        for i in 0..150_000u64 {
-            clam.insert(workload_key(i), i);
-        }
+        // Fill the table (batched: this is a pure load phase), then issue
+        // lookups for absent keys: every flash read they trigger is
+        // spurious (Bloom false positive).
+        bulk_load(&mut clam, 0, 600_000);
         clam.reset_stats();
         let misses = 20_000u64;
         for i in 0..misses {

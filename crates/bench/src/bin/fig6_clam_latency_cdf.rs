@@ -2,16 +2,16 @@
 //! Transcend SSD and a magnetic disk (40% LSR, interleaved lookups and
 //! inserts). Also covers §7.3.2 (the contribution of flash vs disk).
 
-use bench::{build_clam, ms, print_cdf, run_mixed_workload, run_mixed_workload_continuing, Medium};
+use bench::{build_clam, bulk_load, ms, print_cdf, run_mixed_workload_continuing, Medium};
 
 fn main() {
     println!("Figure 6: CLAM latency CDFs (40% LSR, equal lookups and inserts)\n");
     for medium in [Medium::IntelSsd, Medium::TranscendSsd, Medium::Disk] {
         let mut clam = build_clam(medium, bench::FLASH_BYTES, bench::DRAM_BYTES);
-        // Warm: fill a good part of the table first.
-        run_mixed_workload(&mut clam, 400_000, 0.0, 0.0, 11);
+        // Warm: fill a good part of the table first (batched load).
+        bulk_load(&mut clam, 0, 1_600_000);
         clam.reset_stats();
-        let mut result = run_mixed_workload_continuing(&mut clam, 40_000, 0.5, 0.4, 12, 400_000);
+        let mut result = run_mixed_workload_continuing(&mut clam, 40_000, 0.5, 0.4, 12, 1_600_000);
         println!("== BufferHash + {} ==", medium.label());
         println!(
             "  mean lookup {} ms   (p99 {} ms, max {} ms)",

@@ -3,7 +3,7 @@
 
 use baseline::{cost_effectiveness, cost_effectiveness_from_rate, SystemCost};
 use bench::{
-    build_bdb, build_clam, print_header, print_row, run_mixed_workload,
+    build_bdb, build_clam, bulk_load, print_header, print_row, run_mixed_workload,
     run_mixed_workload_continuing, Medium,
 };
 
@@ -12,9 +12,9 @@ fn main() {
 
     // Measure CLAM lookup/insert means on the Intel-class SSD.
     let mut clam = build_clam(Medium::IntelSsd, bench::FLASH_BYTES, bench::DRAM_BYTES);
-    run_mixed_workload(&mut clam, 400_000, 0.0, 0.0, 51);
+    bulk_load(&mut clam, 0, 1_600_000);
     clam.reset_stats();
-    let clam_result = run_mixed_workload_continuing(&mut clam, 40_000, 0.5, 0.4, 52, 400_000);
+    let clam_result = run_mixed_workload_continuing(&mut clam, 40_000, 0.5, 0.4, 52, 1_600_000);
 
     // And the BDB baseline on disk.
     let mut bdb = build_bdb(Medium::Disk, bench::FLASH_BYTES);

@@ -2,17 +2,17 @@
 //! costs, at 0% and 40% lookup success rates.
 
 use bench::{
-    build_clam, print_header, print_row, run_mixed_workload, run_mixed_workload_continuing, Medium,
+    build_clam, bulk_load, print_header, print_row, run_mixed_workload_continuing, Medium,
 };
 use bufferhash::analysis::FlashCostModel;
 use flashsim::DeviceProfile;
 
 fn distribution(lsr: f64) -> Vec<f64> {
     let mut clam = build_clam(Medium::IntelSsd, bench::FLASH_BYTES, bench::DRAM_BYTES);
-    // Warm up the table so most lookups that should hit go to flash.
-    run_mixed_workload(&mut clam, 400_000, 0.0, 0.0, 7);
+    // Warm up the table (batched) so most lookups that should hit go to flash.
+    bulk_load(&mut clam, 0, 1_600_000);
     clam.reset_stats();
-    run_mixed_workload_continuing(&mut clam, 40_000, 0.5, lsr, 8, 400_000);
+    run_mixed_workload_continuing(&mut clam, 40_000, 0.5, lsr, 8, 1_600_000);
     let stats = clam.stats();
     (0..4).map(|n| stats.lookup_read_fraction(n)).collect()
 }

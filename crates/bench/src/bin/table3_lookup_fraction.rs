@@ -3,7 +3,7 @@
 //! (LSR = 0.4 throughout).
 
 use bench::{
-    build_bdb, build_clam, print_header, print_row, run_mixed_workload,
+    build_bdb, build_clam, bulk_load, print_header, print_row, run_mixed_workload,
     run_mixed_workload_continuing, Medium,
 };
 
@@ -13,10 +13,10 @@ fn main() {
     print_header(&["lookup fraction", "BufferHash (ms/op)", "BerkeleyDB (ms/op)"], &widths);
     for &fraction in &[0.0, 0.3, 0.5, 0.7, 1.0] {
         let mut clam = build_clam(Medium::TranscendSsd, bench::FLASH_BYTES, bench::DRAM_BYTES);
-        run_mixed_workload(&mut clam, 400_000, 0.0, 0.0, 31);
+        bulk_load(&mut clam, 0, 1_600_000);
         clam.reset_stats();
         let clam_result =
-            run_mixed_workload_continuing(&mut clam, 20_000, fraction, 0.4, 32, 400_000);
+            run_mixed_workload_continuing(&mut clam, 20_000, fraction, 0.4, 32, 1_600_000);
 
         let mut bdb = build_bdb(Medium::TranscendSsd, bench::FLASH_BYTES);
         run_mixed_workload(&mut bdb, 40_000, 0.0, 0.0, 31);

@@ -152,6 +152,68 @@ impl FlashCostModel {
         let single = self.write.cost(self.page_size).as_nanos().max(1) as f64;
         buffered / single
     }
+
+    // ------------------------------------------------------------------
+    // Batched-operation cost model
+    // ------------------------------------------------------------------
+    //
+    // Extension of the §6.1 amortization argument to the batched pipeline
+    // (`Clam::insert_batch`): buffering amortizes *flash* cost over the
+    // entries of one flush; batching additionally amortizes the *host-side
+    // dispatch* cost over the operations of one batch. Per-op end-to-end
+    // insert cost at batch size `b`:
+    //
+    //   T(b) = D/b + r + (C1 + C2 + C3)·s/B'
+    //
+    // where `D` is the per-call dispatch overhead (`BASE_OP_OVERHEAD`),
+    // `r` the residual per-op overhead inside a batch
+    // (`BATCHED_OP_OVERHEAD`, with `r = 0` and `D` un-divided at `b = 1`),
+    // and the last term is `insert_amortized`. Flush-write coalescing
+    // shaves the fixed command cost of contiguous incarnation writes on
+    // top of this; the model omits it, so it is conservative.
+
+    /// End-to-end amortized per-insert cost at batch size 1 (the per-op
+    /// pipeline): dispatch overhead plus the §6.1 amortized flash cost.
+    pub fn insert_end_to_end(
+        &self,
+        buffer_bytes: usize,
+        effective_entry_size: usize,
+    ) -> SimDuration {
+        crate::clam::BASE_OP_OVERHEAD + self.insert_amortized(buffer_bytes, effective_entry_size)
+    }
+
+    /// End-to-end amortized per-insert cost when inserts arrive in batches
+    /// of `batch_size`: the dispatch overhead is paid once per batch and a
+    /// residual per-op overhead remains.
+    pub fn insert_batch_amortized(
+        &self,
+        buffer_bytes: usize,
+        effective_entry_size: usize,
+        batch_size: usize,
+    ) -> SimDuration {
+        if batch_size <= 1 {
+            return self.insert_end_to_end(buffer_bytes, effective_entry_size);
+        }
+        crate::clam::BASE_OP_OVERHEAD / batch_size as u64
+            + crate::clam::BATCHED_OP_OVERHEAD
+            + self.insert_amortized(buffer_bytes, effective_entry_size)
+    }
+
+    /// Predicted insert-throughput speedup of batch size `batch_size` over
+    /// the per-op pipeline: `T(1) / T(b)`.
+    pub fn batch_insert_speedup(
+        &self,
+        buffer_bytes: usize,
+        effective_entry_size: usize,
+        batch_size: usize,
+    ) -> f64 {
+        let per_op = self.insert_end_to_end(buffer_bytes, effective_entry_size).as_nanos() as f64;
+        let batched = self
+            .insert_batch_amortized(buffer_bytes, effective_entry_size, batch_size)
+            .as_nanos()
+            .max(1) as f64;
+        per_op / batched
+    }
 }
 
 #[cfg(test)]
@@ -238,6 +300,32 @@ mod tests {
         // range the paper reports.
         let ms = at_40.as_millis_f64();
         assert!((0.02..0.3).contains(&ms), "40% LSR expected cost {ms} ms");
+    }
+
+    #[test]
+    fn batch_cost_shrinks_with_batch_size_and_saturates() {
+        let m = ssd();
+        let (buf, s_eff) = (32 * 1024, 32);
+        let b1 = m.insert_batch_amortized(buf, s_eff, 1);
+        let b8 = m.insert_batch_amortized(buf, s_eff, 8);
+        let b64 = m.insert_batch_amortized(buf, s_eff, 64);
+        let b4096 = m.insert_batch_amortized(buf, s_eff, 4096);
+        assert_eq!(b1, m.insert_end_to_end(buf, s_eff));
+        assert!(b8 < b1 && b64 < b8 && b4096 <= b64);
+        // The residual per-op overhead and the flash term bound the win.
+        let floor = m.insert_amortized(buf, s_eff) + crate::clam::BATCHED_OP_OVERHEAD;
+        assert!(b4096 >= floor);
+    }
+
+    #[test]
+    fn model_predicts_at_least_2x_speedup_at_batch_64_on_ssd() {
+        let m = ssd();
+        let speedup = m.batch_insert_speedup(32 * 1024, 32, 64);
+        assert!(speedup >= 2.0, "predicted speedup {speedup:.2} below 2x");
+        // Batching is near-free to opt out of: batch size 1 is the per-op
+        // path by definition.
+        let unity = m.batch_insert_speedup(32 * 1024, 32, 1);
+        assert!((unity - 1.0).abs() < 1e-9);
     }
 
     #[test]

@@ -19,6 +19,11 @@
 //! * Updates and deletes are lazy; space is reclaimed when incarnations are
 //!   evicted, under FIFO, LRU, update-based or priority-based
 //!   [eviction policies](EvictionPolicy).
+//! * Callers with many outstanding operations use the batched pipeline
+//!   ([`Clam::insert_batch`] / [`Clam::lookup_batch`]): ops are grouped by
+//!   super table, the per-call overhead is paid once per batch, and flush
+//!   writes to contiguous log slots are coalesced into single sequential
+//!   device writes (see DESIGN.md "Batched operations").
 //!
 //! ## Quick start
 //!
@@ -58,7 +63,10 @@ mod types;
 
 pub use bitslice::BitSlicedBloomSet;
 pub use bloom::BloomFilter;
-pub use clam::{Clam, InsertOutcome, LookupOutcome, LookupSource, MemoryUsage};
+pub use clam::{
+    BatchInsertOutcome, Clam, InsertOutcome, LookupOutcome, LookupSource, MemoryUsage,
+    BASE_OP_OVERHEAD, BATCHED_OP_OVERHEAD,
+};
 pub use config::{tuning, ClamConfig, FlashLayoutMode};
 pub use cuckoo::{BufferInsert, CuckooBuffer};
 pub use error::{BufferHashError, Result};

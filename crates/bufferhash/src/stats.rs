@@ -41,6 +41,21 @@ pub struct ClamStats {
     /// Simulated latency spent in asynchronous LRU re-insertions (not
     /// charged to the triggering lookups).
     pub async_reinsert_time: SimDuration,
+    /// Inserts submitted through the batched pipeline
+    /// (`Clam::insert_batch`).
+    pub batched_inserts: u64,
+    /// Lookups submitted through the batched pipeline
+    /// (`Clam::lookup_batch`).
+    pub batched_lookups: u64,
+    /// Device write commands eliminated by batch flush coalescing
+    /// (contiguous incarnation writes merged into one sequential write).
+    pub coalesced_flush_writes: u64,
+    /// Simulated latency of incarnation writes deferred by batches and
+    /// drained at the *end* of the batch (charged to the batch as a whole,
+    /// not to any triggering insert). Drains forced mid-batch — before an
+    /// erase or a partial-discard eviction read — are charged to the op
+    /// that needed them, like a sequential flush, and are not counted here.
+    pub deferred_flush_time: SimDuration,
 }
 
 /// Maximum histogram index tracked explicitly; larger values accumulate in
@@ -99,6 +114,39 @@ impl ClamStats {
     pub fn reset(&mut self) {
         *self = ClamStats::default();
     }
+
+    /// Merges another instance's statistics into this one (used to
+    /// aggregate per-stripe stats). Every field is combined, histograms
+    /// bucket-wise.
+    pub fn merge(&mut self, other: &ClamStats) {
+        self.inserts.merge(&other.inserts);
+        self.lookups.merge(&other.lookups);
+        self.deletes.merge(&other.deletes);
+        self.lookup_hits += other.lookup_hits;
+        self.lookup_misses += other.lookup_misses;
+        self.flushes += other.flushes;
+        self.forced_evictions += other.forced_evictions;
+        self.reinsertions += other.reinsertions;
+        self.spurious_flash_reads += other.spurious_flash_reads;
+        self.lookup_flash_reads += other.lookup_flash_reads;
+        merge_histogram(&mut self.flash_reads_histogram, &other.flash_reads_histogram);
+        merge_histogram(&mut self.cascade_histogram, &other.cascade_histogram);
+        self.async_reinsert_time += other.async_reinsert_time;
+        self.batched_inserts += other.batched_inserts;
+        self.batched_lookups += other.batched_lookups;
+        self.coalesced_flush_writes += other.coalesced_flush_writes;
+        self.deferred_flush_time += other.deferred_flush_time;
+    }
+}
+
+/// Adds `src` into `dst` bucket-wise, growing `dst` as needed.
+fn merge_histogram(dst: &mut Vec<u64>, src: &[u64]) {
+    if dst.len() < src.len() {
+        dst.resize(src.len(), 0);
+    }
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d += s;
+    }
 }
 
 #[cfg(test)]
@@ -128,6 +176,35 @@ mod tests {
         s.record_cascade(3);
         assert_eq!(s.cascade_histogram[1], 1);
         assert_eq!(s.cascade_histogram[3], 2);
+    }
+
+    #[test]
+    fn merge_combines_every_field_including_histograms() {
+        let mut a = ClamStats::new();
+        a.record_lookup_reads(0);
+        a.record_cascade(1);
+        a.lookup_hits = 3;
+        a.flushes = 2;
+        a.batched_inserts = 10;
+        a.deferred_flush_time = SimDuration::from_micros(5);
+        let mut b = ClamStats::new();
+        b.record_lookup_reads(0);
+        b.record_lookup_reads(2);
+        b.record_cascade(4);
+        b.lookup_misses = 7;
+        b.coalesced_flush_writes = 4;
+        a.merge(&b);
+        assert_eq!(a.flash_reads_histogram[0], 2);
+        assert_eq!(a.flash_reads_histogram[2], 1);
+        assert_eq!(a.cascade_histogram[1], 1);
+        assert_eq!(a.cascade_histogram[4], 1);
+        assert_eq!(a.lookup_hits, 3);
+        assert_eq!(a.lookup_misses, 7);
+        assert_eq!(a.flushes, 2);
+        assert_eq!(a.batched_inserts, 10);
+        assert_eq!(a.coalesced_flush_writes, 4);
+        assert_eq!(a.deferred_flush_time, SimDuration::from_micros(5));
+        assert!((a.lookup_read_fraction(0) - 2.0 / 3.0).abs() < 1e-9);
     }
 
     #[test]

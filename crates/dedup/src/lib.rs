@@ -8,6 +8,26 @@
 //! top of the same [`wanopt::FingerprintStore`] abstraction so the
 //! CLAM-vs-BerkeleyDB comparison of §3 ("2 hours with BDB, under 2 minutes
 //! with a CLAM") can be reproduced.
+//!
+//! ## What's here
+//!
+//! * [`DedupStore`] — the deduplicating chunk store: content-defined
+//!   chunking ([`wanopt::chunk_boundaries`]), SHA-1 fingerprints, a
+//!   fingerprint index and an archival [`wanopt::ContentCache`]. Ingest
+//!   batches its index traffic — one [`wanopt::FingerprintStore::lookup_batch`]
+//!   over a stream's chunk fingerprints, one
+//!   [`wanopt::FingerprintStore::insert_batch`] for the new chunks — so a
+//!   CLAM-backed index amortizes per-op overhead across the stream.
+//! * [`BackupServer`] / [`BackupClient`] — full/incremental backup rounds
+//!   over a `DedupStore`, with [`BackupStats`] per round.
+//! * [`merge_indexes`] — the §3 index-merge maintenance task over
+//!   [`FingerprintSet`]s, reporting a [`MergeReport`]; the
+//!   `dedup_merge` bench binary turns this into the "2 h → 2 min"
+//!   comparison.
+//!
+//! Runnable end-to-end scenarios: `examples/dedup_merge.rs` and the
+//! `dedup_merge` binary in `crates/bench`. Design context: DESIGN.md
+//! ("Batched operations") in the repository root.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]

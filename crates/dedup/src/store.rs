@@ -6,6 +6,8 @@
 //! application, reusing the WAN optimizer's chunking machinery with a
 //! different write path.
 
+use std::collections::HashSet;
+
 use flashsim::{Device, SimDuration};
 use wanopt::{chunk_boundaries, ChunkerConfig, ContentCache, FingerprintStore, Result, Sha1};
 
@@ -75,28 +77,44 @@ impl<S: FingerprintStore, D: Device> DedupStore<S, D> {
 
     /// Ingests one data stream (a file or backup object); duplicate chunks
     /// are suppressed. Returns the simulated time spent.
+    ///
+    /// Index traffic is batched per stream: one
+    /// [`FingerprintStore::lookup_batch`] over every chunk fingerprint,
+    /// then one [`FingerprintStore::insert_batch`] for the chunks that
+    /// turned out to be new — a CLAM-backed index amortizes its per-op
+    /// overhead across the whole stream. Chunks repeated *within* the
+    /// stream deduplicate from their second occurrence on, exactly as in
+    /// the eager per-chunk formulation.
     pub fn ingest(&mut self, data: &[u8]) -> Result<SimDuration> {
         let mut total = SimDuration::ZERO;
-        for (start, end) in chunk_boundaries(data, &self.chunker) {
+        let boundaries = chunk_boundaries(data, &self.chunker);
+        let fingerprints: Vec<u64> = boundaries
+            .iter()
+            .map(|&(start, end)| Sha1::digest(&data[start..end]).fingerprint64())
+            .collect();
+        let (hits, t) = self.index.lookup_batch(&fingerprints)?;
+        self.index_time += t;
+        total += t;
+        let mut inserts: Vec<(u64, u64)> = Vec::new();
+        let mut new_this_stream = HashSet::new();
+        for (i, &(start, end)) in boundaries.iter().enumerate() {
             let chunk = &data[start..end];
-            let fp = Sha1::digest(chunk).fingerprint64();
             self.stats.bytes_in += chunk.len() as u64;
             self.stats.chunks_in += 1;
-            let (hit, t) = self.index.lookup(fp)?;
-            self.index_time += t;
-            total += t;
-            if hit.is_some() {
+            if hits[i].is_some() || new_this_stream.contains(&fingerprints[i]) {
                 self.stats.chunks_deduplicated += 1;
                 continue;
             }
             let (addr, t) = self.archive.append(chunk)?;
             self.archive_time += t;
             total += t;
-            let t = self.index.insert(fp, addr)?;
-            self.index_time += t;
-            total += t;
+            inserts.push((fingerprints[i], addr));
+            new_this_stream.insert(fingerprints[i]);
             self.stats.bytes_stored += chunk.len() as u64;
         }
+        let t = self.index.insert_batch(&inserts)?;
+        self.index_time += t;
+        total += t;
         Ok(total)
     }
 
@@ -177,6 +195,20 @@ mod tests {
         s.ingest(&dataset).unwrap();
         let ok = s.verify(&dataset).unwrap();
         assert!(ok as usize * 10 >= dataset.len() * 9, "verified only {ok} bytes");
+    }
+
+    #[test]
+    fn ingest_routes_index_traffic_through_batches() {
+        let mut s = store();
+        let dataset = random_bytes(400_000, 9);
+        s.ingest(&dataset).unwrap();
+        s.ingest(&dataset).unwrap();
+        let st = s.stats();
+        let clam_stats = s.index().clam().stats().clone();
+        assert_eq!(clam_stats.batched_lookups, st.chunks_in, "one batched lookup per chunk");
+        assert!(clam_stats.batched_inserts > 0);
+        // The second, fully duplicate backup inserted nothing new.
+        assert_eq!(clam_stats.batched_inserts, st.chunks_in - st.chunks_deduplicated);
     }
 
     #[test]

@@ -15,6 +15,12 @@ use flashsim::{Device, SimDuration};
 use crate::error::Result;
 
 /// A large fingerprint → address index with simulated per-operation latency.
+///
+/// Besides the per-op methods, stores expose a batched interface used by
+/// the compression engine and the dedup path, which look up and insert one
+/// batch of chunk fingerprints per object. The default implementations
+/// fall back to per-op loops; backends with a real batch pipeline (the
+/// CLAM) override them to amortize per-op overhead.
 pub trait FingerprintStore {
     /// Inserts (or updates) a fingerprint, returning the simulated latency.
     fn insert(&mut self, fingerprint: u64, address: u64) -> Result<SimDuration>;
@@ -22,6 +28,30 @@ pub trait FingerprintStore {
     /// Looks up a fingerprint, returning the stored address (if any) and the
     /// simulated latency.
     fn lookup(&mut self, fingerprint: u64) -> Result<(Option<u64>, SimDuration)>;
+
+    /// Inserts a batch of (fingerprint, address) pairs, returning the total
+    /// simulated latency. Defaults to a per-op loop.
+    fn insert_batch(&mut self, ops: &[(u64, u64)]) -> Result<SimDuration> {
+        let mut total = SimDuration::ZERO;
+        for &(fingerprint, address) in ops {
+            total += self.insert(fingerprint, address)?;
+        }
+        Ok(total)
+    }
+
+    /// Looks up a batch of fingerprints, returning the stored addresses in
+    /// input order and the total simulated latency. Defaults to a per-op
+    /// loop.
+    fn lookup_batch(&mut self, fingerprints: &[u64]) -> Result<(Vec<Option<u64>>, SimDuration)> {
+        let mut values = Vec::with_capacity(fingerprints.len());
+        let mut total = SimDuration::ZERO;
+        for &fingerprint in fingerprints {
+            let (value, latency) = self.lookup(fingerprint)?;
+            values.push(value);
+            total += latency;
+        }
+        Ok((values, total))
+    }
 
     /// Human-readable description (used in benchmark output).
     fn name(&self) -> String;
@@ -57,6 +87,23 @@ impl<D: Device> FingerprintStore for ClamStore<D> {
     fn lookup(&mut self, fingerprint: u64) -> Result<(Option<u64>, SimDuration)> {
         let out = self.clam.lookup(fingerprint)?;
         Ok((out.value, out.latency))
+    }
+
+    fn insert_batch(&mut self, ops: &[(u64, u64)]) -> Result<SimDuration> {
+        Ok(self.clam.insert_batch(ops)?.latency)
+    }
+
+    fn lookup_batch(&mut self, fingerprints: &[u64]) -> Result<(Vec<Option<u64>>, SimDuration)> {
+        let outcomes = self.clam.lookup_batch(fingerprints)?;
+        let mut total = SimDuration::ZERO;
+        let values = outcomes
+            .into_iter()
+            .map(|o| {
+                total += o.latency;
+                o.value
+            })
+            .collect();
+        Ok((values, total))
     }
 
     fn name(&self) -> String {
@@ -212,6 +259,33 @@ mod tests {
         // Re-inserting an invalidated fingerprint revives it.
         s.insert(fp(0), 7).unwrap();
         assert_eq!(s.lookup(fp(0)).unwrap().0, Some(7));
+    }
+
+    #[test]
+    fn batch_methods_agree_with_per_op_for_every_backend() {
+        let cfg = ClamConfig::small_test(4 << 20, 1 << 20).unwrap();
+        let mut clam = ClamStore::new(Clam::new(Ssd::intel(4 << 20).unwrap(), cfg).unwrap());
+        let idx = BdbHashIndex::new(Ssd::intel(4 << 20).unwrap(), BdbConfig::default()).unwrap();
+        let mut bdb = BdbStore::new(idx, 100_000);
+        let mut dram = DramStore::new(DramHashStore::ramsan());
+        fn check<S: FingerprintStore>(store: &mut S) {
+            let ops: Vec<(u64, u64)> = (0..800u64).map(|i| (fp(i), i)).collect();
+            store.insert_batch(&ops).unwrap();
+            let fps: Vec<u64> = (0..1_000u64).map(fp).collect();
+            let (values, latency) = store.lookup_batch(&fps).unwrap();
+            assert!(latency > SimDuration::ZERO);
+            for (i, v) in values.iter().enumerate() {
+                let expect = if i < 800 { Some(i as u64) } else { None };
+                assert_eq!(*v, expect, "{} index {i}", store.name());
+                assert_eq!(store.lookup(fp(i as u64)).unwrap().0, expect);
+            }
+        }
+        check(&mut clam);
+        check(&mut bdb);
+        check(&mut dram);
+        // The CLAM actually routed through the batched pipeline.
+        assert_eq!(clam.clam().stats().batched_inserts, 800);
+        assert_eq!(clam.clam().stats().batched_lookups, 1_000);
     }
 
     #[test]

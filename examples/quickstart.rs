@@ -1,5 +1,6 @@
-//! Quickstart: build a CLAM on a simulated SSD, insert a million
-//! fingerprints, look some up, and print the latency profile.
+//! Quickstart: build a CLAM on a simulated SSD, batch-insert two million
+//! fingerprints, look some up (batched and per-op), and print the latency
+//! profile.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
@@ -8,39 +9,50 @@ use clam::flashsim::Ssd;
 
 fn main() {
     // A scaled-down version of the paper's 32 GB flash / 4 GB DRAM CLAM:
-    // 64 MiB of simulated flash, 8 MiB of DRAM.
-    let config = ClamConfig::small_test(64 << 20, 8 << 20).expect("config");
+    // 1/128 scale, i.e. 256 MiB of simulated flash, 32 MiB of DRAM. (The
+    // harness ran at 1/512 before the batched insert pipeline made larger
+    // fills cheap.)
+    let config = ClamConfig::small_test(256 << 20, 32 << 20).expect("config");
     println!(
         "CLAM configuration: {} super tables, {} incarnations each, {} Bloom hash functions",
         config.num_super_tables(),
         config.incarnations_per_table(),
         config.bloom_hashes()
     );
-    let device = Ssd::intel(64 << 20).expect("device");
+    let device = Ssd::intel(256 << 20).expect("device");
     let mut clam = Clam::new(device, config).expect("clam");
 
-    // Insert a million (fingerprint -> address) mappings.
-    let n: u64 = 1_000_000;
-    for i in 0..n {
-        let fingerprint = clam::bufferhash::hash_with_seed(i, 7);
-        clam.insert(fingerprint, i).expect("insert");
+    // Insert two million (fingerprint -> address) mappings through the
+    // batched pipeline: dispatch overhead is paid once per batch and
+    // flush writes to contiguous log slots coalesce.
+    let n: u64 = 2_000_000;
+    let ops: Vec<(u64, u64)> =
+        (0..n).map(|i| (clam::bufferhash::hash_with_seed(i, 7), i)).collect();
+    for chunk in ops.chunks(1024) {
+        clam.insert_batch(chunk).expect("insert_batch");
     }
 
-    // Look up a mix of present and absent keys.
+    // Look up a mix of present and absent keys, batched.
+    let keys: Vec<u64> = (0..100_000u64)
+        .map(|i| {
+            if i % 5 < 2 {
+                clam::bufferhash::hash_with_seed(i * 7 % n, 7) // present
+            } else {
+                clam::bufferhash::hash_with_seed(i, 0xdead) // absent
+            }
+        })
+        .collect();
     let mut hits = 0;
-    for i in 0..100_000u64 {
-        let key = if i % 5 < 2 {
-            clam::bufferhash::hash_with_seed(i * 7 % n, 7) // present
-        } else {
-            clam::bufferhash::hash_with_seed(i, 0xdead) // absent
-        };
-        if clam.lookup(key).expect("lookup").value.is_some() {
-            hits += 1;
+    for chunk in keys.chunks(256) {
+        for out in clam.lookup_batch(chunk).expect("lookup_batch") {
+            if out.value.is_some() {
+                hits += 1;
+            }
         }
     }
 
     let stats = clam.stats_mut();
-    println!("\nAfter {n} inserts and 100k lookups ({hits} hits):");
+    println!("\nAfter {n} batched inserts and 100k batched lookups ({hits} hits):");
     println!(
         "  insert latency: mean {:.4} ms, p99 {:.4} ms, max {:.3} ms",
         stats.inserts.mean().as_millis_f64(),
@@ -54,7 +66,7 @@ fn main() {
         stats.lookups.max().as_millis_f64()
     );
     println!(
-        "  buffer flushes: {}, spurious flash reads: {}",
-        stats.flushes, stats.spurious_flash_reads
+        "  buffer flushes: {}, coalesced flush writes: {}, spurious flash reads: {}",
+        stats.flushes, stats.coalesced_flush_writes, stats.spurious_flash_reads
     );
 }

@@ -8,7 +8,7 @@ use proptest::prelude::*;
 
 use clam::bufferhash::{
     lookup_in_page, parse_incarnation, BloomFilter, Clam, ClamConfig, CuckooBuffer, Entry,
-    IncarnationLayout, PageLookup,
+    EvictionPolicy, FilterMode, FlashLayoutMode, IncarnationLayout, PageLookup,
 };
 use clam::flashsim::{SparseStore, Ssd};
 
@@ -97,6 +97,72 @@ proptest! {
             }
             prop_assert!(found, "entry not found after serialization");
         }
+    }
+}
+
+/// A deliberately tiny CLAM (two super tables, 32 KiB buffers) so property
+/// tests reach buffer flushes with a few thousand ops.
+fn tiny_clam() -> Clam<Ssd> {
+    let config = ClamConfig {
+        flash_capacity: 8 << 20,
+        dram_bytes: 1 << 20,
+        buffer_bytes_total: 64 * 1024,
+        buffer_bytes_per_table: 32 * 1024,
+        entry_size: 16,
+        max_buffer_utilization: 0.5,
+        eviction: EvictionPolicy::Fifo,
+        filter_mode: FilterMode::BitSliced,
+        layout: FlashLayoutMode::GlobalLog,
+        enable_buffering: true,
+    };
+    config.validate().expect("valid tiny config");
+    Clam::new(Ssd::intel(8 << 20).unwrap(), config).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// `insert_batch` over any op sequence (duplicate keys included), cut
+    /// into arbitrary batch sizes, yields a state observationally
+    /// equivalent to the same ops applied via sequential `insert`: the
+    /// same lookups return the same values from the same sources, and the
+    /// stats counters that describe state evolution (flushes, recorded
+    /// ops, hits/misses) match. Only the charged latencies differ — that
+    /// amortization is the point of batching.
+    #[test]
+    fn insert_batch_equivalent_to_sequential_inserts(
+        raw in vec((0u64..3_000, any::<u64>()), 200..3_000),
+        batch in 1usize..300,
+    ) {
+        let ops: Vec<(u64, u64)> = raw
+            .iter()
+            .map(|&(k, v)| (clam::bufferhash::hash_with_seed(k, 0x6a7c4), v))
+            .collect();
+        let mut seq = tiny_clam();
+        let mut bat = tiny_clam();
+        for &(k, v) in &ops {
+            seq.insert(k, v).unwrap();
+        }
+        for chunk in ops.chunks(batch) {
+            bat.insert_batch(chunk).unwrap();
+        }
+        prop_assert_eq!(seq.stats().flushes, bat.stats().flushes);
+        prop_assert_eq!(seq.stats().forced_evictions, bat.stats().forced_evictions);
+        prop_assert_eq!(seq.stats().reinsertions, bat.stats().reinsertions);
+        prop_assert_eq!(seq.stats().inserts.len(), bat.stats().inserts.len());
+        prop_assert_eq!(seq.approximate_entries(), bat.approximate_entries());
+        // Batched lookups over every written key agree with sequential
+        // lookups on the sequentially-built CLAM.
+        let keys: Vec<u64> = ops.iter().map(|&(k, _)| k).collect();
+        let batched = bat.lookup_batch(&keys).unwrap();
+        for (i, &k) in keys.iter().enumerate() {
+            let solo = seq.lookup(k).unwrap();
+            prop_assert_eq!(batched[i].value, solo.value);
+            prop_assert_eq!(batched[i].source, solo.source);
+            prop_assert_eq!(batched[i].flash_reads, solo.flash_reads);
+        }
+        prop_assert_eq!(seq.stats().lookup_hits, bat.stats().lookup_hits);
+        prop_assert_eq!(seq.stats().lookup_misses, bat.stats().lookup_misses);
     }
 }
 

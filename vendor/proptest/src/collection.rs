@@ -5,7 +5,7 @@ use std::ops::Range;
 use crate::strategy::Strategy;
 use crate::test_runner::TestRng;
 
-/// A length bound for [`vec`] (mirrors proptest's `SizeRange`).
+/// A length bound for [`vec()`] (mirrors proptest's `SizeRange`).
 #[derive(Debug, Clone)]
 pub struct SizeRange {
     min: usize,
@@ -32,7 +32,7 @@ pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S
     VecStrategy { element, size: size.into() }
 }
 
-/// See [`vec`].
+/// See [`vec()`].
 #[derive(Debug, Clone)]
 pub struct VecStrategy<S> {
     element: S,
