@@ -11,14 +11,18 @@
 //!
 //! The acceptance bar for the batching work: ≥ 2x insert throughput at
 //! batch size 64.
+//!
+//! `--smoke` runs a reduced op count so CI can keep the harness honest.
 
 use bench::{ms, print_header, print_row, standard_config, workload_key};
 use bufferhash::analysis::FlashCostModel;
 use bufferhash::{Clam, ClamConfig};
 use flashsim::{DeviceProfile, SimDuration, Ssd};
 
-const INSERTS: u64 = 1_500_000;
-const LOOKUPS: u64 = 200_000;
+const FULL_INSERTS: u64 = 1_500_000;
+const FULL_LOOKUPS: u64 = 200_000;
+const SMOKE_INSERTS: u64 = 150_000;
+const SMOKE_LOOKUPS: u64 = 20_000;
 const BATCH_SIZES: [usize; 4] = [8, 64, 256, 1024];
 
 fn fresh_clam() -> Clam<Ssd> {
@@ -31,10 +35,14 @@ fn kops_per_sec(ops: u64, total: SimDuration) -> f64 {
 }
 
 fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (inserts, lookups) =
+        if smoke { (SMOKE_INSERTS, SMOKE_LOOKUPS) } else { (FULL_INSERTS, FULL_LOOKUPS) };
     println!(
-        "Batched vs per-op CLAM pipeline (Intel SSD, 1/128 scale: {} MiB flash, {} MiB DRAM)\n",
+        "Batched vs per-op CLAM pipeline (Intel SSD, 1/128 scale: {} MiB flash, {} MiB DRAM{})\n",
         bench::FLASH_BYTES >> 20,
-        bench::DRAM_BYTES >> 20
+        bench::DRAM_BYTES >> 20,
+        if smoke { ", smoke mode" } else { "" }
     );
 
     // ------------------------------------------------------------------
@@ -42,13 +50,13 @@ fn main() {
     // ------------------------------------------------------------------
     let mut per_op = fresh_clam();
     let mut per_op_total = SimDuration::ZERO;
-    for i in 0..INSERTS {
+    for i in 0..inserts {
         per_op_total += per_op.insert(workload_key(i), i).expect("insert").latency;
     }
-    let per_op_rate = kops_per_sec(INSERTS, per_op_total);
+    let per_op_rate = kops_per_sec(inserts, per_op_total);
 
     let widths = [12, 14, 14, 10, 12, 12];
-    println!("{INSERTS} inserts:");
+    println!("{inserts} inserts:");
     print_header(
         &["batch", "sim total (ms)", "kops/sim-sec", "speedup", "flushes", "merged wr"],
         &widths,
@@ -68,7 +76,7 @@ fn main() {
     let mut speedup_at_64 = 0.0f64;
     for batch in BATCH_SIZES {
         let mut clam = fresh_clam();
-        let ops: Vec<(u64, u64)> = (0..INSERTS).map(|i| (workload_key(i), i)).collect();
+        let ops: Vec<(u64, u64)> = (0..inserts).map(|i| (workload_key(i), i)).collect();
         let mut total = SimDuration::ZERO;
         for chunk in ops.chunks(batch) {
             total += clam.insert_batch(chunk).expect("insert_batch").latency;
@@ -81,7 +89,7 @@ fn main() {
             &[
                 format!("{batch}"),
                 ms(total),
-                format!("{:.0}", kops_per_sec(INSERTS, total)),
+                format!("{:.0}", kops_per_sec(inserts, total)),
                 format!("{speedup:.2}x"),
                 format!("{}", clam.stats().flushes),
                 format!("{}", clam.stats().coalesced_flush_writes),
@@ -94,14 +102,14 @@ fn main() {
     // Lookup phase: 50% hits against a batch-loaded index.
     // ------------------------------------------------------------------
     let mut clam = fresh_clam();
-    let load: Vec<(u64, u64)> = (0..INSERTS).map(|i| (workload_key(i), i)).collect();
+    let load: Vec<(u64, u64)> = (0..inserts).map(|i| (workload_key(i), i)).collect();
     for chunk in load.chunks(1024) {
         clam.insert_batch(chunk).expect("load");
     }
-    let keys: Vec<u64> = (0..LOOKUPS)
+    let keys: Vec<u64> = (0..lookups)
         .map(|i| {
             if i % 2 == 0 {
-                workload_key((i * 7) % INSERTS)
+                workload_key((i * 7) % inserts)
             } else {
                 bufferhash::hash_with_seed(i, 0xab5e_0171)
             }
@@ -111,14 +119,14 @@ fn main() {
     for &k in &keys {
         solo_total += clam.lookup(k).expect("lookup").latency;
     }
-    println!("\n{LOOKUPS} lookups (~50% hit rate):");
+    println!("\n{lookups} lookups (~50% hit rate):");
     let widths = [12, 14, 14, 10];
     print_header(&["batch", "sim total (ms)", "kops/sim-sec", "speedup"], &widths);
     print_row(
         &[
             "per-op".into(),
             ms(solo_total),
-            format!("{:.0}", kops_per_sec(LOOKUPS, solo_total)),
+            format!("{:.0}", kops_per_sec(lookups, solo_total)),
             "1.00x".into(),
         ],
         &widths,
@@ -135,7 +143,7 @@ fn main() {
             &[
                 format!("{batch}"),
                 ms(total),
-                format!("{:.0}", kops_per_sec(LOOKUPS, total)),
+                format!("{:.0}", kops_per_sec(lookups, total)),
                 format!("{speedup:.2}x"),
             ],
             &widths,

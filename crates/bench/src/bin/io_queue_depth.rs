@@ -1,0 +1,242 @@
+//! Queue-depth sweep over the `Device` submission queues.
+//!
+//! Companion to ROADMAP's "async / io_uring-style device backend" and
+//! "true parallel stripe dispatch" items, in three parts:
+//!
+//! 1. **Real overlapped I/O** — flush-sized writes are submitted to a
+//!    [`flashsim::FileDevice`] at several queue depths. The device spreads
+//!    each batch over its worker pool (positioned I/O on the shared file)
+//!    and the batch completes in max-over-lanes time; the acceptance bar is
+//!    throughput improving monotonically with depth and **>= 2x at depth 8
+//!    vs depth 1**.
+//! 2. **Simulated SSD cross-check** — the same sweep against `Ssd` models
+//!    with varying queue depth, compared with the closed-form
+//!    `FlashCostModel::submit_makespan` term.
+//! 3. **Parallel stripe dispatch** — `StripedClam::insert_batch` (stripes
+//!    on their own threads, max-over-stripes latency) against the serial
+//!    reference path (summed latency), with identical outcomes.
+//!
+//! `--smoke` runs a reduced sweep for CI.
+
+use bench::{ms, print_header, print_row, workload_key};
+use bufferhash::analysis::FlashCostModel;
+use bufferhash::{Clam, ClamConfig, StripedClam};
+use flashsim::queue::batch_latency;
+use flashsim::{Device, DeviceProfile, FileDevice, IoRequest, QueueCapabilities, SimDuration, Ssd};
+
+struct Scale {
+    /// Write requests per submission (one per coalesced flush run).
+    requests: usize,
+    /// Bytes per write request (one incarnation-sized flush run).
+    request_bytes: usize,
+    /// Measurement trials per depth (best trial wins, to shed scheduler
+    /// noise on loaded hosts).
+    trials: usize,
+    /// Queue depths to sweep.
+    depths: &'static [usize],
+    /// Ops for the striped-dispatch comparison.
+    striped_ops: u64,
+}
+
+const FULL: Scale = Scale {
+    requests: 512,
+    request_bytes: 64 * 1024,
+    trials: 5,
+    depths: &[1, 2, 4, 8],
+    striped_ops: 60_000,
+};
+const SMOKE: Scale = Scale {
+    requests: 128,
+    request_bytes: 16 * 1024,
+    trials: 3,
+    depths: &[1, 2, 8],
+    striped_ops: 12_000,
+};
+
+fn flush_batch(scale: &Scale) -> Vec<IoRequest> {
+    (0..scale.requests)
+        .map(|i| {
+            IoRequest::write((i * scale.request_bytes) as u64, vec![i as u8; scale.request_bytes])
+        })
+        .collect()
+}
+
+fn mb_per_sec(bytes: usize, elapsed: SimDuration) -> f64 {
+    bytes as f64 / (1 << 20) as f64 / elapsed.as_secs_f64().max(1e-12)
+}
+
+/// Part 1: real overlapped file I/O. Returns PASS/FAIL.
+fn file_device_sweep(scale: &Scale) -> bool {
+    let capacity = (scale.requests * scale.request_bytes) as u64;
+    let path = std::env::temp_dir().join(format!("clam-io-queue-depth-{}", std::process::id()));
+    println!(
+        "[1/3] FileDevice: {} flush writes x {} KiB per submission, best of {} trials",
+        scale.requests,
+        scale.request_bytes >> 10,
+        scale.trials
+    );
+    let widths = [8, 14, 12, 14, 10, 22];
+    print_header(
+        &["depth", "elapsed (ms)", "wall (ms)", "MiB/s", "speedup", "overlapped/submitted"],
+        &widths,
+    );
+
+    // "elapsed" is the queue's completion latency (max over lanes of
+    // measured per-request times — the issue-prescribed accounting, which
+    // the PASS bar gates on); "wall" is the host wall clock around the
+    // whole submission, shown for transparency (on hosts with fewer cores
+    // than the queue depth the pool is capped and wall time cannot shrink
+    // with depth, which is exactly why the queue model exists).
+    let mut throughputs: Vec<f64> = Vec::new();
+    let mut base = 0.0f64;
+    for &depth in scale.depths {
+        let mut best = SimDuration::from_secs(3600);
+        let mut best_wall = f64::MAX;
+        let mut last_stats = String::new();
+        for _ in 0..scale.trials {
+            let mut dev = FileDevice::with_queue_depth(&path, capacity, depth).expect("file dev");
+            let mut requests = flush_batch(scale);
+            let wall_start = std::time::Instant::now();
+            let completions = dev.submit(&mut requests).expect("submit");
+            let wall = wall_start.elapsed().as_secs_f64() * 1e3;
+            assert!(completions.iter().all(|c| c.result.is_ok()), "file I/O failed");
+            best = best.min(batch_latency(&completions));
+            best_wall = best_wall.min(wall);
+            let s = dev.stats();
+            last_stats = format!("{}/{}", s.requests_overlapped, s.requests_submitted);
+        }
+        let thr = mb_per_sec(scale.requests * scale.request_bytes, best);
+        if depth == scale.depths[0] {
+            base = thr;
+        }
+        throughputs.push(thr);
+        print_row(
+            &[
+                format!("{depth}"),
+                ms(best),
+                format!("{best_wall:.3}"),
+                format!("{thr:.0}"),
+                format!("{:.2}x", thr / base.max(1e-12)),
+                last_stats,
+            ],
+            &widths,
+        );
+    }
+    std::fs::remove_file(&path).ok();
+    println!(
+        "(\"elapsed\" = device-queue completion accounting, the swept metric; \"wall\" = host\n\
+         wall clock, bounded by this machine's {} core(s) regardless of queue depth)",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
+
+    // 3% tolerance absorbs wall-clock measurement noise (per-depth steps
+    // are ~2x, so this cannot mask a real regression).
+    let monotone = throughputs.windows(2).all(|w| w[1] >= w[0] * 0.97);
+    let speedup = throughputs.last().unwrap() / base.max(1e-12);
+    let pass = monotone && speedup >= 2.0;
+    if pass {
+        println!(
+            "PASS: throughput improves monotonically and is {speedup:.2}x at depth {} vs depth {}\n",
+            scale.depths.last().unwrap(),
+            scale.depths[0]
+        );
+    } else {
+        println!(
+            "FAIL: monotone = {monotone}, depth-{} speedup = {speedup:.2}x (target: monotone, >= 2x)\n",
+            scale.depths.last().unwrap()
+        );
+    }
+    pass
+}
+
+/// Part 2: simulated SSD sweep against the closed-form queue model.
+fn simulated_sweep(scale: &Scale) {
+    const PAGES: usize = 64;
+    println!("[2/3] Simulated Intel-class SSD: {PAGES} page writes per submission vs model");
+    let widths = [8, 16, 16, 10];
+    print_header(&["depth", "measured (ms)", "model (ms)", "speedup"], &widths);
+    let mut base = SimDuration::ZERO;
+    for &depth in scale.depths {
+        let profile = DeviceProfile {
+            queue: QueueCapabilities::overlapped(depth),
+            ..DeviceProfile::intel_x18m()
+        };
+        let mut ssd = Ssd::with_profile(16 << 20, profile.clone()).expect("ssd");
+        let mut requests: Vec<IoRequest> =
+            (0..PAGES).map(|i| IoRequest::write((i * 4096) as u64, vec![7u8; 4096])).collect();
+        let completions = ssd.submit(&mut requests).expect("submit");
+        let measured = batch_latency(&completions);
+        let model = FlashCostModel::from_profile(&profile).submit_makespan(
+            PAGES,
+            profile.write_cost.cost(4096),
+            depth,
+        );
+        assert_eq!(
+            measured, model,
+            "simulator and closed-form queue model must agree at depth {depth}"
+        );
+        if depth == scale.depths[0] {
+            base = measured;
+        }
+        print_row(
+            &[
+                format!("{depth}"),
+                ms(measured),
+                ms(model),
+                format!("{:.2}x", base.as_nanos() as f64 / measured.as_nanos().max(1) as f64),
+            ],
+            &widths,
+        );
+    }
+    println!("simulator == closed-form model at every depth\n");
+}
+
+/// Part 3: parallel stripe dispatch vs the serial reference path.
+fn striped_dispatch(scale: &Scale) {
+    const STRIPES: usize = 4;
+    let stripe = || {
+        let cfg = ClamConfig::small_test(8 << 20, 2 << 20).expect("cfg");
+        Clam::new(Ssd::intel(8 << 20).expect("ssd"), cfg).expect("clam")
+    };
+    let parallel = StripedClam::new((0..STRIPES).map(|_| stripe()).collect());
+    let serial = StripedClam::new((0..STRIPES).map(|_| stripe()).collect());
+    let ops: Vec<(u64, u64)> = (0..scale.striped_ops).map(|i| (workload_key(i), i)).collect();
+    let mut par_total = SimDuration::ZERO;
+    let mut ser_total = SimDuration::ZERO;
+    for chunk in ops.chunks(1024) {
+        let p = parallel.insert_batch(chunk).expect("parallel");
+        let s = serial.insert_batch_serial(chunk).expect("serial");
+        assert_eq!((p.flushed_ops, p.evictions), (s.flushed_ops, s.evictions));
+        par_total += p.latency;
+        ser_total += s.latency;
+    }
+    assert_eq!(parallel.stats().flushes, serial.stats().flushes, "outcomes must not change");
+    println!(
+        "[3/3] StripedClam ({STRIPES} stripes, {} inserts): parallel dispatch {} \
+         (max-over-stripes) vs serial {} (summed) -> {:.2}x",
+        scale.striped_ops,
+        ms(par_total),
+        ms(ser_total),
+        ser_total.as_nanos() as f64 / par_total.as_nanos().max(1) as f64
+    );
+    // Flush every stripe concurrently (max-over-stripes latency) so the
+    // device counters below show the queued incarnation writes.
+    let flush_latency = parallel.flush_all().expect("flush_all");
+    println!("flush_all across stripes: {} (max-over-stripes)", ms(flush_latency));
+    let stats = parallel.stripe(0).expect("stripe").with(|c| c.device().stats());
+    println!("stripe-0 device counters: {stats}");
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let scale = if smoke { &SMOKE } else { &FULL };
+    println!("Submission-queue depth sweep ({} mode)\n", if smoke { "smoke" } else { "full" });
+    let pass = file_device_sweep(scale);
+    simulated_sweep(scale);
+    striped_dispatch(scale);
+    if !pass {
+        println!("\noverall: FAIL (file-device queue scaling below target)");
+        std::process::exit(1);
+    }
+    println!("\noverall: PASS");
+}

@@ -6,7 +6,7 @@
 //! of Figure 3 and Figure 4 and are cross-checked against the simulator in
 //! the benchmark harness.
 
-use flashsim::{DeviceProfile, MediumKind, SimDuration};
+use flashsim::{DeviceProfile, MediumKind, OverlapModel, QueueCapabilities, SimDuration};
 
 use crate::config::tuning;
 
@@ -27,6 +27,9 @@ pub struct FlashCostModel {
     /// `true` when an FTL hides erase/copy costs inside the write cost
     /// (SSDs): the `C2`/`C3` terms are then omitted (§6.1).
     pub ftl_managed: bool,
+    /// Submission-queue shape of the device (depth and overlap model),
+    /// driving the queue-depth-aware cost terms below.
+    pub queue: QueueCapabilities,
 }
 
 impl FlashCostModel {
@@ -39,6 +42,7 @@ impl FlashCostModel {
             page_size: profile.page_size as usize,
             block_size: profile.block_size as usize,
             ftl_managed: matches!(profile.kind, MediumKind::Ssd | MediumKind::Dram),
+            queue: profile.queue,
         }
     }
 
@@ -214,6 +218,75 @@ impl FlashCostModel {
             .max(1) as f64;
         per_op / batched
     }
+
+    // ------------------------------------------------------------------
+    // Queue-depth-aware cost model
+    // ------------------------------------------------------------------
+    //
+    // Submission queues (`Device::submit`) add a second, orthogonal
+    // amortization axis: independent requests of one submission overlap on
+    // up to `L` queue lanes (`L = min(depth, max_queue_depth)`, 1 for
+    // serial media), so a batch of `n` equal-cost requests completes in
+    //
+    //   M(n, d) = c · ⌈n / L⌉
+    //
+    // instead of `n·c` — the greedy earliest-free-lane schedule the
+    // simulated backends implement. The `io_queue_depth` binary
+    // cross-checks these expressions against the simulator and against
+    // the real-file worker pool.
+
+    /// Number of queue lanes a submission issued at `queue_depth` actually
+    /// gets: 1 on serial media, otherwise `queue_depth` capped by the
+    /// device's maximum depth.
+    ///
+    /// Deliberately *not* named like
+    /// [`QueueCapabilities::effective_lanes`], whose argument is a batch
+    /// size; this one takes the *requested queue depth* of a sweep.
+    pub fn lanes_at_depth(&self, queue_depth: usize) -> usize {
+        match self.queue.overlap {
+            OverlapModel::Serial => 1,
+            // `.max(1)` twice: both a zero requested depth and a degenerate
+            // zero-depth profile degrade to serial instead of panicking.
+            OverlapModel::Overlapped => queue_depth.min(self.queue.max_queue_depth.max(1)).max(1),
+        }
+    }
+
+    /// Predicted elapsed (makespan) time of a submission of `requests`
+    /// equal-cost requests, each costing `unit_cost`, issued at
+    /// `queue_depth`.
+    pub fn submit_makespan(
+        &self,
+        requests: usize,
+        unit_cost: SimDuration,
+        queue_depth: usize,
+    ) -> SimDuration {
+        let lanes = self.lanes_at_depth(queue_depth);
+        unit_cost * requests.div_ceil(lanes) as u64
+    }
+
+    /// Predicted elapsed time of `flushes` buffer flushes (each `C1+C2+C3`
+    /// for a buffer of `buffer_bytes`) submitted as one batch at
+    /// `queue_depth` — the queue-depth-aware cost of draining a coalesced
+    /// flush queue.
+    pub fn flush_queue_makespan(
+        &self,
+        flushes: usize,
+        buffer_bytes: usize,
+        queue_depth: usize,
+    ) -> SimDuration {
+        self.submit_makespan(flushes, self.insert_worst_case(buffer_bytes), queue_depth)
+    }
+
+    /// Predicted throughput gain of issuing `requests` equal-cost requests
+    /// at `queue_depth` over depth 1: `n·c / M(n, d)`. Saturates at the
+    /// device's maximum queue depth and is exactly 1.0 on serial media.
+    pub fn queue_depth_speedup(&self, requests: usize, queue_depth: usize) -> f64 {
+        if requests == 0 {
+            return 1.0;
+        }
+        let lanes = self.lanes_at_depth(queue_depth);
+        requests as f64 / requests.div_ceil(lanes) as f64
+    }
 }
 
 #[cfg(test)]
@@ -326,6 +399,46 @@ mod tests {
         // path by definition.
         let unity = m.batch_insert_speedup(32 * 1024, 32, 1);
         assert!((unity - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn queue_model_overlaps_on_intel_and_not_on_serial_media() {
+        let m = ssd(); // Intel: overlapped, depth 8
+        let c = SimDuration::from_micros(100);
+        assert_eq!(m.lanes_at_depth(1), 1);
+        assert_eq!(m.lanes_at_depth(4), 4);
+        assert_eq!(m.lanes_at_depth(64), 8, "saturates at the device depth");
+        assert_eq!(m.submit_makespan(16, c, 1), c * 16);
+        assert_eq!(m.submit_makespan(16, c, 8), c * 2);
+        assert!((m.queue_depth_speedup(16, 8) - 8.0).abs() < 1e-9);
+        assert!((m.queue_depth_speedup(16, 64) - 8.0).abs() < 1e-9);
+        assert!((m.queue_depth_speedup(0, 8) - 1.0).abs() < 1e-9);
+
+        let serial = chip();
+        assert_eq!(serial.lanes_at_depth(8), 1);
+        assert!((serial.queue_depth_speedup(16, 8) - 1.0).abs() < 1e-9);
+
+        // A degenerate zero-depth profile degrades to serial, not a panic.
+        let degenerate = FlashCostModel::from_profile(&DeviceProfile {
+            queue: flashsim::QueueCapabilities::overlapped(0),
+            ..DeviceProfile::intel_x18m()
+        });
+        assert_eq!(degenerate.lanes_at_depth(4), 1);
+    }
+
+    #[test]
+    fn queue_depth_speedup_is_monotone_up_to_saturation() {
+        let m = ssd();
+        let mut last = 0.0;
+        for depth in [1usize, 2, 4, 8, 16] {
+            let s = m.queue_depth_speedup(64, depth);
+            assert!(s >= last, "speedup must not regress at depth {depth}");
+            last = s;
+        }
+        // Flush makespan shrinks with depth accordingly.
+        let d1 = m.flush_queue_makespan(8, 32 * 1024, 1);
+        let d8 = m.flush_queue_makespan(8, 32 * 1024, 8);
+        assert_eq!(d8 * 8, d1);
     }
 
     #[test]

@@ -13,7 +13,8 @@
 //! the batch, and coalesce flush-triggered incarnation writes that land on
 //! contiguous log slots into single sequential device writes.
 
-use flashsim::{Device, LinearCost, SimDuration};
+use flashsim::queue::{batch_latency, IoCompletion};
+use flashsim::{Device, IoRequest, LinearCost, SimDuration};
 
 use crate::config::ClamConfig;
 use crate::cuckoo::BufferInsert;
@@ -564,13 +565,36 @@ impl<D: Device> Clam<D> {
 
     /// Flushes every non-empty buffer to flash (e.g. before a bulk merge or
     /// shutdown). Returns the total simulated latency.
+    ///
+    /// The per-table incarnation writes are collected and handed to the
+    /// device as one submission (contiguous log slots merge into sequential
+    /// writes, independent runs overlap on the device's queue lanes), so a
+    /// whole-index flush costs the makespan of the queue schedule rather
+    /// than the sum of blocking per-table writes.
     pub fn flush_all(&mut self) -> Result<SimDuration> {
         let mut total = SimDuration::ZERO;
+        let was_coalescing = self.coalesce_writes;
+        self.coalesce_writes = true;
+        let mut failure = None;
         for t in 0..self.tables.len() {
             if self.tables[t].buffer_len() > 0 {
-                total += self.flush_table(t, 0)?.latency;
+                match self.flush_table(t, 0) {
+                    Ok(flush) => total += flush.latency,
+                    Err(e) => {
+                        failure = Some(e);
+                        break;
+                    }
+                }
             }
         }
+        // Drain even on failure so the device matches the in-memory
+        // incarnation metadata registered so far.
+        self.coalesce_writes = was_coalescing;
+        let drained = self.drain_pending_writes();
+        if let Some(e) = failure {
+            return Err(e);
+        }
+        total += drained?;
         Ok(total)
     }
 
@@ -629,12 +653,15 @@ impl<D: Device> Clam<D> {
                 self.pending_writes.push((alloc.offset, image));
             } else {
                 // Erases must not be reordered with already-deferred
-                // writes, so drain first.
+                // writes, so drain first. The erases and the incarnation
+                // write then go to the device as one in-order submission
+                // (devices apply request effects in submission order, so
+                // erase-before-program is preserved).
                 latency += self.drain_pending_writes()?;
-                for block in &alloc.blocks_to_erase {
-                    latency += self.device.erase_block(*block)?;
-                }
-                latency += self.device.write_at(alloc.offset, &image)?;
+                let mut requests: Vec<IoRequest> =
+                    alloc.blocks_to_erase.iter().map(|&block| IoRequest::Erase { block }).collect();
+                requests.push(IoRequest::write(alloc.offset, image));
+                latency += self.submit_checked(&mut requests)?.0;
             }
             self.tables[t].register_incarnation(
                 IncarnationMeta { flash_offset: alloc.offset, entries: entries.len(), seq },
@@ -677,13 +704,24 @@ impl<D: Device> Clam<D> {
         let mut retained = Vec::new();
 
         if policy.uses_partial_discard() {
-            // Scan the incarnation to decide which entries survive. The
+            // Scan the incarnation to decide which entries survive, and
+            // queue the reclaiming TRIM behind the read in the same
+            // submission (in-order, so the read sees the live bytes). The
             // incarnation may still sit in the batch's deferred-write queue,
-            // so make the device current before reading.
+            // so make the device current before submitting.
             latency += self.drain_pending_writes()?;
             let layout = self.tables[t].layout();
-            let mut image = vec![0u8; layout.total_bytes()];
-            latency += self.device.read_at(oldest.flash_offset, &mut image)?;
+            let mut requests = vec![
+                IoRequest::read(oldest.flash_offset, layout.total_bytes()),
+                IoRequest::Trim { offset: oldest.flash_offset, len: layout.total_bytes() as u64 },
+            ];
+            let (submit_lat, completions) = self.submit_checked(&mut requests)?;
+            latency += submit_lat;
+            let image = completions
+                .into_iter()
+                .next()
+                .and_then(|c| c.result.ok())
+                .expect("read completion checked");
             // Deciding staleness also probes the in-memory filters.
             latency += self.mem_words_cost(oldest.entries * 2);
             let entries = parse_incarnation(&image, &layout)
@@ -693,19 +731,25 @@ impl<D: Device> Clam<D> {
                     retained.push(e);
                 }
             }
+        } else {
+            latency += self
+                .device
+                .trim(oldest.flash_offset, self.tables[t].layout().total_bytes() as u64)?;
         }
 
         self.tables[t].drop_oldest_incarnation();
         self.tables[t].prune_delete_list();
         self.allocator.release(oldest.flash_offset);
-        latency +=
-            self.device.trim(oldest.flash_offset, self.tables[t].layout().total_bytes() as u64)?;
         Ok((latency, retained))
     }
 
     /// Writes out every deferred incarnation image, merging runs of
-    /// contiguous offsets into single sequential device writes. Returns the
-    /// simulated latency of the drained writes.
+    /// contiguous offsets into single sequential device writes and handing
+    /// the merged runs to the device as **one submission**, so a device
+    /// with an overlapped queue (SSD lanes, the file backend's worker
+    /// pool) retires independent runs concurrently. Returns the simulated
+    /// latency of the drained writes — the batch's elapsed (max-over-lanes)
+    /// time, not the per-run sum.
     fn drain_pending_writes(&mut self) -> Result<SimDuration> {
         if self.pending_writes.is_empty() {
             return Ok(SimDuration::ZERO);
@@ -714,8 +758,8 @@ impl<D: Device> Clam<D> {
         // Stable sort: if the log wrapped within one batch and a slot was
         // written twice, the later image is written last and wins.
         writes.sort_by_key(|(offset, _)| *offset);
-        let mut total = SimDuration::ZERO;
         let mut merged = 0u64;
+        let mut requests: Vec<IoRequest> = Vec::new();
         let mut iter = writes.into_iter();
         let (mut run_offset, mut run_image) = iter.next().expect("non-empty");
         for (offset, image) in iter {
@@ -723,14 +767,31 @@ impl<D: Device> Clam<D> {
                 run_image.extend_from_slice(&image);
                 merged += 1;
             } else {
-                total += self.device.write_at(run_offset, &run_image)?;
+                requests.push(IoRequest::write(run_offset, run_image));
                 run_offset = offset;
                 run_image = image;
             }
         }
-        total += self.device.write_at(run_offset, &run_image)?;
+        requests.push(IoRequest::write(run_offset, run_image));
+        let (total, _) = self.submit_checked(&mut requests)?;
         self.stats.coalesced_flush_writes += merged;
         Ok(total)
+    }
+
+    /// Submits a request batch to the device, propagates the first
+    /// per-request failure, and returns the submission's elapsed latency
+    /// (max over queue lanes) together with the completions, for callers
+    /// that need read data back.
+    fn submit_checked(
+        &mut self,
+        requests: &mut [IoRequest],
+    ) -> Result<(SimDuration, Vec<IoCompletion>)> {
+        let completions = self.device.submit(requests)?;
+        let latency = batch_latency(&completions);
+        if let Some(err) = completions.iter().find_map(|c| c.result.as_ref().err()) {
+            return Err(err.clone().into());
+        }
+        Ok((latency, completions))
     }
 }
 

@@ -17,12 +17,21 @@
 //! sub-batch applied under that single acquisition via the underlying
 //! [`Clam::insert_batch`] pipeline (amortized dispatch overhead plus
 //! coalesced flush writes).
+//!
+//! Stripe sub-batches are **dispatched concurrently**: each stripe models
+//! an independent device (one SSD per stripe, §5.2), so
+//! [`StripedClam::insert_batch`] runs the stripes on their own threads and
+//! reports the batch latency as the *maximum over stripes* rather than the
+//! sum — the same max-over-lanes accounting the
+//! [`flashsim` submission queues](flashsim::queue) use below it.
+//! [`StripedClam::insert_batch_serial`] keeps the one-stripe-at-a-time
+//! reference path (summed latency) for comparison and debugging.
 
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use flashsim::Device;
+use flashsim::{Device, SimDuration};
 
 use crate::clam::{BatchInsertOutcome, Clam, InsertOutcome, LookupOutcome};
 use crate::error::Result;
@@ -72,6 +81,29 @@ impl<D: Device> SharedClam<D> {
     pub fn delete(&self, key: Key) -> Result<()> {
         self.inner.lock().delete(key)?;
         Ok(())
+    }
+
+    /// Updates a key (alias for [`insert`](Self::insert), like
+    /// [`Clam::update`]).
+    pub fn update(&self, key: Key, value: Value) -> Result<InsertOutcome> {
+        self.inner.lock().update(key, value)
+    }
+
+    /// Returns `true` if `key` currently maps to a value.
+    pub fn contains(&self, key: Key) -> Result<bool> {
+        self.inner.lock().contains(key)
+    }
+
+    /// Flushes every non-empty buffer to flash under one lock acquisition
+    /// (see [`Clam::flush_all`]). Returns the total simulated latency.
+    pub fn flush_all(&self) -> Result<SimDuration> {
+        self.inner.lock().flush_all()
+    }
+
+    /// Declares `idle` simulated time to the underlying device (see
+    /// [`Clam::idle`]).
+    pub fn idle(&self, idle: SimDuration) {
+        self.inner.lock().idle(idle)
     }
 
     /// Snapshot of the operation statistics.
@@ -131,13 +163,20 @@ impl<D: Device> StripedClam<D> {
         self.stripe_of(key).delete(key)
     }
 
-    /// Inserts a batch of key/value pairs, partitioned by stripe.
+    /// Inserts a batch of key/value pairs, partitioned by stripe and
+    /// **dispatched to the stripes concurrently**.
     ///
     /// Each stripe's lock is acquired **once** for its whole sub-batch
-    /// (instead of once per op), and the sub-batch runs through the
-    /// underlying [`Clam::insert_batch`] pipeline. The reported latency is
-    /// the sum over stripes; a deployment with one SSD per stripe would
-    /// overlap them and see roughly the slowest stripe instead.
+    /// (instead of once per op), the sub-batch runs through the underlying
+    /// [`Clam::insert_batch`] pipeline, and every non-empty stripe executes
+    /// on its own thread — stripes model independent devices (one SSD per
+    /// stripe), so their flash work genuinely overlaps. The reported
+    /// latency is therefore the **maximum over stripes** (the batch is done
+    /// when the slowest stripe is), while the event counters (`flushed_ops`,
+    /// `evictions`, `coalesced_writes`) sum across stripes. Results and
+    /// per-stripe state are identical to the serial reference path
+    /// ([`insert_batch_serial`](Self::insert_batch_serial)): stripes share
+    /// no state, so dispatch order cannot change any outcome.
     ///
     /// ```
     /// use bufferhash::{Clam, ClamConfig, StripedClam};
@@ -155,10 +194,58 @@ impl<D: Device> StripedClam<D> {
     /// assert_eq!(striped.lookup(12).unwrap().value, Some(1));
     /// ```
     pub fn insert_batch(&self, ops: &[(Key, Value)]) -> Result<BatchInsertOutcome> {
-        let mut groups: Vec<Vec<(Key, Value)>> = vec![Vec::new(); self.stripes.len()];
-        for &(key, value) in ops {
-            groups[self.stripe_index(key)].push((key, value));
+        let groups = self.partition(ops);
+        let occupied: Vec<usize> = (0..groups.len()).filter(|&i| !groups[i].is_empty()).collect();
+        let results =
+            self.dispatch_stripes(&occupied, |idx| self.stripes[idx].insert_batch(&groups[idx]));
+        let mut total = BatchInsertOutcome { ops: ops.len(), ..Default::default() };
+        for result in results.into_iter().flatten() {
+            let out = result?;
+            total.latency = total.latency.max(out.latency);
+            total.flushed_ops += out.flushed_ops;
+            total.evictions += out.evictions;
+            total.coalesced_writes += out.coalesced_writes;
         }
+        Ok(total)
+    }
+
+    /// Runs `job(stripe_index)` for every index in `indices` — on scoped
+    /// threads when more than one stripe participates, inline otherwise —
+    /// and returns one result slot per stripe (`None` for stripes that
+    /// were not dispatched). The shared fan-out engine behind
+    /// [`insert_batch`](Self::insert_batch),
+    /// [`lookup_batch`](Self::lookup_batch) and
+    /// [`flush_all`](Self::flush_all).
+    fn dispatch_stripes<R, F>(&self, indices: &[usize], job: F) -> Vec<Option<Result<R>>>
+    where
+        R: Send,
+        F: Fn(usize) -> Result<R> + Sync,
+    {
+        let mut results: Vec<Option<Result<R>>> = Vec::new();
+        results.resize_with(self.stripes.len(), || None);
+        match indices {
+            [] => {}
+            // One stripe: no point paying a thread spawn.
+            [only] => results[*only] = Some(job(*only)),
+            _ => std::thread::scope(|scope| {
+                let job = &job;
+                let handles: Vec<_> =
+                    indices.iter().map(|&idx| (idx, scope.spawn(move || job(idx)))).collect();
+                for (idx, handle) in handles {
+                    results[idx] = Some(handle.join().expect("stripe worker panicked"));
+                }
+            }),
+        }
+        results
+    }
+
+    /// The serial reference path for [`insert_batch`](Self::insert_batch):
+    /// stripes execute one after another and the reported latency is the
+    /// **sum over stripes**, as a single-device deployment would observe.
+    /// State and counters after this call are identical to the concurrent
+    /// path's.
+    pub fn insert_batch_serial(&self, ops: &[(Key, Value)]) -> Result<BatchInsertOutcome> {
+        let groups = self.partition(ops);
         let mut total = BatchInsertOutcome { ops: ops.len(), ..Default::default() };
         for (idx, group) in groups.iter().enumerate() {
             if group.is_empty() {
@@ -173,8 +260,45 @@ impl<D: Device> StripedClam<D> {
         Ok(total)
     }
 
+    /// Groups `ops` by owning stripe, preserving input order within each
+    /// stripe (which is what makes batched execution observationally
+    /// equivalent to per-op calls).
+    fn partition(&self, ops: &[(Key, Value)]) -> Vec<Vec<(Key, Value)>> {
+        let mut groups: Vec<Vec<(Key, Value)>> = vec![Vec::new(); self.stripes.len()];
+        for &(key, value) in ops {
+            groups[self.stripe_index(key)].push((key, value));
+        }
+        groups
+    }
+
+    /// Flushes every stripe's buffers (see [`Clam::flush_all`]), running
+    /// the stripes concurrently; returns the max-over-stripes latency.
+    pub fn flush_all(&self) -> Result<SimDuration> {
+        let all: Vec<usize> = (0..self.stripes.len()).collect();
+        let results = self.dispatch_stripes(&all, |idx| self.stripes[idx].flush_all());
+        let mut max = SimDuration::ZERO;
+        for r in results.into_iter().flatten() {
+            max = max.max(r?);
+        }
+        Ok(max)
+    }
+
+    /// Updates a key on its stripe (alias for [`insert`](Self::insert)).
+    pub fn update(&self, key: Key, value: Value) -> Result<InsertOutcome> {
+        self.stripe_of(key).update(key, value)
+    }
+
+    /// Returns `true` if `key` currently maps to a value.
+    pub fn contains(&self, key: Key) -> Result<bool> {
+        self.stripe_of(key).contains(key)
+    }
+
     /// Looks up a batch of keys, partitioned by stripe, with one lock
-    /// acquisition per stripe-batch. Outcomes are returned in input order.
+    /// acquisition per stripe-batch and the stripe sub-batches dispatched
+    /// concurrently (independent devices, like
+    /// [`insert_batch`](Self::insert_batch)). Outcomes are returned in
+    /// input order and are identical to per-op lookups; each outcome still
+    /// carries its own per-key latency.
     pub fn lookup_batch(&self, keys: &[Key]) -> Result<Vec<LookupOutcome>> {
         let mut groups: Vec<(Vec<Key>, Vec<usize>)> =
             vec![(Vec::new(), Vec::new()); self.stripes.len()];
@@ -183,14 +307,14 @@ impl<D: Device> StripedClam<D> {
             groups[idx].0.push(key);
             groups[idx].1.push(pos);
         }
+        let occupied: Vec<usize> = (0..groups.len()).filter(|&i| !groups[i].0.is_empty()).collect();
+        let results =
+            self.dispatch_stripes(&occupied, |idx| self.stripes[idx].lookup_batch(&groups[idx].0));
         let mut out: Vec<Option<LookupOutcome>> = vec![None; keys.len()];
-        for (idx, (group, positions)) in groups.iter().enumerate() {
-            if group.is_empty() {
-                continue;
-            }
-            let results = self.stripes[idx].lookup_batch(group)?;
-            for (result, &pos) in results.into_iter().zip(positions) {
-                out[pos] = Some(result);
+        for (idx, result) in results.into_iter().enumerate() {
+            let Some(result) = result else { continue };
+            for (outcome, &pos) in result?.into_iter().zip(&groups[idx].1) {
+                out[pos] = Some(outcome);
             }
         }
         Ok(out.into_iter().map(|o| o.expect("every key routed")).collect())
@@ -368,6 +492,70 @@ mod tests {
         }
         assert_eq!(striped.stats().inserts.len(), 12_000);
         assert_eq!(striped.stats().batched_inserts, 12_000);
+    }
+
+    #[test]
+    fn parallel_dispatch_matches_the_serial_path() {
+        let parallel = StripedClam::new(vec![clam(), clam(), clam()]);
+        let serial = StripedClam::new(vec![clam(), clam(), clam()]);
+        let ops: Vec<(u64, u64)> = (0..60_000u64).map(|i| (key(i), i * 3)).collect();
+        let mut max_total = flashsim::SimDuration::ZERO;
+        let mut sum_total = flashsim::SimDuration::ZERO;
+        for chunk in ops.chunks(512) {
+            let p = parallel.insert_batch(chunk).unwrap();
+            let s = serial.insert_batch_serial(chunk).unwrap();
+            // Same outcomes, event for event; only the latency accounting
+            // differs (max-over-stripes vs. sum-over-stripes).
+            assert_eq!(p.ops, s.ops);
+            assert_eq!(p.flushed_ops, s.flushed_ops);
+            assert_eq!(p.evictions, s.evictions);
+            assert_eq!(p.coalesced_writes, s.coalesced_writes);
+            assert!(p.latency <= s.latency);
+            max_total += p.latency;
+            sum_total += s.latency;
+        }
+        assert!(
+            max_total < sum_total,
+            "max-over-stripes ({max_total}) must undercut summed dispatch ({sum_total})"
+        );
+        // Identical end state: same per-stripe counters, same lookups.
+        let (ps, ss) = (parallel.stats(), serial.stats());
+        assert_eq!(ps.flushes, ss.flushes);
+        assert_eq!(ps.inserts.len(), ss.inserts.len());
+        assert_eq!(ps.batched_inserts, ss.batched_inserts);
+        for i in (0..60_000u64).step_by(271) {
+            assert_eq!(
+                parallel.lookup(key(i)).unwrap().value,
+                serial.lookup(key(i)).unwrap().value,
+                "key {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn wrappers_expose_the_full_clam_surface() {
+        let shared = SharedClam::new(clam());
+        shared.insert(key(1), 1).unwrap();
+        shared.update(key(1), 2).unwrap();
+        assert!(shared.contains(key(1)).unwrap());
+        let flushed = shared.flush_all().unwrap();
+        assert!(flushed > flashsim::SimDuration::ZERO);
+        shared.idle(flashsim::SimDuration::from_millis(1));
+        shared.delete(key(1)).unwrap();
+        assert!(!shared.contains(key(1)).unwrap());
+
+        let striped = StripedClam::new(vec![clam(), clam()]);
+        for i in 0..500u64 {
+            striped.update(key(i), i).unwrap();
+        }
+        assert!(striped.contains(key(7)).unwrap());
+        let flushes_before = striped.stats().flushes;
+        striped.flush_all().unwrap();
+        assert!(striped.stats().flushes > flushes_before);
+        striped.delete(key(7)).unwrap();
+        assert!(!striped.contains(key(7)).unwrap());
+        // Buffered entries survive the flush.
+        assert_eq!(striped.lookup(key(8)).unwrap().value, Some(8));
     }
 
     #[test]

@@ -5,10 +5,21 @@
 //! modelled hardware. Callers decide how to account for that latency (e.g.
 //! charge it to the triggering hash-table operation, or overlap it with
 //! other work).
+//!
+//! The primary entry point for I/O is the submission queue:
+//! [`Device::submit`] takes a batch of [`IoRequest`]s and returns one
+//! [`IoCompletion`] per request, letting the device overlap or reorder
+//! independent requests according to its [`QueueCapabilities`]. The per-op
+//! methods ([`read_at`](Device::read_at), [`write_at`](Device::write_at),
+//! [`erase_block`](Device::erase_block), [`trim`](Device::trim)) are the
+//! depth-1 view of the same machinery — semantically one-element
+//! submissions — kept because single blocking commands remain the natural
+//! unit for point lookups.
 
 use crate::error::Result;
 use crate::geometry::Geometry;
 use crate::profiles::DeviceProfile;
+use crate::queue::{IoCompletion, IoRequest, LaneScheduler, QueueCapabilities};
 use crate::stats::IoStats;
 use crate::time::SimDuration;
 
@@ -17,6 +28,12 @@ use crate::time::SimDuration;
 /// Implementations model the medium's cost structure: page-granular I/O,
 /// sequential-vs-random asymmetry, erase-before-write for raw flash, FTL
 /// garbage collection for SSDs, and seek/rotation for disks.
+///
+/// Implementors must provide the per-op methods; [`submit`](Device::submit)
+/// has a sequential provided fallback (every request on lane 0, in order),
+/// so the trait stays implementable with per-op logic alone. All built-in
+/// backends override `submit` natively to model queue overlap (SSD/DRAM
+/// lanes), seek-order scheduling (disk) or real overlapped file I/O.
 pub trait Device: Send {
     /// The parameter set this device was built from.
     fn profile(&self) -> &DeviceProfile;
@@ -24,17 +41,25 @@ pub trait Device: Send {
     /// Capacity and page/block layout.
     fn geometry(&self) -> Geometry;
 
+    /// The device's submission-queue shape (depth and overlap model).
+    fn queue(&self) -> QueueCapabilities {
+        self.profile().queue
+    }
+
     /// Reads `buf.len()` bytes starting at byte `offset`.
     ///
     /// Returns the simulated time the read took. Reads smaller than a page
-    /// are charged a full page (paper design principle P2).
+    /// are charged a full page (paper design principle P2). Semantically a
+    /// one-element [`submit`](Device::submit) of an
+    /// [`IoRequest::Read`] that borrows the caller's buffer.
     fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> Result<SimDuration>;
 
     /// Writes `data` starting at byte `offset`.
     ///
     /// Returns the simulated time the write took, including any FTL
     /// garbage-collection work it triggered (SSDs) or erase-block management
-    /// the model charges to the writer.
+    /// the model charges to the writer. Semantically a one-element
+    /// [`submit`](Device::submit) of an [`IoRequest::Write`].
     fn write_at(&mut self, offset: u64, data: &[u8]) -> Result<SimDuration>;
 
     /// Erases the erase block with index `block` (raw flash chips).
@@ -46,9 +71,36 @@ pub trait Device: Send {
 
     /// Declares the byte range `[offset, offset + len)` as no longer live
     /// (a TRIM hint). SSD models use it to cheapen future garbage
-    /// collection; other media ignore it.
+    /// collection; other media count and ignore it.
     fn trim(&mut self, _offset: u64, _len: u64) -> Result<SimDuration> {
         Ok(SimDuration::ZERO)
+    }
+
+    /// Submits a batch of requests to the device's queue and waits for all
+    /// of them to complete.
+    ///
+    /// Returns one [`IoCompletion`] per request, in submission order. The
+    /// *data effects* of the batch are applied in submission order on every
+    /// backend, so a submission is observationally equivalent (final bytes,
+    /// per-request results) to issuing the same operations sequentially;
+    /// devices only overlap or reorder the **timing** of independent
+    /// requests, which shows up in the completions' lane assignments.
+    /// Per-request failures (out-of-bounds, dirty-page programs, unsupported
+    /// erases) are reported in [`IoCompletion::result`] and do not abort the
+    /// rest of the batch; `Err` from `submit` itself means the device could
+    /// not process the submission at all.
+    ///
+    /// Use [`queue::batch_latency`](crate::queue::batch_latency) for the
+    /// elapsed time of the batch under the device's overlap model, and
+    /// [`queue::total_busy_time`](crate::queue::total_busy_time) for the
+    /// device-busy sum.
+    ///
+    /// The provided fallback executes the batch strictly sequentially via
+    /// the per-op methods (every completion on lane 0) and records no
+    /// queue-level statistics.
+    fn submit(&mut self, requests: &mut [IoRequest]) -> Result<Vec<IoCompletion>> {
+        let mut lanes = LaneScheduler::new(1);
+        Ok(execute_requests(self, requests, &mut lanes))
     }
 
     /// Informs the device that the workload was idle for `idle` simulated
@@ -69,6 +121,79 @@ pub trait Device: Send {
     }
 }
 
+/// Executes `requests` in submission order through `device`'s per-op
+/// methods, assigning each completion a lane from `lanes`.
+///
+/// This is the shared engine behind [`Device::submit`]: the provided
+/// fallback runs it with a single lane, and the simulated backends run it
+/// with as many lanes as their [`QueueCapabilities`] allow (their per-op
+/// state updates — FTL mappings, GC, program/erase bitmaps — still happen
+/// in submission order, which is what keeps submissions observationally
+/// equivalent to sequential execution). Only *independent* requests
+/// overlap: a request whose byte range conflicts with an earlier request
+/// of the same batch is queued on that request's lane, behind it.
+pub fn execute_requests<D: Device + ?Sized>(
+    device: &mut D,
+    requests: &mut [IoRequest],
+    lanes: &mut LaneScheduler,
+) -> Vec<IoCompletion> {
+    let mut completions = Vec::with_capacity(requests.len());
+    // Byte ranges already scheduled, with their lane and whether they were
+    // reads, for dependency detection.
+    let mut ranges: Vec<(u64, u64, usize, bool)> = Vec::new();
+    for (index, request) in requests.iter_mut().enumerate() {
+        let range = request.byte_range();
+        let is_read = matches!(request, IoRequest::Read { .. });
+        let (latency, result) = match request {
+            IoRequest::Read { offset, len } => {
+                let mut buf = vec![0u8; *len];
+                match device.read_at(*offset, &mut buf) {
+                    Ok(lat) => (lat, Ok(buf)),
+                    Err(e) => (SimDuration::ZERO, Err(e)),
+                }
+            }
+            IoRequest::Write { offset, data } => match device.write_at(*offset, data) {
+                Ok(lat) => (lat, Ok(Vec::new())),
+                Err(e) => (SimDuration::ZERO, Err(e)),
+            },
+            IoRequest::Erase { block } => match device.erase_block(*block) {
+                Ok(lat) => (lat, Ok(Vec::new())),
+                Err(e) => (SimDuration::ZERO, Err(e)),
+            },
+            IoRequest::Trim { offset, len } => match device.trim(*offset, *len) {
+                Ok(lat) => (lat, Ok(Vec::new())),
+                Err(e) => (SimDuration::ZERO, Err(e)),
+            },
+        };
+        let lane = match range {
+            Some((start, end)) if end > start => {
+                // Conflicting = overlapping ranges where at least one side
+                // mutates state (read-read overlap is harmless and may
+                // overlap in time). Queue a dependent request behind the
+                // *busiest* conflicting lane: every conflicting request
+                // ends at or before its lane's accumulated busy time, so
+                // this serializes after all of them.
+                let dependency = ranges
+                    .iter()
+                    .filter(|&&(s, e, _, prior_read)| {
+                        crate::queue::ranges_conflict((start, end, is_read), (s, e, prior_read))
+                    })
+                    .map(|&(_, _, lane, _)| lane)
+                    .max_by_key(|&lane| lanes.lane_busy(lane));
+                let lane = match dependency {
+                    Some(dependency) => lanes.assign_to(dependency, latency),
+                    None => lanes.assign(latency),
+                };
+                ranges.push((start, end, lane, is_read));
+                lane
+            }
+            _ => lanes.assign(latency),
+        };
+        completions.push(IoCompletion { index, lane, latency, result });
+    }
+    completions
+}
+
 /// Blanket implementation so `Box<dyn Device>` is itself a `Device`, which
 /// lets higher layers be generic over `D: Device` while still supporting
 /// dynamic dispatch where convenient.
@@ -78,6 +203,9 @@ impl<D: Device + ?Sized> Device for Box<D> {
     }
     fn geometry(&self) -> Geometry {
         (**self).geometry()
+    }
+    fn queue(&self) -> QueueCapabilities {
+        (**self).queue()
     }
     fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> Result<SimDuration> {
         (**self).read_at(offset, buf)
@@ -90,6 +218,9 @@ impl<D: Device + ?Sized> Device for Box<D> {
     }
     fn trim(&mut self, offset: u64, len: u64) -> Result<SimDuration> {
         (**self).trim(offset, len)
+    }
+    fn submit(&mut self, requests: &mut [IoRequest]) -> Result<Vec<IoCompletion>> {
+        (**self).submit(requests)
     }
     fn on_idle(&mut self, idle: SimDuration) {
         (**self).on_idle(idle)
@@ -109,6 +240,8 @@ impl<D: Device + ?Sized> Device for Box<D> {
 mod tests {
     use super::*;
     use crate::dram::DramDevice;
+    use crate::error::DeviceError;
+    use crate::queue::batch_latency;
 
     #[test]
     fn boxed_device_dispatches() {
@@ -122,5 +255,89 @@ mod tests {
         dev.reset_stats();
         assert_eq!(dev.stats().writes, 0);
         assert_eq!(dev.name(), "DRAM");
+    }
+
+    #[test]
+    fn boxed_device_forwards_submit() {
+        let mut dev: Box<dyn Device> = Box::new(DramDevice::new(1 << 20).unwrap());
+        let mut reqs =
+            vec![IoRequest::write(0, vec![7u8; 64]), IoRequest::read(0, 64), IoRequest::read(0, 0)];
+        let completions = dev.submit(&mut reqs).unwrap();
+        assert_eq!(completions.len(), 3);
+        assert_eq!(completions[1].result.as_ref().unwrap(), &vec![7u8; 64]);
+        // Native DRAM submit records queue stats through the Box.
+        assert_eq!(dev.stats().batches_submitted, 1);
+        assert_eq!(dev.stats().requests_submitted, 3);
+    }
+
+    #[test]
+    fn dependent_requests_serialize_and_read_read_overlaps() {
+        use crate::queue::total_busy_time;
+        let mut dev = DramDevice::new(1 << 20).unwrap();
+        // W1 is large (busiest lane), W2 small and disjoint, R3 spans both:
+        // R3 must queue behind W1 (fan-in picks the busiest conflict).
+        let mut reqs = vec![
+            IoRequest::write(0, vec![1u8; 8192]),
+            IoRequest::write(16_384, vec![2u8; 64]),
+            IoRequest::read(0, 32_768),
+        ];
+        let completions = dev.submit(&mut reqs).unwrap();
+        assert_eq!(completions[2].lane, completions[0].lane, "fan-in serializes behind W1");
+        let elapsed = batch_latency(&completions);
+        assert!(elapsed >= completions[0].latency + completions[2].latency);
+
+        // Read-read overlap is harmless: two reads of one range overlap.
+        let mut reqs = vec![IoRequest::read(0, 4096), IoRequest::read(0, 4096)];
+        let completions = dev.submit(&mut reqs).unwrap();
+        assert_ne!(completions[0].lane, completions[1].lane);
+        assert!(batch_latency(&completions) < total_busy_time(&completions));
+    }
+
+    /// A minimal third-party device that only implements the per-op
+    /// methods; `submit` must work through the provided fallback.
+    struct PerOpOnly {
+        inner: DramDevice,
+    }
+
+    impl Device for PerOpOnly {
+        fn profile(&self) -> &DeviceProfile {
+            self.inner.profile()
+        }
+        fn geometry(&self) -> Geometry {
+            self.inner.geometry()
+        }
+        fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> Result<SimDuration> {
+            self.inner.read_at(offset, buf)
+        }
+        fn write_at(&mut self, offset: u64, data: &[u8]) -> Result<SimDuration> {
+            self.inner.write_at(offset, data)
+        }
+        fn erase_block(&mut self, block: u64) -> Result<SimDuration> {
+            self.inner.erase_block(block)
+        }
+        fn stats(&self) -> IoStats {
+            self.inner.stats()
+        }
+        fn reset_stats(&mut self) {
+            self.inner.reset_stats()
+        }
+    }
+
+    #[test]
+    fn default_submit_is_a_sequential_fallback() {
+        let mut dev = PerOpOnly { inner: DramDevice::new(1 << 16).unwrap() };
+        let mut reqs = vec![
+            IoRequest::write(0, vec![1u8; 32]),
+            IoRequest::read(0, 32),
+            IoRequest::Erase { block: 0 },
+            IoRequest::read(1 << 16, 1), // out of bounds
+        ];
+        let completions = dev.submit(&mut reqs).unwrap();
+        assert!(completions.iter().all(|c| c.lane == 0), "fallback is serial");
+        assert_eq!(completions[1].result.as_ref().unwrap(), &vec![1u8; 32]);
+        assert!(matches!(completions[2].result, Err(DeviceError::Unsupported(_))));
+        assert!(matches!(completions[3].result, Err(DeviceError::OutOfBounds { .. })));
+        // Serial fallback: elapsed equals the busy sum.
+        assert_eq!(batch_latency(&completions), crate::queue::total_busy_time(&completions));
     }
 }

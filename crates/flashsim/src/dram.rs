@@ -5,10 +5,11 @@
 //! charged consistently with flash/disk work in end-to-end latency accounts.
 
 use crate::cost::LinearCost;
-use crate::device::Device;
+use crate::device::{execute_requests, Device};
 use crate::error::{DeviceError, Result};
 use crate::geometry::Geometry;
 use crate::profiles::DeviceProfile;
+use crate::queue::{IoCompletion, IoRequest, LaneScheduler};
 use crate::stats::IoStats;
 use crate::store::SparseStore;
 use crate::time::SimDuration;
@@ -84,6 +85,25 @@ impl Device for DramDevice {
         Err(DeviceError::Unsupported("erase_block on DRAM"))
     }
 
+    fn trim(&mut self, offset: u64, len: u64) -> Result<SimDuration> {
+        self.geometry.check_bounds(offset, len as usize)?;
+        // DRAM has no liveness tracking; the hint is counted and dropped.
+        self.stats.trims += 1;
+        Ok(SimDuration::ZERO)
+    }
+
+    /// Native submission: requests execute in order (so state and results
+    /// match sequential issue exactly) but are spread over the profile's
+    /// queue lanes, modelling channel/bank parallelism.
+    fn submit(&mut self, requests: &mut [IoRequest]) -> Result<Vec<IoCompletion>> {
+        self.stats.batches_submitted += 1;
+        self.stats.requests_submitted += requests.len() as u64;
+        let mut lanes = LaneScheduler::new(self.profile.queue.effective_lanes(requests.len()));
+        let completions = execute_requests(self, requests, &mut lanes);
+        self.stats.requests_overlapped += completions.iter().filter(|c| c.lane != 0).count() as u64;
+        Ok(completions)
+    }
+
     fn stats(&self) -> IoStats {
         self.stats.clone()
     }
@@ -131,6 +151,35 @@ mod tests {
         let d = DramDevice::new(100).unwrap();
         assert_eq!(d.geometry().capacity % 64, 0);
         assert!(d.geometry().capacity >= 100);
+    }
+
+    #[test]
+    fn submit_overlaps_requests_on_dram_lanes() {
+        use crate::queue::{batch_latency, total_busy_time};
+        let mut d = DramDevice::new(1 << 20).unwrap();
+        let mut reqs: Vec<IoRequest> =
+            (0..8).map(|i| IoRequest::write(i * 4096, vec![i as u8; 4096])).collect();
+        let completions = d.submit(&mut reqs).unwrap();
+        assert_eq!(completions.len(), 8);
+        assert!(completions.iter().all(|c| c.result.is_ok()));
+        // DRAM overlaps on 4 lanes: elapsed is ~1/4 of the busy sum.
+        let elapsed = batch_latency(&completions);
+        let busy = total_busy_time(&completions);
+        assert_eq!(elapsed, busy / 4);
+        let s = d.stats();
+        assert_eq!(s.batches_submitted, 1);
+        assert_eq!(s.requests_submitted, 8);
+        assert_eq!(s.requests_overlapped, 6, "two requests per lane, lanes 1-3 overlap");
+        assert_eq!(s.writes, 8, "per-command counters still advance");
+    }
+
+    #[test]
+    fn trim_is_a_counted_noop() {
+        let mut d = DramDevice::new(1 << 16).unwrap();
+        assert_eq!(d.trim(0, 4096).unwrap(), SimDuration::ZERO);
+        assert_eq!(d.stats().trims, 1);
+        assert_eq!(d.stats().total_ops(), 1);
+        assert!(d.trim(1 << 16, 1).is_err());
     }
 
     #[test]

@@ -9,10 +9,11 @@
 //! BufferHash's "one partition per super table, written circularly" layout
 //! (§5.2) is designed directly against this interface.
 
-use crate::device::Device;
+use crate::device::{execute_requests, Device};
 use crate::error::{DeviceError, Result};
 use crate::geometry::Geometry;
 use crate::profiles::DeviceProfile;
+use crate::queue::{IoCompletion, IoRequest, LaneScheduler};
 use crate::stats::IoStats;
 use crate::store::SparseStore;
 use crate::time::SimDuration;
@@ -141,6 +142,25 @@ impl Device for FlashChip {
         Ok(lat)
     }
 
+    fn trim(&mut self, offset: u64, len: u64) -> Result<SimDuration> {
+        self.geometry.check_bounds(offset, len as usize)?;
+        // A raw chip has no FTL to exploit the hint; count it and move on.
+        // (Erasure remains explicit via `erase_block`.)
+        self.stats.trims += 1;
+        Ok(SimDuration::ZERO)
+    }
+
+    /// Native submission: a single chip has one plane in this model, so the
+    /// batch executes strictly in order on one lane — which is exactly what
+    /// preserves the erase-before-program protocol inside a batch (an erase
+    /// queued ahead of a program to the same block lands first).
+    fn submit(&mut self, requests: &mut [IoRequest]) -> Result<Vec<IoCompletion>> {
+        self.stats.batches_submitted += 1;
+        self.stats.requests_submitted += requests.len() as u64;
+        let mut lanes = LaneScheduler::new(self.profile.queue.effective_lanes(requests.len()));
+        Ok(execute_requests(self, requests, &mut lanes))
+    }
+
     fn stats(&self) -> IoStats {
         self.stats.clone()
     }
@@ -249,6 +269,38 @@ mod tests {
     fn capacity_rounds_to_block_multiple() {
         let c = FlashChip::new(1000).unwrap();
         assert_eq!(c.geometry().capacity, 128 * 1024);
+    }
+
+    #[test]
+    fn submit_preserves_the_erase_before_program_protocol() {
+        let mut c = chip();
+        c.write_at(0, &[1u8; 2048]).unwrap();
+        // One batch: erase block 0, rewrite its first page, read it back,
+        // and a dirty-page program that must fail without killing the batch.
+        let mut reqs = vec![
+            IoRequest::Erase { block: 0 },
+            IoRequest::write(0, vec![9u8; 2048]),
+            IoRequest::read(0, 2048),
+            IoRequest::write(0, vec![3u8; 2048]),
+        ];
+        let completions = c.submit(&mut reqs).unwrap();
+        assert!(completions[0].result.is_ok());
+        assert!(completions[1].result.is_ok());
+        assert_eq!(completions[2].result.as_ref().unwrap()[0], 9);
+        assert!(matches!(completions[3].result, Err(DeviceError::WriteToDirtyPage { .. })));
+        assert!(completions.iter().all(|c| c.lane == 0), "a raw chip is serial");
+        let s = c.stats();
+        assert_eq!(s.batches_submitted, 1);
+        assert_eq!(s.requests_submitted, 4);
+        assert_eq!(s.requests_overlapped, 0);
+        assert_eq!(s.erases, 1);
+    }
+
+    #[test]
+    fn trim_is_counted_on_the_chip() {
+        let mut c = chip();
+        c.trim(0, 2048).unwrap();
+        assert_eq!(c.stats().trims, 1);
     }
 
     #[test]

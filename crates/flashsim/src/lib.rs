@@ -15,6 +15,13 @@
 //! [`SimDuration`] latencies, so higher layers are *sans-I/O*: the same
 //! BufferHash code runs on any medium, and experiments are deterministic.
 //!
+//! I/O is organised around an io_uring-style submission queue
+//! ([`Device::submit`] over [`IoRequest`] batches, see [`queue`]): each
+//! backend executes a batch natively — overlapping independent requests on
+//! queue lanes (SSD, DRAM), servicing it in seek order (disk) or spreading
+//! it over a real worker pool ([`FileDevice`]) — while the per-op methods
+//! remain available as the depth-1 view of the same machinery.
+//!
 //! ## Example
 //!
 //! ```
@@ -41,20 +48,22 @@ mod file_backend;
 mod flash_chip;
 mod geometry;
 mod profiles;
+pub mod queue;
 mod ssd;
 mod stats;
 mod store;
 mod time;
 
 pub use cost::LinearCost;
-pub use device::Device;
+pub use device::{execute_requests, Device};
 pub use disk::MagneticDisk;
 pub use dram::DramDevice;
 pub use error::{DeviceError, Result};
-pub use file_backend::FileDevice;
+pub use file_backend::{FileDevice, DEFAULT_FILE_QUEUE_DEPTH};
 pub use flash_chip::FlashChip;
 pub use geometry::Geometry;
 pub use profiles::{DeviceProfile, MediumKind};
+pub use queue::{IoCompletion, IoRequest, LaneScheduler, OverlapModel, QueueCapabilities};
 pub use ssd::Ssd;
 pub use stats::{IoStats, LatencyRecorder};
 pub use store::SparseStore;

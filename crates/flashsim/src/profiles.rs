@@ -11,6 +11,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::cost::LinearCost;
+use crate::queue::QueueCapabilities;
 
 /// The kind of medium a profile describes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -48,6 +49,10 @@ pub struct DeviceProfile {
     pub rotation_ns: u64,
     /// Fraction of physical capacity reserved as over-provisioning (SSD).
     pub over_provisioning: f64,
+    /// Submission-queue shape: how many requests the device keeps in
+    /// flight and whether they overlap in time (see
+    /// [`Device::submit`](crate::Device::submit)).
+    pub queue: QueueCapabilities,
     /// Purchase cost of the device in US dollars (for ops/sec/$ analyses).
     pub dollar_cost: f64,
     /// Typical power draw in watts (for energy discussions).
@@ -71,6 +76,8 @@ impl DeviceProfile {
             seek_ns: 0,
             rotation_ns: 0,
             over_provisioning: 0.08,
+            // NCQ-class queueing: the controller overlaps several commands.
+            queue: QueueCapabilities::overlapped(8),
             dollar_cost: 390.0,
             power_watts: 0.9,
         }
@@ -90,6 +97,8 @@ impl DeviceProfile {
             seek_ns: 0,
             rotation_ns: 0,
             over_provisioning: 0.04,
+            // Early JMicron-class controller: one command at a time.
+            queue: QueueCapabilities::serial(),
             dollar_cost: 85.0,
             power_watts: 0.7,
         }
@@ -109,6 +118,8 @@ impl DeviceProfile {
             seek_ns: 0,
             rotation_ns: 0,
             over_provisioning: 0.0,
+            // A single chip has one plane in this model: strictly serial.
+            queue: QueueCapabilities::serial(),
             dollar_cost: 60.0,
             power_watts: 0.3,
         }
@@ -128,6 +139,8 @@ impl DeviceProfile {
             seek_ns: 8_000_000,
             rotation_ns: 4_170_000,
             over_provisioning: 0.0,
+            // One actuator, but NCQ lets the drive reorder within a window.
+            queue: QueueCapabilities::serial_reordering(8),
             dollar_cost: 70.0,
             power_watts: 8.0,
         }
@@ -146,6 +159,8 @@ impl DeviceProfile {
             seek_ns: 0,
             rotation_ns: 0,
             over_provisioning: 0.0,
+            // Channel/bank parallelism absorbs a few concurrent accesses.
+            queue: QueueCapabilities::overlapped(4),
             // ~$25/GB-class pricing at the paper's time; per 4 GB module.
             dollar_cost: 100.0,
             power_watts: 4.0,
@@ -165,6 +180,7 @@ impl DeviceProfile {
             seek_ns: 0,
             rotation_ns: 0,
             over_provisioning: 0.0,
+            queue: QueueCapabilities::overlapped(16),
             dollar_cost: 120_000.0,
             power_watts: 650.0,
         }
@@ -224,6 +240,19 @@ mod tests {
         for p in DeviceProfile::all() {
             assert_eq!(p.block_size % p.page_size, 0, "{}", p.name);
         }
+    }
+
+    #[test]
+    fn queue_shapes_match_the_medium() {
+        use crate::queue::OverlapModel;
+        assert_eq!(DeviceProfile::intel_x18m().queue.overlap, OverlapModel::Overlapped);
+        assert_eq!(DeviceProfile::transcend_ts32g().queue.max_queue_depth, 1);
+        assert_eq!(DeviceProfile::flash_chip().queue.overlap, OverlapModel::Serial);
+        // The disk queues for reordering but never overlaps transfers.
+        let disk = DeviceProfile::hitachi_7k80().queue;
+        assert_eq!(disk.overlap, OverlapModel::Serial);
+        assert!(disk.max_queue_depth > 1);
+        assert_eq!(DeviceProfile::dram().queue.overlap, OverlapModel::Overlapped);
     }
 
     #[test]

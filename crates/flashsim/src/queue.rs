@@ -1,0 +1,311 @@
+//! io_uring-style submission/completion queues for the [`Device`](crate::Device) boundary.
+//!
+//! The paper's media reward batched, sequential, page-granular I/O, and real
+//! deployments drive them through explicit device queues (NCQ on SATA,
+//! submission rings on NVMe/io_uring) rather than one blocking call at a
+//! time. This module defines the request/completion vocabulary for that
+//! style of access:
+//!
+//! * [`IoRequest`] — one read/write/erase/trim command;
+//! * [`IoCompletion`] — per-request latency, execution *lane* and result;
+//! * [`QueueCapabilities`] / [`OverlapModel`] — how many requests a device
+//!   keeps in flight and whether they overlap in time;
+//! * [`LaneScheduler`] — the greedy earliest-free-lane model shared by the
+//!   simulated backends;
+//! * [`batch_latency`] / [`total_busy_time`] — turn a completion set into
+//!   the elapsed (makespan) or device-busy view of a submission.
+//!
+//! ## Ordering and overlap guarantees
+//!
+//! Every [`Device::submit`](crate::Device::submit) implementation applies
+//! the *data effects* of a batch in submission order, so a submission is
+//! observationally equivalent (final device bytes, per-request results) to
+//! issuing the same operations sequentially through the per-op methods.
+//! What devices are free to do is overlap or reorder the *timing*: an SSD
+//! runs independent requests on parallel lanes, a disk services the batch
+//! in seek order, a file backend spreads requests over a worker pool. The
+//! per-request [`IoCompletion::latency`] values are unchanged by
+//! overlapping; the batch-level win shows up in [`batch_latency`], which is
+//! the maximum over lanes instead of the sum over requests.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::Result;
+use crate::time::SimDuration;
+
+/// One command in a submission batch.
+///
+/// Requests are self-contained (reads carry a length, not a caller buffer)
+/// so a batch can be queued, reordered and completed out of band; read data
+/// comes back in the matching [`IoCompletion`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IoRequest {
+    /// Read `len` bytes starting at byte `offset`.
+    Read {
+        /// Byte offset of the first byte to read.
+        offset: u64,
+        /// Number of bytes to read.
+        len: usize,
+    },
+    /// Write `data` starting at byte `offset`.
+    Write {
+        /// Byte offset of the first byte to write.
+        offset: u64,
+        /// Bytes to write.
+        data: Vec<u8>,
+    },
+    /// Erase the erase block with index `block` (raw flash chips).
+    Erase {
+        /// Erase-block index.
+        block: u64,
+    },
+    /// Declare `[offset, offset + len)` no longer live (a TRIM hint).
+    Trim {
+        /// Byte offset of the start of the trimmed range.
+        offset: u64,
+        /// Length of the trimmed range in bytes.
+        len: u64,
+    },
+}
+
+impl IoRequest {
+    /// Convenience constructor for a read request.
+    pub fn read(offset: u64, len: usize) -> Self {
+        IoRequest::Read { offset, len }
+    }
+
+    /// Convenience constructor for a write request.
+    pub fn write(offset: u64, data: Vec<u8>) -> Self {
+        IoRequest::Write { offset, data }
+    }
+
+    /// The byte range this request touches, if it addresses bytes directly
+    /// (`None` for erases, whose extent is block-size dependent). Used by
+    /// backends that overlap requests to keep conflicting ones ordered.
+    pub fn byte_range(&self) -> Option<(u64, u64)> {
+        match self {
+            IoRequest::Read { offset, len } => Some((*offset, *offset + *len as u64)),
+            IoRequest::Write { offset, data } => Some((*offset, *offset + data.len() as u64)),
+            IoRequest::Trim { offset, len } => Some((*offset, *offset + *len)),
+            IoRequest::Erase { .. } => None,
+        }
+    }
+}
+
+/// Completion record for one submitted [`IoRequest`].
+#[derive(Debug, Clone)]
+pub struct IoCompletion {
+    /// Index of the request within the submitted slice.
+    pub index: usize,
+    /// Queue lane the request executed on. Requests on different lanes
+    /// overlapped in time; lane 0 is the only lane on serial devices.
+    pub lane: usize,
+    /// Simulated (or measured, for [`FileDevice`](crate::FileDevice))
+    /// device-busy latency of this request alone.
+    pub latency: SimDuration,
+    /// Outcome: the bytes read (empty for non-reads), or the per-request
+    /// error. A failed request never affects the other requests of the
+    /// batch.
+    pub result: Result<Vec<u8>>,
+}
+
+/// How concurrent requests in a submission share the device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OverlapModel {
+    /// One request at a time. Queueing can still help by letting the device
+    /// *reorder* within its window (e.g. disk elevator scheduling), but the
+    /// batch latency is the sum of the per-request latencies.
+    Serial,
+    /// Up to [`QueueCapabilities::max_queue_depth`] requests proceed
+    /// concurrently on independent lanes; the batch latency is the makespan
+    /// of the lane schedule.
+    Overlapped,
+}
+
+/// A device's submission-queue shape: how deep its queue is and whether
+/// queued requests overlap in time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueueCapabilities {
+    /// Queue depth: how many requests the device considers at once (lanes
+    /// for [`OverlapModel::Overlapped`], reorder window for
+    /// [`OverlapModel::Serial`]).
+    pub max_queue_depth: usize,
+    /// Whether queued requests overlap in time.
+    pub overlap: OverlapModel,
+}
+
+impl QueueCapabilities {
+    /// A strictly serial device with no useful queue (depth 1).
+    pub const fn serial() -> Self {
+        QueueCapabilities { max_queue_depth: 1, overlap: OverlapModel::Serial }
+    }
+
+    /// A serial device that reorders requests within a window of `depth`
+    /// (e.g. NCQ elevator scheduling on a disk).
+    pub const fn serial_reordering(depth: usize) -> Self {
+        QueueCapabilities { max_queue_depth: depth, overlap: OverlapModel::Serial }
+    }
+
+    /// A device that overlaps up to `depth` requests.
+    pub const fn overlapped(depth: usize) -> Self {
+        QueueCapabilities { max_queue_depth: depth, overlap: OverlapModel::Overlapped }
+    }
+
+    /// Number of concurrent lanes a batch of `requests` requests runs on:
+    /// 1 for serial devices, otherwise the queue depth capped by the batch
+    /// size (and never zero).
+    pub fn effective_lanes(&self, requests: usize) -> usize {
+        match self.overlap {
+            OverlapModel::Serial => 1,
+            OverlapModel::Overlapped => self.max_queue_depth.min(requests.max(1)).max(1),
+        }
+    }
+}
+
+/// Greedy earliest-free-lane scheduler used by the simulated backends to
+/// assign completions to queue lanes.
+///
+/// Each request goes to the lane with the least accumulated busy time, which
+/// for equal-cost requests degenerates to round-robin and in general is the
+/// classic LPT-style list schedule (within a factor of the optimum makespan).
+#[derive(Debug, Clone)]
+pub struct LaneScheduler {
+    busy: Vec<SimDuration>,
+}
+
+impl LaneScheduler {
+    /// Creates a scheduler with `lanes` lanes (at least one).
+    pub fn new(lanes: usize) -> Self {
+        LaneScheduler { busy: vec![SimDuration::ZERO; lanes.max(1)] }
+    }
+
+    /// Assigns a request of the given latency to the least-busy lane and
+    /// returns that lane's index.
+    pub fn assign(&mut self, latency: SimDuration) -> usize {
+        let lane =
+            self.busy.iter().enumerate().min_by_key(|(_, b)| **b).map(|(i, _)| i).unwrap_or(0);
+        self.busy[lane] += latency;
+        lane
+    }
+
+    /// Forces a request onto a specific lane (clamped to the lane count)
+    /// and returns the lane used. Backends use this to serialize requests
+    /// whose byte ranges conflict: queuing a dependent request behind the
+    /// request it depends on keeps the makespan honest.
+    pub fn assign_to(&mut self, lane: usize, latency: SimDuration) -> usize {
+        let lane = lane.min(self.busy.len() - 1);
+        self.busy[lane] += latency;
+        lane
+    }
+
+    /// Accumulated busy time of one lane (zero for out-of-range lanes).
+    pub fn lane_busy(&self, lane: usize) -> SimDuration {
+        self.busy.get(lane).copied().unwrap_or(SimDuration::ZERO)
+    }
+
+    /// Elapsed time of the schedule so far: the busiest lane's total.
+    pub fn makespan(&self) -> SimDuration {
+        self.busy.iter().copied().fold(SimDuration::ZERO, SimDuration::max)
+    }
+}
+
+/// Returns `true` when two byte ranges conflict: they overlap and at least
+/// one side mutates state (`is_read == false`). Read-read overlap is
+/// harmless and may overlap in time. Ranges are `(start, end, is_read)`
+/// half-open intervals; shared by the backends so their ordering semantics
+/// cannot drift.
+pub fn ranges_conflict(a: (u64, u64, bool), b: (u64, u64, bool)) -> bool {
+    let ((a_start, a_end, a_read), (b_start, b_end, b_read)) = (a, b);
+    a_start < b_end && b_start < a_end && !(a_read && b_read)
+}
+
+/// Elapsed (wall-clock) latency of a completed submission: the maximum over
+/// lanes of each lane's summed per-request latency. Equals
+/// [`total_busy_time`] on serial devices, and shrinks toward
+/// `total / lanes` when the device overlaps requests.
+pub fn batch_latency(completions: &[IoCompletion]) -> SimDuration {
+    let lanes = completions.iter().map(|c| c.lane + 1).max().unwrap_or(1);
+    let mut busy = vec![SimDuration::ZERO; lanes];
+    for c in completions {
+        busy[c.lane] += c.latency;
+    }
+    busy.into_iter().fold(SimDuration::ZERO, SimDuration::max)
+}
+
+/// Total device-busy time of a completed submission: the sum of every
+/// per-request latency, regardless of overlap.
+pub fn total_busy_time(completions: &[IoCompletion]) -> SimDuration {
+    completions.iter().map(|c| c.latency).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn comp(lane: usize, us: u64) -> IoCompletion {
+        IoCompletion {
+            index: 0,
+            lane,
+            latency: SimDuration::from_micros(us),
+            result: Ok(Vec::new()),
+        }
+    }
+
+    #[test]
+    fn range_conflicts_respect_the_read_read_exemption() {
+        assert!(ranges_conflict((0, 10, false), (5, 15, false)), "write-write overlap");
+        assert!(ranges_conflict((0, 10, true), (5, 15, false)), "read-write overlap");
+        assert!(!ranges_conflict((0, 10, true), (5, 15, true)), "read-read is harmless");
+        assert!(!ranges_conflict((0, 10, false), (10, 20, false)), "touching is disjoint");
+    }
+
+    #[test]
+    fn byte_ranges_cover_addressed_requests() {
+        assert_eq!(IoRequest::read(10, 5).byte_range(), Some((10, 15)));
+        assert_eq!(IoRequest::write(0, vec![1, 2]).byte_range(), Some((0, 2)));
+        assert_eq!(IoRequest::Trim { offset: 4, len: 4 }.byte_range(), Some((4, 8)));
+        assert_eq!(IoRequest::Erase { block: 0 }.byte_range(), None);
+    }
+
+    #[test]
+    fn effective_lanes_respect_overlap_model() {
+        let serial = QueueCapabilities::serial_reordering(8);
+        assert_eq!(serial.effective_lanes(32), 1);
+        let q = QueueCapabilities::overlapped(8);
+        assert_eq!(q.effective_lanes(32), 8);
+        assert_eq!(q.effective_lanes(3), 3);
+        assert_eq!(q.effective_lanes(0), 1);
+    }
+
+    #[test]
+    fn scheduler_balances_equal_costs_round_robin() {
+        let mut lanes = LaneScheduler::new(4);
+        let assigned: Vec<usize> =
+            (0..8).map(|_| lanes.assign(SimDuration::from_micros(10))).collect();
+        assert_eq!(assigned, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+        assert_eq!(lanes.makespan(), SimDuration::from_micros(20));
+    }
+
+    #[test]
+    fn scheduler_prefers_the_least_busy_lane() {
+        let mut lanes = LaneScheduler::new(2);
+        lanes.assign(SimDuration::from_micros(100)); // lane 0
+        assert_eq!(lanes.assign(SimDuration::from_micros(10)), 1);
+        assert_eq!(lanes.assign(SimDuration::from_micros(10)), 1);
+        assert_eq!(lanes.makespan(), SimDuration::from_micros(100));
+    }
+
+    #[test]
+    fn batch_latency_is_max_over_lanes() {
+        let comps = vec![comp(0, 10), comp(1, 30), comp(0, 15), comp(2, 5)];
+        assert_eq!(batch_latency(&comps), SimDuration::from_micros(30));
+        assert_eq!(total_busy_time(&comps), SimDuration::from_micros(60));
+        assert_eq!(batch_latency(&[]), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn serial_batches_sum() {
+        let comps = vec![comp(0, 10), comp(0, 20)];
+        assert_eq!(batch_latency(&comps), total_busy_time(&comps));
+    }
+}

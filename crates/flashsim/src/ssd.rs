@@ -17,10 +17,11 @@
 
 use std::collections::VecDeque;
 
-use crate::device::Device;
+use crate::device::{execute_requests, Device};
 use crate::error::{DeviceError, Result};
 use crate::geometry::Geometry;
 use crate::profiles::DeviceProfile;
+use crate::queue::{IoCompletion, IoRequest, LaneScheduler};
 use crate::stats::IoStats;
 use crate::store::SparseStore;
 use crate::time::SimDuration;
@@ -337,7 +338,23 @@ impl Device for Ssd {
             }
         }
         // TRIM itself is nearly free.
-        Ok(SimDuration::from_micros(5))
+        let lat = SimDuration::from_micros(5);
+        self.stats.trims += 1;
+        self.stats.trim_time += lat;
+        Ok(lat)
+    }
+
+    /// Native submission: FTL state (mappings, GC, the pending-busy debt)
+    /// advances in submission order, so results match sequential issue, but
+    /// completions are spread over the controller's queue lanes — batched
+    /// flush writes overlap the way NCQ overlaps them on real drives.
+    fn submit(&mut self, requests: &mut [IoRequest]) -> Result<Vec<IoCompletion>> {
+        self.stats.batches_submitted += 1;
+        self.stats.requests_submitted += requests.len() as u64;
+        let mut lanes = LaneScheduler::new(self.profile.queue.effective_lanes(requests.len()));
+        let completions = execute_requests(self, requests, &mut lanes);
+        self.stats.requests_overlapped += completions.iter().filter(|c| c.lane != 0).count() as u64;
+        Ok(completions)
     }
 
     fn on_idle(&mut self, idle: SimDuration) {
@@ -499,6 +516,55 @@ mod tests {
         // A long idle period lets background GC refill the free pool.
         ssd.on_idle(SimDuration::from_secs(5));
         assert!(ssd.free_block_count() >= 2);
+    }
+
+    #[test]
+    fn submit_overlaps_on_intel_but_not_on_transcend() {
+        use crate::queue::{batch_latency, total_busy_time};
+        let build = || -> Vec<IoRequest> {
+            (0..16u64).map(|i| IoRequest::write(i * 128 * 1024, vec![1u8; 128 * 1024])).collect()
+        };
+        let mut intel = Ssd::intel(8 << 20).unwrap();
+        let done = intel.submit(&mut build()).unwrap();
+        assert!(done.iter().all(|c| c.result.is_ok()));
+        let elapsed = batch_latency(&done);
+        let busy = total_busy_time(&done);
+        assert_eq!(elapsed, busy / 8, "16 equal writes over 8 lanes take 2 slots");
+        assert_eq!(intel.stats().requests_overlapped, 14);
+
+        let mut transcend = Ssd::transcend(8 << 20).unwrap();
+        let done = transcend.submit(&mut build()).unwrap();
+        assert_eq!(batch_latency(&done), total_busy_time(&done), "serial controller");
+        assert_eq!(transcend.stats().requests_overlapped, 0);
+    }
+
+    #[test]
+    fn submit_mutates_ftl_state_in_submission_order() {
+        use crate::queue::{batch_latency, total_busy_time};
+        let mut ssd = small_ssd();
+        let mut reqs = vec![
+            IoRequest::write(0, vec![1u8; 4096]),
+            IoRequest::write(0, vec![2u8; 4096]),
+            IoRequest::read(0, 4096),
+        ];
+        let completions = ssd.submit(&mut reqs).unwrap();
+        assert_eq!(completions[2].result.as_ref().unwrap()[0], 2, "later write wins");
+        // All three requests touch the same page: they are dependent, so
+        // the queue must serialize them (one lane, elapsed == busy sum).
+        assert!(completions.iter().all(|c| c.lane == completions[0].lane));
+        assert_eq!(batch_latency(&completions), total_busy_time(&completions));
+        assert_eq!(ssd.stats().requests_overlapped, 0);
+    }
+
+    #[test]
+    fn trim_is_counted() {
+        let mut ssd = small_ssd();
+        ssd.write_at(0, &[1u8; 4096]).unwrap();
+        ssd.trim(0, 4096).unwrap();
+        let s = ssd.stats();
+        assert_eq!(s.trims, 1);
+        assert!(s.trim_time > SimDuration::ZERO);
+        assert!(s.busy_time() >= s.trim_time);
     }
 
     #[test]

@@ -4,6 +4,8 @@
 //! per-operation latency samples and can report means, percentiles, CDFs and
 //! CCDFs — the building blocks for regenerating the paper's figures.
 
+use std::fmt;
+
 use serde::{Deserialize, Serialize};
 
 use crate::time::SimDuration;
@@ -17,6 +19,8 @@ pub struct IoStats {
     pub writes: u64,
     /// Number of block erase commands (flash/SSD only).
     pub erases: u64,
+    /// Number of TRIM commands.
+    pub trims: u64,
     /// Bytes read.
     pub bytes_read: u64,
     /// Bytes written.
@@ -25,23 +29,47 @@ pub struct IoStats {
     pub gc_runs: u64,
     /// Valid pages relocated by garbage collection (SSD only).
     pub gc_pages_copied: u64,
+    /// Submission batches handed to [`Device::submit`](crate::Device::submit)
+    /// (native implementations only; the sequential trait fallback does not
+    /// track queue statistics).
+    pub batches_submitted: u64,
+    /// Requests received through the submission queue.
+    pub requests_submitted: u64,
+    /// Submitted requests that shared their submission's overlapped time
+    /// on the device queue (assigned to a lane other than lane 0). This
+    /// counts *modeled* queue overlap — for
+    /// [`FileDevice`](crate::FileDevice) the physical worker pool is
+    /// additionally capped by host parallelism, like the simulated SSD's
+    /// lanes exist regardless of host cores. Always zero on serial
+    /// devices.
+    pub requests_overlapped: u64,
     /// Simulated time spent in reads.
     pub read_time: SimDuration,
     /// Simulated time spent in writes (including any GC charged to them).
     pub write_time: SimDuration,
     /// Simulated time spent erasing blocks.
     pub erase_time: SimDuration,
+    /// Simulated time spent in TRIM commands.
+    pub trim_time: SimDuration,
 }
 
 impl IoStats {
     /// Total simulated device-busy time.
     pub fn busy_time(&self) -> SimDuration {
-        self.read_time + self.write_time + self.erase_time
+        self.read_time + self.write_time + self.erase_time + self.trim_time
     }
 
     /// Total number of I/O commands.
     pub fn total_ops(&self) -> u64 {
-        self.reads + self.writes + self.erases
+        self.reads + self.writes + self.erases + self.trims
+    }
+
+    /// Fraction of submitted requests that overlapped another request.
+    pub fn overlap_fraction(&self) -> f64 {
+        if self.requests_submitted == 0 {
+            return 0.0;
+        }
+        self.requests_overlapped as f64 / self.requests_submitted as f64
     }
 
     /// Merges counters from another stats block into this one.
@@ -49,18 +77,53 @@ impl IoStats {
         self.reads += other.reads;
         self.writes += other.writes;
         self.erases += other.erases;
+        self.trims += other.trims;
         self.bytes_read += other.bytes_read;
         self.bytes_written += other.bytes_written;
         self.gc_runs += other.gc_runs;
         self.gc_pages_copied += other.gc_pages_copied;
+        self.batches_submitted += other.batches_submitted;
+        self.requests_submitted += other.requests_submitted;
+        self.requests_overlapped += other.requests_overlapped;
         self.read_time += other.read_time;
         self.write_time += other.write_time;
         self.erase_time += other.erase_time;
+        self.trim_time += other.trim_time;
     }
 
     /// Resets all counters to zero.
     pub fn reset(&mut self) {
         *self = IoStats::default();
+    }
+}
+
+impl fmt::Display for IoStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "reads: {} ({} B, {}) | writes: {} ({} B, {}) | erases: {} ({}) | trims: {} ({})",
+            self.reads,
+            self.bytes_read,
+            self.read_time,
+            self.writes,
+            self.bytes_written,
+            self.write_time,
+            self.erases,
+            self.erase_time,
+            self.trims,
+            self.trim_time,
+        )?;
+        if self.gc_runs > 0 || self.gc_pages_copied > 0 {
+            write!(f, " | gc: {} runs, {} pages copied", self.gc_runs, self.gc_pages_copied)?;
+        }
+        if self.batches_submitted > 0 {
+            write!(
+                f,
+                " | queue: {} batches, {} reqs ({} overlapped)",
+                self.batches_submitted, self.requests_submitted, self.requests_overlapped
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -218,6 +281,48 @@ impl LatencyRecorder {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn iostats_counts_trims_and_queue_submissions() {
+        let mut s = IoStats {
+            trims: 2,
+            trim_time: SimDuration::from_micros(10),
+            batches_submitted: 3,
+            requests_submitted: 12,
+            requests_overlapped: 8,
+            ..Default::default()
+        };
+        assert_eq!(s.total_ops(), 2);
+        assert_eq!(s.busy_time(), SimDuration::from_micros(10));
+        assert!((s.overlap_fraction() - 8.0 / 12.0).abs() < 1e-9);
+        let other = IoStats { trims: 1, requests_submitted: 4, ..Default::default() };
+        s.merge(&other);
+        assert_eq!(s.trims, 3);
+        assert_eq!(s.requests_submitted, 16);
+        assert_eq!(IoStats::default().overlap_fraction(), 0.0);
+    }
+
+    #[test]
+    fn iostats_display_mentions_every_command_class() {
+        let s = IoStats {
+            reads: 1,
+            writes: 2,
+            erases: 3,
+            trims: 4,
+            gc_runs: 5,
+            batches_submitted: 6,
+            requests_submitted: 7,
+            requests_overlapped: 2,
+            ..Default::default()
+        };
+        let text = s.to_string();
+        for needle in ["reads: 1", "writes: 2", "erases: 3", "trims: 4", "gc: 5", "queue: 6"] {
+            assert!(text.contains(needle), "missing {needle:?} in {text:?}");
+        }
+        // GC and queue segments are elided when untouched.
+        let quiet = IoStats { reads: 1, ..Default::default() }.to_string();
+        assert!(!quiet.contains("gc:") && !quiet.contains("queue:"));
+    }
 
     #[test]
     fn iostats_merge_and_busy_time() {

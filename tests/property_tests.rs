@@ -10,7 +10,10 @@ use clam::bufferhash::{
     lookup_in_page, parse_incarnation, BloomFilter, Clam, ClamConfig, CuckooBuffer, Entry,
     EvictionPolicy, FilterMode, FlashLayoutMode, IncarnationLayout, PageLookup,
 };
-use clam::flashsim::{SparseStore, Ssd};
+use clam::flashsim::{
+    Device, DeviceError, DramDevice, FileDevice, FlashChip, IoRequest, MagneticDisk, SparseStore,
+    Ssd,
+};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -197,5 +200,122 @@ proptest! {
         for (k, v) in model {
             prop_assert_eq!(clam.lookup(k).unwrap().value, Some(v));
         }
+    }
+}
+
+/// Builds the same request mix twice (submissions consume nothing, but the
+/// two devices need independent instances).
+fn build_requests(raw: &[(u8, u64, usize, u8)], capacity: u64) -> Vec<IoRequest> {
+    raw.iter()
+        .map(|&(kind, offset, len, fill)| match kind % 4 {
+            0 => IoRequest::Read { offset, len },
+            1 => IoRequest::Write { offset, data: vec![fill; len] },
+            2 => IoRequest::Trim { offset, len: len as u64 },
+            _ => IoRequest::Erase { block: offset % (capacity / (128 * 1024) + 4) },
+        })
+        .collect()
+}
+
+/// Issues `requests` one at a time through the per-op `Device` methods,
+/// returning the normalized per-request outcome (read data / empty, or the
+/// error).
+fn issue_sequentially<D: Device>(
+    device: &mut D,
+    requests: &[IoRequest],
+) -> Vec<Result<Vec<u8>, DeviceError>> {
+    requests
+        .iter()
+        .map(|request| match request {
+            IoRequest::Read { offset, len } => {
+                let mut buf = vec![0u8; *len];
+                device.read_at(*offset, &mut buf).map(|_| buf)
+            }
+            IoRequest::Write { offset, data } => device.write_at(*offset, data).map(|_| Vec::new()),
+            IoRequest::Erase { block } => device.erase_block(*block).map(|_| Vec::new()),
+            IoRequest::Trim { offset, len } => device.trim(*offset, *len).map(|_| Vec::new()),
+        })
+        .collect()
+}
+
+/// Asserts that submitting `raw` as one batch leaves `batched` in the same
+/// observable state (per-request results + final bytes) as issuing the same
+/// ops sequentially on `sequential`.
+fn assert_submit_equivalent<D: Device>(
+    mut sequential: D,
+    mut batched: D,
+    raw: &[(u8, u64, usize, u8)],
+) -> Result<(), proptest::TestCaseError> {
+    let capacity = sequential.geometry().capacity;
+    let expected = issue_sequentially(&mut sequential, &build_requests(raw, capacity));
+    let mut requests = build_requests(raw, capacity);
+    let completions = batched.submit(&mut requests).unwrap();
+    prop_assert_eq!(completions.len(), expected.len());
+    for (completion, expect) in completions.iter().zip(&expected) {
+        match (&completion.result, expect) {
+            (Ok(got), Ok(want)) => {
+                prop_assert!(got == want, "data mismatch on {}", batched.name())
+            }
+            (Err(got), Err(want)) => {
+                prop_assert!(got == want, "error mismatch on {}", batched.name())
+            }
+            (got, want) => prop_assert!(
+                false,
+                "result class mismatch on {}: batched {:?} vs sequential {:?}",
+                batched.name(),
+                got,
+                want
+            ),
+        }
+    }
+    // Final device bytes agree.
+    let mut seq_bytes = vec![0u8; capacity as usize];
+    let mut bat_bytes = vec![0u8; capacity as usize];
+    sequential.read_at(0, &mut seq_bytes).unwrap();
+    batched.read_at(0, &mut bat_bytes).unwrap();
+    prop_assert!(seq_bytes == bat_bytes, "final bytes mismatch on {}", batched.name());
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `Device::submit` over an arbitrary request mix (reads, writes,
+    /// trims, erases; overlapping ranges; out-of-bounds and unsupported
+    /// commands included) is observationally equivalent — per-request
+    /// results and final device bytes — to issuing the same operations
+    /// sequentially, on all five backends. Devices may only overlap or
+    /// reorder *timing*, never data effects.
+    #[test]
+    fn submit_equivalent_to_sequential_ops(
+        raw in vec((any::<u8>(), 0u64..(1 << 20) + 16_384, 0usize..6_000, any::<u8>()), 1..24)
+    ) {
+        const CAP: u64 = 1 << 20;
+        assert_submit_equivalent(
+            DramDevice::new(CAP).unwrap(),
+            DramDevice::new(CAP).unwrap(),
+            &raw,
+        )?;
+        assert_submit_equivalent(
+            FlashChip::new(CAP).unwrap(),
+            FlashChip::new(CAP).unwrap(),
+            &raw,
+        )?;
+        assert_submit_equivalent(Ssd::intel(CAP).unwrap(), Ssd::intel(CAP).unwrap(), &raw)?;
+        assert_submit_equivalent(
+            MagneticDisk::new(CAP).unwrap(),
+            MagneticDisk::new(CAP).unwrap(),
+            &raw,
+        )?;
+        let dir = std::env::temp_dir();
+        let seq_path = dir.join(format!("clam-prop-seq-{}", std::process::id()));
+        let bat_path = dir.join(format!("clam-prop-bat-{}", std::process::id()));
+        let outcome = assert_submit_equivalent(
+            FileDevice::create(&seq_path, CAP).unwrap(),
+            FileDevice::create(&bat_path, CAP).unwrap(),
+            &raw,
+        );
+        std::fs::remove_file(&seq_path).ok();
+        std::fs::remove_file(&bat_path).ok();
+        outcome?;
     }
 }
