@@ -1,7 +1,8 @@
 //! Queue-depth sweep over the `Device` submission queues.
 //!
-//! Companion to ROADMAP's "async / io_uring-style device backend" and
-//! "true parallel stripe dispatch" items, in three parts:
+//! Companion to ROADMAP's "async / io_uring-style device backend",
+//! "true parallel stripe dispatch" and "drive lookups through the
+//! submission queue" items, in four parts:
 //!
 //! 1. **Real overlapped I/O** — flush-sized writes are submitted to a
 //!    [`flashsim::FileDevice`] at several queue depths. The device spreads
@@ -15,12 +16,17 @@
 //! 3. **Parallel stripe dispatch** — `StripedClam::insert_batch` (stripes
 //!    on their own threads, max-over-stripes latency) against the serial
 //!    reference path (summed latency), with identical outcomes.
+//! 4. **Queued lookups** — the read path: a miss-heavy `Clam::lookup_batch`
+//!    sweep on the real file backend (probe waves overlap on the worker
+//!    pool; acceptance bar **>= 2x lookup throughput at depth 8 vs
+//!    depth 1**), plus an exact cross-check of the simulated SSD against
+//!    `FlashCostModel::lookup_batch_makespan`.
 //!
 //! `--smoke` runs a reduced sweep for CI.
 
 use bench::{ms, print_header, print_row, workload_key};
 use bufferhash::analysis::FlashCostModel;
-use bufferhash::{Clam, ClamConfig, StripedClam};
+use bufferhash::{Clam, ClamConfig, EvictionPolicy, FilterMode, FlashLayoutMode, StripedClam};
 use flashsim::queue::batch_latency;
 use flashsim::{Device, DeviceProfile, FileDevice, IoRequest, QueueCapabilities, SimDuration, Ssd};
 
@@ -36,6 +42,12 @@ struct Scale {
     depths: &'static [usize],
     /// Ops for the striped-dispatch comparison.
     striped_ops: u64,
+    /// Keys loaded into the file-backed CLAM before the lookup sweep.
+    lookup_load: u64,
+    /// Keys per miss-heavy `lookup_batch` call in the lookup sweep.
+    lookup_batch: usize,
+    /// `lookup_batch` calls per trial in the lookup sweep.
+    lookup_batches: usize,
 }
 
 const FULL: Scale = Scale {
@@ -44,6 +56,9 @@ const FULL: Scale = Scale {
     trials: 5,
     depths: &[1, 2, 4, 8],
     striped_ops: 60_000,
+    lookup_load: 60_000,
+    lookup_batch: 512,
+    lookup_batches: 4,
 };
 const SMOKE: Scale = Scale {
     requests: 128,
@@ -51,6 +66,9 @@ const SMOKE: Scale = Scale {
     trials: 3,
     depths: &[1, 2, 8],
     striped_ops: 12_000,
+    lookup_load: 60_000,
+    lookup_batch: 256,
+    lookup_batches: 2,
 };
 
 fn flush_batch(scale: &Scale) -> Vec<IoRequest> {
@@ -70,7 +88,7 @@ fn file_device_sweep(scale: &Scale) -> bool {
     let capacity = (scale.requests * scale.request_bytes) as u64;
     let path = std::env::temp_dir().join(format!("clam-io-queue-depth-{}", std::process::id()));
     println!(
-        "[1/3] FileDevice: {} flush writes x {} KiB per submission, best of {} trials",
+        "[1/4] FileDevice: {} flush writes x {} KiB per submission, best of {} trials",
         scale.requests,
         scale.request_bytes >> 10,
         scale.trials
@@ -152,7 +170,7 @@ fn file_device_sweep(scale: &Scale) -> bool {
 /// Part 2: simulated SSD sweep against the closed-form queue model.
 fn simulated_sweep(scale: &Scale) {
     const PAGES: usize = 64;
-    println!("[2/3] Simulated Intel-class SSD: {PAGES} page writes per submission vs model");
+    println!("[2/4] Simulated Intel-class SSD: {PAGES} page writes per submission vs model");
     let widths = [8, 16, 16, 10];
     print_header(&["depth", "measured (ms)", "model (ms)", "speedup"], &widths);
     let mut base = SimDuration::ZERO;
@@ -212,7 +230,7 @@ fn striped_dispatch(scale: &Scale) {
     }
     assert_eq!(parallel.stats().flushes, serial.stats().flushes, "outcomes must not change");
     println!(
-        "[3/3] StripedClam ({STRIPES} stripes, {} inserts): parallel dispatch {} \
+        "[3/4] StripedClam ({STRIPES} stripes, {} inserts): parallel dispatch {} \
          (max-over-stripes) vs serial {} (summed) -> {:.2}x",
         scale.striped_ops,
         ms(par_total),
@@ -227,15 +245,179 @@ fn striped_dispatch(scale: &Scale) {
     println!("stripe-0 device counters: {stats}");
 }
 
+/// A single-super-table CLAM with `rounds` incarnations of a few entries
+/// each and Bloom filters disabled: every miss probes every incarnation,
+/// one page per wave, with no overflow chains — a deterministic probe
+/// pattern for the exact model cross-check.
+fn deterministic_probe_clam(device: Ssd, rounds: usize) -> Clam<Ssd> {
+    let cfg = ClamConfig {
+        flash_capacity: 8 << 20,
+        dram_bytes: 1 << 20,
+        buffer_bytes_total: 32 * 1024,
+        buffer_bytes_per_table: 32 * 1024,
+        entry_size: 16,
+        max_buffer_utilization: 0.5,
+        eviction: EvictionPolicy::Fifo,
+        filter_mode: FilterMode::Disabled,
+        layout: FlashLayoutMode::GlobalLog,
+        enable_buffering: true,
+    };
+    cfg.validate().expect("valid probe config");
+    let mut clam = Clam::new(device, cfg).expect("clam");
+    for round in 0..rounds as u64 {
+        for i in 0..8u64 {
+            clam.insert(workload_key(round * 100 + i), i).expect("insert");
+        }
+        clam.flush_all().expect("flush");
+    }
+    clam
+}
+
+/// Part 4: the queued lookup pipeline. Returns PASS/FAIL.
+fn queued_lookup_sweep(scale: &Scale) -> bool {
+    // ------------------------------------------------------------------
+    // 4a. Simulated SSD vs the closed-form queued-lookup model (exact).
+    // ------------------------------------------------------------------
+    const KEYS: usize = 64;
+    const ROUNDS: usize = 4;
+    println!(
+        "[4/4] Queued lookups: {KEYS} misses x {ROUNDS} probes each on the simulated SSD vs model"
+    );
+    let widths = [8, 16, 16, 10];
+    print_header(&["depth", "measured (ms)", "model (ms)", "speedup"], &widths);
+    let mut base = SimDuration::ZERO;
+    for &depth in scale.depths {
+        let profile = DeviceProfile {
+            queue: QueueCapabilities::overlapped(depth),
+            ..DeviceProfile::intel_x18m()
+        };
+        let mut clam = deterministic_probe_clam(
+            Ssd::with_profile(8 << 20, profile.clone()).expect("ssd"),
+            ROUNDS,
+        );
+        let keys: Vec<u64> = (0..KEYS as u64).map(|i| workload_key(7_000_000 + i)).collect();
+        let batch = clam.lookup_batch(&keys).expect("lookup_batch");
+        assert_eq!(batch.waves, ROUNDS, "every miss probes every incarnation");
+        assert_eq!(batch.probe_reads, ROUNDS * KEYS);
+        let model = FlashCostModel::from_profile(&profile);
+        let predicted = model.lookup_batch_makespan(KEYS, ROUNDS, depth);
+        assert_eq!(
+            batch.probe_latency, predicted,
+            "simulator and closed-form queued-lookup model must agree at depth {depth}"
+        );
+        if depth == scale.depths[0] {
+            base = batch.probe_latency;
+        }
+        print_row(
+            &[
+                format!("{depth}"),
+                ms(batch.probe_latency),
+                ms(predicted),
+                format!(
+                    "{:.2}x",
+                    base.as_nanos() as f64 / batch.probe_latency.as_nanos().max(1) as f64
+                ),
+            ],
+            &widths,
+        );
+    }
+    println!("simulator == closed-form queued-lookup model at every depth\n");
+
+    // ------------------------------------------------------------------
+    // 4b. Miss-heavy lookup_batch sweep on the real file backend.
+    // ------------------------------------------------------------------
+    let path = std::env::temp_dir().join(format!("clam-lookup-queue-{}", std::process::id()));
+    println!(
+        "miss-heavy Clam::lookup_batch on FileDevice: {} batches x {} absent keys \
+         (Bloom filters disabled), best of {} trials",
+        scale.lookup_batches, scale.lookup_batch, scale.trials
+    );
+    let widths = [8, 14, 14, 12, 10];
+    print_header(&["depth", "elapsed (ms)", "klookups/s", "probe reads", "speedup"], &widths);
+    let mut throughputs: Vec<f64> = Vec::new();
+    let mut base = 0.0f64;
+    for &depth in scale.depths {
+        // Build and load once per depth: the sweep keys all miss and the
+        // policy is FIFO, so lookups mutate nothing — trials can reuse the
+        // loaded CLAM and only re-measure the lookup phase.
+        let device = FileDevice::with_queue_depth(&path, 8 << 20, depth).expect("file device");
+        let mut cfg = ClamConfig::small_test(8 << 20, 2 << 20).expect("cfg");
+        cfg.filter_mode = FilterMode::Disabled;
+        let mut clam = Clam::new(device, cfg).expect("clam");
+        let load: Vec<(u64, u64)> = (0..scale.lookup_load).map(|i| (workload_key(i), i)).collect();
+        for chunk in load.chunks(1024) {
+            clam.insert_batch(chunk).expect("load");
+        }
+        let mut best = SimDuration::from_secs(3600);
+        let mut probe_reads = 0usize;
+        for _ in 0..scale.trials {
+            let mut elapsed = SimDuration::ZERO;
+            probe_reads = 0;
+            for b in 0..scale.lookup_batches {
+                let keys: Vec<u64> = (0..scale.lookup_batch as u64)
+                    .map(|i| workload_key(9_000_000 + b as u64 * 100_000 + i))
+                    .collect();
+                let batch = clam.lookup_batch(&keys).expect("lookup_batch");
+                assert_eq!(batch.hits(), 0, "sweep keys must miss");
+                elapsed += batch.latency;
+                probe_reads += batch.probe_reads;
+            }
+            best = best.min(elapsed);
+        }
+        let lookups = (scale.lookup_batches * scale.lookup_batch) as f64;
+        let thr = lookups / best.as_millis_f64().max(1e-12);
+        if depth == scale.depths[0] {
+            base = thr;
+        }
+        throughputs.push(thr);
+        print_row(
+            &[
+                format!("{depth}"),
+                ms(best),
+                format!("{thr:.1}"),
+                format!("{probe_reads}"),
+                format!("{:.2}x", thr / base.max(1e-12)),
+            ],
+            &widths,
+        );
+    }
+    std::fs::remove_file(&path).ok();
+
+    // Same tolerance story as part 1: queue-completion accounting, with a
+    // 3% allowance for wall-clock noise in the measured per-read times.
+    let monotone = throughputs.windows(2).all(|w| w[1] >= w[0] * 0.97);
+    let speedup = throughputs.last().unwrap() / base.max(1e-12);
+    let pass = monotone && speedup >= 2.0;
+    if pass {
+        println!(
+            "PASS: miss-heavy lookup throughput is {speedup:.2}x at depth {} vs depth {}\n",
+            scale.depths.last().unwrap(),
+            scale.depths[0]
+        );
+    } else {
+        println!(
+            "FAIL: monotone = {monotone}, depth-{} lookup speedup = {speedup:.2}x \
+             (target: monotone, >= 2x)\n",
+            scale.depths.last().unwrap()
+        );
+    }
+    pass
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let scale = if smoke { &SMOKE } else { &FULL };
     println!("Submission-queue depth sweep ({} mode)\n", if smoke { "smoke" } else { "full" });
-    let pass = file_device_sweep(scale);
+    let write_pass = file_device_sweep(scale);
     simulated_sweep(scale);
     striped_dispatch(scale);
-    if !pass {
-        println!("\noverall: FAIL (file-device queue scaling below target)");
+    let lookup_pass = queued_lookup_sweep(scale);
+    if !write_pass || !lookup_pass {
+        println!(
+            "\noverall: FAIL (write scaling: {}, queued lookup scaling: {})",
+            if write_pass { "ok" } else { "below target" },
+            if lookup_pass { "ok" } else { "below target" }
+        );
         std::process::exit(1);
     }
     println!("\noverall: PASS");

@@ -104,19 +104,14 @@ impl AnyClam {
         }
     }
 
-    /// Looks up a batch of keys through the batched CLAM pipeline,
-    /// returning the values in input order and the total simulated latency.
+    /// Looks up a batch of keys through the queued CLAM read pipeline,
+    /// returning the values in input order and the batch's
+    /// makespan-accounted simulated latency (probe waves overlap on the
+    /// device's queue lanes).
     pub fn lookup_batch(&mut self, keys: &[u64]) -> (Vec<Option<u64>>, SimDuration) {
-        fn collect(outs: Vec<bufferhash::LookupOutcome>) -> (Vec<Option<u64>>, SimDuration) {
-            let mut total = SimDuration::ZERO;
-            let values = outs
-                .into_iter()
-                .map(|o| {
-                    total += o.latency;
-                    o.value
-                })
-                .collect();
-            (values, total)
+        fn collect(batch: bufferhash::BatchLookupOutcome) -> (Vec<Option<u64>>, SimDuration) {
+            let latency = batch.latency;
+            (batch.values(), latency)
         }
         match self {
             AnyClam::Intel(c) | AnyClam::Transcend(c) => {

@@ -287,6 +287,91 @@ impl FlashCostModel {
         let lanes = self.lanes_at_depth(queue_depth);
         requests as f64 / requests.div_ceil(lanes) as f64
     }
+
+    // ------------------------------------------------------------------
+    // Queued-lookup cost model
+    // ------------------------------------------------------------------
+    //
+    // The queued read pipeline (`Clam::lookup_batch`) resolves a batch in
+    // probe *waves*: each wave submits the next pending page read of every
+    // unresolved key as one submission. A batch of `n` keys that each
+    // probe `w` pages therefore runs `w` waves of `n` equal-cost reads,
+    // and its flash time is
+    //
+    //   M_lookup(n, w, d) = w · c_r · ⌈n / L⌉
+    //
+    // with `L = min(d, max_queue_depth)` lanes (1 on serial media) — `w`
+    // copies of the `submit_makespan` term. The expected per-key wave
+    // count on a miss-heavy workload comes from the Bloom filters: each of
+    // the `k` incarnations false-positives with rate `p`, and each probed
+    // candidate occasionally chains an extra overflow-page hop.
+
+    /// Expected flash probes (page reads, and hence probe waves) per
+    /// *unsuccessful* lookup: `k·p·(1 + h)` where `k` is the number of
+    /// incarnations per super table, `p` the per-incarnation Bloom
+    /// false-positive rate, and `h` the expected extra overflow-chain hops
+    /// per probed candidate (0 at the paper's 50% page fill, where
+    /// overflow is essentially non-existent; `k·1·(1+h)` with disabled
+    /// filters).
+    pub fn expected_probes_per_miss(
+        &self,
+        incarnations: usize,
+        false_positive_rate: f64,
+        chain_hop_rate: f64,
+    ) -> f64 {
+        incarnations as f64 * false_positive_rate.clamp(0.0, 1.0) * (1.0 + chain_hop_rate.max(0.0))
+    }
+
+    /// Predicted elapsed (makespan) flash time of a queued `lookup_batch`
+    /// of `keys` keys that each probe `probes_per_key` flash pages, issued
+    /// at `queue_depth`: `probes_per_key` waves of `⌈keys / L⌉` page-read
+    /// slots. Matches the simulator **exactly** on uniform probe chains
+    /// (equal per-key probe counts, page-aligned reads) — the
+    /// `io_queue_depth` binary and the CLAM test suite cross-check the
+    /// identity.
+    ///
+    /// ```
+    /// use bufferhash::analysis::FlashCostModel;
+    /// use flashsim::DeviceProfile;
+    ///
+    /// // Intel-class SSD: overlapped queue, depth 8.
+    /// let model = FlashCostModel::from_profile(&DeviceProfile::intel_x18m());
+    /// // 64 miss-heavy lookups, Bloom filters disabled so each key probes
+    /// // all 8 of its incarnations:
+    /// let serial = model.lookup_batch_makespan(64, 8, 1);
+    /// let queued = model.lookup_batch_makespan(64, 8, 8);
+    /// assert_eq!(serial, queued * 8, "8 lanes retire the waves 8x faster");
+    /// assert!((model.lookup_batch_speedup(64, 8) - 8.0).abs() < 1e-9);
+    /// ```
+    pub fn lookup_batch_makespan(
+        &self,
+        keys: usize,
+        probes_per_key: usize,
+        queue_depth: usize,
+    ) -> SimDuration {
+        self.submit_makespan(keys, self.page_read_cost(), queue_depth) * probes_per_key as u64
+    }
+
+    /// [`lookup_batch_makespan`](Self::lookup_batch_makespan) for a
+    /// fractional expected wave count (e.g. straight from
+    /// [`expected_probes_per_miss`](Self::expected_probes_per_miss)).
+    pub fn expected_lookup_batch_makespan(
+        &self,
+        keys: usize,
+        probes_per_key: f64,
+        queue_depth: usize,
+    ) -> SimDuration {
+        let wave = self.submit_makespan(keys, self.page_read_cost(), queue_depth);
+        SimDuration::from_millis_f64(wave.as_millis_f64() * probes_per_key.max(0.0))
+    }
+
+    /// Predicted throughput gain of the queued lookup pipeline at
+    /// `queue_depth` over depth 1 for a batch of `keys` keys. The wave
+    /// count cancels, so this is exactly the queue-depth speedup of one
+    /// wave: saturates at the device's maximum depth, 1.0 on serial media.
+    pub fn lookup_batch_speedup(&self, keys: usize, queue_depth: usize) -> f64 {
+        self.queue_depth_speedup(keys, queue_depth)
+    }
 }
 
 #[cfg(test)]
@@ -439,6 +524,47 @@ mod tests {
         let d1 = m.flush_queue_makespan(8, 32 * 1024, 1);
         let d8 = m.flush_queue_makespan(8, 32 * 1024, 8);
         assert_eq!(d8 * 8, d1);
+    }
+
+    #[test]
+    fn queued_lookup_model_scales_with_depth_and_probe_count() {
+        let m = ssd(); // overlapped, depth 8
+        let c = m.page_read_cost();
+        // 64 keys x 4 probes each: 4 waves of ceil(64/L) read slots.
+        assert_eq!(m.lookup_batch_makespan(64, 4, 1), c * 256);
+        assert_eq!(m.lookup_batch_makespan(64, 4, 8), c * 32);
+        assert_eq!(m.lookup_batch_makespan(64, 0, 8), SimDuration::ZERO);
+        assert!((m.lookup_batch_speedup(64, 8) - 8.0).abs() < 1e-9);
+        assert!((m.lookup_batch_speedup(64, 64) - 8.0).abs() < 1e-9, "saturates at device depth");
+
+        // Serial media get no overlap: the chip retires waves one read at
+        // a time regardless of the requested depth.
+        let serial = chip();
+        assert_eq!(serial.lookup_batch_makespan(16, 2, 8), serial.page_read_cost() * 32);
+        assert!((serial.lookup_batch_speedup(16, 8) - 1.0).abs() < 1e-9);
+
+        // The fractional form agrees with the integral one and scales
+        // linearly in the expected probe count.
+        let exact = m.lookup_batch_makespan(64, 4, 8);
+        let expected = m.expected_lookup_batch_makespan(64, 4.0, 8);
+        let diff = exact.as_nanos().abs_diff(expected.as_nanos());
+        assert!(diff <= 1, "fractional form must agree: {exact} vs {expected}");
+        assert!(m.expected_lookup_batch_makespan(64, 0.5, 8) < m.lookup_batch_makespan(64, 1, 8));
+    }
+
+    #[test]
+    fn expected_probes_per_miss_follows_bloom_and_chain_terms() {
+        let m = ssd();
+        // 8 incarnations at a 1% false-positive rate: ~0.08 probes/miss.
+        let light = m.expected_probes_per_miss(8, 0.01, 0.0);
+        assert!((light - 0.08).abs() < 1e-12);
+        // Disabled filters degrade to one probe per incarnation...
+        assert!((m.expected_probes_per_miss(8, 1.0, 0.0) - 8.0).abs() < 1e-12);
+        // ...plus the overflow-chain hops.
+        assert!((m.expected_probes_per_miss(8, 1.0, 0.25) - 10.0).abs() < 1e-12);
+        // Rates are clamped to sane ranges.
+        assert_eq!(m.expected_probes_per_miss(8, -1.0, 0.0), 0.0);
+        assert!((m.expected_probes_per_miss(8, 2.0, -3.0) - 8.0).abs() < 1e-12);
     }
 
     #[test]

@@ -12,8 +12,18 @@
 //! which sort a batch by super table, amortize the dispatch overhead over
 //! the batch, and coalesce flush-triggered incarnation writes that land on
 //! contiguous log slots into single sequential device writes.
+//!
+//! The read path is **queued**: every lookup key runs a probe state
+//! machine (buffer/delete-list check, then Bloom-guided candidate
+//! incarnations, then chained page hops), and each round of a batch
+//! collects the next pending page read of every unresolved key into one
+//! [`IoRequest`] *wave* submitted through [`Device::submit`]. Independent
+//! probes overlap on the device's queue lanes, so a wave costs its
+//! makespan ([`flashsim::queue::batch_latency`]) rather than the summed
+//! per-read time. A per-op [`Clam::lookup`] is a batch of one over the
+//! same pipeline — there is a single read-path implementation.
 
-use flashsim::queue::{batch_latency, IoCompletion};
+use flashsim::queue::{batch_latency, overlapped_requests, page_read_batch, IoCompletion};
 use flashsim::{Device, IoRequest, LinearCost, SimDuration};
 
 use crate::config::ClamConfig;
@@ -110,6 +120,93 @@ pub enum LookupSource {
     Deleted,
     /// Not found anywhere.
     Miss,
+}
+
+/// Outcome of a queued batch lookup ([`Clam::lookup_batch`]).
+///
+/// Carries one [`LookupOutcome`] per key (in input order) plus batch-level
+/// accounting. The batch's [`latency`](Self::latency) is
+/// **makespan-accounted**: probe waves submitted through
+/// [`Device::submit`](flashsim::Device::submit) cost the maximum over the
+/// device's queue lanes, not the summed per-read time, so a miss-heavy
+/// batch on an overlapped device finishes far sooner than its per-key
+/// latencies add up to. Each key's own [`LookupOutcome::latency`] still
+/// records what that lookup would have cost charged alone (dispatch +
+/// DRAM probes + its own page reads), which is what
+/// [`ClamStats::lookups`](crate::ClamStats) samples.
+#[derive(Debug, Clone, Default)]
+pub struct BatchLookupOutcome {
+    /// One outcome per key, in input order.
+    pub outcomes: Vec<LookupOutcome>,
+    /// Elapsed simulated time of the whole batch: per-key host work plus
+    /// the makespan of every probe wave.
+    pub latency: SimDuration,
+    /// The flash share of [`latency`](Self::latency): the summed makespans
+    /// of the probe waves (zero when every key resolved in memory).
+    pub probe_latency: SimDuration,
+    /// Probe waves submitted. Each wave carries the next pending page read
+    /// of every key still unresolved.
+    pub waves: usize,
+    /// Total flash page-read requests submitted across all waves.
+    pub probe_reads: usize,
+}
+
+impl BatchLookupOutcome {
+    /// Number of keys looked up.
+    pub fn ops(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// Returns `true` for the empty batch.
+    pub fn is_empty(&self) -> bool {
+        self.outcomes.is_empty()
+    }
+
+    /// Number of keys that resolved to a value.
+    pub fn hits(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.value.is_some()).count()
+    }
+
+    /// Mean elapsed batch time per key (makespan-accounted).
+    pub fn mean_latency(&self) -> SimDuration {
+        if self.outcomes.is_empty() {
+            SimDuration::ZERO
+        } else {
+            self.latency / self.outcomes.len() as u64
+        }
+    }
+
+    /// The values in input order (convenience for callers that only need
+    /// the lookup results).
+    pub fn values(&self) -> Vec<Option<Value>> {
+        self.outcomes.iter().map(|o| o.value).collect()
+    }
+}
+
+impl std::ops::Index<usize> for BatchLookupOutcome {
+    type Output = LookupOutcome;
+
+    fn index(&self, index: usize) -> &LookupOutcome {
+        &self.outcomes[index]
+    }
+}
+
+impl IntoIterator for BatchLookupOutcome {
+    type Item = LookupOutcome;
+    type IntoIter = std::vec::IntoIter<LookupOutcome>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.outcomes.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a BatchLookupOutcome {
+    type Item = &'a LookupOutcome;
+    type IntoIter = std::slice::Iter<'a, LookupOutcome>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.outcomes.iter()
+    }
 }
 
 /// Memory usage summary of a CLAM (all figures in bytes).
@@ -417,14 +514,38 @@ impl<D: Device> Clam<D> {
         Ok(outcome)
     }
 
-    /// Looks up a batch of keys in one call, returning one
-    /// [`LookupOutcome`] per key, in input order.
+    /// Looks up a batch of keys in one call through the **queued read
+    /// pipeline**, returning one [`LookupOutcome`] per key (input order)
+    /// inside a [`BatchLookupOutcome`].
     ///
     /// Keys are stably sorted by super table so each table's buffer and
     /// filter bank are probed in one pass, and the per-call dispatch
-    /// overhead is amortized across the batch. Results (values, sources,
-    /// flash read counts) are identical to per-op [`lookup`](Self::lookup)
-    /// calls in the same order; only the charged latency differs.
+    /// overhead is amortized across the batch. Every key that misses the
+    /// in-memory state becomes a probe state machine; each round, the next
+    /// pending page read of every unresolved key is collected into one
+    /// request wave and submitted via
+    /// [`Device::submit`](flashsim::Device::submit), so independent probes
+    /// overlap on the device's queue lanes and the batch is charged the
+    /// wave **makespan** instead of the summed per-read latency.
+    ///
+    /// Under non-reinserting eviction policies (FIFO, update-based,
+    /// priority — the default), lookups mutate nothing, so results
+    /// (values, sources, flash read counts, hit/miss stats) are identical
+    /// to per-op [`lookup`](Self::lookup) calls in the same order; only
+    /// the charged latency differs. This identity is property-tested on
+    /// all five device backends. The caveat is LRU eviction:
+    /// re-insertions of flash-hit keys are applied *after* the batch
+    /// resolves (in the order the keys resolved out of the wave loop), as
+    /// the paper's asynchronous re-insertion would, so intra-batch
+    /// outcomes can diverge from the
+    /// per-op interleaving — a key repeated within one LRU batch probes
+    /// flash again rather than hitting the just-re-inserted buffer copy,
+    /// and a re-insertion flush that a sequential execution would have
+    /// run *mid-batch* (possibly evicting an incarnation before a later
+    /// key probes it) runs after the batch instead, so a later key can
+    /// even observe a value the sequential interleaving would already
+    /// have evicted. Both orders are valid under the paper's
+    /// asynchronous-re-insertion semantics.
     ///
     /// ```
     /// use bufferhash::{Clam, ClamConfig};
@@ -438,78 +559,186 @@ impl<D: Device> Clam<D> {
     /// assert_eq!(found[0].value, Some(20));
     /// assert_eq!(found[1].value, None);
     /// assert_eq!(found[2].value, Some(10));
+    /// // Buffer hits resolve without flash probes: no waves were needed.
+    /// assert_eq!(found.waves, 0);
+    /// assert_eq!(found.hits(), 2);
     /// ```
-    pub fn lookup_batch(&mut self, keys: &[Key]) -> Result<Vec<LookupOutcome>> {
+    pub fn lookup_batch(&mut self, keys: &[Key]) -> Result<BatchLookupOutcome> {
+        self.stats.batched_lookups += keys.len() as u64;
+        self.lookup_batch_with_dispatch(keys, batch_dispatch(keys.len()))
+    }
+
+    /// Looks up `key`: a batch of one over the queued read pipeline, so the
+    /// per-op and batched paths share a single implementation (each probe
+    /// wave is a one-request submission, whose makespan is exactly the
+    /// read's own latency).
+    pub fn lookup(&mut self, key: Key) -> Result<LookupOutcome> {
+        let mut batch =
+            self.lookup_batch_with_dispatch(std::slice::from_ref(&key), BASE_OP_OVERHEAD)?;
+        Ok(batch.outcomes.pop().expect("one outcome per key"))
+    }
+
+    /// The queued lookup pipeline shared by [`lookup`](Self::lookup) and
+    /// [`lookup_batch`](Self::lookup_batch); `dispatch` is the fixed
+    /// overhead charged to each key (full for per-op calls, amortized for
+    /// batched ones).
+    fn lookup_batch_with_dispatch(
+        &mut self,
+        keys: &[Key],
+        dispatch: SimDuration,
+    ) -> Result<BatchLookupOutcome> {
+        let mut batch = BatchLookupOutcome::default();
         if keys.is_empty() {
-            return Ok(Vec::new());
+            return Ok(batch);
         }
         let mut order: Vec<usize> = (0..keys.len()).collect();
+        // Stable sort: keys for one super table keep their input order.
         order.sort_by_key(|&i| self.table_of(keys[i]));
-        let dispatch = batch_dispatch(keys.len());
-        self.stats.batched_lookups += keys.len() as u64;
+        // All super tables share one serialization layout.
+        let layout = self.tables[0].layout();
         let mut out: Vec<Option<LookupOutcome>> = vec![None; keys.len()];
-        for &i in &order {
-            out[i] = Some(self.lookup_with_dispatch(keys[i], dispatch)?);
-        }
-        Ok(out.into_iter().map(|o| o.expect("every key visited")).collect())
-    }
+        let mut pending: Vec<ProbeState> = Vec::new();
+        let mut reinserts: Vec<(usize, Key, Value)> = Vec::new();
+        let mut host_time = SimDuration::ZERO;
 
-    /// Looks up `key`.
-    pub fn lookup(&mut self, key: Key) -> Result<LookupOutcome> {
-        self.lookup_with_dispatch(key, BASE_OP_OVERHEAD)
-    }
-
-    /// Lookup body shared by the per-op and batched paths.
-    fn lookup_with_dispatch(&mut self, key: Key, dispatch: SimDuration) -> Result<LookupOutcome> {
-        let t = self.table_of(key);
-        let filter_words = self.tables[t].filter_words_per_query();
-        let mut latency = dispatch + self.mem_words_cost(BUFFER_PROBE_WORDS + filter_words);
-        let mut flash_reads = 0usize;
-
-        // 1. Buffer and delete list.
-        if let Some(found) = self.tables[t].memory_lookup(key) {
-            let source = if found.is_some() { LookupSource::Buffer } else { LookupSource::Deleted };
-            if found.is_some() {
-                self.stats.lookup_hits += 1;
-            } else {
-                self.stats.lookup_misses += 1;
+        // 1. Buffer and delete-list checks plus probe planning, in the
+        //    batch's (table-sorted) sequential order.
+        for &slot in &order {
+            let key = keys[slot];
+            let t = self.table_of(key);
+            let filter_words = self.tables[t].filter_words_per_query();
+            let latency = dispatch + self.mem_words_cost(BUFFER_PROBE_WORDS + filter_words);
+            host_time += latency;
+            if let Some(found) = self.tables[t].memory_lookup(key) {
+                let source =
+                    if found.is_some() { LookupSource::Buffer } else { LookupSource::Deleted };
+                if found.is_some() {
+                    self.stats.lookup_hits += 1;
+                } else {
+                    self.stats.lookup_misses += 1;
+                }
+                self.stats.lookups.record(latency);
+                self.stats.record_lookup_reads(0);
+                out[slot] = Some(LookupOutcome { value: found, latency, flash_reads: 0, source });
+                continue;
             }
-            self.stats.lookups.record(latency);
-            self.stats.record_lookup_reads(0);
-            return Ok(LookupOutcome { value: found, latency, flash_reads: 0, source });
+            // Candidate incarnations, youngest first, guided by the Bloom
+            // filters; keys with no live candidate are misses without I/O.
+            let mut state = ProbeState {
+                slot,
+                key,
+                table: t,
+                latency,
+                flash_reads: 0,
+                candidates: self.tables[t].candidate_incarnations(key).into_iter(),
+                meta: None,
+                page_idx: 0,
+                hops_left: 0,
+            };
+            if self.advance_probe(&mut state) {
+                pending.push(state);
+            } else {
+                out[slot] = Some(self.resolve_probe(state, None, &mut reinserts));
+            }
         }
 
-        // 2. Incarnations, youngest first, guided by the Bloom filters.
-        let candidates = self.tables[t].candidate_incarnations(key);
-        let layout = self.tables[t].layout();
-        let mut found: Option<Value> = None;
-        'candidates: for age in candidates {
-            let Some(meta) = self.tables[t].incarnation_at(age) else { continue };
-            let mut page_idx = layout.page_of_key(key);
-            for _hop in 0..layout.num_pages {
-                let offset = meta.flash_offset + (page_idx * layout.page_size) as u64;
-                let mut page = vec![0u8; layout.page_size];
-                let read_lat = self.device.read_at(offset, &mut page)?;
-                latency += read_lat;
-                flash_reads += 1;
-                match lookup_in_page(&page, key).map_err(|e| annotate_offset(e, offset))? {
+        // 2. Probe waves: submit the next pending page read of every
+        //    unresolved key as one request batch, charge the wave makespan,
+        //    and step each state machine on its completion.
+        while !pending.is_empty() {
+            let offsets: Vec<u64> = pending
+                .iter()
+                .map(|s| {
+                    let meta = s.meta.expect("pending probes hold a candidate");
+                    layout.page_offset(meta.flash_offset, s.page_idx)
+                })
+                .collect();
+            let mut requests = page_read_batch(&offsets, layout.page_size);
+            let completions = self.device.submit(&mut requests)?;
+            batch.waves += 1;
+            batch.probe_reads += completions.len();
+            batch.probe_latency += batch_latency(&completions);
+            self.stats.lookup_probe_waves += 1;
+            self.stats.lookup_probe_requests += completions.len() as u64;
+            self.stats.lookup_probes_overlapped += overlapped_requests(&completions) as u64;
+
+            let mut unresolved = Vec::with_capacity(pending.len());
+            for (mut state, completion) in pending.into_iter().zip(completions) {
+                let slot = state.slot;
+                let offset = offsets[completion.index];
+                let page = completion.result?;
+                state.latency += completion.latency;
+                state.flash_reads += 1;
+                match lookup_in_page(&page, state.key).map_err(|e| annotate_offset(e, offset))? {
                     PageLookup::Found(v) => {
-                        found = Some(v);
-                        break 'candidates;
+                        out[slot] = Some(self.resolve_probe(state, Some(v), &mut reinserts));
                     }
                     PageLookup::Absent => {
                         self.stats.spurious_flash_reads += 1;
-                        continue 'candidates;
+                        if self.advance_probe(&mut state) {
+                            unresolved.push(state);
+                        } else {
+                            out[slot] = Some(self.resolve_probe(state, None, &mut reinserts));
+                        }
                     }
                     PageLookup::Continue => {
-                        page_idx = (page_idx + 1) % layout.num_pages;
+                        state.page_idx = layout.next_page(state.page_idx);
+                        state.hops_left -= 1;
+                        if state.hops_left > 0 {
+                            unresolved.push(state);
+                        } else {
+                            // Exhausted the overflow chain without a verdict.
+                            self.stats.spurious_flash_reads += 1;
+                            if self.advance_probe(&mut state) {
+                                unresolved.push(state);
+                            } else {
+                                out[slot] = Some(self.resolve_probe(state, None, &mut reinserts));
+                            }
+                        }
                     }
                 }
             }
-            // Exhausted the overflow chain without a verdict.
-            self.stats.spurious_flash_reads += 1;
+            pending = unresolved;
+        }
+        if batch.waves > 0 {
+            self.stats.lookup_batches_submitted += 1;
         }
 
+        // 3. LRU: re-insert items used from flash so they survive FIFO
+        //    eviction of old incarnations. The paper performs this
+        //    asynchronously, so its cost is not charged to the batch.
+        self.apply_reinserts(reinserts)?;
+
+        batch.latency = host_time + batch.probe_latency;
+        batch.outcomes = out.into_iter().map(|o| o.expect("every key resolved")).collect();
+        Ok(batch)
+    }
+
+    /// Advances a probe to its next live candidate incarnation, resetting
+    /// the page-chain cursor; returns `false` when the candidate list is
+    /// exhausted (the key cannot be on flash).
+    fn advance_probe(&self, state: &mut ProbeState) -> bool {
+        let layout = self.tables[state.table].layout();
+        for age in state.candidates.by_ref() {
+            if let Some(meta) = self.tables[state.table].incarnation_at(age) {
+                state.meta = Some(meta);
+                state.page_idx = layout.page_of_key(state.key);
+                state.hops_left = layout.num_pages;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Finishes one probe state machine: records the lookup statistics,
+    /// queues the LRU re-insertion for keys served from flash, and builds
+    /// the outcome.
+    fn resolve_probe(
+        &mut self,
+        state: ProbeState,
+        found: Option<Value>,
+        reinserts: &mut Vec<(usize, Key, Value)>,
+    ) -> LookupOutcome {
         let source = match found {
             Some(_) => LookupSource::Flash,
             None => LookupSource::Miss,
@@ -519,33 +748,65 @@ impl<D: Device> Clam<D> {
         } else {
             self.stats.lookup_misses += 1;
         }
-        self.stats.lookups.record(latency);
-        self.stats.record_lookup_reads(flash_reads);
-
-        // 3. LRU: re-insert items used from flash so they survive FIFO
-        //    eviction of old incarnations. The paper performs this
-        //    asynchronously, so its cost is not charged to the lookup.
+        self.stats.lookups.record(state.latency);
+        self.stats.record_lookup_reads(state.flash_reads);
         if let Some(v) = found {
             if self.config.eviction.reinserts_on_use() {
-                let t_idx = t;
-                let mut async_cost = SimDuration::ZERO;
-                let mut attempts = 0usize;
-                loop {
-                    match self.tables[t_idx].buffer_insert(key, v) {
-                        BufferInsert::Stored(_) => break,
-                        BufferInsert::Full => {
-                            let flush = self.flush_table(t_idx, attempts)?;
-                            async_cost += flush.latency;
-                            attempts += 1;
-                        }
-                    }
-                }
-                self.stats.reinsertions += 1;
-                self.stats.async_reinsert_time += async_cost;
+                reinserts.push((state.table, state.key, v));
             }
         }
+        LookupOutcome {
+            value: found,
+            latency: state.latency,
+            flash_reads: state.flash_reads,
+            source,
+        }
+    }
 
-        Ok(LookupOutcome { value: found, latency, flash_reads, source })
+    /// Applies the LRU re-insertions collected by a lookup call. Flush
+    /// chains triggered here route their incarnation writes through the
+    /// queued flush submission (deferred, then drained as one
+    /// [`Device::submit`](flashsim::Device::submit) batch) instead of
+    /// looping blocking per-table writes, so the asynchronous re-insert
+    /// cost recorded in `ClamStats::async_reinsert_time` is
+    /// makespan-accounted like every other flush.
+    fn apply_reinserts(&mut self, reinserts: Vec<(usize, Key, Value)>) -> Result<()> {
+        if reinserts.is_empty() {
+            return Ok(());
+        }
+        let was_coalescing = self.coalesce_writes;
+        self.coalesce_writes = true;
+        let mut cost = SimDuration::ZERO;
+        let mut failure = None;
+        'reinserts: for (t, key, value) in reinserts {
+            let mut attempts = 0usize;
+            loop {
+                match self.tables[t].buffer_insert(key, value) {
+                    BufferInsert::Stored(_) => break,
+                    BufferInsert::Full => match self.flush_table(t, attempts) {
+                        Ok(flush) => {
+                            cost += flush.latency;
+                            attempts += 1;
+                        }
+                        Err(e) => {
+                            failure = Some(e);
+                            break 'reinserts;
+                        }
+                    },
+                }
+            }
+            self.stats.reinsertions += 1;
+        }
+        // Drain even on failure so the device matches the incarnation
+        // metadata registered so far.
+        self.coalesce_writes = was_coalescing;
+        let drained = self.drain_pending_writes();
+        if let Some(e) = failure {
+            return Err(e);
+        }
+        cost += drained?;
+        self.stats.async_reinsert_time += cost;
+        Ok(())
     }
 
     /// Returns `true` if `key` currently maps to a value.
@@ -812,6 +1073,30 @@ fn batch_dispatch(len: usize) -> SimDuration {
 struct FlushOutcome {
     latency: SimDuration,
     evictions: usize,
+}
+
+/// Probe state machine for one key of a queued lookup batch: where the key
+/// sits in its Bloom-guided candidate walk (which incarnation, which page
+/// of the overflow chain) and the per-key accounting accumulated so far.
+/// One page read per wave advances it until a verdict is reached.
+struct ProbeState {
+    /// Position of the key in the caller's batch.
+    slot: usize,
+    key: Key,
+    /// Super table owning the key.
+    table: usize,
+    /// Per-key charge accumulated so far (dispatch + DRAM probes + own
+    /// page reads).
+    latency: SimDuration,
+    flash_reads: usize,
+    /// Remaining candidate incarnation ages, youngest first.
+    candidates: std::vec::IntoIter<usize>,
+    /// Candidate currently being probed (`Some` while pending).
+    meta: Option<IncarnationMeta>,
+    /// Page of the current candidate to read next.
+    page_idx: usize,
+    /// Overflow-chain hops left before the candidate is abandoned.
+    hops_left: usize,
 }
 
 fn annotate_offset(e: BufferHashError, offset: u64) -> BufferHashError {
@@ -1233,12 +1518,16 @@ mod tests {
             solo_total += clam.lookup(k).unwrap().latency;
         }
         let batched = clam.lookup_batch(&keys).unwrap();
-        let bat_total: SimDuration =
-            batched.iter().fold(SimDuration::ZERO, |acc, o| acc + o.latency);
+        let bat_total = batched.latency;
         assert!(
             bat_total * 2 < solo_total,
             "batched buffer-hit lookups ({bat_total}) should be well under half of per-op ({solo_total})"
         );
+        // No flash probes were needed, so no waves were submitted and the
+        // batch is pure host time.
+        assert_eq!(batched.waves, 0);
+        assert_eq!(batched.probe_latency, SimDuration::ZERO);
+        assert_eq!(clam.stats().lookup_probe_requests, 0);
     }
 
     #[test]
@@ -1249,8 +1538,12 @@ mod tests {
         let batch = batched.insert_batch(&[(key(1), 1)]).unwrap().latency;
         assert_eq!(solo, batch, "a batch of one must not cost more than a per-op insert");
         let solo = per_op.lookup(key(1)).unwrap().latency;
-        let batch = batched.lookup_batch(&[key(1)]).unwrap()[0].latency;
-        assert_eq!(solo, batch, "a batch of one must not cost more than a per-op lookup");
+        let batch = batched.lookup_batch(&[key(1)]).unwrap();
+        assert_eq!(
+            solo, batch[0].latency,
+            "a batch of one must not cost more than a per-op lookup"
+        );
+        assert_eq!(solo, batch.latency, "batch-of-one elapsed time equals the per-op charge");
     }
 
     #[test]
@@ -1306,5 +1599,126 @@ mod tests {
         }
         let expected = 10_000 / tables;
         assert!(counts.iter().all(|&c| c > expected / 3 && c < expected * 3));
+    }
+
+    /// A single-super-table CLAM with `rounds` incarnations of a few
+    /// entries each (so probe chains never overflow), Bloom filters
+    /// disabled so every lookup probes every incarnation deterministically.
+    fn deterministic_probe_clam(device: Ssd, rounds: usize) -> Clam<Ssd> {
+        let cfg = ClamConfig {
+            flash_capacity: 8 << 20,
+            dram_bytes: 1 << 20,
+            buffer_bytes_total: 32 * 1024,
+            buffer_bytes_per_table: 32 * 1024,
+            entry_size: 16,
+            max_buffer_utilization: 0.5,
+            eviction: EvictionPolicy::Fifo,
+            filter_mode: FilterMode::Disabled,
+            layout: crate::config::FlashLayoutMode::GlobalLog,
+            enable_buffering: true,
+        };
+        cfg.validate().unwrap();
+        assert!(rounds <= cfg.incarnations_per_table());
+        let mut clam = Clam::new(device, cfg).unwrap();
+        for round in 0..rounds as u64 {
+            for i in 0..8u64 {
+                clam.insert(key(round * 100 + i), i).unwrap();
+            }
+            clam.flush_all().unwrap();
+        }
+        clam
+    }
+
+    #[test]
+    fn queued_lookup_batch_overlaps_probes_on_the_device_queue() {
+        // Intel-class SSD: overlapped queue, depth 8. 64 absent keys with
+        // filters disabled probe 4 incarnations each — 4 waves of 64 reads.
+        let mut clam = deterministic_probe_clam(Ssd::intel(8 << 20).unwrap(), 4);
+        clam.reset_stats();
+        let keys: Vec<Key> = (0..64u64).map(|i| hash_with_seed(i, 0xab5e7)).collect();
+        let batch = clam.lookup_batch(&keys).unwrap();
+        assert_eq!(batch.ops(), 64);
+        assert_eq!(batch.hits(), 0);
+        assert_eq!(batch.waves, 4);
+        assert_eq!(batch.probe_reads, 4 * 64);
+        // Makespan accounting: the batch's flash time is far below the sum
+        // of the per-key read charges (8 lanes -> ~8x overlap).
+        let summed: SimDuration =
+            batch.outcomes.iter().map(|o| o.latency).fold(SimDuration::ZERO, |acc, l| acc + l);
+        assert!(
+            batch.latency * 4 < summed,
+            "queued batch ({}) should undercut summed per-key charges ({summed})",
+            batch.latency
+        );
+        // Stats ledger.
+        let stats = clam.stats();
+        assert_eq!(stats.lookup_batches_submitted, 1);
+        assert_eq!(stats.lookup_probe_waves, 4);
+        assert_eq!(stats.lookup_probe_requests, 4 * 64);
+        assert!(stats.lookup_probes_overlapped > 0, "SSD lanes must overlap probes");
+        let text = stats.to_string();
+        assert!(text.contains("queued lookups: 1 batches, 4 waves"), "{text}");
+    }
+
+    #[test]
+    fn queued_lookup_batch_matches_the_cost_model_exactly() {
+        use crate::analysis::FlashCostModel;
+        use flashsim::{DeviceProfile, QueueCapabilities};
+        const KEYS: usize = 48;
+        const ROUNDS: usize = 4;
+        for depth in [1usize, 2, 8] {
+            let profile = DeviceProfile {
+                queue: QueueCapabilities::overlapped(depth),
+                ..DeviceProfile::intel_x18m()
+            };
+            let ssd = Ssd::with_profile(8 << 20, profile.clone()).unwrap();
+            let mut clam = deterministic_probe_clam(ssd, ROUNDS);
+            let keys: Vec<Key> = (0..KEYS as u64).map(|i| hash_with_seed(i, 0x1017e)).collect();
+            let batch = clam.lookup_batch(&keys).unwrap();
+            assert_eq!(batch.waves, ROUNDS);
+            assert_eq!(batch.probe_reads, ROUNDS * KEYS);
+            let model = FlashCostModel::from_profile(&profile);
+            assert_eq!(
+                batch.probe_latency,
+                model.lookup_batch_makespan(KEYS, ROUNDS, depth),
+                "simulator and closed-form queued-lookup model must agree at depth {depth}"
+            );
+        }
+    }
+
+    #[test]
+    fn lru_reinserts_route_through_the_queued_flush_submission() {
+        let mut cfg = ClamConfig::small_test(4 << 20, 1 << 20).unwrap();
+        cfg.eviction = EvictionPolicy::Lru;
+        let mut clam = Clam::new(Ssd::intel(4 << 20).unwrap(), cfg).unwrap();
+        for i in 0..40_000u64 {
+            clam.insert(key(i), i).unwrap();
+        }
+        assert!(clam.stats().flushes > 0);
+        let flushes_before = clam.stats().flushes;
+        let reinserts_before = clam.stats().reinsertions;
+        let async_before = clam.stats().async_reinsert_time;
+        // Batched lookups of flash-resident keys: every hit re-inserts, and
+        // the buffers are already full, so re-insertion must flush — through
+        // the deferred/queued submission, not blocking per-table writes.
+        let keys: Vec<Key> = (0..2_000u64).map(key).collect();
+        for chunk in keys.chunks(256) {
+            let batch = clam.lookup_batch(chunk).unwrap();
+            assert_eq!(batch.hits(), chunk.len());
+        }
+        let stats = clam.stats();
+        assert!(stats.reinsertions > reinserts_before, "LRU lookups should re-insert flash hits");
+        assert!(stats.flushes > flushes_before, "re-insertion into full buffers must flush");
+        assert!(
+            stats.async_reinsert_time > async_before,
+            "re-insert flush cost must be accounted asynchronously"
+        );
+        // Re-insertion always lands the key in the buffer by the end of
+        // its lookup call (later re-inserts may flush it back out, so probe
+        // once to re-insert, then observe the buffered copy).
+        assert_eq!(clam.lookup(key(0)).unwrap().value, Some(0));
+        let again = clam.lookup(key(0)).unwrap();
+        assert_eq!(again.value, Some(0));
+        assert_eq!(again.source, LookupSource::Buffer);
     }
 }

@@ -63,6 +63,18 @@ impl IncarnationLayout {
         (hash_with_seed(key, 0x9a6e_5c01) % self.num_pages as u64) as usize
     }
 
+    /// Flash byte offset of page `page_idx` of an incarnation whose image
+    /// starts at `flash_offset` — the address a probe of that page reads.
+    pub fn page_offset(&self, flash_offset: u64, page_idx: usize) -> u64 {
+        flash_offset + (page_idx % self.num_pages.max(1) * self.page_size) as u64
+    }
+
+    /// The page an overflow chain continues on after `page_idx` (wrapping
+    /// spill, matching [`serialize`](Self::serialize)'s forward spill).
+    pub fn next_page(&self, page_idx: usize) -> usize {
+        (page_idx + 1) % self.num_pages.max(1)
+    }
+
     /// Serializes `entries` into an incarnation image of
     /// `total_bytes()` bytes.
     ///
@@ -242,6 +254,17 @@ mod tests {
         assert_eq!(l.entries_per_page(), 127);
         assert_eq!(l.total_bytes(), 128 * 1024);
         assert!(l.max_entries() >= 4096);
+    }
+
+    #[test]
+    fn page_offsets_and_overflow_hops_wrap() {
+        let l = layout();
+        assert_eq!(l.page_offset(1 << 20, 0), 1 << 20);
+        assert_eq!(l.page_offset(1 << 20, 3), (1 << 20) + 3 * 2048);
+        // Probing past the last page wraps, like the overflow spill does.
+        assert_eq!(l.page_offset(0, l.num_pages), 0);
+        assert_eq!(l.next_page(0), 1);
+        assert_eq!(l.next_page(l.num_pages - 1), 0);
     }
 
     #[test]

@@ -24,6 +24,12 @@
 //!   super table, the per-call overhead is paid once per batch, and flush
 //!   writes to contiguous log slots are coalesced into single sequential
 //!   device writes (see DESIGN.md "Batched operations").
+//! * The read path is **queued** (see DESIGN.md "Queued lookups"): each
+//!   lookup key is a probe state machine, and every round of a batch
+//!   submits the next pending page read of all unresolved keys as one
+//!   wave through the device submission queue, so independent probes
+//!   overlap and a batch costs the wave makespans
+//!   ([`BatchLookupOutcome`]) instead of the summed per-read time.
 //!
 //! ## Quick start
 //!
@@ -64,8 +70,8 @@ mod types;
 pub use bitslice::BitSlicedBloomSet;
 pub use bloom::BloomFilter;
 pub use clam::{
-    BatchInsertOutcome, Clam, InsertOutcome, LookupOutcome, LookupSource, MemoryUsage,
-    BASE_OP_OVERHEAD, BATCHED_OP_OVERHEAD,
+    BatchInsertOutcome, BatchLookupOutcome, Clam, InsertOutcome, LookupOutcome, LookupSource,
+    MemoryUsage, BASE_OP_OVERHEAD, BATCHED_OP_OVERHEAD,
 };
 pub use config::{tuning, ClamConfig, FlashLayoutMode};
 pub use cuckoo::{BufferInsert, CuckooBuffer};

@@ -26,6 +26,10 @@
 //! [`flashsim` submission queues](flashsim::queue) use below it.
 //! [`StripedClam::insert_batch_serial`] keeps the one-stripe-at-a-time
 //! reference path (summed latency) for comparison and debugging.
+//! [`StripedClam::lookup_batch`] composes both levels of overlap: stripes
+//! run concurrently, and within each stripe the queued probe pipeline
+//! ([`Clam::lookup_batch`]) overlaps flash page reads on the device's
+//! submission-queue lanes.
 
 use std::sync::Arc;
 
@@ -33,7 +37,7 @@ use parking_lot::Mutex;
 
 use flashsim::{Device, SimDuration};
 
-use crate::clam::{BatchInsertOutcome, Clam, InsertOutcome, LookupOutcome};
+use crate::clam::{BatchInsertOutcome, BatchLookupOutcome, Clam, InsertOutcome, LookupOutcome};
 use crate::error::Result;
 use crate::stats::ClamStats;
 use crate::types::{hash_with_seed, Key, Value};
@@ -71,9 +75,11 @@ impl<D: Device> SharedClam<D> {
         self.inner.lock().insert_batch(ops)
     }
 
-    /// Looks up a batch of keys under one lock acquisition, returning one
-    /// outcome per key in input order (see [`Clam::lookup_batch`]).
-    pub fn lookup_batch(&self, keys: &[Key]) -> Result<Vec<LookupOutcome>> {
+    /// Looks up a batch of keys under one lock acquisition through the
+    /// queued read pipeline, returning one outcome per key in input order
+    /// plus the batch's makespan-accounted latency (see
+    /// [`Clam::lookup_batch`]).
+    pub fn lookup_batch(&self, keys: &[Key]) -> Result<BatchLookupOutcome> {
         self.inner.lock().lookup_batch(keys)
     }
 
@@ -296,10 +302,16 @@ impl<D: Device> StripedClam<D> {
     /// Looks up a batch of keys, partitioned by stripe, with one lock
     /// acquisition per stripe-batch and the stripe sub-batches dispatched
     /// concurrently (independent devices, like
-    /// [`insert_batch`](Self::insert_batch)). Outcomes are returned in
-    /// input order and are identical to per-op lookups; each outcome still
-    /// carries its own per-key latency.
-    pub fn lookup_batch(&self, keys: &[Key]) -> Result<Vec<LookupOutcome>> {
+    /// [`insert_batch`](Self::insert_batch)). Each stripe resolves its
+    /// sub-batch through the queued probe pipeline
+    /// ([`Clam::lookup_batch`]), so the reported batch latency is the
+    /// **maximum over stripes** of each stripe's wave-makespan time —
+    /// stripes overlap on their own devices *and* each stripe's probes
+    /// overlap on its device's queue lanes. Outcomes are returned in input
+    /// order and are identical to per-op lookups; probe-read counts sum
+    /// across stripes, while `waves` reports the deepest (slowest) stripe's
+    /// wave count, consistent with the max-over-stripes latency.
+    pub fn lookup_batch(&self, keys: &[Key]) -> Result<BatchLookupOutcome> {
         let mut groups: Vec<(Vec<Key>, Vec<usize>)> =
             vec![(Vec::new(), Vec::new()); self.stripes.len()];
         for (pos, &key) in keys.iter().enumerate() {
@@ -311,13 +323,20 @@ impl<D: Device> StripedClam<D> {
         let results =
             self.dispatch_stripes(&occupied, |idx| self.stripes[idx].lookup_batch(&groups[idx].0));
         let mut out: Vec<Option<LookupOutcome>> = vec![None; keys.len()];
+        let mut total = BatchLookupOutcome::default();
         for (idx, result) in results.into_iter().enumerate() {
             let Some(result) = result else { continue };
-            for (outcome, &pos) in result?.into_iter().zip(&groups[idx].1) {
+            let stripe_batch = result?;
+            total.latency = total.latency.max(stripe_batch.latency);
+            total.probe_latency = total.probe_latency.max(stripe_batch.probe_latency);
+            total.waves = total.waves.max(stripe_batch.waves);
+            total.probe_reads += stripe_batch.probe_reads;
+            for (outcome, &pos) in stripe_batch.into_iter().zip(&groups[idx].1) {
                 out[pos] = Some(outcome);
             }
         }
-        Ok(out.into_iter().map(|o| o.expect("every key routed")).collect())
+        total.outcomes = out.into_iter().map(|o| o.expect("every key routed")).collect();
+        Ok(total)
     }
 
     /// Aggregated statistics across all stripes (every counter, recorder
@@ -436,7 +455,7 @@ mod tests {
         assert_eq!(out.ops, 5_000);
         let keys: Vec<u64> = ops.iter().map(|(k, _)| *k).collect();
         let found = shared.lookup_batch(&keys).unwrap();
-        for (i, outcome) in found.iter().enumerate() {
+        for (i, outcome) in found.outcomes.iter().enumerate() {
             assert_eq!(outcome.value, Some(i as u64 * 2), "key {i}");
         }
         assert_eq!(shared.stats().batched_inserts, 5_000);
@@ -492,6 +511,31 @@ mod tests {
         }
         assert_eq!(striped.stats().inserts.len(), 12_000);
         assert_eq!(striped.stats().batched_inserts, 12_000);
+    }
+
+    #[test]
+    fn striped_queued_lookups_report_max_over_stripes() {
+        let striped = StripedClam::new(vec![clam(), clam(), clam()]);
+        let ops: Vec<(u64, u64)> = (0..60_000u64).map(|i| (key(i), i)).collect();
+        for chunk in ops.chunks(1024) {
+            striped.insert_batch(chunk).unwrap();
+        }
+        // Miss-heavy probe traffic so each stripe submits real waves.
+        let keys: Vec<u64> =
+            (0..1_500u64).map(|i| if i % 3 == 0 { key(i) } else { key(900_000 + i) }).collect();
+        let batch = striped.lookup_batch(&keys).unwrap();
+        assert_eq!(batch.ops(), keys.len());
+        // Max-over-stripes: the batch cannot be cheaper than any stripe's
+        // own makespan, and the merged counters describe all stripes.
+        let stats = striped.stats();
+        if stats.lookup_probe_requests > 0 {
+            assert_eq!(batch.probe_reads as u64, stats.lookup_probe_requests);
+            assert!(batch.waves as u64 <= stats.lookup_probe_waves);
+        }
+        // Values agree with per-op lookups.
+        for (i, &k) in keys.iter().enumerate() {
+            assert_eq!(batch[i].value, striped.lookup(k).unwrap().value, "key index {i}");
+        }
     }
 
     #[test]

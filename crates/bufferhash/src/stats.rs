@@ -5,6 +5,8 @@
 //! (Table 2), buffer flushes and cascaded evictions (Figure 8b), Bloom
 //! false positives, and so on.
 
+use std::fmt;
+
 use flashsim::{LatencyRecorder, SimDuration};
 
 /// Counters and latency recorders for one CLAM instance.
@@ -56,6 +58,21 @@ pub struct ClamStats {
     /// erase or a partial-discard eviction read — are charged to the op
     /// that needed them, like a sequential flush, and are not counted here.
     pub deferred_flush_time: SimDuration,
+    /// Lookup calls (batched or per-op) whose flash probes reached the
+    /// device through the queued read pipeline (at least one probe wave
+    /// submitted via `Device::submit`).
+    pub lookup_batches_submitted: u64,
+    /// Probe waves submitted by the queued lookup pipeline. Each wave
+    /// carries the next pending page read of every key still unresolved in
+    /// its batch.
+    pub lookup_probe_waves: u64,
+    /// Flash page-read requests submitted by the queued lookup pipeline
+    /// (one per key per wave).
+    pub lookup_probe_requests: u64,
+    /// Probe requests that overlapped another request of their wave on the
+    /// device queue (completed on a lane other than 0) — the lookup-side
+    /// view of `IoStats::requests_overlapped`. Always zero on serial media.
+    pub lookup_probes_overlapped: u64,
 }
 
 /// Maximum histogram index tracked explicitly; larger values accumulate in
@@ -136,6 +153,66 @@ impl ClamStats {
         self.batched_lookups += other.batched_lookups;
         self.coalesced_flush_writes += other.coalesced_flush_writes;
         self.deferred_flush_time += other.deferred_flush_time;
+        self.lookup_batches_submitted += other.lookup_batches_submitted;
+        self.lookup_probe_waves += other.lookup_probe_waves;
+        self.lookup_probe_requests += other.lookup_probe_requests;
+        self.lookup_probes_overlapped += other.lookup_probes_overlapped;
+    }
+
+    /// Fraction of queued lookup probes that overlapped another probe of
+    /// their wave on the device queue.
+    pub fn probe_overlap_fraction(&self) -> f64 {
+        if self.lookup_probe_requests == 0 {
+            return 0.0;
+        }
+        self.lookup_probes_overlapped as f64 / self.lookup_probe_requests as f64
+    }
+}
+
+impl fmt::Display for ClamStats {
+    /// One-line operational summary, mirroring `IoStats`'s ledger style:
+    /// op counts with mean latencies, hit rate, flush/eviction traffic, and
+    /// the batched/queued pipeline counters (elided when untouched).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "inserts: {} (mean {}) | lookups: {} (mean {}, {} hits / {} misses) | deletes: {}",
+            self.inserts.len(),
+            self.inserts.mean(),
+            self.lookups.len(),
+            self.lookups.mean(),
+            self.lookup_hits,
+            self.lookup_misses,
+            self.deletes.len(),
+        )?;
+        write!(
+            f,
+            " | flushes: {} ({} forced evictions, {} reinsertions)",
+            self.flushes, self.forced_evictions, self.reinsertions
+        )?;
+        write!(
+            f,
+            " | lookup flash reads: {} ({} spurious)",
+            self.lookup_flash_reads, self.spurious_flash_reads
+        )?;
+        if self.batched_inserts > 0 || self.batched_lookups > 0 {
+            write!(
+                f,
+                " | batched: {} inserts, {} lookups ({} coalesced writes)",
+                self.batched_inserts, self.batched_lookups, self.coalesced_flush_writes
+            )?;
+        }
+        if self.lookup_batches_submitted > 0 {
+            write!(
+                f,
+                " | queued lookups: {} batches, {} waves, {} probes ({} overlapped)",
+                self.lookup_batches_submitted,
+                self.lookup_probe_waves,
+                self.lookup_probe_requests,
+                self.lookup_probes_overlapped
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -187,12 +264,18 @@ mod tests {
         a.flushes = 2;
         a.batched_inserts = 10;
         a.deferred_flush_time = SimDuration::from_micros(5);
+        a.lookup_batches_submitted = 2;
+        a.lookup_probe_requests = 6;
         let mut b = ClamStats::new();
         b.record_lookup_reads(0);
         b.record_lookup_reads(2);
         b.record_cascade(4);
         b.lookup_misses = 7;
         b.coalesced_flush_writes = 4;
+        b.lookup_batches_submitted = 1;
+        b.lookup_probe_waves = 3;
+        b.lookup_probe_requests = 9;
+        b.lookup_probes_overlapped = 5;
         a.merge(&b);
         assert_eq!(a.flash_reads_histogram[0], 2);
         assert_eq!(a.flash_reads_histogram[2], 1);
@@ -205,6 +288,38 @@ mod tests {
         assert_eq!(a.coalesced_flush_writes, 4);
         assert_eq!(a.deferred_flush_time, SimDuration::from_micros(5));
         assert!((a.lookup_read_fraction(0) - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(a.lookup_batches_submitted, 3);
+        assert_eq!(a.lookup_probe_waves, 3);
+        assert_eq!(a.lookup_probe_requests, 15);
+        assert_eq!(a.lookup_probes_overlapped, 5);
+        assert!((a.probe_overlap_fraction() - 5.0 / 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_summarizes_and_elides_untouched_pipelines() {
+        let mut s = ClamStats::new();
+        s.inserts.record(SimDuration::from_micros(3));
+        s.lookup_hits = 1;
+        s.flushes = 2;
+        let quiet = s.to_string();
+        assert!(quiet.contains("inserts: 1"));
+        assert!(quiet.contains("flushes: 2"));
+        assert!(!quiet.contains("batched:") && !quiet.contains("queued lookups:"));
+
+        s.batched_lookups = 4;
+        s.lookup_batches_submitted = 2;
+        s.lookup_probe_waves = 3;
+        s.lookup_probe_requests = 8;
+        s.lookup_probes_overlapped = 6;
+        let text = s.to_string();
+        for needle in [
+            "batched: 0 inserts, 4 lookups",
+            "queued lookups: 2 batches, 3 waves",
+            "8 probes (6 overlapped)",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in {text:?}");
+        }
+        assert_eq!(ClamStats::new().probe_overlap_fraction(), 0.0);
     }
 
     #[test]

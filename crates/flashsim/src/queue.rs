@@ -219,6 +219,23 @@ pub fn ranges_conflict(a: (u64, u64, bool), b: (u64, u64, bool)) -> bool {
     a_start < b_end && b_start < a_end && !(a_read && b_read)
 }
 
+/// Builds one fixed-size read request per offset — the shape of one *probe
+/// wave* in a queued lookup pipeline, where every unresolved key
+/// contributes the next page hop of its probe chain. Offsets may repeat
+/// (two keys probing the same page): read-read overlap is harmless, so
+/// duplicate reads still run on independent lanes.
+pub fn page_read_batch(offsets: &[u64], page_size: usize) -> Vec<IoRequest> {
+    offsets.iter().map(|&offset| IoRequest::read(offset, page_size)).collect()
+}
+
+/// Number of completions that shared their submission's elapsed time with
+/// lane-0 work (i.e. executed on a lane other than 0) — the same
+/// definition the backends use for `IoStats::requests_overlapped`. Always
+/// zero for submissions executed serially.
+pub fn overlapped_requests(completions: &[IoCompletion]) -> usize {
+    completions.iter().filter(|c| c.lane != 0).count()
+}
+
 /// Elapsed (wall-clock) latency of a completed submission: the maximum over
 /// lanes of each lane's summed per-request latency. Equals
 /// [`total_busy_time`] on serial devices, and shrinks toward
@@ -307,5 +324,27 @@ mod tests {
     fn serial_batches_sum() {
         let comps = vec![comp(0, 10), comp(0, 20)];
         assert_eq!(batch_latency(&comps), total_busy_time(&comps));
+    }
+
+    #[test]
+    fn page_read_batches_are_one_read_per_offset() {
+        let reqs = page_read_batch(&[0, 8192, 8192], 4096);
+        assert_eq!(
+            reqs,
+            vec![
+                IoRequest::read(0, 4096),
+                IoRequest::read(8192, 4096),
+                IoRequest::read(8192, 4096)
+            ]
+        );
+        assert!(page_read_batch(&[], 4096).is_empty());
+    }
+
+    #[test]
+    fn overlapped_requests_counts_non_zero_lanes() {
+        let comps = vec![comp(0, 10), comp(1, 30), comp(0, 15), comp(2, 5)];
+        assert_eq!(overlapped_requests(&comps), 2);
+        assert_eq!(overlapped_requests(&[comp(0, 10)]), 0);
+        assert_eq!(overlapped_requests(&[]), 0);
     }
 }

@@ -94,16 +94,11 @@ impl<D: Device> FingerprintStore for ClamStore<D> {
     }
 
     fn lookup_batch(&mut self, fingerprints: &[u64]) -> Result<(Vec<Option<u64>>, SimDuration)> {
-        let outcomes = self.clam.lookup_batch(fingerprints)?;
-        let mut total = SimDuration::ZERO;
-        let values = outcomes
-            .into_iter()
-            .map(|o| {
-                total += o.latency;
-                o.value
-            })
-            .collect();
-        Ok((values, total))
+        // The CLAM resolves the batch through its queued probe pipeline,
+        // so the charged latency is the batch's makespan (flash probes
+        // overlap on the device queue), not the summed per-key cost.
+        let batch = self.clam.lookup_batch(fingerprints)?;
+        Ok((batch.values(), batch.latency))
     }
 
     fn name(&self) -> String {

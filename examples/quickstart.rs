@@ -69,4 +69,11 @@ fn main() {
         "  buffer flushes: {}, coalesced flush writes: {}, spurious flash reads: {}",
         stats.flushes, stats.coalesced_flush_writes, stats.spurious_flash_reads
     );
+    println!(
+        "  queued lookups: {} batches, {} probe waves, {} probe reads ({} overlapped on the SSD queue)",
+        stats.lookup_batches_submitted,
+        stats.lookup_probe_waves,
+        stats.lookup_probe_requests,
+        stats.lookup_probes_overlapped
+    );
 }

@@ -8,7 +8,7 @@ use proptest::prelude::*;
 
 use clam::bufferhash::{
     lookup_in_page, parse_incarnation, BloomFilter, Clam, ClamConfig, CuckooBuffer, Entry,
-    EvictionPolicy, FilterMode, FlashLayoutMode, IncarnationLayout, PageLookup,
+    EvictionPolicy, FilterMode, FlashLayoutMode, IncarnationLayout, LookupOutcome, PageLookup,
 };
 use clam::flashsim::{
     Device, DeviceError, DramDevice, FileDevice, FlashChip, IoRequest, MagneticDisk, SparseStore,
@@ -166,6 +166,125 @@ proptest! {
         }
         prop_assert_eq!(seq.stats().lookup_hits, bat.stats().lookup_hits);
         prop_assert_eq!(seq.stats().lookup_misses, bat.stats().lookup_misses);
+    }
+}
+
+/// A tiny CLAM over an arbitrary backend for the queued-lookup equivalence
+/// property. `max_utilization` tunes the incarnation page fill: at 0.9 the
+/// pages run close to capacity, so overflow chains (multi-hop probe
+/// sequences) occur routinely.
+fn tiny_clam_on<D: Device>(device: D, max_utilization: f64) -> Clam<D> {
+    let config = ClamConfig {
+        flash_capacity: 8 << 20,
+        dram_bytes: 1 << 20,
+        buffer_bytes_total: 64 * 1024,
+        buffer_bytes_per_table: 32 * 1024,
+        entry_size: 16,
+        max_buffer_utilization: max_utilization,
+        eviction: EvictionPolicy::Fifo,
+        filter_mode: FilterMode::BitSliced,
+        layout: FlashLayoutMode::GlobalLog,
+        enable_buffering: true,
+    };
+    config.validate().expect("valid tiny config");
+    Clam::new(device, config).unwrap()
+}
+
+/// Loads `ops` and `deletes` into a CLAM on `device`, then checks that the
+/// queued `lookup_batch` pipeline returns outcomes identical to sequential
+/// per-op `lookup` calls over the same keys: values, sources, per-key flash
+/// read counts, and the hit/miss/read statistics deltas all match. Lookups
+/// under FIFO eviction mutate nothing, so both phases observe the same
+/// state and must agree exactly — including delete-shadowed keys and keys
+/// whose home page overflowed into a probe chain.
+fn check_queued_lookup_equivalence<D: Device>(
+    device: D,
+    max_utilization: f64,
+    ops: &[(u64, u64)],
+    deletes: &[u64],
+    queries: &[u64],
+    batch: usize,
+) -> Result<(), proptest::test_runner::TestCaseError> {
+    let mut clam = tiny_clam_on(device, max_utilization);
+    for chunk in ops.chunks(257) {
+        clam.insert_batch(chunk).unwrap();
+    }
+    for &k in deletes {
+        clam.delete(k).unwrap();
+    }
+    let name = clam.device().name();
+    let start = clam.stats().clone();
+    let mut batched: Vec<LookupOutcome> = Vec::new();
+    for chunk in queries.chunks(batch) {
+        let out = clam.lookup_batch(chunk).unwrap();
+        prop_assert_eq!(out.ops(), chunk.len());
+        batched.extend(out);
+    }
+    let mid = clam.stats().clone();
+    for (i, &k) in queries.iter().enumerate() {
+        let solo = clam.lookup(k).unwrap();
+        prop_assert!(batched[i].value == solo.value, "value mismatch on {name} index {i}");
+        prop_assert!(batched[i].source == solo.source, "source mismatch on {name} index {i}");
+        prop_assert!(
+            batched[i].flash_reads == solo.flash_reads,
+            "flash-read mismatch on {name} index {i}"
+        );
+    }
+    let end = clam.stats().clone();
+    // The two phases saw identical state, so their stat deltas agree.
+    prop_assert_eq!(mid.lookup_hits - start.lookup_hits, end.lookup_hits - mid.lookup_hits);
+    prop_assert_eq!(mid.lookup_misses - start.lookup_misses, end.lookup_misses - mid.lookup_misses);
+    prop_assert_eq!(
+        mid.lookup_flash_reads - start.lookup_flash_reads,
+        end.lookup_flash_reads - mid.lookup_flash_reads
+    );
+    prop_assert_eq!(
+        mid.spurious_flash_reads - start.spurious_flash_reads,
+        end.spurious_flash_reads - mid.spurious_flash_reads
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The queued `lookup_batch` probe pipeline is observationally
+    /// equivalent to sequential per-op `lookup` calls — values, sources,
+    /// per-key flash read counts and hit/miss stats — on all five device
+    /// backends, over op streams that include flash-resident keys,
+    /// delete-shadowed keys, absent keys and overflow probe chains, cut
+    /// into arbitrary batch sizes. Only the charged latency may differ:
+    /// batched probes overlap on the device queue.
+    #[test]
+    fn queued_lookup_batch_equivalent_to_sequential_lookups(
+        raw_ops in vec((0u64..2_000, any::<u64>()), 300..1_200),
+        raw_deletes in vec(0u64..2_000, 0..80),
+        raw_queries in vec(0u64..4_000, 60..300),
+        batch in 1usize..96,
+    ) {
+        let fp = |k: u64| clam::bufferhash::hash_with_seed(k, 0x6a7c4);
+        let ops: Vec<(u64, u64)> = raw_ops.iter().map(|&(k, v)| (fp(k), v)).collect();
+        let deletes: Vec<u64> = raw_deletes.iter().map(|&k| fp(k)).collect();
+        let queries: Vec<u64> = raw_queries.iter().map(|&k| fp(k)).collect();
+
+        const CAP: u64 = 8 << 20;
+        // High page fill on the page-addressed media provokes overflow
+        // chains; DRAM's 64-byte pages overflow plentifully even at the
+        // default fill (and cannot hold a 0.9-full buffer image).
+        check_queued_lookup_equivalence(
+            Ssd::intel(CAP).unwrap(), 0.9, &ops, &deletes, &queries, batch)?;
+        check_queued_lookup_equivalence(
+            FlashChip::new(CAP).unwrap(), 0.9, &ops, &deletes, &queries, batch)?;
+        check_queued_lookup_equivalence(
+            MagneticDisk::new(CAP).unwrap(), 0.9, &ops, &deletes, &queries, batch)?;
+        check_queued_lookup_equivalence(
+            DramDevice::new(CAP).unwrap(), 0.5, &ops, &deletes, &queries, batch)?;
+        let path = std::env::temp_dir()
+            .join(format!("clam-queued-lookup-prop-{}", std::process::id()));
+        let outcome = check_queued_lookup_equivalence(
+            FileDevice::create(&path, CAP).unwrap(), 0.9, &ops, &deletes, &queries, batch);
+        std::fs::remove_file(&path).ok();
+        outcome?;
     }
 }
 
