@@ -23,7 +23,7 @@ fn main() {
             let cfg = ablation.apply(standard_config(bench::FLASH_BYTES, bench::DRAM_BYTES));
             let mut clam = build_clam_with(Medium::IntelSsd, cfg);
             // Smaller, per-op warm-up for the unbuffered case (every insert
-            // hits flash); the buffered cases batch-load 1/128-scale fills.
+            // hits flash); the buffered cases batch-load 1/64-scale fills.
             let warm = if ablation == Ablation::NoBuffering { 40_000 } else { 2_400_000 };
             if ablation == Ablation::NoBuffering {
                 run_mixed_workload(&mut clam, warm, 0.0, 0.0, 41);

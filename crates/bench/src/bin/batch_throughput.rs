@@ -39,7 +39,7 @@ fn main() {
     let (inserts, lookups) =
         if smoke { (SMOKE_INSERTS, SMOKE_LOOKUPS) } else { (FULL_INSERTS, FULL_LOOKUPS) };
     println!(
-        "Batched vs per-op CLAM pipeline (Intel SSD, 1/128 scale: {} MiB flash, {} MiB DRAM{})\n",
+        "Batched vs per-op CLAM pipeline (Intel SSD, 1/64 scale: {} MiB flash, {} MiB DRAM{})\n",
         bench::FLASH_BYTES >> 20,
         bench::DRAM_BYTES >> 20,
         if smoke { ", smoke mode" } else { "" }

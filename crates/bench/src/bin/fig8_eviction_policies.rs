@@ -13,9 +13,9 @@ use rand::{Rng, SeedableRng};
 
 fn drive(medium: Medium, policy: EvictionPolicy, ops: u64) -> (bench::AnyClam, LatencyRecorder) {
     // Eviction churn wants a small log so policies actually evict: stay at
-    // the pre-batching 16 MiB / 2 MiB size (1/16 of the 1/128-scale
+    // the pre-batching 16 MiB / 2 MiB size (1/32 of the 1/64-scale
     // default) rather than scaling up with the rest of the harness.
-    let mut cfg = standard_config(bench::FLASH_BYTES / 16, bench::DRAM_BYTES / 16);
+    let mut cfg = standard_config(bench::FLASH_BYTES / 32, bench::DRAM_BYTES / 32);
     cfg.eviction = policy;
     let mut clam = build_clam_with(medium, cfg);
     let mut rng = StdRng::seed_from_u64(77);

@@ -1,8 +1,8 @@
 //! Queue-depth sweep over the `Device` submission queues.
 //!
 //! Companion to ROADMAP's "async / io_uring-style device backend",
-//! "true parallel stripe dispatch" and "drive lookups through the
-//! submission queue" items, in four parts:
+//! "true parallel stripe dispatch", "drive lookups through the
+//! submission queue" and "completion ring" items, in five parts:
 //!
 //! 1. **Real overlapped I/O** — flush-sized writes are submitted to a
 //!    [`flashsim::FileDevice`] at several queue depths. The device spreads
@@ -21,6 +21,17 @@
 //!    pool; acceptance bar **>= 2x lookup throughput at depth 8 vs
 //!    depth 1**), plus an exact cross-check of the simulated SSD against
 //!    `FlashCostModel::lookup_batch_makespan`.
+//! 5. **Ring vs barrier** — miss-heavy lookups driven through the
+//!    streaming completion ring (`Clam::lookup_batch`, submit-without-wait
+//!    on the persistent pool) against the barrier wave reference
+//!    (`Clam::lookup_batch_waves`), on *small batches over deep probe
+//!    chains*, where the barrier's round tax is heaviest: every round it
+//!    waits for the wave straggler and strands the queue's tail lanes
+//!    (`batch mod depth` slots), while the ring re-arms each key the
+//!    moment its previous read retires and keeps the lanes packed.
+//!    Acceptance bar: **>= 1.2x at depth 8** (identical outcomes
+//!    asserted; the closed-form `ring_over_waves_speedup` is printed
+//!    alongside).
 //!
 //! `--smoke` runs a reduced sweep for CI.
 
@@ -48,6 +59,11 @@ struct Scale {
     lookup_batch: usize,
     /// `lookup_batch` calls per trial in the lookup sweep.
     lookup_batches: usize,
+    /// Keys per call in the ring-vs-barrier comparison (smaller batches
+    /// accentuate the barrier's per-round straggler tax).
+    ring_batch: usize,
+    /// Calls per trial in the ring-vs-barrier comparison.
+    ring_batches: usize,
 }
 
 const FULL: Scale = Scale {
@@ -59,6 +75,8 @@ const FULL: Scale = Scale {
     lookup_load: 60_000,
     lookup_batch: 512,
     lookup_batches: 4,
+    ring_batch: 10,
+    ring_batches: 48,
 };
 const SMOKE: Scale = Scale {
     requests: 128,
@@ -69,6 +87,8 @@ const SMOKE: Scale = Scale {
     lookup_load: 60_000,
     lookup_batch: 256,
     lookup_batches: 2,
+    ring_batch: 10,
+    ring_batches: 24,
 };
 
 fn flush_batch(scale: &Scale) -> Vec<IoRequest> {
@@ -88,7 +108,7 @@ fn file_device_sweep(scale: &Scale) -> bool {
     let capacity = (scale.requests * scale.request_bytes) as u64;
     let path = std::env::temp_dir().join(format!("clam-io-queue-depth-{}", std::process::id()));
     println!(
-        "[1/4] FileDevice: {} flush writes x {} KiB per submission, best of {} trials",
+        "[1/5] FileDevice: {} flush writes x {} KiB per submission, best of {} trials",
         scale.requests,
         scale.request_bytes >> 10,
         scale.trials
@@ -170,7 +190,7 @@ fn file_device_sweep(scale: &Scale) -> bool {
 /// Part 2: simulated SSD sweep against the closed-form queue model.
 fn simulated_sweep(scale: &Scale) {
     const PAGES: usize = 64;
-    println!("[2/4] Simulated Intel-class SSD: {PAGES} page writes per submission vs model");
+    println!("[2/5] Simulated Intel-class SSD: {PAGES} page writes per submission vs model");
     let widths = [8, 16, 16, 10];
     print_header(&["depth", "measured (ms)", "model (ms)", "speedup"], &widths);
     let mut base = SimDuration::ZERO;
@@ -230,7 +250,7 @@ fn striped_dispatch(scale: &Scale) {
     }
     assert_eq!(parallel.stats().flushes, serial.stats().flushes, "outcomes must not change");
     println!(
-        "[3/4] StripedClam ({STRIPES} stripes, {} inserts): parallel dispatch {} \
+        "[3/5] StripedClam ({STRIPES} stripes, {} inserts): parallel dispatch {} \
          (max-over-stripes) vs serial {} (summed) -> {:.2}x",
         scale.striped_ops,
         ms(par_total),
@@ -249,7 +269,7 @@ fn striped_dispatch(scale: &Scale) {
 /// each and Bloom filters disabled: every miss probes every incarnation,
 /// one page per wave, with no overflow chains — a deterministic probe
 /// pattern for the exact model cross-check.
-fn deterministic_probe_clam(device: Ssd, rounds: usize) -> Clam<Ssd> {
+fn deterministic_probe_clam<D: Device>(device: D, rounds: usize) -> Clam<D> {
     let cfg = ClamConfig {
         flash_capacity: 8 << 20,
         dram_bytes: 1 << 20,
@@ -281,7 +301,7 @@ fn queued_lookup_sweep(scale: &Scale) -> bool {
     const KEYS: usize = 64;
     const ROUNDS: usize = 4;
     println!(
-        "[4/4] Queued lookups: {KEYS} misses x {ROUNDS} probes each on the simulated SSD vs model"
+        "[4/5] Queued lookups: {KEYS} misses x {ROUNDS} probes each on the simulated SSD vs model"
     );
     let widths = [8, 16, 16, 10];
     print_header(&["depth", "measured (ms)", "model (ms)", "speedup"], &widths);
@@ -404,6 +424,101 @@ fn queued_lookup_sweep(scale: &Scale) -> bool {
     pass
 }
 
+/// Part 5: streaming ring vs barrier waves on the real file backend.
+/// Returns PASS/FAIL.
+fn ring_vs_barrier_sweep(scale: &Scale) -> bool {
+    const ROUNDS: usize = 16;
+    let path = std::env::temp_dir().join(format!("clam-ring-barrier-{}", std::process::id()));
+    println!(
+        "[5/5] Ring vs barrier on FileDevice: {} batches x {} absent keys probing {ROUNDS} \
+         incarnations each, best of {} trials",
+        scale.ring_batches, scale.ring_batch, scale.trials
+    );
+    let widths = [8, 14, 14, 10, 12, 11, 11];
+    print_header(
+        &["depth", "barrier (ms)", "ring (ms)", "reaps", "depth hwm", "ring gain", "model gain"],
+        &widths,
+    );
+    let mut final_gain = 0.0f64;
+    for &depth in scale.depths {
+        // Build and load once per depth: sweep keys all miss under FIFO,
+        // so both pipelines observe identical state and trials can reuse
+        // the loaded CLAM.
+        let device = FileDevice::with_queue_depth(&path, 8 << 20, depth).expect("file device");
+        let mut clam = deterministic_probe_clam(device, ROUNDS);
+        let model_gain = FlashCostModel::from_profile(clam.device().profile())
+            .ring_over_waves_speedup(scale.ring_batch, ROUNDS, depth);
+        let mut best_barrier = SimDuration::from_secs(3600);
+        let mut best_ring = SimDuration::from_secs(3600);
+        let mut reaps = 0usize;
+        let mut depth_hwm = 0usize;
+        for _ in 0..scale.trials {
+            let mut barrier = SimDuration::ZERO;
+            let mut ring = SimDuration::ZERO;
+            for b in 0..scale.ring_batches {
+                let keys: Vec<u64> = (0..scale.ring_batch as u64)
+                    .map(|i| workload_key(9_500_000 + b as u64 * 100_000 + i))
+                    .collect();
+                // Alternate call order so neither pipeline systematically
+                // benefits from the other having warmed the page cache.
+                let (w, r) = if b % 2 == 0 {
+                    let w = clam.lookup_batch_waves(&keys).expect("lookup_batch_waves");
+                    let r = clam.lookup_batch(&keys).expect("lookup_batch");
+                    (w, r)
+                } else {
+                    let r = clam.lookup_batch(&keys).expect("lookup_batch");
+                    let w = clam.lookup_batch_waves(&keys).expect("lookup_batch_waves");
+                    (w, r)
+                };
+                assert_eq!(w.hits(), 0, "sweep keys must miss");
+                assert_eq!(w.waves, ROUNDS, "every miss probes every incarnation");
+                // The streaming pipeline must produce identical outcomes.
+                assert_eq!(r.values(), w.values(), "ring and barrier outcomes diverge");
+                assert_eq!(r.probe_reads, w.probe_reads);
+                barrier += w.probe_latency;
+                ring += r.probe_latency;
+                reaps = r.reaps;
+                depth_hwm = r.ring_depth_high_water;
+            }
+            best_barrier = best_barrier.min(barrier);
+            best_ring = best_ring.min(ring);
+        }
+        let gain = best_barrier.as_nanos() as f64 / best_ring.as_nanos().max(1) as f64;
+        final_gain = gain;
+        print_row(
+            &[
+                format!("{depth}"),
+                ms(best_barrier),
+                ms(best_ring),
+                format!("{reaps}"),
+                format!("{depth_hwm}"),
+                format!("{gain:.2}x"),
+                format!("{model_gain:.2}x"),
+            ],
+            &widths,
+        );
+    }
+    std::fs::remove_file(&path).ok();
+    println!(
+        "(barrier = Clam::lookup_batch_waves, one Device::submit per round, which strands\n\
+         the tail lanes of every round; ring = Clam::lookup_batch, submit-without-wait +\n\
+         reap, which re-arms each key the moment its previous read retires)"
+    );
+    let pass = final_gain >= 1.2;
+    if pass {
+        println!(
+            "PASS: streaming ring is {final_gain:.2}x over the barrier wave pipeline at depth {}\n",
+            scale.depths.last().unwrap()
+        );
+    } else {
+        println!(
+            "FAIL: ring gain at depth {} is {final_gain:.2}x (target: >= 1.2x)\n",
+            scale.depths.last().unwrap()
+        );
+    }
+    pass
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let scale = if smoke { &SMOKE } else { &FULL };
@@ -412,11 +527,13 @@ fn main() {
     simulated_sweep(scale);
     striped_dispatch(scale);
     let lookup_pass = queued_lookup_sweep(scale);
-    if !write_pass || !lookup_pass {
+    let ring_pass = ring_vs_barrier_sweep(scale);
+    if !write_pass || !lookup_pass || !ring_pass {
         println!(
-            "\noverall: FAIL (write scaling: {}, queued lookup scaling: {})",
+            "\noverall: FAIL (write scaling: {}, queued lookup scaling: {}, ring vs barrier: {})",
             if write_pass { "ok" } else { "below target" },
-            if lookup_pass { "ok" } else { "below target" }
+            if lookup_pass { "ok" } else { "below target" },
+            if ring_pass { "ok" } else { "below target" }
         );
         std::process::exit(1);
     }

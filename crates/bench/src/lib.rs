@@ -19,7 +19,7 @@
 //!
 //! ## Scale
 //!
-//! Experiments default to **1/128** of the paper's 32 GB flash / 4 GB
+//! Experiments default to **1/64** of the paper's 32 GB flash / 4 GB
 //! DRAM prototype ([`FLASH_BYTES`] / [`DRAM_BYTES`]), preserving the
 //! paper's flash : buffer : Bloom : incarnation ratios. Warm-up phases
 //! are batched (cheap); measured phases stay per-op so latency
@@ -39,15 +39,17 @@ use rand::{Rng, SeedableRng};
 ///
 /// The paper's prototype used 32 GB of flash and 4 GB of DRAM; the
 /// experiments here keep the same *ratios* (flash : buffers : Bloom
-/// filters : incarnations-per-table) at 1/128 the size — 256 MiB of
-/// flash, 32 MiB of DRAM — so every figure regenerates in seconds.
-/// The harness ran at 1/512 before the batched insert pipeline landed;
-/// [`bulk_load`] now drives warm-up phases through
-/// [`bufferhash::Clam::insert_batch`], which made the 4x larger index
-/// cheap to populate. Absolute sizes can be raised freely.
-pub const FLASH_BYTES: u64 = 256 << 20;
+/// filters : incarnations-per-table) at 1/64 the size — 512 MiB of
+/// flash, 64 MiB of DRAM — so every figure regenerates in seconds.
+/// The harness ran at 1/512 before the batched insert pipeline landed
+/// and at 1/128 before lookups were batched too; with both the write
+/// path ([`bufferhash::Clam::insert_batch`] behind [`bulk_load`]) and
+/// the read path ([`bufferhash::Clam::lookup_batch`] on the completion
+/// ring) amortized, the 2x larger index stays cheap to populate and
+/// probe. Absolute sizes can be raised freely.
+pub const FLASH_BYTES: u64 = 512 << 20;
 /// Default scaled-down DRAM budget (see [`FLASH_BYTES`]).
-pub const DRAM_BYTES: u64 = 32 << 20;
+pub const DRAM_BYTES: u64 = 64 << 20;
 
 /// Which storage medium a CLAM or baseline index runs on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -344,7 +346,7 @@ pub const BULK_LOAD_BATCH: usize = 1024;
 /// This populates exactly the same state as the per-op warm-up loops the
 /// harness used before batching landed (an insert-only
 /// [`run_mixed_workload`] phase), but amortizes the per-op overhead so
-/// figure warm-ups stay fast at 1/128 scale. Follow up with
+/// figure warm-ups stay fast at 1/64 scale. Follow up with
 /// [`run_mixed_workload_continuing`] (passing `start + n` as
 /// `already_inserted`) for the measured phase.
 pub fn bulk_load(clam: &mut AnyClam, start: u64, n: u64) -> SimDuration {

@@ -372,6 +372,83 @@ impl FlashCostModel {
     pub fn lookup_batch_speedup(&self, keys: usize, queue_depth: usize) -> f64 {
         self.queue_depth_speedup(keys, queue_depth)
     }
+
+    // ------------------------------------------------------------------
+    // Completion-ring cost model
+    // ------------------------------------------------------------------
+    //
+    // The streaming ring pipeline removes the per-round barrier: the
+    // moment one key's page read retires, its next read enters the queue,
+    // so the schedule is a single list schedule of `n` chains of `w`
+    // equal-cost reads on `L` lanes instead of `w` barrier-separated waves
+    // of `n` reads. Its makespan is the classic level-schedule bound
+    //
+    //   M_ring(n, w, d) = c_r · max(w, ⌈n·w / L⌉)
+    //
+    // — total work spread over the lanes, floored by the longest chain.
+    // For `L | n` this equals the barrier pipeline's `w·⌈n/L⌉` term: on
+    // uniform simulated latencies the ring's win is only the tail
+    // (`n mod L`) rounding. The structural win appears on variable
+    // *measured* latencies (the file backend), where the barrier pays
+    // every round's straggler while the ring amortizes stragglers across
+    // the whole stream; the `io_queue_depth` harness measures that gap.
+
+    /// Predicted elapsed (makespan) flash time of a **streaming ring**
+    /// `lookup_batch` of `keys` keys that each probe `probes_per_key`
+    /// flash pages, issued at `queue_depth`: the total page-read work
+    /// spread over the lanes, floored by the per-key chain length.
+    /// Matches the simulator **exactly** on uniform probe chains — the
+    /// CLAM test suite and the `io_queue_depth` binary cross-check the
+    /// identity.
+    ///
+    /// ```
+    /// use bufferhash::analysis::FlashCostModel;
+    /// use flashsim::DeviceProfile;
+    ///
+    /// // Intel-class SSD: overlapped queue, depth 8.
+    /// let model = FlashCostModel::from_profile(&DeviceProfile::intel_x18m());
+    /// // 60 miss-heavy lookups probing 4 incarnations each: the barrier
+    /// // pipeline pays 4 waves of ceil(60/8) = 8 slots; the ring packs
+    /// // the same 240 reads into ceil(240/8) = 30 slots.
+    /// let waves = model.lookup_batch_makespan(60, 4, 8);
+    /// let ring = model.lookup_ring_makespan(60, 4, 8);
+    /// assert_eq!(waves, model.page_read_cost() * 32);
+    /// assert_eq!(ring, model.page_read_cost() * 30);
+    /// assert!(model.ring_over_waves_speedup(60, 4, 8) > 1.0);
+    /// ```
+    pub fn lookup_ring_makespan(
+        &self,
+        keys: usize,
+        probes_per_key: usize,
+        queue_depth: usize,
+    ) -> SimDuration {
+        if keys == 0 || probes_per_key == 0 {
+            return SimDuration::ZERO;
+        }
+        let lanes = self.lanes_at_depth(queue_depth);
+        let slots = ((keys * probes_per_key).div_ceil(lanes)).max(probes_per_key);
+        self.page_read_cost() * slots as u64
+    }
+
+    /// Predicted gain of the streaming ring pipeline over the barrier wave
+    /// pipeline for the same workload: `M_waves / M_ring`. Exactly 1.0
+    /// when the lane count divides the key count (uniform simulated
+    /// latencies leave only tail rounding) and on serial media; the
+    /// measured gap on real storage is larger, because the barrier also
+    /// pays every wave's straggler.
+    pub fn ring_over_waves_speedup(
+        &self,
+        keys: usize,
+        probes_per_key: usize,
+        queue_depth: usize,
+    ) -> f64 {
+        let ring = self.lookup_ring_makespan(keys, probes_per_key, queue_depth);
+        if ring.is_zero() {
+            return 1.0;
+        }
+        let waves = self.lookup_batch_makespan(keys, probes_per_key, queue_depth);
+        waves.as_nanos() as f64 / ring.as_nanos() as f64
+    }
 }
 
 #[cfg(test)]
@@ -550,6 +627,34 @@ mod tests {
         let diff = exact.as_nanos().abs_diff(expected.as_nanos());
         assert!(diff <= 1, "fractional form must agree: {exact} vs {expected}");
         assert!(m.expected_lookup_batch_makespan(64, 0.5, 8) < m.lookup_batch_makespan(64, 1, 8));
+    }
+
+    #[test]
+    fn ring_makespan_is_work_over_lanes_floored_by_the_chain() {
+        let m = ssd(); // overlapped, depth 8
+        let c = m.page_read_cost();
+        // Divisible case: ring == barrier waves.
+        assert_eq!(m.lookup_ring_makespan(64, 4, 8), c * 32);
+        assert_eq!(m.lookup_ring_makespan(64, 4, 8), m.lookup_batch_makespan(64, 4, 8));
+        assert!((m.ring_over_waves_speedup(64, 4, 8) - 1.0).abs() < 1e-9);
+        // Non-divisible: the ring packs the tail the barrier wastes.
+        assert_eq!(m.lookup_ring_makespan(60, 4, 8), c * 30);
+        assert!(m.ring_over_waves_speedup(60, 4, 8) > 1.06);
+        // Chain floor: fewer keys than lanes are bound by their own chain.
+        assert_eq!(m.lookup_ring_makespan(2, 4, 8), c * 4);
+        // Serial media and empty batches degrade gracefully.
+        let serial = chip();
+        assert_eq!(serial.lookup_ring_makespan(16, 2, 8), serial.page_read_cost() * 32);
+        assert!((serial.ring_over_waves_speedup(16, 2, 8) - 1.0).abs() < 1e-9);
+        assert_eq!(m.lookup_ring_makespan(0, 4, 8), SimDuration::ZERO);
+        assert_eq!(m.lookup_ring_makespan(64, 0, 8), SimDuration::ZERO);
+        assert!((m.ring_over_waves_speedup(0, 0, 8) - 1.0).abs() < 1e-9);
+        // A degenerate zero-depth profile degrades to serial, no panic.
+        let degenerate = FlashCostModel::from_profile(&DeviceProfile {
+            queue: flashsim::QueueCapabilities::overlapped(0),
+            ..DeviceProfile::intel_x18m()
+        });
+        assert_eq!(degenerate.lookup_ring_makespan(4, 2, 8), degenerate.page_read_cost() * 8);
     }
 
     #[test]

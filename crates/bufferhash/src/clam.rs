@@ -13,18 +13,27 @@
 //! the batch, and coalesce flush-triggered incarnation writes that land on
 //! contiguous log slots into single sequential device writes.
 //!
-//! The read path is **queued**: every lookup key runs a probe state
-//! machine (buffer/delete-list check, then Bloom-guided candidate
-//! incarnations, then chained page hops), and each round of a batch
-//! collects the next pending page read of every unresolved key into one
-//! [`IoRequest`] *wave* submitted through [`Device::submit`]. Independent
-//! probes overlap on the device's queue lanes, so a wave costs its
-//! makespan ([`flashsim::queue::batch_latency`]) rather than the summed
-//! per-read time. A per-op [`Clam::lookup`] is a batch of one over the
-//! same pipeline — there is a single read-path implementation.
+//! The read path is **queued and streaming**: every lookup key runs a
+//! probe state machine (buffer/delete-list check, then Bloom-guided
+//! candidate incarnations, then chained page hops), and
+//! [`Clam::lookup_batch`] drives those machines through the device's
+//! **completion ring** ([`Device::submit_nowait`] /
+//! [`Device::reap`](flashsim::Device::reap)): every unresolved key's next
+//! page read is admitted without waiting, and the moment a read reaps, its
+//! key's *next* read is re-armed — so independent keys' probe rounds
+//! interleave and the queue stays full instead of draining at a per-round
+//! barrier. The batch's flash time is the ring **makespan**
+//! ([`flashsim::CompletionRing::makespan`]), which on variable-latency
+//! media undercuts the sum of per-wave maxima the barrier pipeline pays.
+//! A per-op [`Clam::lookup`] is a batch of one over the same pipeline;
+//! [`Clam::lookup_batch_waves`] keeps the barrier wave pipeline as a
+//! reference path (identical outcomes, different timing), which the
+//! `io_queue_depth` harness sweeps ring-vs-barrier.
+
+use std::collections::HashMap;
 
 use flashsim::queue::{batch_latency, overlapped_requests, page_read_batch, IoCompletion};
-use flashsim::{Device, IoRequest, LinearCost, SimDuration};
+use flashsim::{CompletionRing, Device, IoRequest, LinearCost, RingRequest, SimDuration};
 
 use crate::config::ClamConfig;
 use crate::cuckoo::BufferInsert;
@@ -144,11 +153,20 @@ pub struct BatchLookupOutcome {
     /// The flash share of [`latency`](Self::latency): the summed makespans
     /// of the probe waves (zero when every key resolved in memory).
     pub probe_latency: SimDuration,
-    /// Probe waves submitted. Each wave carries the next pending page read
-    /// of every key still unresolved.
+    /// Probe rounds: the deepest key's chain of page reads. On the
+    /// barrier pipeline ([`Clam::lookup_batch_waves`]) this equals the
+    /// number of [`Device::submit`](flashsim::Device::submit) waves; on
+    /// the streaming ring pipeline rounds of different keys interleave,
+    /// but the depth is the same.
     pub waves: usize,
-    /// Total flash page-read requests submitted across all waves.
+    /// Total flash page-read requests submitted across all rounds.
     pub probe_reads: usize,
+    /// Completions delivered through [`Device::reap`](flashsim::Device::reap)
+    /// (zero on the barrier wave pipeline).
+    pub reaps: usize,
+    /// In-flight depth high-water mark of the completion ring (zero on the
+    /// barrier wave pipeline).
+    pub ring_depth_high_water: usize,
 }
 
 impl BatchLookupOutcome {
@@ -514,19 +532,24 @@ impl<D: Device> Clam<D> {
         Ok(outcome)
     }
 
-    /// Looks up a batch of keys in one call through the **queued read
+    /// Looks up a batch of keys in one call through the **streaming ring
     /// pipeline**, returning one [`LookupOutcome`] per key (input order)
     /// inside a [`BatchLookupOutcome`].
     ///
     /// Keys are stably sorted by super table so each table's buffer and
     /// filter bank are probed in one pass, and the per-call dispatch
     /// overhead is amortized across the batch. Every key that misses the
-    /// in-memory state becomes a probe state machine; each round, the next
-    /// pending page read of every unresolved key is collected into one
-    /// request wave and submitted via
-    /// [`Device::submit`](flashsim::Device::submit), so independent probes
-    /// overlap on the device's queue lanes and the batch is charged the
-    /// wave **makespan** instead of the summed per-read latency.
+    /// in-memory state becomes a probe state machine whose page reads are
+    /// driven through the device's completion ring
+    /// ([`Device::submit_nowait`](flashsim::Device::submit_nowait) /
+    /// [`Device::reap`](flashsim::Device::reap)): all first reads are
+    /// admitted up front, and each key re-arms its next read the moment
+    /// its previous one reaps, so independent keys' probe rounds
+    /// interleave and the device queue stays full. The batch is charged
+    /// the ring **makespan** — on variable-latency media (the file
+    /// backend) this undercuts the per-round barrier of
+    /// [`lookup_batch_waves`](Self::lookup_batch_waves), which pays every
+    /// round's straggler before starting the next.
     ///
     /// Under non-reinserting eviction policies (FIFO, update-based,
     /// priority — the default), lookups mutate nothing, so results
@@ -565,50 +588,56 @@ impl<D: Device> Clam<D> {
     /// ```
     pub fn lookup_batch(&mut self, keys: &[Key]) -> Result<BatchLookupOutcome> {
         self.stats.batched_lookups += keys.len() as u64;
-        self.lookup_batch_with_dispatch(keys, batch_dispatch(keys.len()))
+        self.lookup_batch_ring(keys, batch_dispatch(keys.len()))
     }
 
-    /// Looks up `key`: a batch of one over the queued read pipeline, so the
-    /// per-op and batched paths share a single implementation (each probe
-    /// wave is a one-request submission, whose makespan is exactly the
-    /// read's own latency).
+    /// The **barrier wave** reference pipeline: each round collects the
+    /// next pending page read of every unresolved key into one
+    /// [`Device::submit`](flashsim::Device::submit) wave, charged at the
+    /// wave makespan — the PR-4 read path, kept (like
+    /// `StripedClam::insert_batch_serial`) for comparison, debugging and
+    /// the ring-vs-barrier sweep in the `io_queue_depth` harness.
+    ///
+    /// Outcomes (values, sources, flash-read counts, hit/miss stats) are
+    /// identical to [`lookup_batch`](Self::lookup_batch) — this is
+    /// property-tested on all five backends. Only the charged latency
+    /// differs: every round waits for the whole wave's straggler before
+    /// the next round starts, so `probe_latency` is the *sum of per-wave
+    /// maxima* instead of the ring makespan.
+    pub fn lookup_batch_waves(&mut self, keys: &[Key]) -> Result<BatchLookupOutcome> {
+        self.stats.batched_lookups += keys.len() as u64;
+        self.lookup_batch_waves_with_dispatch(keys, batch_dispatch(keys.len()))
+    }
+
+    /// Looks up `key`: a batch of one over the streaming ring pipeline, so
+    /// the per-op and batched paths share a single implementation (a chain
+    /// of one-request admissions, whose makespan is exactly the summed
+    /// read latency).
     pub fn lookup(&mut self, key: Key) -> Result<LookupOutcome> {
-        let mut batch =
-            self.lookup_batch_with_dispatch(std::slice::from_ref(&key), BASE_OP_OVERHEAD)?;
+        let mut batch = self.lookup_batch_ring(std::slice::from_ref(&key), BASE_OP_OVERHEAD)?;
         Ok(batch.outcomes.pop().expect("one outcome per key"))
     }
 
-    /// The queued lookup pipeline shared by [`lookup`](Self::lookup) and
-    /// [`lookup_batch`](Self::lookup_batch); `dispatch` is the fixed
-    /// overhead charged to each key (full for per-op calls, amortized for
-    /// batched ones).
-    fn lookup_batch_with_dispatch(
-        &mut self,
-        keys: &[Key],
-        dispatch: SimDuration,
-    ) -> Result<BatchLookupOutcome> {
-        let mut batch = BatchLookupOutcome::default();
-        if keys.is_empty() {
-            return Ok(batch);
-        }
+    /// Buffer and delete-list checks plus probe planning, shared by the
+    /// ring and wave pipelines: resolves every key it can from memory
+    /// (recording its stats) and returns a probe state machine for each
+    /// key that must touch flash.
+    fn plan_lookups(&mut self, keys: &[Key], dispatch: SimDuration) -> LookupPlan {
         let mut order: Vec<usize> = (0..keys.len()).collect();
         // Stable sort: keys for one super table keep their input order.
         order.sort_by_key(|&i| self.table_of(keys[i]));
-        // All super tables share one serialization layout.
-        let layout = self.tables[0].layout();
-        let mut out: Vec<Option<LookupOutcome>> = vec![None; keys.len()];
-        let mut pending: Vec<ProbeState> = Vec::new();
-        let mut reinserts: Vec<(usize, Key, Value)> = Vec::new();
-        let mut host_time = SimDuration::ZERO;
-
-        // 1. Buffer and delete-list checks plus probe planning, in the
-        //    batch's (table-sorted) sequential order.
+        let mut plan = LookupPlan {
+            out: vec![None; keys.len()],
+            pending: Vec::new(),
+            reinserts: Vec::new(),
+            host_time: SimDuration::ZERO,
+        };
         for &slot in &order {
             let key = keys[slot];
             let t = self.table_of(key);
             let filter_words = self.tables[t].filter_words_per_query();
             let latency = dispatch + self.mem_words_cost(BUFFER_PROBE_WORDS + filter_words);
-            host_time += latency;
+            plan.host_time += latency;
             if let Some(found) = self.tables[t].memory_lookup(key) {
                 let source =
                     if found.is_some() { LookupSource::Buffer } else { LookupSource::Deleted };
@@ -619,7 +648,8 @@ impl<D: Device> Clam<D> {
                 }
                 self.stats.lookups.record(latency);
                 self.stats.record_lookup_reads(0);
-                out[slot] = Some(LookupOutcome { value: found, latency, flash_reads: 0, source });
+                plan.out[slot] =
+                    Some(LookupOutcome { value: found, latency, flash_reads: 0, source });
                 continue;
             }
             // Candidate incarnations, youngest first, guided by the Bloom
@@ -636,24 +666,207 @@ impl<D: Device> Clam<D> {
                 hops_left: 0,
             };
             if self.advance_probe(&mut state) {
-                pending.push(state);
+                plan.pending.push(state);
             } else {
-                out[slot] = Some(self.resolve_probe(state, None, &mut reinserts));
+                plan.out[slot] = Some(self.resolve_probe(state, None, &mut plan.reinserts));
             }
         }
+        plan
+    }
 
-        // 2. Probe waves: submit the next pending page read of every
-        //    unresolved key as one request batch, charge the wave makespan,
-        //    and step each state machine on its completion.
+    /// Flash offset of the page a probe state reads next.
+    fn probe_offset(&self, state: &ProbeState) -> u64 {
+        let layout = self.tables[state.table].layout();
+        let meta = state.meta.expect("pending probes hold a candidate");
+        layout.page_offset(meta.flash_offset, state.page_idx)
+    }
+
+    /// Steps one probe state machine on the page it just read (at
+    /// `offset`). Returns the state and its next read offset while the key
+    /// is unresolved; resolves it into `out` (recording stats and LRU
+    /// re-insertions) otherwise.
+    fn step_probe(
+        &mut self,
+        mut state: ProbeState,
+        page: &[u8],
+        offset: u64,
+        out: &mut [Option<LookupOutcome>],
+        reinserts: &mut Vec<(usize, Key, Value)>,
+    ) -> Result<Option<(ProbeState, u64)>> {
+        state.flash_reads += 1;
+        let slot = state.slot;
+        let layout = self.tables[state.table].layout();
+        match lookup_in_page(page, state.key).map_err(|e| annotate_offset(e, offset))? {
+            PageLookup::Found(v) => {
+                out[slot] = Some(self.resolve_probe(state, Some(v), reinserts));
+                Ok(None)
+            }
+            PageLookup::Absent => {
+                self.stats.spurious_flash_reads += 1;
+                if self.advance_probe(&mut state) {
+                    let next = self.probe_offset(&state);
+                    Ok(Some((state, next)))
+                } else {
+                    out[slot] = Some(self.resolve_probe(state, None, reinserts));
+                    Ok(None)
+                }
+            }
+            PageLookup::Continue => {
+                state.page_idx = layout.next_page(state.page_idx);
+                state.hops_left -= 1;
+                if state.hops_left > 0 {
+                    let next = self.probe_offset(&state);
+                    Ok(Some((state, next)))
+                } else {
+                    // Exhausted the overflow chain without a verdict.
+                    self.stats.spurious_flash_reads += 1;
+                    if self.advance_probe(&mut state) {
+                        let next = self.probe_offset(&state);
+                        Ok(Some((state, next)))
+                    } else {
+                        out[slot] = Some(self.resolve_probe(state, None, reinserts));
+                        Ok(None)
+                    }
+                }
+            }
+        }
+    }
+
+    /// The streaming ring pipeline behind [`lookup`](Self::lookup) and
+    /// [`lookup_batch`](Self::lookup_batch); `dispatch` is the fixed
+    /// overhead charged to each key (full for per-op calls, amortized for
+    /// batched ones).
+    fn lookup_batch_ring(
+        &mut self,
+        keys: &[Key],
+        dispatch: SimDuration,
+    ) -> Result<BatchLookupOutcome> {
+        let mut batch = BatchLookupOutcome::default();
+        if keys.is_empty() {
+            return Ok(batch);
+        }
+        let page_size = self.tables[0].layout().page_size;
+        let LookupPlan { mut out, pending, mut reinserts, host_time } =
+            self.plan_lookups(keys, dispatch);
+
+        if !pending.is_empty() {
+            let mut ring = CompletionRing::for_queue(self.device.queue());
+            // Probe state of every in-flight read, keyed by ticket id.
+            let mut states: HashMap<u64, ProbeState> = HashMap::with_capacity(pending.len());
+            // 1. Admit every key's first read without waiting.
+            let mut requests = Vec::with_capacity(pending.len());
+            let mut admitted = Vec::with_capacity(pending.len());
+            for state in pending {
+                let offset = self.probe_offset(&state);
+                requests.push(RingRequest::new(IoRequest::read(offset, page_size)));
+                admitted.push(state);
+            }
+            batch.probe_reads += requests.len();
+            self.stats.lookup_probe_requests += requests.len() as u64;
+            let tickets = self.device.submit_nowait(requests, &mut ring)?;
+            for (ticket, state) in tickets.into_iter().zip(admitted) {
+                states.insert(ticket.id(), state);
+            }
+
+            // 2. Stream: the moment a read reaps, step its key's state
+            //    machine and re-arm the key's next read (causally floored
+            //    at the completion that produced it), so later rounds of
+            //    fast keys overlap earlier rounds of slow ones. On a
+            //    per-request failure, stop re-arming but keep reaping
+            //    until the ring is empty before propagating: abandoning a
+            //    ring with reads still in flight would leave their
+            //    completions parked in the device forever.
+            let mut failure: Option<BufferHashError> = None;
+            while ring.in_flight() > 0 {
+                let completions = self.device.reap(&mut ring, 1)?;
+                let mut requests = Vec::new();
+                let mut admitted = Vec::new();
+                for completion in completions {
+                    let mut state = states
+                        .remove(&completion.ticket.id())
+                        .expect("one probe state per in-flight ticket");
+                    if failure.is_some() {
+                        continue; // draining: discard late completions
+                    }
+                    if completion.lane != 0 {
+                        self.stats.lookup_probes_overlapped += 1;
+                    }
+                    let offset = self.probe_offset(&state);
+                    let page = match completion.result {
+                        Ok(page) => page,
+                        Err(e) => {
+                            failure = Some(e.into());
+                            continue;
+                        }
+                    };
+                    state.latency += completion.latency;
+                    match self.step_probe(state, &page, offset, &mut out, &mut reinserts) {
+                        Ok(Some((state, next))) => {
+                            requests.push(RingRequest::after(
+                                IoRequest::read(next, page_size),
+                                completion.completed_at,
+                            ));
+                            admitted.push(state);
+                        }
+                        Ok(None) => {}
+                        Err(e) => failure = Some(e),
+                    }
+                }
+                if failure.is_none() && !requests.is_empty() {
+                    batch.probe_reads += requests.len();
+                    self.stats.lookup_probe_requests += requests.len() as u64;
+                    let tickets = self.device.submit_nowait(requests, &mut ring)?;
+                    for (ticket, state) in tickets.into_iter().zip(admitted) {
+                        states.insert(ticket.id(), state);
+                    }
+                }
+            }
+            if let Some(e) = failure {
+                return Err(e);
+            }
+            batch.probe_latency = ring.makespan();
+            batch.reaps = ring.reaps() as usize;
+            batch.ring_depth_high_water = ring.depth_high_water();
+            self.stats.lookup_batches_submitted += 1;
+            self.stats.lookup_ring_reaps += ring.reaps();
+            self.stats.lookup_ring_depth_high_water =
+                self.stats.lookup_ring_depth_high_water.max(ring.depth_high_water() as u64);
+            self.stats.lookup_ring_admission_stalls += ring.admission_stalls();
+        }
+
+        // 3. LRU: re-insert items used from flash so they survive FIFO
+        //    eviction of old incarnations. The paper performs this
+        //    asynchronously, so its cost is not charged to the batch.
+        self.apply_reinserts(reinserts)?;
+
+        batch.latency = host_time + batch.probe_latency;
+        batch.outcomes = out.into_iter().map(|o| o.expect("every key resolved")).collect();
+        batch.waves = batch.outcomes.iter().map(|o| o.flash_reads).max().unwrap_or(0);
+        self.stats.lookup_probe_waves += batch.waves as u64;
+        Ok(batch)
+    }
+
+    /// The barrier wave pipeline behind
+    /// [`lookup_batch_waves`](Self::lookup_batch_waves).
+    fn lookup_batch_waves_with_dispatch(
+        &mut self,
+        keys: &[Key],
+        dispatch: SimDuration,
+    ) -> Result<BatchLookupOutcome> {
+        let mut batch = BatchLookupOutcome::default();
+        if keys.is_empty() {
+            return Ok(batch);
+        }
+        let page_size = self.tables[0].layout().page_size;
+        let LookupPlan { mut out, mut pending, mut reinserts, host_time } =
+            self.plan_lookups(keys, dispatch);
+
+        // Probe waves: submit the next pending page read of every
+        // unresolved key as one request batch, charge the wave makespan,
+        // and step each state machine on its completion.
         while !pending.is_empty() {
-            let offsets: Vec<u64> = pending
-                .iter()
-                .map(|s| {
-                    let meta = s.meta.expect("pending probes hold a candidate");
-                    layout.page_offset(meta.flash_offset, s.page_idx)
-                })
-                .collect();
-            let mut requests = page_read_batch(&offsets, layout.page_size);
+            let offsets: Vec<u64> = pending.iter().map(|s| self.probe_offset(s)).collect();
+            let mut requests = page_read_batch(&offsets, page_size);
             let completions = self.device.submit(&mut requests)?;
             batch.waves += 1;
             batch.probe_reads += completions.len();
@@ -664,38 +877,13 @@ impl<D: Device> Clam<D> {
 
             let mut unresolved = Vec::with_capacity(pending.len());
             for (mut state, completion) in pending.into_iter().zip(completions) {
-                let slot = state.slot;
                 let offset = offsets[completion.index];
                 let page = completion.result?;
                 state.latency += completion.latency;
-                state.flash_reads += 1;
-                match lookup_in_page(&page, state.key).map_err(|e| annotate_offset(e, offset))? {
-                    PageLookup::Found(v) => {
-                        out[slot] = Some(self.resolve_probe(state, Some(v), &mut reinserts));
-                    }
-                    PageLookup::Absent => {
-                        self.stats.spurious_flash_reads += 1;
-                        if self.advance_probe(&mut state) {
-                            unresolved.push(state);
-                        } else {
-                            out[slot] = Some(self.resolve_probe(state, None, &mut reinserts));
-                        }
-                    }
-                    PageLookup::Continue => {
-                        state.page_idx = layout.next_page(state.page_idx);
-                        state.hops_left -= 1;
-                        if state.hops_left > 0 {
-                            unresolved.push(state);
-                        } else {
-                            // Exhausted the overflow chain without a verdict.
-                            self.stats.spurious_flash_reads += 1;
-                            if self.advance_probe(&mut state) {
-                                unresolved.push(state);
-                            } else {
-                                out[slot] = Some(self.resolve_probe(state, None, &mut reinserts));
-                            }
-                        }
-                    }
+                if let Some((state, _)) =
+                    self.step_probe(state, &page, offset, &mut out, &mut reinserts)?
+                {
+                    unresolved.push(state);
                 }
             }
             pending = unresolved;
@@ -704,9 +892,7 @@ impl<D: Device> Clam<D> {
             self.stats.lookup_batches_submitted += 1;
         }
 
-        // 3. LRU: re-insert items used from flash so they survive FIFO
-        //    eviction of old incarnations. The paper performs this
-        //    asynchronously, so its cost is not charged to the batch.
+        // LRU re-insertions, as in the ring pipeline.
         self.apply_reinserts(reinserts)?;
 
         batch.latency = host_time + batch.probe_latency;
@@ -1073,6 +1259,20 @@ fn batch_dispatch(len: usize) -> SimDuration {
 struct FlushOutcome {
     latency: SimDuration,
     evictions: usize,
+}
+
+/// In-memory phase of a lookup batch: keys resolved from buffers or
+/// delete lists, probe state machines for the rest, plus the host-side
+/// accounting, shared by the ring and wave pipelines.
+struct LookupPlan {
+    /// One slot per key; `Some` once the key resolved.
+    out: Vec<Option<LookupOutcome>>,
+    /// State machines for keys that must probe flash.
+    pending: Vec<ProbeState>,
+    /// LRU re-insertions queued by keys that already resolved.
+    reinserts: Vec<(usize, Key, Value)>,
+    /// Dispatch plus DRAM probe time of the whole batch.
+    host_time: SimDuration,
 }
 
 /// Probe state machine for one key of a queued lookup batch: where the key
@@ -1664,25 +1864,63 @@ mod tests {
     fn queued_lookup_batch_matches_the_cost_model_exactly() {
         use crate::analysis::FlashCostModel;
         use flashsim::{DeviceProfile, QueueCapabilities};
-        const KEYS: usize = 48;
         const ROUNDS: usize = 4;
-        for depth in [1usize, 2, 8] {
-            let profile = DeviceProfile {
-                queue: QueueCapabilities::overlapped(depth),
-                ..DeviceProfile::intel_x18m()
-            };
-            let ssd = Ssd::with_profile(8 << 20, profile.clone()).unwrap();
-            let mut clam = deterministic_probe_clam(ssd, ROUNDS);
-            let keys: Vec<Key> = (0..KEYS as u64).map(|i| hash_with_seed(i, 0x1017e)).collect();
-            let batch = clam.lookup_batch(&keys).unwrap();
-            assert_eq!(batch.waves, ROUNDS);
-            assert_eq!(batch.probe_reads, ROUNDS * KEYS);
-            let model = FlashCostModel::from_profile(&profile);
-            assert_eq!(
-                batch.probe_latency,
-                model.lookup_batch_makespan(KEYS, ROUNDS, depth),
-                "simulator and closed-form queued-lookup model must agree at depth {depth}"
-            );
+        // 48 divides evenly into every swept lane count; 42 leaves a tail
+        // at depth 8 (the case where the ring model strictly beats the
+        // barrier model).
+        for keys_n in [48usize, 42] {
+            for depth in [1usize, 2, 8] {
+                let profile = DeviceProfile {
+                    queue: QueueCapabilities::overlapped(depth),
+                    ..DeviceProfile::intel_x18m()
+                };
+                let build = || {
+                    deterministic_probe_clam(
+                        Ssd::with_profile(8 << 20, profile.clone()).unwrap(),
+                        ROUNDS,
+                    )
+                };
+                let keys: Vec<Key> =
+                    (0..keys_n as u64).map(|i| hash_with_seed(i, 0x1017e)).collect();
+                let model = FlashCostModel::from_profile(&profile);
+
+                // Streaming ring pipeline == ring model, exactly.
+                let mut clam = build();
+                let ring = clam.lookup_batch(&keys).unwrap();
+                assert_eq!(ring.waves, ROUNDS);
+                assert_eq!(ring.probe_reads, ROUNDS * keys_n);
+                assert_eq!(ring.reaps, ROUNDS * keys_n);
+                assert_eq!(ring.ring_depth_high_water, keys_n);
+                assert_eq!(
+                    ring.probe_latency,
+                    model.lookup_ring_makespan(keys_n, ROUNDS, depth),
+                    "ring pipeline and closed-form ring model must agree at \
+                     {keys_n} keys, depth {depth}"
+                );
+
+                // Barrier wave pipeline == wave model, exactly.
+                let mut clam = build();
+                let waves = clam.lookup_batch_waves(&keys).unwrap();
+                assert_eq!(waves.waves, ROUNDS);
+                assert_eq!(waves.reaps, 0);
+                assert_eq!(
+                    waves.probe_latency,
+                    model.lookup_batch_makespan(keys_n, ROUNDS, depth),
+                    "wave pipeline and closed-form wave model must agree at \
+                     {keys_n} keys, depth {depth}"
+                );
+
+                // The ring never loses to the barrier, and wins exactly
+                // the modelled tail when the lanes do not divide the keys.
+                assert!(ring.probe_latency <= waves.probe_latency);
+                let predicted = model.ring_over_waves_speedup(keys_n, ROUNDS, depth);
+                let measured = waves.probe_latency.as_nanos() as f64
+                    / ring.probe_latency.as_nanos().max(1) as f64;
+                assert!(
+                    (measured - predicted).abs() < 1e-9,
+                    "ring-over-waves speedup {measured} vs model {predicted}"
+                );
+            }
         }
     }
 

@@ -76,11 +76,19 @@ impl<D: Device> SharedClam<D> {
     }
 
     /// Looks up a batch of keys under one lock acquisition through the
-    /// queued read pipeline, returning one outcome per key in input order
-    /// plus the batch's makespan-accounted latency (see
+    /// streaming ring pipeline, returning one outcome per key in input
+    /// order plus the batch's makespan-accounted latency (see
     /// [`Clam::lookup_batch`]).
     pub fn lookup_batch(&self, keys: &[Key]) -> Result<BatchLookupOutcome> {
         self.inner.lock().lookup_batch(keys)
+    }
+
+    /// The barrier wave reference path for
+    /// [`lookup_batch`](Self::lookup_batch) (see
+    /// [`Clam::lookup_batch_waves`]): identical outcomes, per-round
+    /// barrier timing.
+    pub fn lookup_batch_waves(&self, keys: &[Key]) -> Result<BatchLookupOutcome> {
+        self.inner.lock().lookup_batch_waves(keys)
     }
 
     /// Deletes a key.
@@ -331,6 +339,9 @@ impl<D: Device> StripedClam<D> {
             total.probe_latency = total.probe_latency.max(stripe_batch.probe_latency);
             total.waves = total.waves.max(stripe_batch.waves);
             total.probe_reads += stripe_batch.probe_reads;
+            total.reaps += stripe_batch.reaps;
+            total.ring_depth_high_water =
+                total.ring_depth_high_water.max(stripe_batch.ring_depth_high_water);
             for (outcome, &pos) in stripe_batch.into_iter().zip(&groups[idx].1) {
                 out[pos] = Some(outcome);
             }
@@ -536,6 +547,59 @@ mod tests {
         for (i, &k) in keys.iter().enumerate() {
             assert_eq!(batch[i].value, striped.lookup(k).unwrap().value, "key index {i}");
         }
+    }
+
+    #[test]
+    fn stripes_can_share_one_device_and_its_ring() {
+        use flashsim::SharedDevice;
+        // Two stripes over *partitions of one SSD*: their queued probe
+        // traffic funnels through the same device queue (one controller's
+        // ring timeline), which is what makes cross-batch contention and
+        // overlap real instead of per-stripe-device fiction.
+        let shared = SharedDevice::new(flashsim::Ssd::intel(8 << 20).unwrap());
+        let stripe = |base: u64| {
+            let cfg = ClamConfig::small_test(4 << 20, 1 << 20).unwrap();
+            Clam::new(shared.partition(base, 4 << 20).unwrap(), cfg).unwrap()
+        };
+        let striped = StripedClam::new(vec![stripe(0), stripe(4 << 20)]);
+        let ops: Vec<(u64, u64)> = (0..30_000u64).map(|i| (key(i), i)).collect();
+        for chunk in ops.chunks(512) {
+            striped.insert_batch(chunk).unwrap();
+        }
+        // Concurrent stripe lookups (miss-heavy so both stripes probe)
+        // interleave their ring admissions on the one device.
+        let keys: Vec<u64> =
+            (0..1_000u64).map(|i| if i % 3 == 0 { key(i) } else { key(700_000 + i) }).collect();
+        let batch = striped.lookup_batch(&keys).unwrap();
+        for (i, &k) in keys.iter().enumerate() {
+            assert_eq!(batch[i].value, striped.lookup(k).unwrap().value, "key index {i}");
+        }
+        // The single underlying device saw both stripes' traffic.
+        let device_stats = shared.with(|d| d.stats());
+        assert!(device_stats.requests_reaped > 0, "ring probes must flow through the device");
+        let stats = striped.stats();
+        assert!(stats.lookup_ring_reaps >= device_stats.requests_reaped / 2);
+    }
+
+    #[test]
+    fn ring_and_wave_lookup_batches_agree_on_shared_clams() {
+        let shared = SharedClam::new(clam());
+        let ops: Vec<(u64, u64)> = (0..30_000u64).map(|i| (key(i), i)).collect();
+        for chunk in ops.chunks(512) {
+            shared.insert_batch(chunk).unwrap();
+        }
+        let keys: Vec<u64> =
+            (0..800u64).map(|i| if i % 2 == 0 { key(i) } else { key(600_000 + i) }).collect();
+        let ring = shared.lookup_batch(&keys).unwrap();
+        let wave = shared.lookup_batch_waves(&keys).unwrap();
+        assert_eq!(ring.ops(), wave.ops());
+        for i in 0..keys.len() {
+            assert_eq!(ring[i].value, wave[i].value, "key index {i}");
+            assert_eq!(ring[i].source, wave[i].source, "key index {i}");
+            assert_eq!(ring[i].flash_reads, wave[i].flash_reads, "key index {i}");
+        }
+        assert_eq!(ring.waves, wave.waves, "ring rounds match the wave count");
+        assert!(ring.reaps > 0 && wave.reaps == 0, "only the ring pipeline reaps");
     }
 
     #[test]

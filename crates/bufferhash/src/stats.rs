@@ -73,6 +73,18 @@ pub struct ClamStats {
     /// device queue (completed on a lane other than 0) — the lookup-side
     /// view of `IoStats::requests_overlapped`. Always zero on serial media.
     pub lookup_probes_overlapped: u64,
+    /// Completions the streaming ring pipeline collected through
+    /// `Device::reap` (zero when only the barrier wave pipeline ran).
+    pub lookup_ring_reaps: u64,
+    /// In-flight depth high-water mark over every completion ring the
+    /// lookup pipeline drove. Merged with `max`, not summed: it is a
+    /// high-water mark, not a count.
+    pub lookup_ring_depth_high_water: u64,
+    /// Ring admissions delayed by a conflicting in-flight range beyond
+    /// lane availability. Read-read overlap is exempt, so this stays zero
+    /// for pure probe traffic; it counts contention against interleaved
+    /// writes.
+    pub lookup_ring_admission_stalls: u64,
 }
 
 /// Maximum histogram index tracked explicitly; larger values accumulate in
@@ -157,6 +169,10 @@ impl ClamStats {
         self.lookup_probe_waves += other.lookup_probe_waves;
         self.lookup_probe_requests += other.lookup_probe_requests;
         self.lookup_probes_overlapped += other.lookup_probes_overlapped;
+        self.lookup_ring_reaps += other.lookup_ring_reaps;
+        self.lookup_ring_depth_high_water =
+            self.lookup_ring_depth_high_water.max(other.lookup_ring_depth_high_water);
+        self.lookup_ring_admission_stalls += other.lookup_ring_admission_stalls;
     }
 
     /// Fraction of queued lookup probes that overlapped another probe of
@@ -210,6 +226,15 @@ impl fmt::Display for ClamStats {
                 self.lookup_probe_waves,
                 self.lookup_probe_requests,
                 self.lookup_probes_overlapped
+            )?;
+        }
+        if self.lookup_ring_reaps > 0 || self.lookup_ring_depth_high_water > 0 {
+            write!(
+                f,
+                " | ring: {} reaps, depth hwm {}, {} stalls",
+                self.lookup_ring_reaps,
+                self.lookup_ring_depth_high_water,
+                self.lookup_ring_admission_stalls
             )?;
         }
         Ok(())
@@ -320,6 +345,29 @@ mod tests {
             assert!(text.contains(needle), "missing {needle:?} in {text:?}");
         }
         assert_eq!(ClamStats::new().probe_overlap_fraction(), 0.0);
+    }
+
+    #[test]
+    fn ring_counters_merge_and_display() {
+        let mut a = ClamStats::new();
+        a.lookup_batches_submitted = 1;
+        a.lookup_ring_reaps = 10;
+        a.lookup_ring_depth_high_water = 64;
+        a.lookup_ring_admission_stalls = 2;
+        let mut b = ClamStats::new();
+        b.lookup_ring_reaps = 5;
+        b.lookup_ring_depth_high_water = 32;
+        a.merge(&b);
+        assert_eq!(a.lookup_ring_reaps, 15, "reaps sum");
+        assert_eq!(a.lookup_ring_depth_high_water, 64, "high-water merges with max");
+        assert_eq!(a.lookup_ring_admission_stalls, 2);
+        let text = a.to_string();
+        assert!(text.contains("ring: 15 reaps, depth hwm 64, 2 stalls"), "{text}");
+        // Ring-disabled profiles (barrier waves only) elide the segment.
+        let mut quiet = ClamStats::new();
+        quiet.lookup_batches_submitted = 1;
+        quiet.lookup_probe_waves = 3;
+        assert!(!quiet.to_string().contains("ring:"));
     }
 
     #[test]

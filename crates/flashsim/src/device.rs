@@ -19,7 +19,10 @@
 use crate::error::Result;
 use crate::geometry::Geometry;
 use crate::profiles::DeviceProfile;
-use crate::queue::{IoCompletion, IoRequest, LaneScheduler, QueueCapabilities};
+use crate::queue::{
+    CompletionRing, IoCompletion, IoRequest, IoTicket, LaneScheduler, QueueCapabilities,
+    RingCompletion, RingRequest,
+};
 use crate::stats::IoStats;
 use crate::time::SimDuration;
 
@@ -90,6 +93,12 @@ pub trait Device: Send {
     /// rest of the batch; `Err` from `submit` itself means the device could
     /// not process the submission at all.
     ///
+    /// Submitted requests are **consumed**: implementations may move
+    /// write payloads out of the slice (the file backend hands them to
+    /// its worker pool), so callers must not reuse `requests` after the
+    /// call — rebuild the batch to retry. The simulated backends happen
+    /// to leave payloads intact, but that is not part of the contract.
+    ///
     /// Use [`queue::batch_latency`](crate::queue::batch_latency) for the
     /// elapsed time of the batch under the device's overlap model, and
     /// [`queue::total_busy_time`](crate::queue::total_busy_time) for the
@@ -101,6 +110,49 @@ pub trait Device: Send {
     fn submit(&mut self, requests: &mut [IoRequest]) -> Result<Vec<IoCompletion>> {
         let mut lanes = LaneScheduler::new(1);
         Ok(execute_requests(self, requests, &mut lanes))
+    }
+
+    /// Submits requests to the device queue **without waiting** for them,
+    /// admitting them into the caller-owned `ring` and returning one
+    /// [`IoTicket`] per request (in submission order). Completions are
+    /// collected later with [`reap`](Device::reap).
+    ///
+    /// The ordering invariant is the same as [`submit`](Device::submit):
+    /// **admission order is data-effect order**. Overlapping ranges apply
+    /// in the order they were admitted on every backend, and the ring's
+    /// conflict-aware admission reflects that in the reported timing, so a
+    /// submit-without-wait stream is observationally equivalent to issuing
+    /// the same operations sequentially. Each request additionally carries
+    /// a causal floor ([`RingRequest::not_before`]) so chained work (a
+    /// probe read issued from an earlier read's data) never overlaps its
+    /// own cause.
+    ///
+    /// The provided default degenerates to blocking execution: each
+    /// request runs synchronously through the per-op methods and its
+    /// completion — timestamped by the ring's lane free-at clocks — merely
+    /// waits in the ring to be reaped. Backends with real asynchrony (the
+    /// file backend's persistent worker pool) override this to genuinely
+    /// overlap execution; the simulated backends override it to record
+    /// queue statistics.
+    fn submit_nowait(
+        &mut self,
+        requests: Vec<RingRequest>,
+        ring: &mut CompletionRing,
+    ) -> Result<Vec<IoTicket>> {
+        ring_execute(self, requests, ring)
+    }
+
+    /// Waits until at least `min` completions of `ring` are ready (fewer
+    /// only if fewer are in flight) and returns **all** ready completions
+    /// in completion-time order. `min` is clamped to at least 1; calling
+    /// with nothing in flight returns an empty vector.
+    ///
+    /// The provided default pairs with the blocking
+    /// [`submit_nowait`](Device::submit_nowait) default, where every
+    /// admitted request has already finished: it simply drains the ring.
+    fn reap(&mut self, ring: &mut CompletionRing, min: usize) -> Result<Vec<RingCompletion>> {
+        let _ = min;
+        Ok(ring.reap(usize::MAX))
     }
 
     /// Informs the device that the workload was idle for `idle` simulated
@@ -194,6 +246,52 @@ pub fn execute_requests<D: Device + ?Sized>(
     completions
 }
 
+/// Executes `requests` synchronously through `device`'s per-op methods,
+/// admitting each into `ring` with its causal floor and finishing it with
+/// the measured (simulated) latency.
+///
+/// This is the shared engine behind [`Device::submit_nowait`]: data
+/// effects apply in admission order (each request runs to completion
+/// before the next is admitted), while the ring's lane free-at clocks and
+/// conflict floors model how much of the stream a device with that queue
+/// depth would have kept in flight concurrently. The simulated backends
+/// run on this engine directly — their "asynchrony" is entirely in the
+/// ring's timing model, which is exact for them.
+pub fn ring_execute<D: Device + ?Sized>(
+    device: &mut D,
+    requests: Vec<RingRequest>,
+    ring: &mut CompletionRing,
+) -> Result<Vec<IoTicket>> {
+    let mut tickets = Vec::with_capacity(requests.len());
+    for RingRequest { request, not_before } in requests {
+        let ticket = ring.admit(&request, not_before);
+        let (latency, result) = match &request {
+            IoRequest::Read { offset, len } => {
+                let mut buf = vec![0u8; *len];
+                match device.read_at(*offset, &mut buf) {
+                    Ok(lat) => (lat, Ok(buf)),
+                    Err(e) => (SimDuration::ZERO, Err(e)),
+                }
+            }
+            IoRequest::Write { offset, data } => match device.write_at(*offset, data) {
+                Ok(lat) => (lat, Ok(Vec::new())),
+                Err(e) => (SimDuration::ZERO, Err(e)),
+            },
+            IoRequest::Erase { block } => match device.erase_block(*block) {
+                Ok(lat) => (lat, Ok(Vec::new())),
+                Err(e) => (SimDuration::ZERO, Err(e)),
+            },
+            IoRequest::Trim { offset, len } => match device.trim(*offset, *len) {
+                Ok(lat) => (lat, Ok(Vec::new())),
+                Err(e) => (SimDuration::ZERO, Err(e)),
+            },
+        };
+        ring.finish(ticket, latency, result);
+        tickets.push(ticket);
+    }
+    Ok(tickets)
+}
+
 /// Blanket implementation so `Box<dyn Device>` is itself a `Device`, which
 /// lets higher layers be generic over `D: Device` while still supporting
 /// dynamic dispatch where convenient.
@@ -221,6 +319,16 @@ impl<D: Device + ?Sized> Device for Box<D> {
     }
     fn submit(&mut self, requests: &mut [IoRequest]) -> Result<Vec<IoCompletion>> {
         (**self).submit(requests)
+    }
+    fn submit_nowait(
+        &mut self,
+        requests: Vec<RingRequest>,
+        ring: &mut CompletionRing,
+    ) -> Result<Vec<IoTicket>> {
+        (**self).submit_nowait(requests, ring)
+    }
+    fn reap(&mut self, ring: &mut CompletionRing, min: usize) -> Result<Vec<RingCompletion>> {
+        (**self).reap(ring, min)
     }
     fn on_idle(&mut self, idle: SimDuration) {
         (**self).on_idle(idle)
@@ -321,6 +429,30 @@ mod tests {
         fn reset_stats(&mut self) {
             self.inner.reset_stats()
         }
+    }
+
+    #[test]
+    fn default_ring_path_degenerates_to_blocking_execution() {
+        let mut dev = PerOpOnly { inner: DramDevice::new(1 << 16).unwrap() };
+        let mut ring = CompletionRing::for_queue(dev.queue());
+        let reqs = vec![
+            RingRequest::new(IoRequest::write(0, vec![9u8; 64])),
+            RingRequest::new(IoRequest::read(0, 64)),
+            RingRequest::new(IoRequest::read(1 << 16, 1)), // out of bounds
+        ];
+        let tickets = dev.submit_nowait(reqs, &mut ring).unwrap();
+        assert_eq!(tickets.iter().map(|t| t.id()).collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(ring.in_flight(), 3);
+        let done = dev.reap(&mut ring, 1).unwrap();
+        assert_eq!(done.len(), 3, "default reap drains everything ready");
+        let by_ticket = |id: u64| done.iter().find(|c| c.ticket.id() == id).unwrap();
+        assert_eq!(by_ticket(1).result.as_ref().unwrap(), &vec![9u8; 64]);
+        assert!(matches!(by_ticket(2).result, Err(DeviceError::OutOfBounds { .. })));
+        // The read of the just-written range is conflict-floored behind
+        // the write: its start is the write's completion time.
+        assert_eq!(by_ticket(1).started_at, by_ticket(0).completed_at);
+        assert!(ring.makespan() >= by_ticket(1).completed_at);
+        assert_eq!(ring.in_flight(), 0);
     }
 
     #[test]

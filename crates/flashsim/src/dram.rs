@@ -5,11 +5,13 @@
 //! charged consistently with flash/disk work in end-to-end latency accounts.
 
 use crate::cost::LinearCost;
-use crate::device::{execute_requests, Device};
+use crate::device::{execute_requests, ring_execute, Device};
 use crate::error::{DeviceError, Result};
 use crate::geometry::Geometry;
 use crate::profiles::DeviceProfile;
-use crate::queue::{IoCompletion, IoRequest, LaneScheduler};
+use crate::queue::{
+    CompletionRing, IoCompletion, IoRequest, IoTicket, LaneScheduler, RingCompletion, RingRequest,
+};
 use crate::stats::IoStats;
 use crate::store::SparseStore;
 use crate::time::SimDuration;
@@ -102,6 +104,27 @@ impl Device for DramDevice {
         let completions = execute_requests(self, requests, &mut lanes);
         self.stats.requests_overlapped += completions.iter().filter(|c| c.lane != 0).count() as u64;
         Ok(completions)
+    }
+
+    /// Ring admission over the channel lanes (simulated time, like
+    /// [`submit`](Self::submit), but submit-without-wait).
+    fn submit_nowait(
+        &mut self,
+        requests: Vec<RingRequest>,
+        ring: &mut CompletionRing,
+    ) -> Result<Vec<IoTicket>> {
+        self.stats.requests_submitted += requests.len() as u64;
+        let tickets = ring_execute(self, requests, ring)?;
+        self.stats.ring_depth_high_water =
+            self.stats.ring_depth_high_water.max(ring.depth_high_water() as u64);
+        Ok(tickets)
+    }
+
+    fn reap(&mut self, ring: &mut CompletionRing, _min: usize) -> Result<Vec<RingCompletion>> {
+        let out = ring.reap(usize::MAX);
+        self.stats.requests_reaped += out.len() as u64;
+        self.stats.requests_overlapped += out.iter().filter(|c| c.lane != 0).count() as u64;
+        Ok(out)
     }
 
     fn stats(&self) -> IoStats {

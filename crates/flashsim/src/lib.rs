@@ -20,7 +20,15 @@
 //! backend executes a batch natively — overlapping independent requests on
 //! queue lanes (SSD, DRAM), servicing it in seek order (disk) or spreading
 //! it over a real worker pool ([`FileDevice`]) — while the per-op methods
-//! remain available as the depth-1 view of the same machinery.
+//! remain available as the depth-1 view of the same machinery. On top of
+//! the blocking batches sits the **completion ring**
+//! ([`Device::submit_nowait`] / [`Device::reap`] over a caller-owned
+//! [`CompletionRing`]): requests are admitted without waiting, tracked in
+//! flight with per-request completion timestamps, and reaped as they
+//! retire, so pipelines can keep the queue full instead of draining it at
+//! every barrier. [`SharedDevice`] lets several owners (e.g. index
+//! stripes) drive partitions of one device — and thus one ring timeline —
+//! concurrently.
 //!
 //! ## Example
 //!
@@ -49,13 +57,14 @@ mod flash_chip;
 mod geometry;
 mod profiles;
 pub mod queue;
+mod shared;
 mod ssd;
 mod stats;
 mod store;
 mod time;
 
 pub use cost::LinearCost;
-pub use device::{execute_requests, Device};
+pub use device::{execute_requests, ring_execute, Device};
 pub use disk::MagneticDisk;
 pub use dram::DramDevice;
 pub use error::{DeviceError, Result};
@@ -63,7 +72,11 @@ pub use file_backend::{FileDevice, DEFAULT_FILE_QUEUE_DEPTH};
 pub use flash_chip::FlashChip;
 pub use geometry::Geometry;
 pub use profiles::{DeviceProfile, MediumKind};
-pub use queue::{IoCompletion, IoRequest, LaneScheduler, OverlapModel, QueueCapabilities};
+pub use queue::{
+    CompletionRing, IoCompletion, IoRequest, IoTicket, LaneScheduler, OverlapModel,
+    QueueCapabilities, RingCompletion, RingRequest,
+};
+pub use shared::SharedDevice;
 pub use ssd::Ssd;
 pub use stats::{IoStats, LatencyRecorder};
 pub use store::SparseStore;

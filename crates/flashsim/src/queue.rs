@@ -13,7 +13,13 @@
 //! * [`LaneScheduler`] — the greedy earliest-free-lane model shared by the
 //!   simulated backends;
 //! * [`batch_latency`] / [`total_busy_time`] — turn a completion set into
-//!   the elapsed (makespan) or device-busy view of a submission.
+//!   the elapsed (makespan) or device-busy view of a submission;
+//! * [`CompletionRing`] / [`IoTicket`] / [`RingRequest`] /
+//!   [`RingCompletion`] — the submit-without-wait side of the queue:
+//!   requests are admitted to a ring, tracked in flight with per-request
+//!   completion timestamps, and reaped as they retire
+//!   ([`Device::submit_nowait`](crate::Device::submit_nowait) /
+//!   [`Device::reap`](crate::Device::reap)).
 //!
 //! ## Ordering and overlap guarantees
 //!
@@ -160,6 +166,17 @@ impl QueueCapabilities {
             OverlapModel::Overlapped => self.max_queue_depth.min(requests.max(1)).max(1),
         }
     }
+
+    /// Number of lanes a [`CompletionRing`] on this queue accounts overlap
+    /// with: 1 for serial devices, otherwise the full queue depth (the ring
+    /// serves a stream of admissions, so there is no batch size to cap by).
+    /// Never zero — a degenerate zero-depth profile degrades to serial.
+    pub fn ring_lanes(&self) -> usize {
+        match self.overlap {
+            OverlapModel::Serial => 1,
+            OverlapModel::Overlapped => self.max_queue_depth.max(1),
+        }
+    }
 }
 
 /// Greedy earliest-free-lane scheduler used by the simulated backends to
@@ -206,6 +223,262 @@ impl LaneScheduler {
     /// Elapsed time of the schedule so far: the busiest lane's total.
     pub fn makespan(&self) -> SimDuration {
         self.busy.iter().copied().fold(SimDuration::ZERO, SimDuration::max)
+    }
+}
+
+/// Handle to one request admitted to a [`CompletionRing`].
+///
+/// Tickets are sequential per ring (the first admission is ticket 0), so
+/// callers can use [`id`](Self::id) as an index into per-request state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct IoTicket(u64);
+
+impl IoTicket {
+    /// The ticket's sequence number within its ring (0-based).
+    pub fn id(&self) -> u64 {
+        self.0
+    }
+}
+
+/// One request for submit-without-wait admission
+/// ([`Device::submit_nowait`](crate::Device::submit_nowait)), carrying its
+/// causal floor: the earliest device-clock time it may start.
+#[derive(Debug, Clone)]
+pub struct RingRequest {
+    /// The command to execute.
+    pub request: IoRequest,
+    /// Earliest device-clock time the request may start. A probe pipeline
+    /// sets this to the [`RingCompletion::completed_at`] of the read whose
+    /// data produced this request, so chained reads never overlap their own
+    /// causes — only *independent* requests do.
+    pub not_before: SimDuration,
+}
+
+impl RingRequest {
+    /// A request with no causal floor (may start immediately).
+    pub fn new(request: IoRequest) -> Self {
+        RingRequest { request, not_before: SimDuration::ZERO }
+    }
+
+    /// A request that may not start before `not_before` on the device
+    /// clock (typically the completion time of the read it depends on).
+    pub fn after(request: IoRequest, not_before: SimDuration) -> Self {
+        RingRequest { request, not_before }
+    }
+}
+
+/// Completion record for one ring request, delivered by
+/// [`Device::reap`](crate::Device::reap).
+#[derive(Debug, Clone)]
+pub struct RingCompletion {
+    /// Ticket returned by the admission.
+    pub ticket: IoTicket,
+    /// Queue lane the request was accounted on (lane 0 is the busiest
+    /// timeline; requests on other lanes overlapped lane-0 work).
+    pub lane: usize,
+    /// Device-busy latency of this request alone (simulated, or measured
+    /// for [`FileDevice`](crate::FileDevice)).
+    pub latency: SimDuration,
+    /// Device-clock time at which the request started executing.
+    pub started_at: SimDuration,
+    /// Device-clock time at which the request finished. Feed this into
+    /// [`RingRequest::after`] for work that depends on this completion.
+    pub completed_at: SimDuration,
+    /// The bytes read (empty for non-reads) or the per-request error.
+    pub result: Result<Vec<u8>>,
+}
+
+/// Monotone source of ring epochs, so devices that track in-flight work
+/// across calls (the file backend's worker pool) can tell concurrent or
+/// successive rings apart.
+static RING_EPOCH: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+
+/// One admitted-but-unfinished ring request: `(ticket, byte range,
+/// is_read, causal floor)`.
+type PendingAdmission = (IoTicket, Option<(u64, u64)>, bool, SimDuration);
+
+/// In-flight bookkeeping for submit-without-wait I/O: an io_uring-style
+/// completion ring owned by the *caller* and registered with a device call
+/// by call ([`Device::submit_nowait`](crate::Device::submit_nowait) admits
+/// into it, [`Device::reap`](crate::Device::reap) drains it).
+///
+/// The ring does the timing model shared by every backend: each finished
+/// request is placed on the earliest-free queue lane (free-at clocks, one
+/// lane per queue slot), subject to two floors — its
+/// [`RingRequest::not_before`] causal floor, and a **conflict floor** that
+/// keeps overlapping ranges in admission order (a request that conflicts
+/// with an earlier in-flight range starts no earlier than that range
+/// retires; read-read overlap is exempt, mirroring
+/// [`ranges_conflict`]). Data effects are applied by the device in
+/// admission order regardless, so the invariant *admission order =
+/// data-effect order* holds on every backend; the conflict floor makes the
+/// reported timing honest about it.
+///
+/// The ring also keeps the ledger the stats layers surface: in-flight
+/// depth high-water mark, reap count, and admission stalls (requests whose
+/// start was delayed by a conflict floor beyond lane availability).
+#[derive(Debug)]
+pub struct CompletionRing {
+    /// Free-at clock per queue lane.
+    lanes: Vec<SimDuration>,
+    /// Retired ranges that can still delay later conflicting admissions:
+    /// `(start, end, is_read, completes_at)`.
+    ranges: Vec<(u64, u64, bool, SimDuration)>,
+    /// Admitted but not yet finished.
+    pending: Vec<PendingAdmission>,
+    /// Finished but not yet reaped, sorted by `(completed_at, ticket)`.
+    ready: Vec<RingCompletion>,
+    next_ticket: u64,
+    reaped: u64,
+    in_flight: usize,
+    depth_high_water: usize,
+    admission_stalls: u64,
+    makespan: SimDuration,
+    epoch: u64,
+}
+
+impl CompletionRing {
+    /// Creates a ring that accounts overlap on `lanes` queue lanes (at
+    /// least one; a zero or serial queue degrades to a single lane rather
+    /// than panicking).
+    pub fn new(lanes: usize) -> Self {
+        CompletionRing {
+            lanes: vec![SimDuration::ZERO; lanes.max(1)],
+            ranges: Vec::new(),
+            pending: Vec::new(),
+            ready: Vec::new(),
+            next_ticket: 0,
+            reaped: 0,
+            in_flight: 0,
+            depth_high_water: 0,
+            admission_stalls: 0,
+            makespan: SimDuration::ZERO,
+            epoch: RING_EPOCH.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+        }
+    }
+
+    /// Creates a ring sized for a device's queue shape
+    /// ([`QueueCapabilities::ring_lanes`]).
+    pub fn for_queue(queue: QueueCapabilities) -> Self {
+        CompletionRing::new(queue.ring_lanes())
+    }
+
+    /// Process-unique identity of this ring, letting devices that hold
+    /// in-flight work across calls (the file backend) attribute results to
+    /// the right ring.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Admits one request, registering its byte range and causal floor.
+    /// The request is *in flight* until the completion produced by
+    /// [`finish`](Self::finish) is reaped.
+    pub fn admit(&mut self, request: &IoRequest, not_before: SimDuration) -> IoTicket {
+        let ticket = IoTicket(self.next_ticket);
+        self.next_ticket += 1;
+        let is_read = matches!(request, IoRequest::Read { .. });
+        self.pending.push((ticket, request.byte_range(), is_read, not_before));
+        self.in_flight += 1;
+        self.depth_high_water = self.depth_high_water.max(self.in_flight);
+        ticket
+    }
+
+    /// Finishes an admitted request: schedules it on the earliest-free
+    /// lane no earlier than its causal and conflict floors, stamps its
+    /// completion time, and queues the completion for
+    /// [`reap`](Self::reap). Panics if the ticket was not admitted to this
+    /// ring (or already finished).
+    pub fn finish(&mut self, ticket: IoTicket, latency: SimDuration, result: Result<Vec<u8>>) {
+        let slot = self
+            .pending
+            .iter()
+            .position(|(t, ..)| *t == ticket)
+            .expect("finish of a ticket this ring admitted");
+        let (_, range, is_read, not_before) = self.pending.swap_remove(slot);
+        let conflict_floor = range
+            .filter(|(start, end)| end > start)
+            .map(|(start, end)| {
+                self.ranges
+                    .iter()
+                    .filter(|&&(s, e, prior_read, _)| {
+                        ranges_conflict((start, end, is_read), (s, e, prior_read))
+                    })
+                    .map(|&(_, _, _, completes)| completes)
+                    .fold(SimDuration::ZERO, SimDuration::max)
+            })
+            .unwrap_or(SimDuration::ZERO);
+        let lane = self
+            .lanes
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, free)| **free)
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        let lane_free = self.lanes[lane];
+        if conflict_floor > lane_free.max(not_before) {
+            self.admission_stalls += 1;
+        }
+        let started_at = lane_free.max(not_before).max(conflict_floor);
+        let completed_at = started_at + latency;
+        self.lanes[lane] = completed_at;
+        self.makespan = self.makespan.max(completed_at);
+        if let Some((start, end)) = range {
+            if end > start && result.is_ok() {
+                self.ranges.push((start, end, is_read, completed_at));
+            }
+        }
+        // Ranges that retire before every lane's free-at clock can no
+        // longer delay any future admission (a future start is at least
+        // the minimum free-at), so they are safe to prune.
+        let horizon =
+            self.lanes.iter().copied().fold(SimDuration::from_nanos(u64::MAX), SimDuration::min);
+        self.ranges.retain(|&(_, _, _, completes)| completes > horizon);
+        let completion = RingCompletion { ticket, lane, latency, started_at, completed_at, result };
+        let at =
+            self.ready.partition_point(|c| (c.completed_at, c.ticket) <= (completed_at, ticket));
+        self.ready.insert(at, completion);
+    }
+
+    /// Number of completions finished and waiting to be reaped.
+    pub fn ready_len(&self) -> usize {
+        self.ready.len()
+    }
+
+    /// Pops up to `max` completions in completion-time order.
+    pub fn reap(&mut self, max: usize) -> Vec<RingCompletion> {
+        let n = max.min(self.ready.len());
+        let out: Vec<RingCompletion> = self.ready.drain(..n).collect();
+        self.reaped += out.len() as u64;
+        self.in_flight -= out.len();
+        out
+    }
+
+    /// Requests admitted but not yet reaped.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight
+    }
+
+    /// Highest in-flight depth (admitted minus reaped) observed so far.
+    pub fn depth_high_water(&self) -> usize {
+        self.depth_high_water
+    }
+
+    /// Completions delivered through [`reap`](Self::reap) so far.
+    pub fn reaps(&self) -> u64 {
+        self.reaped
+    }
+
+    /// Admissions whose start was delayed by a conflicting in-flight range
+    /// beyond lane availability.
+    pub fn admission_stalls(&self) -> u64 {
+        self.admission_stalls
+    }
+
+    /// Elapsed device-clock time of everything finished so far: the latest
+    /// completion timestamp. This is the ring-aware makespan that replaces
+    /// the sum of per-wave maxima in barrier pipelines.
+    pub fn makespan(&self) -> SimDuration {
+        self.makespan
     }
 }
 
@@ -338,6 +611,78 @@ mod tests {
             ]
         );
         assert!(page_read_batch(&[], 4096).is_empty());
+    }
+
+    #[test]
+    fn ring_lanes_degrade_to_serial_without_panicking() {
+        assert_eq!(QueueCapabilities::overlapped(8).ring_lanes(), 8);
+        assert_eq!(QueueCapabilities::overlapped(0).ring_lanes(), 1);
+        assert_eq!(QueueCapabilities::serial_reordering(8).ring_lanes(), 1);
+        // A zero-lane ring also degrades instead of panicking.
+        let mut ring = CompletionRing::new(0);
+        let t = ring.admit(&IoRequest::read(0, 16), SimDuration::ZERO);
+        ring.finish(t, SimDuration::from_micros(5), Ok(Vec::new()));
+        assert_eq!(ring.reap(8).len(), 1);
+        assert_eq!(ring.makespan(), SimDuration::from_micros(5));
+    }
+
+    #[test]
+    fn ring_overlaps_independent_requests_on_lanes() {
+        let mut ring = CompletionRing::new(2);
+        let c = SimDuration::from_micros(10);
+        let tickets: Vec<IoTicket> = (0..4u64)
+            .map(|i| ring.admit(&IoRequest::read(i * 4096, 4096), SimDuration::ZERO))
+            .collect();
+        for &t in &tickets {
+            ring.finish(t, c, Ok(Vec::new()));
+        }
+        assert_eq!(ring.depth_high_water(), 4);
+        assert_eq!(ring.makespan(), c * 2, "4 equal reads on 2 lanes take 2 slots");
+        let done = ring.reap(usize::MAX);
+        assert_eq!(done.len(), 4);
+        // Completion-time order, FIFO within ties.
+        assert!(done
+            .windows(2)
+            .all(|w| { (w[0].completed_at, w[0].ticket) <= (w[1].completed_at, w[1].ticket) }));
+        assert_eq!(ring.in_flight(), 0);
+        assert_eq!(ring.reaps(), 4);
+    }
+
+    #[test]
+    fn ring_respects_causal_floors() {
+        // A chain of 3 reads on an 8-lane ring cannot finish before 3
+        // latencies have elapsed, idle lanes notwithstanding.
+        let mut ring = CompletionRing::new(8);
+        let c = SimDuration::from_micros(10);
+        let mut floor = SimDuration::ZERO;
+        for _ in 0..3 {
+            let t = ring.admit(&IoRequest::read(0, 4096), floor);
+            ring.finish(t, c, Ok(Vec::new()));
+            floor = ring.reap(1).pop().unwrap().completed_at;
+        }
+        assert_eq!(ring.makespan(), c * 3);
+        assert_eq!(ring.admission_stalls(), 0, "reads never conflict with reads");
+    }
+
+    #[test]
+    fn ring_conflict_floor_keeps_overlapping_ranges_in_order() {
+        let mut ring = CompletionRing::new(4);
+        let c = SimDuration::from_micros(10);
+        let w1 = ring.admit(&IoRequest::write(0, vec![1u8; 4096]), SimDuration::ZERO);
+        ring.finish(w1, c, Ok(Vec::new()));
+        // A read of the same range must start after the write retires,
+        // even though three lanes are free.
+        let r = ring.admit(&IoRequest::read(0, 4096), SimDuration::ZERO);
+        ring.finish(r, c, Ok(Vec::new()));
+        let done = ring.reap(2);
+        assert_eq!(done[1].started_at, done[0].completed_at);
+        assert_eq!(ring.makespan(), c * 2);
+        assert_eq!(ring.admission_stalls(), 1);
+    }
+
+    #[test]
+    fn ring_epochs_are_unique() {
+        assert_ne!(CompletionRing::new(1).epoch(), CompletionRing::new(1).epoch());
     }
 
     #[test]

@@ -1,0 +1,323 @@
+//! Sharing one physical device between several owners.
+//!
+//! [`SharedDevice`] is a cloneable handle to a single underlying
+//! [`Device`], optionally restricted to a byte window ("partition") of it.
+//! It exists so higher layers that own one device per index — e.g.
+//! `StripedClam`, which gives every stripe its own `Clam<D>` — can instead
+//! stripe over **one** physical device: each stripe gets a partition, and
+//! all of their traffic funnels through the same submission queue and
+//! completion-ring timeline (the file backend's single worker pool, one
+//! SSD controller's lanes), so cross-batch requests genuinely contend and
+//! overlap on shared hardware.
+//!
+//! Partitions translate offsets (and erase-block indices) into the parent
+//! window; bounds are enforced by each partition's own [`Geometry`], so a
+//! stripe cannot reach outside its window. The underlying device's
+//! statistics are shared by all handles — they describe the *device*, not
+//! any one partition.
+//!
+//! Calls lock the shared device for their duration. Blocking calls on the
+//! file backend ([`Device::reap`] waiting for pool results) hold the lock
+//! while they wait; concurrent stripes still make progress because the
+//! worker pool executes independently of the lock, but submission
+//! interleaving is at call granularity.
+
+use std::sync::{Arc, Mutex};
+
+use crate::device::Device;
+use crate::error::{DeviceError, Result};
+use crate::geometry::Geometry;
+use crate::profiles::DeviceProfile;
+use crate::queue::{
+    CompletionRing, IoCompletion, IoRequest, IoTicket, QueueCapabilities, RingCompletion,
+    RingRequest,
+};
+use crate::stats::IoStats;
+use crate::time::SimDuration;
+
+/// A cloneable, optionally windowed handle to one underlying device.
+#[derive(Debug)]
+pub struct SharedDevice<D: Device> {
+    inner: Arc<Mutex<D>>,
+    /// Cached at construction (profiles are immutable after construction),
+    /// so [`Device::profile`] can return a reference without holding the
+    /// lock.
+    profile: DeviceProfile,
+    /// Geometry of this handle's window.
+    geometry: Geometry,
+    /// Byte offset of the window within the underlying device.
+    base: u64,
+}
+
+impl<D: Device> Clone for SharedDevice<D> {
+    fn clone(&self) -> Self {
+        SharedDevice {
+            inner: Arc::clone(&self.inner),
+            profile: self.profile.clone(),
+            geometry: self.geometry,
+            base: self.base,
+        }
+    }
+}
+
+impl<D: Device> SharedDevice<D> {
+    /// Wraps `device` for shared use; the handle spans the whole device.
+    pub fn new(device: D) -> Self {
+        let profile = device.profile().clone();
+        let geometry = device.geometry();
+        SharedDevice { inner: Arc::new(Mutex::new(device)), profile, geometry, base: 0 }
+    }
+
+    /// A handle restricted to the window `[base, base + len)` of this
+    /// handle's window. `base` and `len` must be erase-block aligned (so
+    /// block indices translate cleanly) and lie within this window.
+    pub fn partition(&self, base: u64, len: u64) -> Result<SharedDevice<D>> {
+        let block = self.geometry.block_size as u64;
+        if !base.is_multiple_of(block) || !len.is_multiple_of(block) {
+            return Err(DeviceError::InvalidConfig(format!(
+                "partition [{base}, {base}+{len}) is not aligned to the {block}-byte erase block"
+            )));
+        }
+        self.geometry.check_bounds(base, len as usize)?;
+        let geometry = Geometry::new(len, self.geometry.page_size, self.geometry.block_size)?;
+        Ok(SharedDevice {
+            inner: Arc::clone(&self.inner),
+            profile: self.profile.clone(),
+            geometry,
+            base: self.base + base,
+        })
+    }
+
+    /// Runs `f` with exclusive access to the underlying device (offsets
+    /// un-translated — this is the whole device, not the window).
+    pub fn with<R>(&self, f: impl FnOnce(&mut D) -> R) -> R {
+        f(&mut self.inner.lock().expect("shared device lock"))
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, D> {
+        self.inner.lock().expect("shared device lock")
+    }
+
+    /// Translates a window-relative request into device coordinates.
+    fn translate(&self, request: &mut IoRequest) -> Result<()> {
+        match request {
+            IoRequest::Read { offset, len } => {
+                self.geometry.check_bounds(*offset, *len)?;
+                *offset += self.base;
+            }
+            IoRequest::Write { offset, data } => {
+                self.geometry.check_bounds(*offset, data.len())?;
+                *offset += self.base;
+            }
+            IoRequest::Trim { offset, len } => {
+                self.geometry.check_bounds(*offset, *len as usize)?;
+                *offset += self.base;
+            }
+            IoRequest::Erase { block } => {
+                let blocks = self.geometry.blocks();
+                if *block >= blocks {
+                    return Err(DeviceError::OutOfBounds {
+                        offset: *block * self.geometry.block_size as u64,
+                        len: self.geometry.block_size as usize,
+                        capacity: self.geometry.capacity,
+                    });
+                }
+                *block += self.base / self.geometry.block_size as u64;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl<D: Device> Device for SharedDevice<D> {
+    fn profile(&self) -> &DeviceProfile {
+        &self.profile
+    }
+
+    fn geometry(&self) -> Geometry {
+        self.geometry
+    }
+
+    fn queue(&self) -> QueueCapabilities {
+        self.profile.queue
+    }
+
+    fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> Result<SimDuration> {
+        self.geometry.check_bounds(offset, buf.len())?;
+        let base = self.base;
+        self.lock().read_at(base + offset, buf)
+    }
+
+    fn write_at(&mut self, offset: u64, data: &[u8]) -> Result<SimDuration> {
+        self.geometry.check_bounds(offset, data.len())?;
+        let base = self.base;
+        self.lock().write_at(base + offset, data)
+    }
+
+    fn erase_block(&mut self, block: u64) -> Result<SimDuration> {
+        if block >= self.geometry.blocks() {
+            return Err(DeviceError::OutOfBounds {
+                offset: block * self.geometry.block_size as u64,
+                len: self.geometry.block_size as usize,
+                capacity: self.geometry.capacity,
+            });
+        }
+        let translated = block + self.base / self.geometry.block_size as u64;
+        self.lock().erase_block(translated)
+    }
+
+    fn trim(&mut self, offset: u64, len: u64) -> Result<SimDuration> {
+        self.geometry.check_bounds(offset, len as usize)?;
+        let base = self.base;
+        self.lock().trim(base + offset, len)
+    }
+
+    fn submit(&mut self, requests: &mut [IoRequest]) -> Result<Vec<IoCompletion>> {
+        // Window violations surface as per-request errors (matching how
+        // every backend reports out-of-bounds requests within a batch),
+        // translated requests go to the device as one submission. Write
+        // payloads are moved, not cloned — `submit` consumes its requests
+        // (see the trait docs), so the caller's slice is left with empty
+        // payloads either way.
+        let mut failed: Vec<(usize, DeviceError)> = Vec::new();
+        let mut forward: Vec<IoRequest> = Vec::new();
+        let mut slots: Vec<usize> = Vec::new();
+        for (index, request) in requests.iter_mut().enumerate() {
+            match self.translate(request) {
+                Ok(()) => {
+                    forward.push(match request {
+                        IoRequest::Write { offset, data } => {
+                            IoRequest::Write { offset: *offset, data: std::mem::take(data) }
+                        }
+                        other => other.clone(), // payload-free variants
+                    });
+                    slots.push(index);
+                }
+                Err(e) => failed.push((index, e)),
+            }
+        }
+        let inner = self.lock().submit(&mut forward)?;
+        let mut out: Vec<Option<IoCompletion>> = (0..requests.len()).map(|_| None).collect();
+        for (completion, &index) in inner.into_iter().zip(&slots) {
+            out[index] = Some(IoCompletion { index, ..completion });
+        }
+        for (index, e) in failed {
+            out[index] =
+                Some(IoCompletion { index, lane: 0, latency: SimDuration::ZERO, result: Err(e) });
+        }
+        Ok(out.into_iter().map(|c| c.expect("every request completed")).collect())
+    }
+
+    fn submit_nowait(
+        &mut self,
+        requests: Vec<RingRequest>,
+        ring: &mut CompletionRing,
+    ) -> Result<Vec<IoTicket>> {
+        // One slot per request: `Err(ticket)` for window violations
+        // (completed through the ring immediately), `Ok(())` markers for
+        // requests *moved* into `forward` — payloads are never cloned.
+        let mut translated: Vec<std::result::Result<(), IoTicket>> =
+            Vec::with_capacity(requests.len());
+        let mut forward: Vec<RingRequest> = Vec::new();
+        for RingRequest { mut request, not_before } in requests {
+            if let Err(e) = self.translate(&mut request) {
+                let ticket = ring.admit(&request, not_before);
+                ring.finish(ticket, SimDuration::ZERO, Err(e));
+                translated.push(Err(ticket));
+            } else {
+                forward.push(RingRequest { request, not_before });
+                translated.push(Ok(()));
+            }
+        }
+        let mut inner = self.lock().submit_nowait(forward, ring)?.into_iter();
+        Ok(translated
+            .into_iter()
+            .map(|t| match t {
+                Ok(()) => inner.next().expect("one ticket per forwarded request"),
+                Err(ticket) => ticket,
+            })
+            .collect())
+    }
+
+    fn reap(&mut self, ring: &mut CompletionRing, min: usize) -> Result<Vec<RingCompletion>> {
+        self.lock().reap(ring, min)
+    }
+
+    fn on_idle(&mut self, idle: SimDuration) {
+        self.lock().on_idle(idle)
+    }
+
+    fn stats(&self) -> IoStats {
+        self.lock().stats()
+    }
+
+    fn reset_stats(&mut self) {
+        self.lock().reset_stats()
+    }
+
+    fn name(&self) -> &'static str {
+        self.profile.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dram::DramDevice;
+    use crate::ssd::Ssd;
+
+    #[test]
+    fn partitions_translate_offsets_and_share_state() {
+        let shared = SharedDevice::new(DramDevice::new(1 << 20).unwrap());
+        let mut a = shared.partition(0, 512 * 1024).unwrap();
+        let mut b = shared.partition(512 * 1024, 512 * 1024).unwrap();
+        a.write_at(0, b"stripe a").unwrap();
+        b.write_at(0, b"stripe b").unwrap();
+        // The two partitions landed in disjoint windows of one device.
+        let mut buf = [0u8; 8];
+        shared.with(|d| d.read_at(0, &mut buf).unwrap());
+        assert_eq!(&buf, b"stripe a");
+        shared.with(|d| d.read_at(512 * 1024, &mut buf).unwrap());
+        assert_eq!(&buf, b"stripe b");
+        // Both partitions' traffic shows up in the one device's counters.
+        assert_eq!(a.stats().writes, 2);
+        // A partition cannot reach outside its window.
+        assert!(a.write_at(512 * 1024, &[1]).is_err());
+        assert!(shared.partition(0, 1 << 21).is_err(), "window exceeds the device");
+        assert!(shared.partition(7, 4096).is_err(), "unaligned base");
+    }
+
+    #[test]
+    fn partitioned_submissions_share_one_queue() {
+        let shared = SharedDevice::new(Ssd::intel(8 << 20).unwrap());
+        let mut a = shared.partition(0, 4 << 20).unwrap();
+        let mut reqs = vec![
+            IoRequest::write(0, vec![1u8; 4096]),
+            IoRequest::read(0, 4096),
+            IoRequest::read(4 << 20, 4096), // outside the window
+        ];
+        let done = a.submit(&mut reqs).unwrap();
+        assert_eq!(done[1].result.as_ref().unwrap(), &vec![1u8; 4096]);
+        assert!(matches!(done[2].result, Err(DeviceError::OutOfBounds { .. })));
+        assert_eq!(a.stats().batches_submitted, 1);
+        // Ring traffic from a partition flows through the same device.
+        let mut ring = CompletionRing::for_queue(a.queue());
+        let tickets = a
+            .submit_nowait(
+                vec![
+                    RingRequest::new(IoRequest::read(0, 4096)),
+                    RingRequest::new(IoRequest::read(4 << 20, 4096)),
+                ],
+                &mut ring,
+            )
+            .unwrap();
+        assert_eq!(tickets.len(), 2);
+        let done = a.reap(&mut ring, 1).unwrap();
+        assert_eq!(done.len(), 2);
+        let ok = done.iter().find(|c| c.ticket == tickets[0]).unwrap();
+        assert_eq!(ok.result.as_ref().unwrap(), &vec![1u8; 4096]);
+        let bad = done.iter().find(|c| c.ticket == tickets[1]).unwrap();
+        assert!(matches!(bad.result, Err(DeviceError::OutOfBounds { .. })));
+        assert_eq!(a.stats().requests_reaped, 2);
+    }
+}

@@ -43,6 +43,13 @@ pub struct IoStats {
     /// lanes exist regardless of host cores. Always zero on serial
     /// devices.
     pub requests_overlapped: u64,
+    /// Completions delivered through [`Device::reap`](crate::Device::reap)
+    /// (native ring implementations only, like the queue counters above).
+    pub requests_reaped: u64,
+    /// Highest in-flight depth (admitted minus reaped) any completion ring
+    /// registered with this device has reached. Merged with `max`, not
+    /// summed: it is a high-water mark, not a count.
+    pub ring_depth_high_water: u64,
     /// Simulated time spent in reads.
     pub read_time: SimDuration,
     /// Simulated time spent in writes (including any GC charged to them).
@@ -85,6 +92,8 @@ impl IoStats {
         self.batches_submitted += other.batches_submitted;
         self.requests_submitted += other.requests_submitted;
         self.requests_overlapped += other.requests_overlapped;
+        self.requests_reaped += other.requests_reaped;
+        self.ring_depth_high_water = self.ring_depth_high_water.max(other.ring_depth_high_water);
         self.read_time += other.read_time;
         self.write_time += other.write_time;
         self.erase_time += other.erase_time;
@@ -121,6 +130,13 @@ impl fmt::Display for IoStats {
                 f,
                 " | queue: {} batches, {} reqs ({} overlapped)",
                 self.batches_submitted, self.requests_submitted, self.requests_overlapped
+            )?;
+        }
+        if self.requests_reaped > 0 || self.ring_depth_high_water > 0 {
+            write!(
+                f,
+                " | ring: {} reaped, depth hwm {}",
+                self.requests_reaped, self.ring_depth_high_water
             )?;
         }
         Ok(())
@@ -300,6 +316,19 @@ mod tests {
         assert_eq!(s.trims, 3);
         assert_eq!(s.requests_submitted, 16);
         assert_eq!(IoStats::default().overlap_fraction(), 0.0);
+    }
+
+    #[test]
+    fn ring_counters_merge_and_display() {
+        let mut a = IoStats { requests_reaped: 5, ring_depth_high_water: 12, ..Default::default() };
+        let b = IoStats { requests_reaped: 3, ring_depth_high_water: 7, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.requests_reaped, 8, "reaps sum");
+        assert_eq!(a.ring_depth_high_water, 12, "high-water merges with max");
+        let text = a.to_string();
+        assert!(text.contains("ring: 8 reaped, depth hwm 12"), "{text}");
+        // The ring segment is elided for devices that never served a ring.
+        assert!(!IoStats::default().to_string().contains("ring:"));
     }
 
     #[test]

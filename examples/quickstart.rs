@@ -9,17 +9,18 @@ use clam::flashsim::Ssd;
 
 fn main() {
     // A scaled-down version of the paper's 32 GB flash / 4 GB DRAM CLAM:
-    // 1/128 scale, i.e. 256 MiB of simulated flash, 32 MiB of DRAM. (The
+    // 1/64 scale, i.e. 512 MiB of simulated flash, 64 MiB of DRAM. (The
     // harness ran at 1/512 before the batched insert pipeline made larger
-    // fills cheap.)
-    let config = ClamConfig::small_test(256 << 20, 32 << 20).expect("config");
+    // fills cheap, and at 1/128 until the read path was batched through
+    // the completion ring too.)
+    let config = ClamConfig::small_test(512 << 20, 64 << 20).expect("config");
     println!(
         "CLAM configuration: {} super tables, {} incarnations each, {} Bloom hash functions",
         config.num_super_tables(),
         config.incarnations_per_table(),
         config.bloom_hashes()
     );
-    let device = Ssd::intel(256 << 20).expect("device");
+    let device = Ssd::intel(512 << 20).expect("device");
     let mut clam = Clam::new(device, config).expect("clam");
 
     // Insert two million (fingerprint -> address) mappings through the

@@ -288,6 +288,120 @@ proptest! {
     }
 }
 
+/// Loads `ops` and `deletes` into a CLAM on `device`, then checks that the
+/// streaming **ring** pipeline (`lookup_batch`) produces per-key outcomes —
+/// values, sources, flash-read counts — and hit/miss/read statistics
+/// identical to the barrier **wave** pipeline (`lookup_batch_waves`) over
+/// the same queries. Lookups under FIFO eviction mutate nothing, so both
+/// pipelines observe the same state and must agree exactly; only the
+/// charged latency may differ (the ring replaces the sum of per-wave
+/// maxima with a single continuous queue schedule).
+fn check_ring_equivalent_to_waves<D: Device>(
+    device: D,
+    max_utilization: f64,
+    ops: &[(u64, u64)],
+    deletes: &[u64],
+    queries: &[u64],
+    batch: usize,
+) -> Result<(), proptest::test_runner::TestCaseError> {
+    let mut clam = tiny_clam_on(device, max_utilization);
+    for chunk in ops.chunks(257) {
+        clam.insert_batch(chunk).unwrap();
+    }
+    for &k in deletes {
+        clam.delete(k).unwrap();
+    }
+    let name = clam.device().name();
+    let start = clam.stats().clone();
+    let mut ring: Vec<LookupOutcome> = Vec::new();
+    let mut ring_rounds = 0usize;
+    for chunk in queries.chunks(batch) {
+        let out = clam.lookup_batch(chunk).unwrap();
+        prop_assert_eq!(out.ops(), chunk.len());
+        prop_assert!(
+            out.probe_reads == 0 || out.reaps == out.probe_reads,
+            "every ring probe must be reaped on {}",
+            name
+        );
+        ring_rounds += out.waves;
+        ring.extend(out);
+    }
+    let mid = clam.stats().clone();
+    let mut waves: Vec<LookupOutcome> = Vec::new();
+    let mut wave_rounds = 0usize;
+    for chunk in queries.chunks(batch) {
+        let out = clam.lookup_batch_waves(chunk).unwrap();
+        prop_assert_eq!(out.ops(), chunk.len());
+        prop_assert!(out.reaps == 0, "the barrier pipeline never reaps");
+        wave_rounds += out.waves;
+        waves.extend(out);
+    }
+    let end = clam.stats().clone();
+    prop_assert!(ring_rounds == wave_rounds, "round depth mismatch on {}", name);
+    for (i, (r, w)) in ring.iter().zip(&waves).enumerate() {
+        prop_assert!(r.value == w.value, "value mismatch on {name} index {i}");
+        prop_assert!(r.source == w.source, "source mismatch on {name} index {i}");
+        prop_assert!(r.flash_reads == w.flash_reads, "flash-read mismatch on {name} index {i}");
+    }
+    // The two phases saw identical state, so their stat deltas agree.
+    prop_assert_eq!(mid.lookup_hits - start.lookup_hits, end.lookup_hits - mid.lookup_hits);
+    prop_assert_eq!(mid.lookup_misses - start.lookup_misses, end.lookup_misses - mid.lookup_misses);
+    prop_assert_eq!(
+        mid.lookup_flash_reads - start.lookup_flash_reads,
+        end.lookup_flash_reads - mid.lookup_flash_reads
+    );
+    prop_assert_eq!(
+        mid.spurious_flash_reads - start.spurious_flash_reads,
+        end.spurious_flash_reads - mid.spurious_flash_reads
+    );
+    prop_assert_eq!(
+        mid.lookup_probe_requests - start.lookup_probe_requests,
+        end.lookup_probe_requests - mid.lookup_probe_requests
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The streaming ring pipeline (`lookup_batch`) is observationally
+    /// equivalent to the PR-4 barrier wave pipeline
+    /// (`lookup_batch_waves`) — identical per-key outcomes, flash-read
+    /// counts and hit/miss statistics — on all five device backends, over
+    /// op streams that include flash-resident keys, delete-shadowed keys,
+    /// absent keys and overflow probe chains, cut into arbitrary batch
+    /// sizes. Only the charged latency may differ: the ring streams rounds
+    /// through the completion ring instead of draining a wave per round.
+    #[test]
+    fn streaming_ring_lookups_equivalent_to_wave_pipeline(
+        raw_ops in vec((0u64..2_000, any::<u64>()), 300..1_200),
+        raw_deletes in vec(0u64..2_000, 0..80),
+        raw_queries in vec(0u64..4_000, 60..300),
+        batch in 1usize..96,
+    ) {
+        let fp = |k: u64| clam::bufferhash::hash_with_seed(k, 0x6a7c4);
+        let ops: Vec<(u64, u64)> = raw_ops.iter().map(|&(k, v)| (fp(k), v)).collect();
+        let deletes: Vec<u64> = raw_deletes.iter().map(|&k| fp(k)).collect();
+        let queries: Vec<u64> = raw_queries.iter().map(|&k| fp(k)).collect();
+
+        const CAP: u64 = 8 << 20;
+        check_ring_equivalent_to_waves(
+            Ssd::intel(CAP).unwrap(), 0.9, &ops, &deletes, &queries, batch)?;
+        check_ring_equivalent_to_waves(
+            FlashChip::new(CAP).unwrap(), 0.9, &ops, &deletes, &queries, batch)?;
+        check_ring_equivalent_to_waves(
+            MagneticDisk::new(CAP).unwrap(), 0.9, &ops, &deletes, &queries, batch)?;
+        check_ring_equivalent_to_waves(
+            DramDevice::new(CAP).unwrap(), 0.5, &ops, &deletes, &queries, batch)?;
+        let path = std::env::temp_dir()
+            .join(format!("clam-ring-wave-prop-{}", std::process::id()));
+        let outcome = check_ring_equivalent_to_waves(
+            FileDevice::create(&path, CAP).unwrap(), 0.9, &ops, &deletes, &queries, batch);
+        std::fs::remove_file(&path).ok();
+        outcome?;
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
