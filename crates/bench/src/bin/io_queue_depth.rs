@@ -2,7 +2,8 @@
 //!
 //! Companion to ROADMAP's "async / io_uring-style device backend",
 //! "true parallel stripe dispatch", "drive lookups through the
-//! submission queue" and "completion ring" items, in five parts:
+//! submission queue", "completion ring" and "ring-driven write path"
+//! items, in six parts:
 //!
 //! 1. **Real overlapped I/O** — flush-sized writes are submitted to a
 //!    [`flashsim::FileDevice`] at several queue depths. The device spreads
@@ -32,6 +33,16 @@
 //!    Acceptance bar: **>= 1.2x at depth 8** (identical outcomes
 //!    asserted; the closed-form `ring_over_waves_speedup` is printed
 //!    alongside).
+//! 6. **Mixed flush + lookup traffic** — the write path rides the same
+//!    completion ring as the read path. First an exact cross-check of the
+//!    simulated SSD against `FlashCostModel::mixed_ring_makespan`
+//!    (flush-write phase then probe-chain phase through one shared ring),
+//!    then a steady-state FileDevice sweep: each batch evicts + flushes an
+//!    incarnation and then probes deep miss chains, on the default
+//!    ring-driven CLAM vs the blocking barrier reference
+//!    (`set_barrier_writes(true)` + `lookup_batch_waves`). Acceptance
+//!    bar: **>= 1.2x ring over barrier at depth 8** (identical outcomes
+//!    asserted).
 //!
 //! `--smoke` runs a reduced sweep for CI.
 
@@ -103,12 +114,24 @@ fn mb_per_sec(bytes: usize, elapsed: SimDuration) -> f64 {
     bytes as f64 / (1 << 20) as f64 / elapsed.as_secs_f64().max(1e-12)
 }
 
+/// Host wall-clock cell for a table row. Wall time only reflects genuine
+/// overlap when the host has spare cores for the worker pool (and the
+/// stripe threads), so single-core hosts print `n/a` instead of a number
+/// that cannot improve with depth.
+fn wall_cell(wall_ms: f64) -> String {
+    if std::thread::available_parallelism().map_or(1, |n| n.get()) > 1 {
+        format!("{wall_ms:.3}")
+    } else {
+        "n/a".into()
+    }
+}
+
 /// Part 1: real overlapped file I/O. Returns PASS/FAIL.
 fn file_device_sweep(scale: &Scale) -> bool {
     let capacity = (scale.requests * scale.request_bytes) as u64;
     let path = std::env::temp_dir().join(format!("clam-io-queue-depth-{}", std::process::id()));
     println!(
-        "[1/5] FileDevice: {} flush writes x {} KiB per submission, best of {} trials",
+        "[1/6] FileDevice: {} flush writes x {} KiB per submission, best of {} trials",
         scale.requests,
         scale.request_bytes >> 10,
         scale.trials
@@ -190,7 +213,7 @@ fn file_device_sweep(scale: &Scale) -> bool {
 /// Part 2: simulated SSD sweep against the closed-form queue model.
 fn simulated_sweep(scale: &Scale) {
     const PAGES: usize = 64;
-    println!("[2/5] Simulated Intel-class SSD: {PAGES} page writes per submission vs model");
+    println!("[2/6] Simulated Intel-class SSD: {PAGES} page writes per submission vs model");
     let widths = [8, 16, 16, 10];
     print_header(&["depth", "measured (ms)", "model (ms)", "speedup"], &widths);
     let mut base = SimDuration::ZERO;
@@ -241,21 +264,32 @@ fn striped_dispatch(scale: &Scale) {
     let ops: Vec<(u64, u64)> = (0..scale.striped_ops).map(|i| (workload_key(i), i)).collect();
     let mut par_total = SimDuration::ZERO;
     let mut ser_total = SimDuration::ZERO;
+    let mut par_wall = 0.0f64;
+    let mut ser_wall = 0.0f64;
     for chunk in ops.chunks(1024) {
+        let t = std::time::Instant::now();
         let p = parallel.insert_batch(chunk).expect("parallel");
+        par_wall += t.elapsed().as_secs_f64() * 1e3;
+        let t = std::time::Instant::now();
         let s = serial.insert_batch_serial(chunk).expect("serial");
+        ser_wall += t.elapsed().as_secs_f64() * 1e3;
         assert_eq!((p.flushed_ops, p.evictions), (s.flushed_ops, s.evictions));
         par_total += p.latency;
         ser_total += s.latency;
     }
     assert_eq!(parallel.stats().flushes, serial.stats().flushes, "outcomes must not change");
     println!(
-        "[3/5] StripedClam ({STRIPES} stripes, {} inserts): parallel dispatch {} \
+        "[3/6] StripedClam ({STRIPES} stripes, {} inserts): parallel dispatch {} \
          (max-over-stripes) vs serial {} (summed) -> {:.2}x",
         scale.striped_ops,
         ms(par_total),
         ms(ser_total),
         ser_total.as_nanos() as f64 / par_total.as_nanos().max(1) as f64
+    );
+    println!(
+        "wall clock: parallel {} ms vs serial {} ms (stripe threads need spare cores)",
+        wall_cell(par_wall),
+        wall_cell(ser_wall)
     );
     // Flush every stripe concurrently (max-over-stripes latency) so the
     // device counters below show the queued incarnation writes.
@@ -301,7 +335,7 @@ fn queued_lookup_sweep(scale: &Scale) -> bool {
     const KEYS: usize = 64;
     const ROUNDS: usize = 4;
     println!(
-        "[4/5] Queued lookups: {KEYS} misses x {ROUNDS} probes each on the simulated SSD vs model"
+        "[4/6] Queued lookups: {KEYS} misses x {ROUNDS} probes each on the simulated SSD vs model"
     );
     let widths = [8, 16, 16, 10];
     print_header(&["depth", "measured (ms)", "model (ms)", "speedup"], &widths);
@@ -430,13 +464,23 @@ fn ring_vs_barrier_sweep(scale: &Scale) -> bool {
     const ROUNDS: usize = 16;
     let path = std::env::temp_dir().join(format!("clam-ring-barrier-{}", std::process::id()));
     println!(
-        "[5/5] Ring vs barrier on FileDevice: {} batches x {} absent keys probing {ROUNDS} \
+        "[5/6] Ring vs barrier on FileDevice: {} batches x {} absent keys probing {ROUNDS} \
          incarnations each, best of {} trials",
         scale.ring_batches, scale.ring_batch, scale.trials
     );
-    let widths = [8, 14, 14, 10, 12, 11, 11];
+    let widths = [8, 14, 14, 13, 13, 10, 12, 11, 11];
     print_header(
-        &["depth", "barrier (ms)", "ring (ms)", "reaps", "depth hwm", "ring gain", "model gain"],
+        &[
+            "depth",
+            "barrier (ms)",
+            "ring (ms)",
+            "barrier wall",
+            "ring wall",
+            "reaps",
+            "depth hwm",
+            "ring gain",
+            "model gain",
+        ],
         &widths,
     );
     let mut final_gain = 0.0f64;
@@ -450,11 +494,15 @@ fn ring_vs_barrier_sweep(scale: &Scale) -> bool {
             .ring_over_waves_speedup(scale.ring_batch, ROUNDS, depth);
         let mut best_barrier = SimDuration::from_secs(3600);
         let mut best_ring = SimDuration::from_secs(3600);
+        let mut best_barrier_wall = f64::MAX;
+        let mut best_ring_wall = f64::MAX;
         let mut reaps = 0usize;
         let mut depth_hwm = 0usize;
         for _ in 0..scale.trials {
             let mut barrier = SimDuration::ZERO;
             let mut ring = SimDuration::ZERO;
+            let mut barrier_wall = 0.0f64;
+            let mut ring_wall = 0.0f64;
             for b in 0..scale.ring_batches {
                 let keys: Vec<u64> = (0..scale.ring_batch as u64)
                     .map(|i| workload_key(9_500_000 + b as u64 * 100_000 + i))
@@ -462,12 +510,20 @@ fn ring_vs_barrier_sweep(scale: &Scale) -> bool {
                 // Alternate call order so neither pipeline systematically
                 // benefits from the other having warmed the page cache.
                 let (w, r) = if b % 2 == 0 {
+                    let t = std::time::Instant::now();
                     let w = clam.lookup_batch_waves(&keys).expect("lookup_batch_waves");
+                    barrier_wall += t.elapsed().as_secs_f64() * 1e3;
+                    let t = std::time::Instant::now();
                     let r = clam.lookup_batch(&keys).expect("lookup_batch");
+                    ring_wall += t.elapsed().as_secs_f64() * 1e3;
                     (w, r)
                 } else {
+                    let t = std::time::Instant::now();
                     let r = clam.lookup_batch(&keys).expect("lookup_batch");
+                    ring_wall += t.elapsed().as_secs_f64() * 1e3;
+                    let t = std::time::Instant::now();
                     let w = clam.lookup_batch_waves(&keys).expect("lookup_batch_waves");
+                    barrier_wall += t.elapsed().as_secs_f64() * 1e3;
                     (w, r)
                 };
                 assert_eq!(w.hits(), 0, "sweep keys must miss");
@@ -482,6 +538,8 @@ fn ring_vs_barrier_sweep(scale: &Scale) -> bool {
             }
             best_barrier = best_barrier.min(barrier);
             best_ring = best_ring.min(ring);
+            best_barrier_wall = best_barrier_wall.min(barrier_wall);
+            best_ring_wall = best_ring_wall.min(ring_wall);
         }
         let gain = best_barrier.as_nanos() as f64 / best_ring.as_nanos().max(1) as f64;
         final_gain = gain;
@@ -490,6 +548,8 @@ fn ring_vs_barrier_sweep(scale: &Scale) -> bool {
                 format!("{depth}"),
                 ms(best_barrier),
                 ms(best_ring),
+                wall_cell(best_barrier_wall),
+                wall_cell(best_ring_wall),
                 format!("{reaps}"),
                 format!("{depth_hwm}"),
                 format!("{gain:.2}x"),
@@ -519,6 +579,227 @@ fn ring_vs_barrier_sweep(scale: &Scale) -> bool {
     pass
 }
 
+/// A single-super-table CLAM whose global log holds exactly `rounds`
+/// incarnations: once the build fills the log, every further `flush_all`
+/// wraps — forced FIFO eviction (trim) plus a fresh incarnation write —
+/// so the measured loop runs in steady state (constant incarnation count,
+/// constant probe depth) with real write traffic in every batch.
+/// Incarnation size for the steady-state sweep: small relative to the
+/// probe traffic (each batch reads `ring_batch x rounds` pages but writes
+/// only one incarnation), so the sweep measures the *mixed* pipeline
+/// rather than being dominated by a large sequential write that neither
+/// arm can overlap (a single coalesced run occupies one lane either way).
+const STEADY_BUFFER: u64 = 4 * 1024;
+
+fn steady_state_clam<D: Device>(device: D, rounds: usize) -> Clam<D> {
+    let cfg = ClamConfig {
+        flash_capacity: rounds as u64 * STEADY_BUFFER,
+        dram_bytes: 1 << 20,
+        buffer_bytes_total: STEADY_BUFFER,
+        buffer_bytes_per_table: STEADY_BUFFER,
+        entry_size: 16,
+        max_buffer_utilization: 0.5,
+        eviction: EvictionPolicy::Fifo,
+        filter_mode: FilterMode::Disabled,
+        layout: FlashLayoutMode::GlobalLog,
+        enable_buffering: true,
+    };
+    cfg.validate().expect("valid steady-state config");
+    let mut clam = Clam::new(device, cfg).expect("clam");
+    for round in 0..rounds as u64 {
+        for i in 0..8u64 {
+            clam.insert(workload_key(round * 100 + i), i).expect("insert");
+        }
+        clam.flush_all().expect("flush");
+    }
+    clam
+}
+
+/// Part 6: mixed flush + lookup traffic through the one shared ring.
+/// Returns PASS/FAIL.
+fn mixed_ring_sweep(scale: &Scale) -> bool {
+    use flashsim::{CompletionRing, RingRequest};
+    use std::collections::HashMap;
+
+    // ------------------------------------------------------------------
+    // 6a. Simulated SSD vs the closed-form mixed-ring model (exact).
+    // ------------------------------------------------------------------
+    const BUFFER: usize = 32 << 10;
+    const FLUSHES: usize = 8;
+    const KEYS: usize = 48;
+    const PROBES: usize = 4;
+    println!(
+        "[6/6] Mixed ring: {FLUSHES} flush writes then {KEYS} misses x {PROBES} probes \
+         through one ring on the simulated SSD vs model"
+    );
+    let widths = [8, 16, 16, 10];
+    print_header(&["depth", "measured (ms)", "model (ms)", "speedup"], &widths);
+    let mut base = SimDuration::ZERO;
+    for &depth in scale.depths {
+        let profile = DeviceProfile {
+            queue: QueueCapabilities::overlapped(depth),
+            ..DeviceProfile::intel_x18m()
+        };
+        let mut dev = Ssd::with_profile(64 << 20, profile.clone()).expect("ssd");
+        let page = profile.page_size as usize;
+        let model = FlashCostModel::from_profile(&profile);
+        let mut ring = CompletionRing::new(model.lanes_at_depth(depth));
+        // Write phase: incarnation-sized flush writes to disjoint log
+        // slots, admitted without waiting.
+        let writes: Vec<RingRequest> = (0..FLUSHES)
+            .map(|i| RingRequest::new(IoRequest::write((i * BUFFER) as u64, vec![0xAA; BUFFER])))
+            .collect();
+        dev.submit_nowait(writes, &mut ring).expect("write phase");
+        dev.reap(&mut ring, 1).expect("reap");
+        // Read phase: probe chains, each re-armed as its previous read
+        // retires — behind every write's conflict floor.
+        let read_base = (FLUSHES * BUFFER) as u64;
+        let first: Vec<RingRequest> = (0..KEYS)
+            .map(|i| RingRequest::new(IoRequest::read(read_base + (i * page) as u64, page)))
+            .collect();
+        let tickets = dev.submit_nowait(first, &mut ring).expect("read phase");
+        let mut rounds: HashMap<u64, usize> = tickets.iter().map(|t| (t.id(), 1)).collect();
+        while ring.in_flight() > 0 {
+            for c in dev.reap(&mut ring, 1).expect("reap") {
+                let done = rounds.remove(&c.ticket.id()).expect("armed ticket");
+                if done < PROBES {
+                    let next = RingRequest::after(IoRequest::read(read_base, page), c.completed_at);
+                    let t = dev.submit_nowait(vec![next], &mut ring).expect("re-arm");
+                    rounds.insert(t[0].id(), done + 1);
+                }
+            }
+        }
+        let measured = ring.makespan();
+        let predicted = model.mixed_ring_makespan(KEYS, PROBES, FLUSHES, BUFFER, depth);
+        assert_eq!(
+            measured, predicted,
+            "simulator and closed-form mixed-ring model must agree at depth {depth}"
+        );
+        if depth == scale.depths[0] {
+            base = measured;
+        }
+        print_row(
+            &[
+                format!("{depth}"),
+                ms(measured),
+                ms(predicted),
+                format!("{:.2}x", base.as_nanos() as f64 / measured.as_nanos().max(1) as f64),
+            ],
+            &widths,
+        );
+    }
+    println!("simulator == closed-form mixed-ring model at every depth\n");
+
+    // ------------------------------------------------------------------
+    // 6b. Steady-state flush + lookup sweep on the real file backend.
+    // ------------------------------------------------------------------
+    const ROUNDS: usize = 24;
+    let dir = std::env::temp_dir();
+    let ring_path = dir.join(format!("clam-mixed-ring-{}", std::process::id()));
+    let barrier_path = dir.join(format!("clam-mixed-barrier-{}", std::process::id()));
+    println!(
+        "steady-state FileDevice sweep: per batch, one wrap flush (evict + incarnation \
+         write) then {} absent keys probing {ROUNDS} incarnations, {} batches, best of {} \
+         trials",
+        scale.ring_batch, scale.ring_batches, scale.trials
+    );
+    let widths = [8, 14, 14, 13, 13, 9, 10];
+    print_header(
+        &["depth", "barrier (ms)", "ring (ms)", "barrier wall", "ring wall", "writes", "ring gain"],
+        &widths,
+    );
+    let mut final_gain = 0.0f64;
+    for &depth in scale.depths {
+        let capacity = ROUNDS as u64 * STEADY_BUFFER;
+        let ring_dev = FileDevice::with_queue_depth(&ring_path, capacity, depth).expect("file dev");
+        let barrier_dev =
+            FileDevice::with_queue_depth(&barrier_path, capacity, depth).expect("file dev");
+        let mut ring_clam = steady_state_clam(ring_dev, ROUNDS);
+        let mut barrier_clam = steady_state_clam(barrier_dev, ROUNDS);
+        barrier_clam.set_barrier_writes(true);
+        let mut best_ring = SimDuration::from_secs(3600);
+        let mut best_barrier = SimDuration::from_secs(3600);
+        let mut best_ring_wall = f64::MAX;
+        let mut best_barrier_wall = f64::MAX;
+        for trial in 0..scale.trials {
+            let mut ring_elapsed = SimDuration::ZERO;
+            let mut barrier_elapsed = SimDuration::ZERO;
+            let mut ring_wall = 0.0f64;
+            let mut barrier_wall = 0.0f64;
+            for b in 0..scale.ring_batches {
+                let tag = (trial * scale.ring_batches + b) as u64;
+                let inserts: Vec<(u64, u64)> =
+                    (0..8u64).map(|i| (workload_key(3_000_000 + tag * 100 + i), i)).collect();
+                let misses: Vec<u64> = (0..scale.ring_batch as u64)
+                    .map(|i| workload_key(9_700_000 + tag * 100_000 + i))
+                    .collect();
+                // Ring arm: streaming flush writes + streaming lookups.
+                let t = std::time::Instant::now();
+                let ins = ring_clam.insert_batch(&inserts).expect("ring insert");
+                let flush = ring_clam.flush_all().expect("ring flush");
+                let looked = ring_clam.lookup_batch(&misses).expect("ring lookup");
+                ring_wall += t.elapsed().as_secs_f64() * 1e3;
+                ring_elapsed += ins.latency + flush + looked.probe_latency;
+                // Barrier arm: blocking writes + wave lookups.
+                let t = std::time::Instant::now();
+                let b_ins = barrier_clam.insert_batch(&inserts).expect("barrier insert");
+                let b_flush = barrier_clam.flush_all().expect("barrier flush");
+                let b_looked = barrier_clam.lookup_batch_waves(&misses).expect("barrier lookup");
+                barrier_wall += t.elapsed().as_secs_f64() * 1e3;
+                barrier_elapsed += b_ins.latency + b_flush + b_looked.probe_latency;
+                // Both arms must observe the identical steady state.
+                assert_eq!(looked.hits(), 0, "sweep keys must miss");
+                assert_eq!(looked.values(), b_looked.values(), "mixed outcomes diverge");
+                assert_eq!(looked.probe_reads, b_looked.probe_reads);
+                assert_eq!((ins.flushed_ops, ins.evictions), (b_ins.flushed_ops, b_ins.evictions));
+            }
+            best_ring = best_ring.min(ring_elapsed);
+            best_barrier = best_barrier.min(barrier_elapsed);
+            best_ring_wall = best_ring_wall.min(ring_wall);
+            best_barrier_wall = best_barrier_wall.min(barrier_wall);
+        }
+        let ring_stats = ring_clam.device().stats();
+        let barrier_stats = barrier_clam.device().stats();
+        assert_eq!(ring_stats.writes, barrier_stats.writes, "flash write traffic diverges");
+        assert_eq!(ring_stats.trims, barrier_stats.trims, "eviction trim traffic diverges");
+        let gain = best_barrier.as_nanos() as f64 / best_ring.as_nanos().max(1) as f64;
+        final_gain = gain;
+        print_row(
+            &[
+                format!("{depth}"),
+                ms(best_barrier),
+                ms(best_ring),
+                wall_cell(best_barrier_wall),
+                wall_cell(best_ring_wall),
+                format!("{}", ring_stats.writes),
+                format!("{gain:.2}x"),
+            ],
+            &widths,
+        );
+    }
+    std::fs::remove_file(&ring_path).ok();
+    std::fs::remove_file(&barrier_path).ok();
+    println!(
+        "(barrier = set_barrier_writes(true) + lookup_batch_waves: every flush write and\n\
+         eviction trim blocks in Device::submit and every probe round waits for its wave\n\
+         straggler; ring = the default path: writes and reads admitted to one shared\n\
+         completion ring, submit-without-wait + reap)"
+    );
+    let pass = final_gain >= 1.2;
+    if pass {
+        println!(
+            "PASS: ring-driven mixed traffic is {final_gain:.2}x over the barrier path at depth {}\n",
+            scale.depths.last().unwrap()
+        );
+    } else {
+        println!(
+            "FAIL: mixed ring gain at depth {} is {final_gain:.2}x (target: >= 1.2x)\n",
+            scale.depths.last().unwrap()
+        );
+    }
+    pass
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let scale = if smoke { &SMOKE } else { &FULL };
@@ -528,12 +809,15 @@ fn main() {
     striped_dispatch(scale);
     let lookup_pass = queued_lookup_sweep(scale);
     let ring_pass = ring_vs_barrier_sweep(scale);
-    if !write_pass || !lookup_pass || !ring_pass {
+    let mixed_pass = mixed_ring_sweep(scale);
+    if !write_pass || !lookup_pass || !ring_pass || !mixed_pass {
         println!(
-            "\noverall: FAIL (write scaling: {}, queued lookup scaling: {}, ring vs barrier: {})",
+            "\noverall: FAIL (write scaling: {}, queued lookup scaling: {}, ring vs barrier: {}, \
+             mixed ring: {})",
             if write_pass { "ok" } else { "below target" },
             if lookup_pass { "ok" } else { "below target" },
-            if ring_pass { "ok" } else { "below target" }
+            if ring_pass { "ok" } else { "below target" },
+            if mixed_pass { "ok" } else { "below target" }
         );
         std::process::exit(1);
     }

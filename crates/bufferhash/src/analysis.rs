@@ -449,6 +449,88 @@ impl FlashCostModel {
         let waves = self.lookup_batch_makespan(keys, probes_per_key, queue_depth);
         waves.as_nanos() as f64 / ring.as_nanos() as f64
     }
+
+    /// Predicted elapsed (makespan) flash time of `flushes` ring-admitted
+    /// buffer flushes (each a single incarnation write costing
+    /// `C1+C2+C3` for a buffer of `buffer_bytes`) at `queue_depth`:
+    ///
+    ///   `M_flush(f, d) = c_w · ⌈f / L⌉`
+    ///
+    /// Flush chains are single-write chains (chain length 1), so the
+    /// level-schedule bound `max(1, ⌈f·1 / L⌉)` collapses to the barrier
+    /// drain's [`flush_queue_makespan`](Self::flush_queue_makespan): on
+    /// **uniform simulated latencies** ring and barrier write phases cost
+    /// the same, and the ring's win comes from overlapping the write phase
+    /// with probe traffic ([`mixed_ring_makespan`](Self::mixed_ring_makespan))
+    /// and, on real storage, from streaming past stragglers. The
+    /// `io_queue_depth` binary cross-checks the identity against the
+    /// simulator.
+    ///
+    /// ```
+    /// use bufferhash::analysis::FlashCostModel;
+    /// use flashsim::DeviceProfile;
+    ///
+    /// let model = FlashCostModel::from_profile(&DeviceProfile::intel_x18m());
+    /// // 16 flushes of 32 KiB buffers over 8 lanes: two write slots.
+    /// let ring = model.flush_ring_makespan(16, 32 << 10, 8);
+    /// assert_eq!(ring, model.insert_worst_case(32 << 10) * 2);
+    /// // Single-write chains: identical to the barrier drain's makespan.
+    /// assert_eq!(ring, model.flush_queue_makespan(16, 32 << 10, 8));
+    /// ```
+    pub fn flush_ring_makespan(
+        &self,
+        flushes: usize,
+        buffer_bytes: usize,
+        queue_depth: usize,
+    ) -> SimDuration {
+        if flushes == 0 {
+            return SimDuration::ZERO;
+        }
+        let lanes = self.lanes_at_depth(queue_depth);
+        self.insert_worst_case(buffer_bytes) * flushes.div_ceil(lanes) as u64
+    }
+
+    /// Predicted elapsed (makespan) flash time of a **mixed** ring stream:
+    /// `flushes` buffer flushes admitted ahead of `keys` probe chains of
+    /// `probes_per_key` page reads each, all sharing one completion ring
+    /// at `queue_depth`. Writes are admitted first (data-effect order:
+    /// reads of reclaimed slots must observe the written bytes), so the
+    /// schedule is a write phase followed by a read phase:
+    ///
+    ///   `M_mixed = M_flush(f, d) + M_ring(n, w, d)`
+    ///
+    /// Matches the simulator **exactly** whenever the lane count divides
+    /// the flush count (the write phase then ends with every lane equally
+    /// busy, so the read phase starts from a flat frontier exactly as
+    /// [`lookup_ring_makespan`](Self::lookup_ring_makespan) assumes);
+    /// otherwise the read phase backfills the write phase's ragged tail
+    /// and this expression is an upper bound. The CLAM test suite and
+    /// `io_queue_depth` part [6/6] cross-check the identity at every
+    /// swept depth.
+    ///
+    /// ```
+    /// use bufferhash::analysis::FlashCostModel;
+    /// use flashsim::DeviceProfile;
+    ///
+    /// let model = FlashCostModel::from_profile(&DeviceProfile::intel_x18m());
+    /// let mixed = model.mixed_ring_makespan(48, 4, 8, 32 << 10, 8);
+    /// assert_eq!(
+    ///     mixed,
+    ///     model.flush_ring_makespan(8, 32 << 10, 8)
+    ///         + model.lookup_ring_makespan(48, 4, 8)
+    /// );
+    /// ```
+    pub fn mixed_ring_makespan(
+        &self,
+        keys: usize,
+        probes_per_key: usize,
+        flushes: usize,
+        buffer_bytes: usize,
+        queue_depth: usize,
+    ) -> SimDuration {
+        self.flush_ring_makespan(flushes, buffer_bytes, queue_depth)
+            + self.lookup_ring_makespan(keys, probes_per_key, queue_depth)
+    }
 }
 
 #[cfg(test)]
@@ -655,6 +737,87 @@ mod tests {
             ..DeviceProfile::intel_x18m()
         });
         assert_eq!(degenerate.lookup_ring_makespan(4, 2, 8), degenerate.page_read_cost() * 8);
+    }
+
+    #[test]
+    fn flush_and_mixed_ring_makespans_compose_the_phase_bounds() {
+        let m = ssd(); // overlapped, depth 8
+        let w = m.insert_worst_case(32 << 10);
+        // Single-write chains: ring == barrier drain on uniform latencies.
+        assert_eq!(m.flush_ring_makespan(16, 32 << 10, 8), w * 2);
+        assert_eq!(m.flush_ring_makespan(16, 32 << 10, 8), m.flush_queue_makespan(16, 32 << 10, 8));
+        assert_eq!(m.flush_ring_makespan(0, 32 << 10, 8), SimDuration::ZERO);
+        // Serial media pay the full sum.
+        let serial = chip();
+        assert_eq!(
+            serial.flush_ring_makespan(3, 32 << 10, 8),
+            serial.insert_worst_case(32 << 10) * 3
+        );
+        // The mixed stream is a write phase followed by a read phase.
+        assert_eq!(
+            m.mixed_ring_makespan(60, 4, 8, 32 << 10, 8),
+            m.flush_ring_makespan(8, 32 << 10, 8) + m.lookup_ring_makespan(60, 4, 8)
+        );
+        assert_eq!(m.mixed_ring_makespan(0, 0, 0, 32 << 10, 8), SimDuration::ZERO);
+        // A degenerate zero-depth profile degrades to serial, no panic.
+        let degenerate = FlashCostModel::from_profile(&DeviceProfile {
+            queue: flashsim::QueueCapabilities::overlapped(0),
+            ..DeviceProfile::intel_x18m()
+        });
+        assert_eq!(degenerate.flush_ring_makespan(4, 32 << 10, 8), w * 4);
+    }
+
+    /// Drives the mixed write-then-read stream through the SSD simulator's
+    /// ring (`submit_nowait`/`reap`, re-arming each probe chain from its
+    /// previous completion like the lookup pipeline does) and checks
+    /// `mixed_ring_makespan` against the ring's actual makespan — **exact**
+    /// at every depth with the lane count dividing the flush count.
+    #[test]
+    fn mixed_ring_makespan_matches_the_simulator_exactly() {
+        use flashsim::{CompletionRing, Device, IoRequest, RingRequest, Ssd};
+        use std::collections::HashMap;
+
+        let m = ssd();
+        let buffer: usize = 32 << 10;
+        let (flushes, keys, probes) = (8usize, 48usize, 4usize);
+        for depth in [1usize, 2, 8] {
+            let mut dev = Ssd::intel(64 << 20).unwrap();
+            let page = dev.profile().page_size as usize;
+            let mut ring = CompletionRing::new(m.lanes_at_depth(depth));
+            // Write phase: `flushes` incarnation-sized writes to disjoint
+            // log slots, admitted without waiting.
+            let writes: Vec<RingRequest> = (0..flushes)
+                .map(|i| {
+                    RingRequest::new(IoRequest::write((i * buffer) as u64, vec![0xAA; buffer]))
+                })
+                .collect();
+            dev.submit_nowait(writes, &mut ring).unwrap();
+            dev.reap(&mut ring, 1).unwrap();
+            // Read phase: `keys` chains of `probes` page reads, each chain
+            // re-armed the moment its previous read reaps.
+            let read_base = (flushes * buffer) as u64;
+            let first: Vec<RingRequest> = (0..keys)
+                .map(|i| RingRequest::new(IoRequest::read(read_base + (i * page) as u64, page)))
+                .collect();
+            let tickets = dev.submit_nowait(first, &mut ring).unwrap();
+            let mut rounds: HashMap<u64, usize> = tickets.iter().map(|t| (t.id(), 1)).collect();
+            while ring.in_flight() > 0 {
+                for c in dev.reap(&mut ring, 1).unwrap() {
+                    let done = rounds.remove(&c.ticket.id()).unwrap();
+                    if done < probes {
+                        let next =
+                            RingRequest::after(IoRequest::read(read_base, page), c.completed_at);
+                        let t = dev.submit_nowait(vec![next], &mut ring).unwrap();
+                        rounds.insert(t[0].id(), done + 1);
+                    }
+                }
+            }
+            assert_eq!(
+                ring.makespan(),
+                m.mixed_ring_makespan(keys, probes, flushes, buffer, depth),
+                "model drifts from the simulator at depth {depth}"
+            );
+        }
     }
 
     #[test]

@@ -32,7 +32,9 @@
 
 use std::collections::HashMap;
 
-use flashsim::queue::{batch_latency, overlapped_requests, page_read_batch, IoCompletion};
+use flashsim::queue::{
+    batch_latency, overlapped_requests, page_read_batch, IoCompletion, IoTicket, RingCompletion,
+};
 use flashsim::{CompletionRing, Device, IoRequest, LinearCost, RingRequest, SimDuration};
 
 use crate::config::ClamConfig;
@@ -255,12 +257,36 @@ pub struct Clam<D: Device> {
     stats: ClamStats,
     /// DRAM access cost model used for in-memory latency accounting.
     mem_cost: LinearCost,
-    /// Incarnation writes deferred during a batched insert so contiguous
-    /// log slots can be written with one device command.
+    /// Incarnation writes deferred for coalescing. On the ring-driven
+    /// write path this holds at most the *current* contiguous run (a
+    /// non-contiguous write admits the finished run to the ring first, so
+    /// flush traffic streams); on the barrier reference path it pools
+    /// every deferred write until the batch-end drain sorts and merges
+    /// them.
     pending_writes: Vec<(u64, Vec<u8>)>,
     /// True while a batched insert is collecting flush writes for
     /// coalescing.
     coalesce_writes: bool,
+    /// True routes flushes, evictions and drains through the blocking
+    /// barrier write path ([`Clam::flush_table_barrier`]) instead of the
+    /// shared completion ring.
+    barrier_writes: bool,
+    /// The shared read/write completion ring of the current top-level call
+    /// (`None` between calls): lookup probes, flush writes, eviction reads
+    /// and trims all admit into it, so write traffic overlaps the tail of
+    /// probe traffic (and vice versa) on one device timeline.
+    ring: Option<CompletionRing>,
+    /// Ring makespan already charged to some caller; the next sync charges
+    /// only the growth beyond this horizon.
+    ring_horizon: SimDuration,
+    /// Ring `(reaps, admission stalls)` already attributed to the lookup
+    /// ledger; the write-ring ledger takes the deltas beyond these marks.
+    ring_read_marks: (u64, u64),
+    /// Whether the current ring carried write-path traffic (writes,
+    /// erases, trims) / read traffic, for the mixed-ring depth ledger.
+    ring_wrote: bool,
+    /// See [`ring_wrote`](Self::ring_wrote).
+    ring_read: bool,
 }
 
 impl<D: Device> Clam<D> {
@@ -321,7 +347,23 @@ impl<D: Device> Clam<D> {
             mem_cost: LinearCost::new(0, 0.5),
             pending_writes: Vec::new(),
             coalesce_writes: false,
+            barrier_writes: false,
+            ring: None,
+            ring_horizon: SimDuration::ZERO,
+            ring_read_marks: (0, 0),
+            ring_wrote: false,
+            ring_read: false,
         })
+    }
+
+    /// Routes every flush, eviction and coalesced drain through the
+    /// blocking **barrier** write path (`flush_table_barrier`) instead of the
+    /// shared completion ring. Off by default; kept (like
+    /// [`lookup_batch_waves`](Self::lookup_batch_waves) on the read side)
+    /// as the reference implementation for equivalence testing and the
+    /// ring-vs-barrier write sweep in the `io_queue_depth` harness.
+    pub fn set_barrier_writes(&mut self, barrier: bool) {
+        self.barrier_writes = barrier;
     }
 
     /// The configuration this CLAM was built with.
@@ -435,17 +477,32 @@ impl<D: Device> Clam<D> {
         loop {
             match self.tables[t].buffer_insert(key, value) {
                 BufferInsert::Stored(_) => break,
-                BufferInsert::Full => {
-                    let flush = self.flush_table(t, attempts)?;
-                    latency += flush.latency;
-                    evictions += flush.evictions;
-                    flushed = true;
-                    attempts += 1;
-                }
+                BufferInsert::Full => match self.flush_table(t, attempts) {
+                    Ok(flush) => {
+                        latency += flush.latency;
+                        evictions += flush.evictions;
+                        flushed = true;
+                        attempts += 1;
+                    }
+                    Err(e) => {
+                        // Close the op's ring even on failure so in-flight
+                        // writes are reaped and the device stays usable.
+                        if !self.coalesce_writes {
+                            self.drain_write_ring().ok();
+                        }
+                        return Err(e);
+                    }
+                },
             }
         }
         if flushed {
             self.stats.record_cascade(evictions.max(1));
+        }
+        // A per-op call owns its ring: the flush chain's device time (its
+        // makespan, overlap-accounted) is charged to this insert. Batched
+        // calls leave the ring open; the batch-end drain charges it.
+        if !self.coalesce_writes {
+            latency += self.drain_write_ring()?;
         }
         self.stats.inserts.record(latency);
         Ok(InsertOutcome { latency, flushed, evictions })
@@ -516,13 +573,16 @@ impl<D: Device> Clam<D> {
                 }
             }
         }
-        // Drain deferred writes even on failure so the device stays
-        // consistent with the in-memory incarnation metadata. Only this
-        // end-of-batch drain is "deferred" time (charged to the batch, not
-        // to any triggering insert); mid-batch drains before erases or
-        // eviction reads are charged to their op like a sequential flush.
+        // Close the write ring even on failure so the device stays
+        // consistent with the in-memory incarnation metadata. Finished
+        // coalesced runs were already *admitted* as they formed (so flush
+        // traffic streams out mid-batch and inserts keep flowing); this
+        // end-of-batch drain admits the final run and reaps the ring, and
+        // only its makespan is "deferred" time (charged to the batch, not
+        // to any triggering insert). Eviction reads mid-batch sync the
+        // ring and are charged to their op like a sequential flush.
         self.coalesce_writes = false;
-        let drained = self.drain_pending_writes()?;
+        let drained = self.drain_write_ring()?;
         self.stats.deferred_flush_time += drained;
         if let Some(e) = failure {
             return Err(e);
@@ -750,7 +810,13 @@ impl<D: Device> Clam<D> {
             self.plan_lookups(keys, dispatch);
 
         if !pending.is_empty() {
-            let mut ring = CompletionRing::for_queue(self.device.queue());
+            // The probes run on the call's *shared* ring: LRU re-insertion
+            // flushes (step 3) admit into the same ring, so their writes
+            // overlap the tail of the probe traffic on the device timeline
+            // instead of restarting the clock.
+            self.ensure_ring();
+            self.ring_read = true;
+            let mut ring = self.ring.take().expect("ring just ensured");
             // Probe state of every in-flight read, keyed by ticket id.
             let mut states: HashMap<u64, ProbeState> = HashMap::with_capacity(pending.len());
             // 1. Admit every key's first read without waiting.
@@ -822,6 +888,13 @@ impl<D: Device> Clam<D> {
                 }
             }
             if let Some(e) = failure {
+                // The reaps so far belong to the lookup ledger (recorded
+                // below on success, skipped here): mark them so closing
+                // the ring does not misattribute them to the flush side.
+                self.ring_read_marks = (ring.reaps(), ring.admission_stalls());
+                self.ring_horizon = ring.makespan();
+                self.ring = Some(ring);
+                self.finish_ring().ok();
                 return Err(e);
             }
             batch.probe_latency = ring.makespan();
@@ -832,12 +905,22 @@ impl<D: Device> Clam<D> {
             self.stats.lookup_ring_depth_high_water =
                 self.stats.lookup_ring_depth_high_water.max(ring.depth_high_water() as u64);
             self.stats.lookup_ring_admission_stalls += ring.admission_stalls();
+            // Everything reaped so far is on the lookup ledger, and the
+            // probe makespan is charged to this batch: mark both so the
+            // write side only ever accounts its own growth.
+            self.ring_read_marks = (ring.reaps(), ring.admission_stalls());
+            self.ring_horizon = ring.makespan();
+            self.ring = Some(ring);
         }
 
         // 3. LRU: re-insert items used from flash so they survive FIFO
         //    eviction of old incarnations. The paper performs this
-        //    asynchronously, so its cost is not charged to the batch.
+        //    asynchronously, so its cost is not charged to the batch. The
+        //    re-insertion flushes admit into the same ring as the probes
+        //    (see above); `apply_reinserts` closes the ring when it has
+        //    work, and a reinsert-free call closes it right after.
         self.apply_reinserts(reinserts)?;
+        self.finish_ring()?;
 
         batch.latency = host_time + batch.probe_latency;
         batch.outcomes = out.into_iter().map(|o| o.expect("every key resolved")).collect();
@@ -950,12 +1033,14 @@ impl<D: Device> Clam<D> {
     }
 
     /// Applies the LRU re-insertions collected by a lookup call. Flush
-    /// chains triggered here route their incarnation writes through the
-    /// queued flush submission (deferred, then drained as one
-    /// [`Device::submit`](flashsim::Device::submit) batch) instead of
-    /// looping blocking per-table writes, so the asynchronous re-insert
-    /// cost recorded in `ClamStats::async_reinsert_time` is
-    /// makespan-accounted like every other flush.
+    /// chains triggered here coalesce their incarnation writes and admit
+    /// them into the call's shared completion ring (the same ring the
+    /// probe reads ran on, so the writes overlap the probe tail) instead
+    /// of looping blocking per-table writes; the asynchronous re-insert
+    /// cost recorded in `ClamStats::async_reinsert_time` is the ring's
+    /// makespan growth — makespan-accounted like every other flush. On
+    /// the barrier reference path the writes pool and drain as one
+    /// blocking [`Device::submit`](flashsim::Device::submit) batch.
     fn apply_reinserts(&mut self, reinserts: Vec<(usize, Key, Value)>) -> Result<()> {
         if reinserts.is_empty() {
             return Ok(());
@@ -986,7 +1071,7 @@ impl<D: Device> Clam<D> {
         // Drain even on failure so the device matches the incarnation
         // metadata registered so far.
         self.coalesce_writes = was_coalescing;
-        let drained = self.drain_pending_writes();
+        let drained = self.drain_write_ring();
         if let Some(e) = failure {
             return Err(e);
         }
@@ -1013,11 +1098,13 @@ impl<D: Device> Clam<D> {
     /// Flushes every non-empty buffer to flash (e.g. before a bulk merge or
     /// shutdown). Returns the total simulated latency.
     ///
-    /// The per-table incarnation writes are collected and handed to the
-    /// device as one submission (contiguous log slots merge into sequential
-    /// writes, independent runs overlap on the device's queue lanes), so a
-    /// whole-index flush costs the makespan of the queue schedule rather
-    /// than the sum of blocking per-table writes.
+    /// The per-table incarnation writes coalesce into contiguous runs that
+    /// stream into the device's completion ring as they form (contiguous
+    /// log slots merge into sequential writes, independent runs overlap on
+    /// the ring's lanes), so a whole-index flush costs the makespan of the
+    /// ring schedule rather than the sum of blocking per-table writes. On
+    /// the barrier reference path the runs pool and drain as one blocking
+    /// submission instead.
     pub fn flush_all(&mut self) -> Result<SimDuration> {
         let mut total = SimDuration::ZERO;
         let was_coalescing = self.coalesce_writes;
@@ -1037,7 +1124,7 @@ impl<D: Device> Clam<D> {
         // Drain even on failure so the device matches the in-memory
         // incarnation metadata registered so far.
         self.coalesce_writes = was_coalescing;
-        let drained = self.drain_pending_writes();
+        let drained = self.drain_write_ring();
         if let Some(e) = failure {
             return Err(e);
         }
@@ -1055,7 +1142,17 @@ impl<D: Device> Clam<D> {
     // Flush and eviction orchestration
     // ------------------------------------------------------------------
 
+    /// One flush chain for table `t`: evict if the incarnation table is
+    /// full, write the buffer out as a new incarnation, cascade on
+    /// retained re-inserts. Dispatches to the **ring-driven** write path
+    /// (the default: writes are admitted to the call's shared completion
+    /// ring without waiting, so they overlap each other and any probe
+    /// traffic on the same ring) or to the blocking **barrier** reference
+    /// path when [`set_barrier_writes`](Self::set_barrier_writes) is on.
     fn flush_table(&mut self, t: usize, depth: usize) -> Result<FlushOutcome> {
+        if self.barrier_writes {
+            return self.flush_table_barrier(t, depth);
+        }
         let mut latency = SimDuration::ZERO;
         let mut evictions = 0usize;
 
@@ -1093,22 +1190,29 @@ impl<D: Device> Clam<D> {
                 }
             }
             if self.coalesce_writes && alloc.blocks_to_erase.is_empty() {
-                // Batched path (SSD global log): defer the write so runs of
-                // contiguous slots flushed by the same batch become one
-                // sequential device write. Drained before any flash read
-                // and at the end of the batch.
-                self.pending_writes.push((alloc.offset, image));
+                // Batched path (SSD global log): coalesce into the current
+                // contiguous run. A non-contiguous slot admits the finished
+                // run to the ring first (see `push_coalesced_write`), so
+                // flush traffic streams out mid-batch instead of pooling
+                // behind the whole batch.
+                self.push_coalesced_write(alloc.offset, image)?;
             } else {
-                // Erases must not be reordered with already-deferred
-                // writes, so drain first. The erases and the incarnation
-                // write then go to the device as one in-order submission
-                // (devices apply request effects in submission order, so
-                // erase-before-program is preserved).
-                latency += self.drain_pending_writes()?;
-                let mut requests: Vec<IoRequest> =
-                    alloc.blocks_to_erase.iter().map(|&block| IoRequest::Erase { block }).collect();
-                requests.push(IoRequest::write(alloc.offset, image));
-                latency += self.submit_checked(&mut requests)?.0;
+                // Erase-before-program and write-after-write ordering both
+                // rest on admission order: devices apply data effects in
+                // admission order, and the ring's write-write conflict
+                // floors keep the reported timing consistent with it. So
+                // the deferred run, the erases and the incarnation write
+                // are admitted back to back without waiting; their device
+                // time is charged when the ring syncs (per-op end,
+                // eviction read, or batch-end drain).
+                self.admit_pending_writes()?;
+                let mut requests: Vec<RingRequest> = alloc
+                    .blocks_to_erase
+                    .iter()
+                    .map(|&block| RingRequest::new(IoRequest::Erase { block }))
+                    .collect();
+                requests.push(RingRequest::new(IoRequest::write(alloc.offset, image)));
+                self.ring_admit(requests)?;
             }
             self.tables[t].register_incarnation(
                 IncarnationMeta { flash_offset: alloc.offset, entries: entries.len(), seq },
@@ -1137,9 +1241,171 @@ impl<D: Device> Clam<D> {
         Ok(FlushOutcome { latency, evictions })
     }
 
-    /// Evicts the oldest incarnation of table `t` under `policy`, returning
-    /// the latency of the eviction and any entries to retain (re-insert).
+    /// The blocking **barrier** reference implementation of
+    /// [`flush_table`]: every incarnation write goes through
+    /// [`Device::submit`](flashsim::Device::submit) (or pools for a
+    /// blocking batch-end drain), paying each submission's full latency
+    /// before the next starts. Kept verbatim as the baseline the
+    /// ring-driven path is property-tested against (observationally
+    /// equivalent on stored state and device counters) and raced against
+    /// in the `io_queue_depth` harness.
+    fn flush_table_barrier(&mut self, t: usize, depth: usize) -> Result<FlushOutcome> {
+        let mut latency = SimDuration::ZERO;
+        let mut evictions = 0usize;
+
+        // Make room in the incarnation table if needed, applying the
+        // configured eviction policy. Beyond `k` cascades fall back to full
+        // discard to guarantee termination (§7.4).
+        let mut retained: Vec<Entry> = Vec::new();
+        if self.tables[t].num_incarnations() >= self.tables[t].max_incarnations() {
+            let policy = if depth >= self.tables[t].max_incarnations() {
+                EvictionPolicy::Fifo
+            } else {
+                self.config.eviction
+            };
+            let (evict_lat, kept) = self.evict_oldest_barrier(t, &policy)?;
+            latency += evict_lat;
+            retained = kept;
+            evictions += 1;
+        }
+
+        // Write the buffer out as a new incarnation.
+        let entries = self.tables[t].drain_buffer();
+        if !entries.is_empty() {
+            let keys: Vec<Key> = entries.iter().map(|e| e.key).collect();
+            let layout = self.tables[t].layout();
+            let image = layout.serialize(&entries)?;
+            self.seq += 1;
+            let seq = self.seq;
+            let alloc = self.allocator.allocate(t, seq)?;
+            // Force-evict incarnations whose slots this write reclaims.
+            for owner in &alloc.displaced {
+                let dropped = self.tables[owner.table].force_evict_up_to(owner.seq);
+                for meta in dropped {
+                    self.allocator.release(meta.flash_offset);
+                    self.stats.forced_evictions += 1;
+                }
+            }
+            if self.coalesce_writes && alloc.blocks_to_erase.is_empty() {
+                // Batched path (SSD global log): defer the write so runs of
+                // contiguous slots flushed by the same batch become one
+                // sequential device write. Drained before any flash read
+                // and at the end of the batch.
+                self.pending_writes.push((alloc.offset, image));
+            } else {
+                // Erases must not be reordered with already-deferred
+                // writes, so drain first. The erases and the incarnation
+                // write then go to the device as one in-order submission
+                // (devices apply request effects in submission order, so
+                // erase-before-program is preserved).
+                latency += self.drain_pending_writes_barrier()?;
+                let mut requests: Vec<IoRequest> =
+                    alloc.blocks_to_erase.iter().map(|&block| IoRequest::Erase { block }).collect();
+                requests.push(IoRequest::write(alloc.offset, image));
+                latency += self.submit_checked(&mut requests)?.0;
+            }
+            self.tables[t].register_incarnation(
+                IncarnationMeta { flash_offset: alloc.offset, entries: entries.len(), seq },
+                &keys,
+            );
+            self.tables[t].prune_delete_list();
+            self.stats.flushes += 1;
+        }
+
+        // Re-insert retained entries; this can refill the buffer and cascade
+        // into another flush (§7.4).
+        for e in retained {
+            self.stats.reinsertions += 1;
+            loop {
+                match self.tables[t].buffer_insert(e.key, e.value) {
+                    BufferInsert::Stored(_) => break,
+                    BufferInsert::Full => {
+                        let inner = self.flush_table_barrier(t, depth + 1)?;
+                        latency += inner.latency;
+                        evictions += inner.evictions;
+                    }
+                }
+            }
+        }
+
+        Ok(FlushOutcome { latency, evictions })
+    }
+
+    /// Evicts the oldest incarnation of table `t` under `policy` through
+    /// the call's shared completion ring, returning the latency charged to
+    /// the eviction and any entries to retain (re-insert).
     fn evict_oldest(
+        &mut self,
+        t: usize,
+        policy: &EvictionPolicy,
+    ) -> Result<(SimDuration, Vec<Entry>)> {
+        let Some(oldest) = self.tables[t].oldest_incarnation() else {
+            return Ok((SimDuration::ZERO, Vec::new()));
+        };
+        let mut latency = SimDuration::ZERO;
+        let mut retained = Vec::new();
+
+        if policy.uses_partial_discard() {
+            // The incarnation image may still sit in the deferred run or in
+            // flight on the ring, so admit the run first: the scan read is
+            // admitted *after* it, and admission order is data-effect
+            // order, so the read observes the written bytes while the
+            // read-after-write conflict floor keeps its start time honest.
+            // The reclaiming TRIM is admitted behind the read for the same
+            // reason (write-write floor against the read's range).
+            self.admit_pending_writes()?;
+            let layout = self.tables[t].layout();
+            let tickets = self.ring_admit(vec![
+                RingRequest::new(IoRequest::read(oldest.flash_offset, layout.total_bytes())),
+                RingRequest::new(IoRequest::Trim {
+                    offset: oldest.flash_offset,
+                    len: layout.total_bytes() as u64,
+                }),
+            ])?;
+            let read_ticket = tickets[0];
+            // The retain scan needs the page bytes back, so this is a sync
+            // point: everything in flight — including unrelated flush
+            // writes, which overlap the read on the ring's lanes — is
+            // reaped, and the ring's makespan growth is charged to the
+            // eviction.
+            let (sync_lat, completions) = self.sync_ring()?;
+            latency += sync_lat;
+            let image = completions
+                .into_iter()
+                .find(|c| c.ticket == read_ticket)
+                .and_then(|c| c.result.ok())
+                .expect("read completion checked");
+            // Deciding staleness also probes the in-memory filters.
+            latency += self.mem_words_cost(oldest.entries * 2);
+            let entries = parse_incarnation(&image, &layout)
+                .map_err(|e| annotate_offset(e, oldest.flash_offset))?;
+            for e in entries {
+                if self.tables[t].retain_decision(&e, policy) == RetainDecision::Retain {
+                    retained.push(e);
+                }
+            }
+        } else {
+            // Full discard reclaims the slot with a TRIM admitted to the
+            // ring; it is floored behind any in-flight write of the same
+            // range, and its (zero or small) device time lands in the next
+            // sync's makespan delta.
+            let total = self.tables[t].layout().total_bytes() as u64;
+            self.ring_admit(vec![RingRequest::new(IoRequest::Trim {
+                offset: oldest.flash_offset,
+                len: total,
+            })])?;
+        }
+
+        self.tables[t].drop_oldest_incarnation();
+        self.tables[t].prune_delete_list();
+        self.allocator.release(oldest.flash_offset);
+        Ok((latency, retained))
+    }
+
+    /// The blocking barrier reference implementation of
+    /// [`evict_oldest`]: drains deferred writes, then scans and trims via
+    /// blocking submissions. Used by [`flush_table_barrier`].
+    fn evict_oldest_barrier(
         &mut self,
         t: usize,
         policy: &EvictionPolicy,
@@ -1156,7 +1422,7 @@ impl<D: Device> Clam<D> {
             // submission (in-order, so the read sees the live bytes). The
             // incarnation may still sit in the batch's deferred-write queue,
             // so make the device current before submitting.
-            latency += self.drain_pending_writes()?;
+            latency += self.drain_pending_writes_barrier()?;
             let layout = self.tables[t].layout();
             let mut requests = vec![
                 IoRequest::read(oldest.flash_offset, layout.total_bytes()),
@@ -1190,14 +1456,71 @@ impl<D: Device> Clam<D> {
         Ok((latency, retained))
     }
 
-    /// Writes out every deferred incarnation image, merging runs of
-    /// contiguous offsets into single sequential device writes and handing
-    /// the merged runs to the device as **one submission**, so a device
-    /// with an overlapped queue (SSD lanes, the file backend's worker
-    /// pool) retires independent runs concurrently. Returns the simulated
-    /// latency of the drained writes — the batch's elapsed (max-over-lanes)
-    /// time, not the per-run sum.
-    fn drain_pending_writes(&mut self) -> Result<SimDuration> {
+    /// Queues one incarnation write for coalescing. On the ring path the
+    /// deferred set holds a single contiguous run: a write extending the
+    /// run merges into it (one device command for the whole run), while a
+    /// non-contiguous write **admits the finished run to the ring first**,
+    /// so deferred flush traffic streams out as it forms instead of
+    /// pooling until the batch ends. The barrier path pools everything and
+    /// lets [`drain_pending_writes_barrier`](Self::drain_pending_writes_barrier)
+    /// sort and merge at drain time; the two produce identical runs for
+    /// the global log, whose slots are handed out in flush order.
+    fn push_coalesced_write(&mut self, offset: u64, image: Vec<u8>) -> Result<()> {
+        if self.barrier_writes {
+            self.pending_writes.push((offset, image));
+            return Ok(());
+        }
+        match self.pending_writes.last_mut() {
+            Some((run_offset, run_image)) if offset == *run_offset + run_image.len() as u64 => {
+                run_image.extend_from_slice(&image);
+                self.stats.coalesced_flush_writes += 1;
+            }
+            _ => {
+                self.admit_pending_writes()?;
+                self.pending_writes.push((offset, image));
+            }
+        }
+        Ok(())
+    }
+
+    /// Admits the deferred coalesced run (if any) to the call's shared
+    /// ring without waiting. Ring path only — the barrier path drains with
+    /// a blocking submission instead.
+    fn admit_pending_writes(&mut self) -> Result<()> {
+        if self.pending_writes.is_empty() {
+            return Ok(());
+        }
+        let runs = std::mem::take(&mut self.pending_writes);
+        let requests: Vec<RingRequest> = runs
+            .into_iter()
+            .map(|(offset, image)| RingRequest::new(IoRequest::write(offset, image)))
+            .collect();
+        self.ring_admit(requests)?;
+        Ok(())
+    }
+
+    /// Flushes the write side of the current call: admits any deferred run
+    /// and closes the shared ring, returning the device time charged to
+    /// the caller (the ring's makespan growth since the last sync; on the
+    /// barrier path, the blocking drain's batch latency).
+    fn drain_write_ring(&mut self) -> Result<SimDuration> {
+        if self.barrier_writes {
+            return self.drain_pending_writes_barrier();
+        }
+        let admitted = self.admit_pending_writes();
+        let finished = self.finish_ring();
+        admitted?;
+        finished
+    }
+
+    /// Barrier reference drain: writes out every deferred incarnation
+    /// image, merging runs of contiguous offsets into single sequential
+    /// device writes and handing the merged runs to the device as **one
+    /// blocking submission**, so a device with an overlapped queue (SSD
+    /// lanes, the file backend's worker pool) retires independent runs
+    /// concurrently. Returns the simulated latency of the drained writes —
+    /// the batch's elapsed (max-over-lanes) time, not the per-run sum.
+    fn drain_pending_writes_barrier(&mut self) -> Result<SimDuration> {
         if self.pending_writes.is_empty() {
             return Ok(SimDuration::ZERO);
         }
@@ -1239,6 +1562,100 @@ impl<D: Device> Clam<D> {
             return Err(err.clone().into());
         }
         Ok((latency, completions))
+    }
+
+    // ------------------------------------------------------------------
+    // The call's shared completion ring
+    // ------------------------------------------------------------------
+
+    /// Lazily opens the current top-level call's shared ring, sized to the
+    /// device's queue (one lane on serial devices, `max_queue_depth` lanes
+    /// on overlapped ones).
+    fn ensure_ring(&mut self) {
+        if self.ring.is_none() {
+            self.ring = Some(CompletionRing::for_queue(self.device.queue()));
+        }
+    }
+
+    /// Admits write-path requests into the call's shared ring without
+    /// waiting ([`Device::submit_nowait`](flashsim::Device::submit_nowait)),
+    /// opening the ring if this is the call's first admission.
+    fn ring_admit(&mut self, requests: Vec<RingRequest>) -> Result<Vec<IoTicket>> {
+        for r in &requests {
+            if matches!(r.request, IoRequest::Read { .. }) {
+                self.ring_read = true;
+            } else {
+                self.ring_wrote = true;
+            }
+        }
+        self.ensure_ring();
+        let mut ring = self.ring.take().expect("ring just ensured");
+        let tickets = self.device.submit_nowait(requests, &mut ring);
+        self.ring = Some(ring);
+        Ok(tickets?)
+    }
+
+    /// Reaps every in-flight request of the shared ring, records the
+    /// write-ring ledger (reaps and stalls beyond the lookup pipeline's
+    /// marks belong to the flush/eviction side), and returns the
+    /// completions in ticket order together with the ring's **makespan
+    /// growth** since the last charge, propagating the first per-request
+    /// failure. The ring stays open: later admissions land on the same
+    /// device timeline, which is what lets flush traffic overlap the tail
+    /// of earlier probe or write traffic instead of restarting the clock.
+    fn sync_ring(&mut self) -> Result<(SimDuration, Vec<RingCompletion>)> {
+        let Some(mut ring) = self.ring.take() else {
+            return Ok((SimDuration::ZERO, Vec::new()));
+        };
+        let mut completions: Vec<RingCompletion> = Vec::new();
+        let mut failure: Option<BufferHashError> = None;
+        while ring.in_flight() > 0 {
+            match self.device.reap(&mut ring, 1) {
+                Ok(reaped) => completions.extend(reaped),
+                Err(e) => {
+                    failure = Some(e.into());
+                    break;
+                }
+            }
+        }
+        let (reaps_seen, stalls_seen) = self.ring_read_marks;
+        self.stats.flush_ring_reaps += ring.reaps() - reaps_seen;
+        self.stats.write_ring_admission_stalls += ring.admission_stalls() - stalls_seen;
+        self.ring_read_marks = (ring.reaps(), ring.admission_stalls());
+        if self.ring_wrote && self.ring_read {
+            // The ring carried reads *and* writes this call: record how
+            // deep the mixed stream stacked the lanes.
+            self.stats.mixed_ring_depth_high_water =
+                self.stats.mixed_ring_depth_high_water.max(ring.depth_high_water() as u64);
+        }
+        let makespan = ring.makespan();
+        let charged = makespan - self.ring_horizon;
+        self.ring_horizon = makespan;
+        self.ring = Some(ring);
+        if let Some(e) = failure {
+            return Err(e);
+        }
+        completions.sort_by_key(|c| c.ticket);
+        if let Some(err) = completions.iter().find_map(|c| c.result.as_ref().err()) {
+            return Err(err.clone().into());
+        }
+        Ok((charged, completions))
+    }
+
+    /// Closes the call's shared ring: syncs it, resets the per-call ring
+    /// state, and returns the final makespan growth. A no-op returning
+    /// zero when no ring was opened.
+    fn finish_ring(&mut self) -> Result<SimDuration> {
+        if self.ring.is_none() {
+            return Ok(SimDuration::ZERO);
+        }
+        let synced = self.sync_ring();
+        self.ring = None;
+        self.ring_horizon = SimDuration::ZERO;
+        self.ring_read_marks = (0, 0);
+        self.ring_wrote = false;
+        self.ring_read = false;
+        synced.map(|(charged, _)| charged)
     }
 }
 
@@ -1958,5 +2375,102 @@ mod tests {
         let again = clam.lookup(key(0)).unwrap();
         assert_eq!(again.value, Some(0));
         assert_eq!(again.source, LookupSource::Buffer);
+    }
+
+    #[test]
+    fn flush_writes_ride_the_ring_and_fill_the_write_ledger() {
+        let cfg = ClamConfig::small_test(4 << 20, 1 << 20).unwrap();
+        let mut clam = Clam::new(Ssd::intel(4 << 20).unwrap(), cfg).unwrap();
+        let ops: Vec<(u64, u64)> = (0..40_000u64).map(|i| (key(i), i)).collect();
+        for chunk in ops.chunks(512) {
+            clam.insert_batch(chunk).unwrap();
+        }
+        clam.flush_all().unwrap();
+        let stats = clam.stats();
+        assert!(stats.flushes > 0);
+        assert!(
+            stats.flush_ring_reaps > 0,
+            "ring-driven flushes must reap their writes off the ring: {stats}"
+        );
+        // Every ring reap of this write-only workload is on the flush
+        // ledger, and they all reached the device's submission queue.
+        let io = clam.device().stats();
+        assert_eq!(io.requests_reaped, stats.flush_ring_reaps + stats.lookup_ring_reaps);
+        assert!(io.ring_depth_high_water >= 1);
+        // The ledger renders in the Display summary.
+        assert!(stats.to_string().contains("write ring:"), "{stats}");
+        // No mixed traffic here: inserts never put a read on the ring
+        // (SSD evictions trim, they do not read back).
+        assert_eq!(stats.mixed_ring_depth_high_water, 0, "{stats}");
+    }
+
+    #[test]
+    fn lru_reinsert_flushes_share_the_lookup_ring() {
+        let mut cfg = ClamConfig::small_test(4 << 20, 1 << 20).unwrap();
+        cfg.eviction = EvictionPolicy::Lru;
+        let mut clam = Clam::new(Ssd::intel(4 << 20).unwrap(), cfg).unwrap();
+        for i in 0..40_000u64 {
+            clam.insert(key(i), i).unwrap();
+        }
+        let flushes_before = clam.stats().flushes;
+        // Flash-hit lookups re-insert, the full buffers flush, and those
+        // flush writes are admitted into the *same* ring the probe reads
+        // ran on — one mixed read/write stream per batch.
+        let keys: Vec<Key> = (0..2_000u64).map(key).collect();
+        for chunk in keys.chunks(256) {
+            clam.lookup_batch(chunk).unwrap();
+        }
+        let stats = clam.stats();
+        assert!(stats.flushes > flushes_before, "re-insertion must have flushed");
+        assert!(stats.lookup_ring_reaps > 0, "probes reaped on the ring: {stats}");
+        assert!(stats.flush_ring_reaps > 0, "re-insert flush writes reaped on the ring: {stats}");
+        assert!(
+            stats.mixed_ring_depth_high_water > 0,
+            "reads and writes shared a ring, so the mixed high-water must register: {stats}"
+        );
+    }
+
+    #[test]
+    fn barrier_write_path_stays_observationally_equivalent_per_op() {
+        // Same per-op workload (inserts with eviction churn, deletes,
+        // lookups) on the default ring path and the barrier reference:
+        // stored state and flash traffic must match exactly. The
+        // cross-backend batched version lives in the property suite.
+        let run = |barrier: bool| {
+            let mut cfg = ClamConfig::small_test(4 << 20, 1 << 20).unwrap();
+            cfg.eviction = EvictionPolicy::UpdateBased;
+            let mut clam = Clam::new(Ssd::intel(4 << 20).unwrap(), cfg).unwrap();
+            clam.set_barrier_writes(barrier);
+            for i in 0..30_000u64 {
+                clam.insert(key(i), i).unwrap();
+                if i % 7 == 0 {
+                    clam.delete(key(i / 2)).unwrap();
+                }
+                if i % 11 == 0 {
+                    clam.update(key(i / 3), i).unwrap();
+                }
+            }
+            clam.flush_all().unwrap();
+            let values: Vec<_> =
+                (0..30_000u64).step_by(97).map(|i| clam.lookup(key(i)).unwrap().value).collect();
+            let stats = clam.stats();
+            let io = clam.device().stats();
+            (
+                values,
+                stats.flushes,
+                stats.forced_evictions,
+                stats.reinsertions,
+                (io.writes, io.bytes_written, io.trims, io.erases),
+            )
+        };
+        let ring = run(false);
+        let barrier = run(true);
+        assert_eq!(ring.0, barrier.0, "looked-up values diverge");
+        assert_eq!(
+            (ring.1, ring.2, ring.3),
+            (barrier.1, barrier.2, barrier.3),
+            "flush/eviction stats diverge"
+        );
+        assert_eq!(ring.4, barrier.4, "device write/trim/erase traffic diverges");
     }
 }

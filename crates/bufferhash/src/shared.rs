@@ -125,6 +125,12 @@ impl<D: Device> SharedClam<D> {
         self.inner.lock().stats().clone()
     }
 
+    /// Switches the write path between the ring-driven default and the
+    /// blocking barrier reference (see [`Clam::set_barrier_writes`]).
+    pub fn set_barrier_writes(&self, barrier: bool) {
+        self.inner.lock().set_barrier_writes(barrier);
+    }
+
     /// Runs `f` with exclusive access to the underlying CLAM (e.g. for
     /// `flush_all` or configuration inspection).
     pub fn with<R>(&self, f: impl FnOnce(&mut Clam<D>) -> R) -> R {
@@ -364,6 +370,15 @@ impl<D: Device> StripedClam<D> {
     pub fn stripe(&self, i: usize) -> Option<SharedClam<D>> {
         self.stripes.get(i).cloned()
     }
+
+    /// Switches every stripe's write path between the ring-driven default
+    /// and the blocking barrier reference (see
+    /// [`Clam::set_barrier_writes`]).
+    pub fn set_barrier_writes(&self, barrier: bool) {
+        for stripe in &self.stripes {
+            stripe.set_barrier_writes(barrier);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -579,6 +594,19 @@ mod tests {
         assert!(device_stats.requests_reaped > 0, "ring probes must flow through the device");
         let stats = striped.stats();
         assert!(stats.lookup_ring_reaps >= device_stats.requests_reaped / 2);
+        // The write path rode the same ring: every stripe's flush traffic
+        // was admitted through the shared device's submission queue, not
+        // through blocking submits.
+        assert!(stats.flushes > 0, "the workload must have flushed");
+        assert!(
+            stats.flush_ring_reaps > 0,
+            "flush writes must be reaped off the shared ring: {stats}"
+        );
+        assert_eq!(
+            device_stats.requests_reaped,
+            stats.lookup_ring_reaps + stats.flush_ring_reaps,
+            "every reap on the shared device belongs to one of the two ledgers"
+        );
     }
 
     #[test]

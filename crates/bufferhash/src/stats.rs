@@ -85,6 +85,20 @@ pub struct ClamStats {
     /// for pure probe traffic; it counts contention against interleaved
     /// writes.
     pub lookup_ring_admission_stalls: u64,
+    /// Completions the ring-driven write path (flush, eviction, drain)
+    /// collected through `Device::reap` — the flush-side counterpart of
+    /// `lookup_ring_reaps`. Zero when only the barrier write path ran.
+    pub flush_ring_reaps: u64,
+    /// Write-side ring admissions whose start was delayed by a
+    /// write-write or read-after-write conflict floor beyond lane
+    /// availability — ordering the ring had to *enforce* rather than
+    /// discover.
+    pub write_ring_admission_stalls: u64,
+    /// In-flight depth high-water mark over rings that carried **both**
+    /// read and write traffic in one call (probe reads overlapping flush
+    /// writes). Merged with `max`; zero when reads and writes never shared
+    /// a ring.
+    pub mixed_ring_depth_high_water: u64,
 }
 
 /// Maximum histogram index tracked explicitly; larger values accumulate in
@@ -173,6 +187,10 @@ impl ClamStats {
         self.lookup_ring_depth_high_water =
             self.lookup_ring_depth_high_water.max(other.lookup_ring_depth_high_water);
         self.lookup_ring_admission_stalls += other.lookup_ring_admission_stalls;
+        self.flush_ring_reaps += other.flush_ring_reaps;
+        self.write_ring_admission_stalls += other.write_ring_admission_stalls;
+        self.mixed_ring_depth_high_water =
+            self.mixed_ring_depth_high_water.max(other.mixed_ring_depth_high_water);
     }
 
     /// Fraction of queued lookup probes that overlapped another probe of
@@ -235,6 +253,15 @@ impl fmt::Display for ClamStats {
                 self.lookup_ring_reaps,
                 self.lookup_ring_depth_high_water,
                 self.lookup_ring_admission_stalls
+            )?;
+        }
+        if self.flush_ring_reaps > 0 || self.mixed_ring_depth_high_water > 0 {
+            write!(
+                f,
+                " | write ring: {} reaps, {} stalls, mixed depth hwm {}",
+                self.flush_ring_reaps,
+                self.write_ring_admission_stalls,
+                self.mixed_ring_depth_high_water
             )?;
         }
         Ok(())
@@ -368,6 +395,35 @@ mod tests {
         quiet.lookup_batches_submitted = 1;
         quiet.lookup_probe_waves = 3;
         assert!(!quiet.to_string().contains("ring:"));
+    }
+
+    #[test]
+    fn write_ring_counters_merge_and_display() {
+        let mut a = ClamStats::new();
+        a.flush_ring_reaps = 7;
+        a.write_ring_admission_stalls = 3;
+        a.mixed_ring_depth_high_water = 12;
+        let mut b = ClamStats::new();
+        b.flush_ring_reaps = 5;
+        b.write_ring_admission_stalls = 1;
+        b.mixed_ring_depth_high_water = 9;
+        a.merge(&b);
+        assert_eq!(a.flush_ring_reaps, 12, "write-side reaps sum");
+        assert_eq!(a.write_ring_admission_stalls, 4, "stalls sum");
+        assert_eq!(a.mixed_ring_depth_high_water, 12, "mixed high-water merges with max");
+        let text = a.to_string();
+        assert!(text.contains("write ring: 12 reaps, 4 stalls, mixed depth hwm 12"), "{text}");
+        // Barrier-only runs (and zero-depth profiles, where the write path
+        // never touches a ring) elide the segment without panicking.
+        let mut quiet = ClamStats::new();
+        quiet.flushes = 2;
+        let quiet_text = quiet.to_string();
+        assert!(!quiet_text.contains("write ring:"), "{quiet_text}");
+        // A pure-write ring never mixes: the segment still renders off the
+        // reap count alone.
+        let mut pure = ClamStats::new();
+        pure.flush_ring_reaps = 2;
+        assert!(pure.to_string().contains("write ring: 2 reaps, 0 stalls, mixed depth hwm 0"));
     }
 
     #[test]

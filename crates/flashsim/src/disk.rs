@@ -7,11 +7,13 @@
 //! behaviour that makes on-disk hash indexes (Berkeley-DB) slow for random
 //! key workloads and BufferHash-on-disk competitive only for inserts.
 
-use crate::device::Device;
+use crate::device::{ring_execute, Device};
 use crate::error::{DeviceError, Result};
 use crate::geometry::Geometry;
 use crate::profiles::DeviceProfile;
-use crate::queue::{IoCompletion, IoRequest};
+use crate::queue::{
+    CompletionRing, IoCompletion, IoRequest, IoTicket, RingCompletion, RingRequest,
+};
 use crate::stats::IoStats;
 use crate::store::SparseStore;
 use crate::time::SimDuration;
@@ -201,6 +203,32 @@ impl Device for MagneticDisk {
             }
         }
         Ok(completions)
+    }
+
+    /// Ring admission through the per-op path: the elevator only reorders
+    /// within a blocking submission window, so a ring stream is serviced in
+    /// admission order; the override exists to keep the device's ring
+    /// ledger (submissions, reaps, depth high-water, admission stalls)
+    /// recorded like on every other backend.
+    fn submit_nowait(
+        &mut self,
+        requests: Vec<RingRequest>,
+        ring: &mut CompletionRing,
+    ) -> Result<Vec<IoTicket>> {
+        self.stats.requests_submitted += requests.len() as u64;
+        let stalls_before = ring.admission_stalls();
+        let tickets = ring_execute(self, requests, ring)?;
+        self.stats.ring_depth_high_water =
+            self.stats.ring_depth_high_water.max(ring.depth_high_water() as u64);
+        self.stats.ring_admission_stalls += ring.admission_stalls() - stalls_before;
+        Ok(tickets)
+    }
+
+    fn reap(&mut self, ring: &mut CompletionRing, _min: usize) -> Result<Vec<RingCompletion>> {
+        let out = ring.reap(usize::MAX);
+        self.stats.requests_reaped += out.len() as u64;
+        self.stats.requests_overlapped += out.iter().filter(|c| c.lane != 0).count() as u64;
+        Ok(out)
     }
 
     fn stats(&self) -> IoStats {

@@ -114,9 +114,11 @@ impl Device for DramDevice {
         ring: &mut CompletionRing,
     ) -> Result<Vec<IoTicket>> {
         self.stats.requests_submitted += requests.len() as u64;
+        let stalls_before = ring.admission_stalls();
         let tickets = ring_execute(self, requests, ring)?;
         self.stats.ring_depth_high_water =
             self.stats.ring_depth_high_water.max(ring.depth_high_water() as u64);
+        self.stats.ring_admission_stalls += ring.admission_stalls() - stalls_before;
         Ok(tickets)
     }
 

@@ -657,6 +657,7 @@ impl Device for FileDevice {
         ring: &mut CompletionRing,
     ) -> Result<Vec<IoTicket>> {
         self.stats.requests_submitted += requests.len() as u64;
+        let stalls_before = ring.admission_stalls();
         // Inline execution is only safe while nothing is in flight on the
         // pool (results would otherwise race admission order on
         // conflicting ranges).
@@ -717,6 +718,7 @@ impl Device for FileDevice {
             }
             self.stats.ring_depth_high_water =
                 self.stats.ring_depth_high_water.max(ring.depth_high_water() as u64);
+            self.stats.ring_admission_stalls += ring.admission_stalls() - stalls_before;
             return Ok(tickets);
         }
         let mut tickets = Vec::with_capacity(requests.len());
@@ -794,6 +796,7 @@ impl Device for FileDevice {
         }
         self.stats.ring_depth_high_water =
             self.stats.ring_depth_high_water.max(ring.depth_high_water() as u64);
+        self.stats.ring_admission_stalls += ring.admission_stalls() - stalls_before;
         Ok(tickets)
     }
 
@@ -803,6 +806,7 @@ impl Device for FileDevice {
     /// parked for their own reap — as they arrive.
     fn reap(&mut self, ring: &mut CompletionRing, min: usize) -> Result<Vec<RingCompletion>> {
         let min = min.max(1);
+        let stalls_before = ring.admission_stalls();
         loop {
             // Results of this ring processed during another ring's reap.
             if let Some(parked) = self.parked.remove(&ring.epoch()) {
@@ -835,6 +839,11 @@ impl Device for FileDevice {
         let out = ring.reap(usize::MAX);
         self.stats.requests_reaped += out.len() as u64;
         self.stats.requests_overlapped += out.iter().filter(|c| c.lane != 0).count() as u64;
+        // Stalls surface at finish time, which for pooled execution happens
+        // here (and in `process_done` during another ring's reap, whose
+        // results are parked and finished above), so the delta is taken
+        // across the whole reap.
+        self.stats.ring_admission_stalls += ring.admission_stalls() - stalls_before;
         Ok(out)
     }
 

@@ -9,11 +9,13 @@
 //! BufferHash's "one partition per super table, written circularly" layout
 //! (§5.2) is designed directly against this interface.
 
-use crate::device::{execute_requests, Device};
+use crate::device::{execute_requests, ring_execute, Device};
 use crate::error::{DeviceError, Result};
 use crate::geometry::Geometry;
 use crate::profiles::DeviceProfile;
-use crate::queue::{IoCompletion, IoRequest, LaneScheduler};
+use crate::queue::{
+    CompletionRing, IoCompletion, IoRequest, IoTicket, LaneScheduler, RingCompletion, RingRequest,
+};
 use crate::stats::IoStats;
 use crate::store::SparseStore;
 use crate::time::SimDuration;
@@ -159,6 +161,31 @@ impl Device for FlashChip {
         self.stats.requests_submitted += requests.len() as u64;
         let mut lanes = LaneScheduler::new(self.profile.queue.effective_lanes(requests.len()));
         Ok(execute_requests(self, requests, &mut lanes))
+    }
+
+    /// Ring admission on the single plane: a serial chip gives the ring one
+    /// lane, so admissions never overlap in time and erase-before-program
+    /// is preserved by admission order; the override keeps the chip's ring
+    /// ledger recorded like on every other backend.
+    fn submit_nowait(
+        &mut self,
+        requests: Vec<RingRequest>,
+        ring: &mut CompletionRing,
+    ) -> Result<Vec<IoTicket>> {
+        self.stats.requests_submitted += requests.len() as u64;
+        let stalls_before = ring.admission_stalls();
+        let tickets = ring_execute(self, requests, ring)?;
+        self.stats.ring_depth_high_water =
+            self.stats.ring_depth_high_water.max(ring.depth_high_water() as u64);
+        self.stats.ring_admission_stalls += ring.admission_stalls() - stalls_before;
+        Ok(tickets)
+    }
+
+    fn reap(&mut self, ring: &mut CompletionRing, _min: usize) -> Result<Vec<RingCompletion>> {
+        let out = ring.reap(usize::MAX);
+        self.stats.requests_reaped += out.len() as u64;
+        self.stats.requests_overlapped += out.iter().filter(|c| c.lane != 0).count() as u64;
+        Ok(out)
     }
 
     fn stats(&self) -> IoStats {

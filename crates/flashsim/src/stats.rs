@@ -50,6 +50,11 @@ pub struct IoStats {
     /// registered with this device has reached. Merged with `max`, not
     /// summed: it is a high-water mark, not a count.
     pub ring_depth_high_water: u64,
+    /// Ring admissions whose start was delayed by a conflicting in-flight
+    /// range beyond lane availability (write-write and read-after-write
+    /// floors; read-read overlap never stalls). Native ring
+    /// implementations only, like the other ring counters.
+    pub ring_admission_stalls: u64,
     /// Simulated time spent in reads.
     pub read_time: SimDuration,
     /// Simulated time spent in writes (including any GC charged to them).
@@ -94,6 +99,7 @@ impl IoStats {
         self.requests_overlapped += other.requests_overlapped;
         self.requests_reaped += other.requests_reaped;
         self.ring_depth_high_water = self.ring_depth_high_water.max(other.ring_depth_high_water);
+        self.ring_admission_stalls += other.ring_admission_stalls;
         self.read_time += other.read_time;
         self.write_time += other.write_time;
         self.erase_time += other.erase_time;
@@ -135,8 +141,8 @@ impl fmt::Display for IoStats {
         if self.requests_reaped > 0 || self.ring_depth_high_water > 0 {
             write!(
                 f,
-                " | ring: {} reaped, depth hwm {}",
-                self.requests_reaped, self.ring_depth_high_water
+                " | ring: {} reaped, depth hwm {}, {} stalls",
+                self.requests_reaped, self.ring_depth_high_water, self.ring_admission_stalls
             )?;
         }
         Ok(())
@@ -320,13 +326,24 @@ mod tests {
 
     #[test]
     fn ring_counters_merge_and_display() {
-        let mut a = IoStats { requests_reaped: 5, ring_depth_high_water: 12, ..Default::default() };
-        let b = IoStats { requests_reaped: 3, ring_depth_high_water: 7, ..Default::default() };
+        let mut a = IoStats {
+            requests_reaped: 5,
+            ring_depth_high_water: 12,
+            ring_admission_stalls: 2,
+            ..Default::default()
+        };
+        let b = IoStats {
+            requests_reaped: 3,
+            ring_depth_high_water: 7,
+            ring_admission_stalls: 1,
+            ..Default::default()
+        };
         a.merge(&b);
         assert_eq!(a.requests_reaped, 8, "reaps sum");
         assert_eq!(a.ring_depth_high_water, 12, "high-water merges with max");
+        assert_eq!(a.ring_admission_stalls, 3, "stalls sum");
         let text = a.to_string();
-        assert!(text.contains("ring: 8 reaped, depth hwm 12"), "{text}");
+        assert!(text.contains("ring: 8 reaped, depth hwm 12, 3 stalls"), "{text}");
         // The ring segment is elided for devices that never served a ring.
         assert!(!IoStats::default().to_string().contains("ring:"));
     }

@@ -402,6 +402,184 @@ proptest! {
     }
 }
 
+/// A CLAM sized for *eviction churn*: 4 KiB buffers over a 32 KiB global
+/// log give 4 incarnations per super table and an 8-slot log, so a couple
+/// of thousand ops drive ordinary evictions, log wrap and forced
+/// (displacement) evictions — the paths where the ring-driven and barrier
+/// write paths could plausibly diverge.
+///
+/// `scale` multiplies every byte dimension (slot, buffer, log, entry)
+/// uniformly, so the churn dynamics — entries per buffer, flush cadence,
+/// wrap cadence — are identical at any scale. The raw `FlashChip` backend
+/// needs `scale = 32`: its 128 KiB erase block must not straddle log
+/// slots, or wrap-time erases would destroy live neighbouring
+/// incarnations (so 4 KiB slots cannot wrap on raw flash at all).
+fn tiny_churn_clam_on<D: Device>(
+    device: D,
+    eviction: EvictionPolicy,
+    util: f64,
+    scale: u64,
+) -> Clam<D> {
+    let config = ClamConfig {
+        flash_capacity: (32 << 10) * scale,
+        dram_bytes: 1 << 20,
+        buffer_bytes_total: 8 * 1024 * scale,
+        buffer_bytes_per_table: 4 * 1024 * scale,
+        entry_size: (16 * scale) as usize,
+        max_buffer_utilization: util,
+        eviction,
+        filter_mode: FilterMode::BitSliced,
+        layout: FlashLayoutMode::GlobalLog,
+        enable_buffering: true,
+    };
+    config.validate().expect("valid churn config");
+    Clam::new(device, config).unwrap()
+}
+
+/// Runs the same churn workload (batched inserts with eviction cascades,
+/// deletes, batched lookups whose LRU re-insertions flush, a final
+/// `flush_all`) on two CLAMs — one on the default **ring-driven** write
+/// path, one on the blocking **barrier** reference — and checks they are
+/// observationally equivalent: identical per-key lookup outcomes (values,
+/// sources, flash-read counts), identical flush/eviction/re-insertion and
+/// hit/miss statistics, and identical flash traffic (write, trim, erase
+/// and read command counts and bytes). Only the charged latency may
+/// differ — overlapping the writes is the point of the ring.
+#[allow(clippy::too_many_arguments)]
+fn check_ring_writes_equivalent_to_barrier<D: Device>(
+    ring_device: D,
+    barrier_device: D,
+    eviction: EvictionPolicy,
+    util: f64,
+    ops: &[(u64, u64)],
+    deletes: &[u64],
+    queries: &[u64],
+    batch: usize,
+    scale: u64,
+) -> Result<(), proptest::test_runner::TestCaseError> {
+    let mut ring = tiny_churn_clam_on(ring_device, eviction, util, scale);
+    let mut barrier = tiny_churn_clam_on(barrier_device, eviction, util, scale);
+    barrier.set_barrier_writes(true);
+    let name = ring.device().name();
+
+    for chunk in ops.chunks(batch) {
+        ring.insert_batch(chunk).unwrap();
+        barrier.insert_batch(chunk).unwrap();
+    }
+    for &k in deletes {
+        ring.delete(k).unwrap();
+        barrier.delete(k).unwrap();
+    }
+    // Batched lookups: under LRU every flash hit re-inserts, and the
+    // re-insertion flushes ride each arm's write path (the read pipeline
+    // itself is identical on both arms).
+    let mut ring_out: Vec<LookupOutcome> = Vec::new();
+    let mut barrier_out: Vec<LookupOutcome> = Vec::new();
+    for chunk in queries.chunks(batch) {
+        ring_out.extend(ring.lookup_batch(chunk).unwrap());
+        barrier_out.extend(barrier.lookup_batch(chunk).unwrap());
+    }
+    ring.flush_all().unwrap();
+    barrier.flush_all().unwrap();
+    for (i, (r, b)) in ring_out.iter().zip(&barrier_out).enumerate() {
+        prop_assert!(r.value == b.value, "query value mismatch on {name} index {i}");
+        prop_assert!(r.source == b.source, "query source mismatch on {name} index {i}");
+        prop_assert!(r.flash_reads == b.flash_reads, "query read mismatch on {name} index {i}");
+    }
+    // Final stored state: every op key resolves identically (buffer and
+    // incarnation contents agree, including partial-discard survivors and
+    // delete shadows).
+    for (i, &(k, _)) in ops.iter().enumerate() {
+        let rv = ring.lookup(k).unwrap();
+        let bv = barrier.lookup(k).unwrap();
+        prop_assert!(rv.value == bv.value, "final value mismatch on {name} op index {i}");
+        prop_assert!(rv.source == bv.source, "final source mismatch on {name} op index {i}");
+        prop_assert!(
+            rv.flash_reads == bv.flash_reads,
+            "final read-count mismatch on {name} op index {i}"
+        );
+    }
+    let rs = ring.stats().clone();
+    let bs = barrier.stats().clone();
+    prop_assert_eq!(rs.flushes, bs.flushes);
+    prop_assert_eq!(rs.forced_evictions, bs.forced_evictions);
+    prop_assert_eq!(rs.reinsertions, bs.reinsertions);
+    prop_assert_eq!(rs.lookup_hits, bs.lookup_hits);
+    prop_assert_eq!(rs.lookup_misses, bs.lookup_misses);
+    prop_assert_eq!(rs.lookup_flash_reads, bs.lookup_flash_reads);
+    prop_assert_eq!(rs.coalesced_flush_writes, bs.coalesced_flush_writes);
+    // The ledgers prove which path ran: only the ring arm reaps writes.
+    prop_assert!(bs.flush_ring_reaps == 0, "barrier arm must not touch the write ring on {}", name);
+    prop_assert!(
+        rs.flushes == 0 || rs.flush_ring_reaps > 0,
+        "ring arm flushed without reaping on {}",
+        name
+    );
+    // Flash traffic agrees command-for-command and byte-for-byte.
+    let ri = ring.device().stats();
+    let bi = barrier.device().stats();
+    prop_assert!(ri.writes == bi.writes, "write count mismatch on {}", name);
+    prop_assert!(ri.bytes_written == bi.bytes_written, "written bytes mismatch on {}", name);
+    prop_assert!(ri.trims == bi.trims, "trim count mismatch on {}", name);
+    prop_assert!(ri.erases == bi.erases, "erase count mismatch on {}", name);
+    prop_assert!(ri.reads == bi.reads, "read count mismatch on {}", name);
+    prop_assert!(ri.bytes_read == bi.bytes_read, "read bytes mismatch on {}", name);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The ring-driven write path (flushes, partial-discard and
+    /// full-discard evictions, LRU re-insertion batches, `flush_all`) is
+    /// observationally equivalent to the blocking barrier reference on all
+    /// five device backends, under both a partial-discard policy
+    /// (update-based §7.4) and LRU (re-inserts on use), over op streams
+    /// with eviction churn, log wrap, deletes and arbitrary batch sizes.
+    #[test]
+    fn ring_driven_writes_equivalent_to_barrier_path(
+        raw_ops in vec((0u64..1_500, any::<u64>()), 600..2_400),
+        raw_deletes in vec(0u64..1_500, 0..60),
+        raw_queries in vec(0u64..3_000, 60..240),
+        batch in 1usize..96,
+    ) {
+        let fp = |k: u64| clam::bufferhash::hash_with_seed(k, 0x6a7c4);
+        let ops: Vec<(u64, u64)> = raw_ops.iter().map(|&(k, v)| (fp(k), v)).collect();
+        let deletes: Vec<u64> = raw_deletes.iter().map(|&k| fp(k)).collect();
+        let queries: Vec<u64> = raw_queries.iter().map(|&k| fp(k)).collect();
+
+        const CAP: u64 = 1 << 20;
+        for eviction in [EvictionPolicy::UpdateBased, EvictionPolicy::Lru] {
+            check_ring_writes_equivalent_to_barrier(
+                Ssd::intel(CAP).unwrap(), Ssd::intel(CAP).unwrap(),
+                eviction, 0.9, &ops, &deletes, &queries, batch, 1)?;
+            // Raw flash: scale the geometry so each 128 KiB log slot is
+            // exactly one erase block (smaller slots cannot wrap legally
+            // on a raw chip — erasing one would wipe its neighbours).
+            check_ring_writes_equivalent_to_barrier(
+                FlashChip::new(CAP).unwrap(), FlashChip::new(CAP).unwrap(),
+                eviction, 0.9, &ops, &deletes, &queries, batch, 32)?;
+            check_ring_writes_equivalent_to_barrier(
+                MagneticDisk::new(CAP).unwrap(), MagneticDisk::new(CAP).unwrap(),
+                eviction, 0.9, &ops, &deletes, &queries, batch, 1)?;
+            check_ring_writes_equivalent_to_barrier(
+                DramDevice::new(CAP).unwrap(), DramDevice::new(CAP).unwrap(),
+                eviction, 0.5, &ops, &deletes, &queries, batch, 1)?;
+            let dir = std::env::temp_dir();
+            let tag = format!("{:?}-{}", eviction, std::process::id());
+            let ring_path = dir.join(format!("clam-ring-write-prop-{tag}"));
+            let barrier_path = dir.join(format!("clam-barrier-write-prop-{tag}"));
+            let outcome = check_ring_writes_equivalent_to_barrier(
+                FileDevice::create(&ring_path, CAP).unwrap(),
+                FileDevice::create(&barrier_path, CAP).unwrap(),
+                eviction, 0.9, &ops, &deletes, &queries, batch, 1);
+            std::fs::remove_file(&ring_path).ok();
+            std::fs::remove_file(&barrier_path).ok();
+            outcome?;
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
