@@ -2,8 +2,8 @@
 //!
 //! Companion to ROADMAP's "async / io_uring-style device backend",
 //! "true parallel stripe dispatch", "drive lookups through the
-//! submission queue", "completion ring" and "ring-driven write path"
-//! items, in six parts:
+//! submission queue", "completion ring", "ring-driven write path" and
+//! "crash consistency" items, in seven parts:
 //!
 //! 1. **Real overlapped I/O** — flush-sized writes are submitted to a
 //!    [`flashsim::FileDevice`] at several queue depths. The device spreads
@@ -43,6 +43,12 @@
 //!    (`set_barrier_writes(true)` + `lookup_batch_waves`). Acceptance
 //!    bar: **>= 1.2x ring over barrier at depth 8** (identical outcomes
 //!    asserted).
+//! 7. **Recovery scan** — a power cut (with a torn trailing write) lands
+//!    at ~70% of an insert run, then `Clam::recover` ring-scans every log
+//!    slot of the surviving image. The reported `scan_makespan` must match
+//!    `FlashCostModel::recovery_scan_makespan` **exactly** at every queue
+//!    depth, and scan throughput must scale with depth (>= 2x at the
+//!    deepest queue vs depth 1).
 //!
 //! `--smoke` runs a reduced sweep for CI.
 
@@ -131,7 +137,7 @@ fn file_device_sweep(scale: &Scale) -> bool {
     let capacity = (scale.requests * scale.request_bytes) as u64;
     let path = std::env::temp_dir().join(format!("clam-io-queue-depth-{}", std::process::id()));
     println!(
-        "[1/6] FileDevice: {} flush writes x {} KiB per submission, best of {} trials",
+        "[1/7] FileDevice: {} flush writes x {} KiB per submission, best of {} trials",
         scale.requests,
         scale.request_bytes >> 10,
         scale.trials
@@ -213,7 +219,7 @@ fn file_device_sweep(scale: &Scale) -> bool {
 /// Part 2: simulated SSD sweep against the closed-form queue model.
 fn simulated_sweep(scale: &Scale) {
     const PAGES: usize = 64;
-    println!("[2/6] Simulated Intel-class SSD: {PAGES} page writes per submission vs model");
+    println!("[2/7] Simulated Intel-class SSD: {PAGES} page writes per submission vs model");
     let widths = [8, 16, 16, 10];
     print_header(&["depth", "measured (ms)", "model (ms)", "speedup"], &widths);
     let mut base = SimDuration::ZERO;
@@ -279,7 +285,7 @@ fn striped_dispatch(scale: &Scale) {
     }
     assert_eq!(parallel.stats().flushes, serial.stats().flushes, "outcomes must not change");
     println!(
-        "[3/6] StripedClam ({STRIPES} stripes, {} inserts): parallel dispatch {} \
+        "[3/7] StripedClam ({STRIPES} stripes, {} inserts): parallel dispatch {} \
          (max-over-stripes) vs serial {} (summed) -> {:.2}x",
         scale.striped_ops,
         ms(par_total),
@@ -335,7 +341,7 @@ fn queued_lookup_sweep(scale: &Scale) -> bool {
     const KEYS: usize = 64;
     const ROUNDS: usize = 4;
     println!(
-        "[4/6] Queued lookups: {KEYS} misses x {ROUNDS} probes each on the simulated SSD vs model"
+        "[4/7] Queued lookups: {KEYS} misses x {ROUNDS} probes each on the simulated SSD vs model"
     );
     let widths = [8, 16, 16, 10];
     print_header(&["depth", "measured (ms)", "model (ms)", "speedup"], &widths);
@@ -464,7 +470,7 @@ fn ring_vs_barrier_sweep(scale: &Scale) -> bool {
     const ROUNDS: usize = 16;
     let path = std::env::temp_dir().join(format!("clam-ring-barrier-{}", std::process::id()));
     println!(
-        "[5/6] Ring vs barrier on FileDevice: {} batches x {} absent keys probing {ROUNDS} \
+        "[5/7] Ring vs barrier on FileDevice: {} batches x {} absent keys probing {ROUNDS} \
          incarnations each, best of {} trials",
         scale.ring_batches, scale.ring_batch, scale.trials
     );
@@ -629,7 +635,7 @@ fn mixed_ring_sweep(scale: &Scale) -> bool {
     const KEYS: usize = 48;
     const PROBES: usize = 4;
     println!(
-        "[6/6] Mixed ring: {FLUSHES} flush writes then {KEYS} misses x {PROBES} probes \
+        "[6/7] Mixed ring: {FLUSHES} flush writes then {KEYS} misses x {PROBES} probes \
          through one ring on the simulated SSD vs model"
     );
     let widths = [8, 16, 16, 10];
@@ -800,6 +806,105 @@ fn mixed_ring_sweep(scale: &Scale) -> bool {
     pass
 }
 
+/// Part 7: recovery scan after a power cut vs the closed-form model.
+/// Returns PASS/FAIL.
+fn recovery_sweep(scale: &Scale) -> bool {
+    use flashsim::CrashDevice;
+    // 8 MiB flash under `small_test` = 256 log slots of 32 KiB each.
+    const FLASH: u64 = 8 << 20;
+    const SLOTS: usize = 256;
+    const SLOT_BYTES: usize = 32 << 10;
+    const LOAD: u64 = 40_000;
+    println!(
+        "[7/7] Recovery scan: power cut + torn write at ~70% of a {LOAD}-insert run, then \
+         Clam::recover ring-scans all {SLOTS} slots vs FlashCostModel::recovery_scan_makespan"
+    );
+    let widths = [8, 12, 14, 14, 10, 12, 10];
+    print_header(
+        &["depth", "accepted", "measured (ms)", "model (ms)", "MiB/s", "entries", "speedup"],
+        &widths,
+    );
+    let mut all_exact = true;
+    let mut throughputs: Vec<f64> = Vec::new();
+    let mut base = 0.0f64;
+    for &depth in scale.depths {
+        let profile = DeviceProfile {
+            queue: QueueCapabilities::overlapped(depth),
+            ..DeviceProfile::intel_x18m()
+        };
+        let cfg = ClamConfig::small_test(FLASH, 2 << 20).expect("cfg");
+        // Twin run: total data-effect device ops for the workload, so the
+        // cut can land at a fixed fraction of the real schedule.
+        let mut twin = Clam::new(
+            CrashDevice::new(Ssd::with_profile(FLASH, profile.clone()).expect("ssd")),
+            cfg.clone(),
+        )
+        .expect("clam");
+        for i in 0..LOAD {
+            twin.insert(workload_key(i), i).expect("insert");
+        }
+        twin.flush_all().expect("flush");
+        let total = twin.device().crash_stats().ops_applied;
+        // Victim run: power cut at 70% of that schedule, torn final write.
+        let mut crash = CrashDevice::cut_after(
+            Ssd::with_profile(FLASH, profile.clone()).expect("ssd"),
+            total * 7 / 10,
+        );
+        crash.set_torn_write_bytes(1_500);
+        let mut victim = Clam::new(crash, cfg.clone()).expect("clam");
+        for i in 0..LOAD {
+            if victim.insert(workload_key(i), i).is_err() {
+                break;
+            }
+        }
+        let image = victim.into_device().into_inner();
+        let (_, report) = Clam::recover(image, cfg).expect("recover");
+        let model =
+            FlashCostModel::from_profile(&profile).recovery_scan_makespan(SLOTS, SLOT_BYTES, depth);
+        let exact = report.scan_makespan == model;
+        all_exact &= exact;
+        let thr = mb_per_sec(report.bytes_scanned as usize, report.scan_makespan);
+        if depth == scale.depths[0] {
+            base = thr;
+        }
+        throughputs.push(thr);
+        print_row(
+            &[
+                format!("{depth}"),
+                format!("{}+{}t", report.accepted, report.torn),
+                ms(report.scan_makespan),
+                format!("{}{}", ms(model), if exact { "" } else { " !" }),
+                format!("{thr:.0}"),
+                format!("{}", report.entries_recovered),
+                format!("{:.2}x", thr / base.max(1e-12)),
+            ],
+            &widths,
+        );
+    }
+    println!(
+        "(measured = RecoveryReport::scan_makespan, the completion-ring makespan of the\n\
+         whole-log slot scan; model = recovery_scan_makespan(slots, slot_bytes, depth))"
+    );
+    let monotone = throughputs.windows(2).all(|w| w[1] >= w[0]);
+    let speedup = throughputs.last().unwrap() / base.max(1e-12);
+    let pass = all_exact && monotone && speedup >= 2.0;
+    if pass {
+        println!(
+            "PASS: scan == model at every depth; recovery throughput is {speedup:.2}x at \
+             depth {} vs depth {}\n",
+            scale.depths.last().unwrap(),
+            scale.depths[0]
+        );
+    } else {
+        println!(
+            "FAIL: exact = {all_exact}, monotone = {monotone}, depth-{} speedup = \
+             {speedup:.2}x (target: exact, monotone, >= 2x)\n",
+            scale.depths.last().unwrap()
+        );
+    }
+    pass
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let scale = if smoke { &SMOKE } else { &FULL };
@@ -810,14 +915,16 @@ fn main() {
     let lookup_pass = queued_lookup_sweep(scale);
     let ring_pass = ring_vs_barrier_sweep(scale);
     let mixed_pass = mixed_ring_sweep(scale);
-    if !write_pass || !lookup_pass || !ring_pass || !mixed_pass {
+    let recovery_pass = recovery_sweep(scale);
+    if !write_pass || !lookup_pass || !ring_pass || !mixed_pass || !recovery_pass {
         println!(
             "\noverall: FAIL (write scaling: {}, queued lookup scaling: {}, ring vs barrier: {}, \
-             mixed ring: {})",
+             mixed ring: {}, recovery scan: {})",
             if write_pass { "ok" } else { "below target" },
             if lookup_pass { "ok" } else { "below target" },
             if ring_pass { "ok" } else { "below target" },
-            if mixed_pass { "ok" } else { "below target" }
+            if mixed_pass { "ok" } else { "below target" },
+            if recovery_pass { "ok" } else { "below target" }
         );
         std::process::exit(1);
     }

@@ -531,6 +531,38 @@ impl FlashCostModel {
         self.flush_ring_makespan(flushes, buffer_bytes, queue_depth)
             + self.lookup_ring_makespan(keys, probes_per_key, queue_depth)
     }
+
+    /// Predicted elapsed (makespan) time of a recovery scan
+    /// ([`Clam::recover`](crate::Clam::recover)): `slots` slot reads of
+    /// `slot_bytes` each, admitted to the completion ring without waiting
+    /// at `queue_depth`. Each read spans `⌈slot_bytes / S_p⌉` pages, so
+    ///
+    ///   `M_recover(s, d) = c_slot · ⌈s / L⌉`,  `c_slot = read(⌈B/S_p⌉·S_p)`
+    ///
+    /// with `L = min(d, max_queue_depth)` lanes (1 on serial media).
+    /// Matches the simulator **exactly** on idle devices (slot reads are
+    /// equal-cost and page-aligned); the CLAM test suite and the
+    /// `io_queue_depth` `recovery` part cross-check the identity.
+    ///
+    /// ```
+    /// use bufferhash::analysis::FlashCostModel;
+    /// use flashsim::DeviceProfile;
+    ///
+    /// let model = FlashCostModel::from_profile(&DeviceProfile::intel_x18m());
+    /// // 256 slots of 32 KiB: 8 ring lanes retire the scan 8x faster.
+    /// let serial = model.recovery_scan_makespan(256, 32 << 10, 1);
+    /// let ringed = model.recovery_scan_makespan(256, 32 << 10, 8);
+    /// assert_eq!(serial, ringed * 8);
+    /// ```
+    pub fn recovery_scan_makespan(
+        &self,
+        slots: usize,
+        slot_bytes: usize,
+        queue_depth: usize,
+    ) -> SimDuration {
+        let pages = slot_bytes.div_ceil(self.page_size);
+        self.submit_makespan(slots, self.read.cost(pages * self.page_size), queue_depth)
+    }
 }
 
 #[cfg(test)]
@@ -818,6 +850,46 @@ mod tests {
                 "model drifts from the simulator at depth {depth}"
             );
         }
+    }
+
+    /// Runs real recovery scans ([`Clam::recover`]) and checks the
+    /// reported ring makespan against `recovery_scan_makespan` — exact on
+    /// an overlapped SSD (after a full workload) and on a serial raw chip.
+    #[test]
+    fn recovery_scan_makespan_matches_the_simulator_exactly() {
+        use crate::clam::Clam;
+        use crate::config::ClamConfig;
+        use crate::types::hash_with_seed;
+        use flashsim::{Device, FlashChip, Ssd};
+
+        // SSD: 8 MiB flash in 256 slots of 32 KiB, ring depth 8.
+        let cfg = ClamConfig::small_test(8 << 20, 2 << 20).unwrap();
+        let mut clam = Clam::new(Ssd::intel(8 << 20).unwrap(), cfg.clone()).unwrap();
+        for i in 0..40_000u64 {
+            clam.insert(hash_with_seed(i, 1), i).unwrap();
+        }
+        clam.flush_all().unwrap();
+        let device = clam.into_device();
+        let m = FlashCostModel::from_profile(device.profile());
+        let depth = device.profile().queue.max_queue_depth;
+        let (_, report) = Clam::recover(device, cfg).unwrap();
+        assert_eq!(
+            report.scan_makespan,
+            m.recovery_scan_makespan(256, 32 << 10, depth),
+            "SSD recovery scan drifts from the model: {report}"
+        );
+
+        // Raw chip: serial queue, so the scan is the summed slot reads.
+        let chip = FlashChip::new(1 << 20).unwrap();
+        let m = FlashCostModel::from_profile(chip.profile());
+        let cfg = ClamConfig::small_test(1 << 20, 256 << 10).unwrap();
+        let (_, report) = Clam::recover(chip, cfg).unwrap();
+        assert_eq!(report.slots_scanned, 32);
+        assert_eq!(
+            report.scan_makespan,
+            m.recovery_scan_makespan(32, 32 << 10, 1),
+            "chip recovery scan drifts from the model: {report}"
+        );
     }
 
     #[test]

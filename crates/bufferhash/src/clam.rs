@@ -30,19 +30,26 @@
 //! reference path (identical outcomes, different timing), which the
 //! `io_queue_depth` harness sweeps ring-vs-barrier.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU32, Ordering};
 
 use flashsim::queue::{
     batch_latency, overlapped_requests, page_read_batch, IoCompletion, IoTicket, RingCompletion,
 };
-use flashsim::{CompletionRing, Device, IoRequest, LinearCost, RingRequest, SimDuration};
+use flashsim::{
+    CompletionRing, Device, IoRequest, LinearCost, MediumKind, RingRequest, SimDuration,
+};
 
 use crate::config::ClamConfig;
 use crate::cuckoo::BufferInsert;
 use crate::error::{BufferHashError, Result};
 use crate::eviction::{EvictionPolicy, RetainDecision};
-use crate::incarnation::{lookup_in_page, parse_incarnation, IncarnationLayout, PageLookup};
-use crate::log::LogAllocator;
+use crate::incarnation::{
+    lookup_in_page, parse_incarnation, parse_page_header_checked, scan_incarnation,
+    IncarnationIdentity, IncarnationLayout, PageLookup, SlotScan,
+};
+use crate::log::{LogAllocator, SlotOwner};
+use crate::recovery::RecoveryReport;
 use crate::stats::ClamStats;
 use crate::supertable::{IncarnationMeta, SuperTable};
 use crate::types::{hash_with_seed, Entry, Key, Value};
@@ -247,6 +254,13 @@ impl MemoryUsage {
     }
 }
 
+/// Process-wide source of incarnation epochs: every [`Clam`] lifetime —
+/// fresh construction or recovery — gets an epoch strictly greater than
+/// any handed out before, so flushed pages always say which lifetime
+/// wrote them. [`Clam::recover`] additionally bumps this past the largest
+/// epoch found on flash, covering images written by earlier processes.
+static CLAM_EPOCH: AtomicU32 = AtomicU32::new(0);
+
 /// A cheap and large CAM: BufferHash on DRAM plus a flash [`Device`].
 pub struct Clam<D: Device> {
     device: D,
@@ -254,6 +268,9 @@ pub struct Clam<D: Device> {
     tables: Vec<SuperTable>,
     allocator: LogAllocator,
     seq: u64,
+    /// The lifetime epoch stamped into every page this CLAM flushes; see
+    /// [`CLAM_EPOCH`] and DESIGN.md "Crash consistency".
+    epoch: u32,
     stats: ClamStats,
     /// DRAM access cost model used for in-memory latency accounting.
     mem_cost: LinearCost,
@@ -343,6 +360,7 @@ impl<D: Device> Clam<D> {
             tables,
             allocator,
             seq: 0,
+            epoch: CLAM_EPOCH.fetch_add(1, Ordering::Relaxed) + 1,
             stats: ClamStats::new(),
             mem_cost: LinearCost::new(0, 0.5),
             pending_writes: Vec::new(),
@@ -354,6 +372,215 @@ impl<D: Device> Clam<D> {
             ring_wrote: false,
             ring_read: false,
         })
+    }
+
+    /// Rebuilds a CLAM from the flash contents of `device` alone — the
+    /// recovery path after a crash or restart.
+    ///
+    /// The scan reads every incarnation slot through the completion ring
+    /// (admitted without waiting via
+    /// [`submit_nowait`](flashsim::Device::submit_nowait), overlapped per
+    /// the device queue, reaped as reads retire), then:
+    ///
+    /// * rejects **torn** slots — any page failing the CRC32 / version /
+    ///   identity checks of [`crate::scan_incarnation`] — which is how a
+    ///   flush the power cut interrupted mid-write is discarded;
+    /// * rejects **stale** slots — valid incarnations shadowed by a
+    ///   higher-epoch copy of the same flush sequence, or older than the
+    ///   youngest `k` their table retains;
+    /// * registers the survivors oldest-to-youngest, rebuilding each
+    ///   super table's Bloom filters and incarnation queue, and restores
+    ///   the log allocator's owner map and write position;
+    /// * scrubs torn slots on raw flash: erase blocks overlapping a torn
+    ///   slot but no accepted one are erased, so resumed writes never
+    ///   program over a power cut's half-written pages (FTL and seek
+    ///   media ignore the hint);
+    /// * resumes the flush sequence past the largest `seq` on any
+    ///   CRC-valid page (pages inside torn slots included) and adopts an
+    ///   epoch strictly greater than every epoch seen, so the recovered
+    ///   lifetime can never re-issue an identity that still shadows
+    ///   surviving on-flash data.
+    ///
+    /// Buffers and delete lists restart empty: buffered inserts and all
+    /// deletes live only in DRAM and do not survive a crash — see
+    /// DESIGN.md "Crash consistency" for the durability contract.
+    pub fn recover(device: D, config: ClamConfig) -> Result<(Self, RecoveryReport)> {
+        let mut clam = Clam::new(device, config)?;
+        let layout = clam.tables[0].layout();
+        let slot_size = clam.allocator.slot_size();
+        let num_slots = clam.allocator.num_slots();
+
+        // Ring-driven scan: every slot read admitted without waiting and
+        // reaped as it retires, so the scan costs the overlapped ring
+        // makespan, not the summed per-read time.
+        let mut ring = CompletionRing::for_queue(clam.device.queue());
+        let requests: Vec<RingRequest> = (0..num_slots)
+            .map(|slot| RingRequest::new(IoRequest::read(slot * slot_size, slot_size as usize)))
+            .collect();
+        let tickets = clam.device.submit_nowait(requests, &mut ring)?;
+        let mut completions = Vec::with_capacity(tickets.len());
+        while ring.in_flight() > 0 {
+            completions.extend(clam.device.reap(&mut ring, 1)?);
+        }
+        let scan_makespan = ring.makespan();
+        let slot_of: HashMap<u64, usize> =
+            tickets.iter().enumerate().map(|(i, t)| (t.id(), i)).collect();
+        let mut images: Vec<Option<Vec<u8>>> = vec![None; num_slots as usize];
+        for completion in completions {
+            if let Some(&slot) = slot_of.get(&completion.ticket.id()) {
+                images[slot] = Some(completion.result?);
+            }
+        }
+
+        let mut torn = 0usize;
+        let mut torn_slots: Vec<u64> = Vec::new();
+        let mut empty = 0usize;
+        let mut valid: Vec<(u64, IncarnationIdentity, Vec<Entry>)> = Vec::new();
+        let mut max_seq_seen = 0u64;
+        let mut max_epoch_seen = 0u32;
+        for (slot, image) in images.iter().enumerate() {
+            let bytes = image.as_ref().ok_or_else(|| {
+                BufferHashError::InvalidConfig("recovery scan lost a slot read".into())
+            })?;
+            // Harvest identity watermarks from every CRC-valid page, torn
+            // slots included: a re-issued (epoch, seq) must never shadow
+            // data that survived elsewhere.
+            for page in bytes.chunks_exact(layout.page_size) {
+                if let Ok(header) = parse_page_header_checked(page) {
+                    max_seq_seen = max_seq_seen.max(header.identity.seq);
+                    max_epoch_seen = max_epoch_seen.max(header.identity.epoch);
+                }
+            }
+            match scan_incarnation(bytes, &layout) {
+                SlotScan::Empty => empty += 1,
+                SlotScan::Torn { .. } => {
+                    torn += 1;
+                    torn_slots.push(slot as u64);
+                }
+                SlotScan::Valid { identity, entries } => {
+                    if (identity.table as usize) < clam.tables.len() {
+                        valid.push((slot as u64, identity, entries));
+                    } else {
+                        // An identity naming a table this configuration
+                        // does not have is foreign data, not recoverable.
+                        torn += 1;
+                        torn_slots.push(slot as u64);
+                    }
+                }
+            }
+        }
+
+        // Youngest-first by (epoch, seq): a higher-epoch copy of the same
+        // flush sequence shadows the lower one (a later lifetime re-wrote
+        // the slot), and each table keeps only its youngest `k`.
+        valid.sort_by_key(|v| std::cmp::Reverse((v.1.epoch, v.1.seq)));
+        let mut stale = 0usize;
+        let mut kept: Vec<Vec<(u64, IncarnationIdentity, Vec<Entry>)>> =
+            (0..clam.tables.len()).map(|_| Vec::new()).collect();
+        let mut seen_seqs: Vec<HashSet<u64>> =
+            (0..clam.tables.len()).map(|_| HashSet::new()).collect();
+        for (slot, identity, entries) in valid {
+            let t = identity.table as usize;
+            if !seen_seqs[t].insert(identity.seq) {
+                stale += 1;
+                continue;
+            }
+            if kept[t].len() >= clam.tables[t].max_incarnations() {
+                stale += 1;
+                continue;
+            }
+            kept[t].push((slot, identity, entries));
+        }
+
+        let mut accepted = 0usize;
+        let mut entries_recovered = 0usize;
+        let mut owners: Vec<(u64, SlotOwner)> = Vec::new();
+        for (t, list) in kept.iter().enumerate() {
+            // Register oldest first so the filter bank's sliding window
+            // and the incarnation queue come out youngest-first, exactly
+            // as steady-state flushes build them.
+            for (slot, identity, entries) in list.iter().rev() {
+                let keys: Vec<Key> = entries.iter().map(|e| e.key).collect();
+                clam.tables[t].register_incarnation(
+                    IncarnationMeta {
+                        flash_offset: slot * slot_size,
+                        entries: entries.len(),
+                        seq: identity.seq,
+                    },
+                    &keys,
+                );
+                owners.push((*slot, SlotOwner { table: t, seq: identity.seq }));
+                accepted += 1;
+                entries_recovered += entries.len();
+            }
+        }
+        clam.allocator.restore(&owners);
+
+        // Scrub torn slots on raw flash: a power-cut write leaves pages
+        // programmed, and a mid-block slot in a partitioned layout is only
+        // erased when the write pointer next crosses its block boundary —
+        // so an un-scrubbed torn slot would fail its next program with
+        // dirty pages. Erase every fully-managed block that overlaps a
+        // torn slot and no accepted one (FTL and seek media reject or
+        // ignore the hint; dirty pages are their problem, not the log's).
+        if !torn_slots.is_empty() {
+            let block_size = clam.device.geometry().block_size as u64;
+            let managed_end = num_slots * slot_size;
+            let blocks_of = |slot: u64| {
+                (slot * slot_size) / block_size..=(slot * slot_size + slot_size - 1) / block_size
+            };
+            let live: HashSet<u64> = owners.iter().flat_map(|(s, _)| blocks_of(*s)).collect();
+            let mut scrubbed: HashSet<u64> = HashSet::new();
+            for &slot in &torn_slots {
+                for block in blocks_of(slot) {
+                    let fully_managed = (block + 1) * block_size <= managed_end;
+                    if fully_managed && !live.contains(&block) && scrubbed.insert(block) {
+                        let _ = clam.device.erase_block(block);
+                    }
+                }
+            }
+            // A torn slot whose block shares accepted data cannot be
+            // scrubbed; on raw flash its half-programmed pages also cannot
+            // be programmed again. Step the write pointer past such slots
+            // so resumed flushes land on clean pages — the circular log
+            // reclaims them when it next erases their block. FTL and seek
+            // media overwrite in place, so their pointers stay put (and
+            // resume exactly where a never-crashed lifetime would).
+            if clam.device.profile().kind == MediumKind::FlashChip {
+                let dirty: Vec<u64> = torn_slots
+                    .iter()
+                    .copied()
+                    .filter(|&slot| blocks_of(slot).any(|b| !scrubbed.contains(&b)))
+                    .collect();
+                clam.allocator.skip_dirty(&dirty);
+            }
+        }
+
+        clam.seq = clam.seq.max(max_seq_seen);
+        clam.epoch = clam.epoch.max(max_epoch_seen.saturating_add(1));
+        CLAM_EPOCH.fetch_max(clam.epoch, Ordering::Relaxed);
+        clam.stats.recoveries += 1;
+        clam.stats.recovered_incarnations += accepted as u64;
+        clam.stats.recovery_torn_slots += torn as u64;
+
+        let report = RecoveryReport {
+            slots_scanned: num_slots,
+            bytes_scanned: num_slots * slot_size,
+            accepted,
+            torn,
+            stale,
+            empty,
+            entries_recovered,
+            epoch: clam.epoch,
+            seq_resumed: clam.seq,
+            scan_makespan,
+        };
+        Ok((clam, report))
+    }
+
+    /// The lifetime epoch this CLAM stamps into every page it flushes.
+    pub fn epoch(&self) -> u32 {
+        self.epoch
     }
 
     /// Routes every flush, eviction and coalesced drain through the
@@ -503,6 +730,13 @@ impl<D: Device> Clam<D> {
         // calls leave the ring open; the batch-end drain charges it.
         if !self.coalesce_writes {
             latency += self.drain_write_ring()?;
+            // The acknowledgment point (DESIGN.md "Crash consistency"): a
+            // per-op insert is acked only once nothing of its flush chain
+            // remains deferred or in flight on the ring.
+            debug_assert!(
+                self.pending_writes.is_empty() && self.ring.is_none(),
+                "insert acked with flush writes still in flight"
+            );
         }
         self.stats.inserts.record(latency);
         Ok(InsertOutcome { latency, flushed, evictions })
@@ -1177,9 +1411,12 @@ impl<D: Device> Clam<D> {
         if !entries.is_empty() {
             let keys: Vec<Key> = entries.iter().map(|e| e.key).collect();
             let layout = self.tables[t].layout();
-            let image = layout.serialize(&entries)?;
             self.seq += 1;
             let seq = self.seq;
+            let image = layout.serialize_identified(
+                &entries,
+                IncarnationIdentity { table: t as u16, seq, epoch: self.epoch },
+            )?;
             let alloc = self.allocator.allocate(t, seq)?;
             // Force-evict incarnations whose slots this write reclaims.
             for owner in &alloc.displaced {
@@ -1274,9 +1511,12 @@ impl<D: Device> Clam<D> {
         if !entries.is_empty() {
             let keys: Vec<Key> = entries.iter().map(|e| e.key).collect();
             let layout = self.tables[t].layout();
-            let image = layout.serialize(&entries)?;
             self.seq += 1;
             let seq = self.seq;
+            let image = layout.serialize_identified(
+                &entries,
+                IncarnationIdentity { table: t as u16, seq, epoch: self.epoch },
+            )?;
             let alloc = self.allocator.allocate(t, seq)?;
             // Force-evict incarnations whose slots this write reclaims.
             for owner in &alloc.displaced {
@@ -1754,6 +1994,65 @@ mod tests {
             assert_eq!(out.value, Some(i), "key {i}");
         }
         assert_eq!(clam.stats().lookup_hits, 100);
+    }
+
+    #[test]
+    fn recover_rebuilds_state_from_flash_alone() {
+        let mut clam = small_clam();
+        let n = 40_000u64;
+        for i in 0..n {
+            clam.insert(key(i), i).unwrap();
+        }
+        clam.flush_all().unwrap();
+        let flushes = clam.stats().flushes;
+        let old_epoch = clam.epoch();
+        let old_seq = clam.seq;
+        let live = clam.allocator.live_slots();
+        let config = clam.config().clone();
+
+        // Lose every byte of DRAM; recover from the flash image alone.
+        let device = clam.into_device();
+        let (mut recovered, report) = Clam::recover(device, config).unwrap();
+        assert_eq!(report.accepted, live, "every live incarnation accepted: {report}");
+        assert_eq!(report.torn, 0, "{report}");
+        assert_eq!(report.stale, 0, "{report}");
+        assert_eq!(report.slots_scanned, 256);
+        assert_eq!(report.bytes_scanned, 8 << 20);
+        assert!(report.scan_makespan > SimDuration::ZERO);
+        assert!(report.epoch > old_epoch, "recovered lifetime gets a younger epoch");
+        assert_eq!(report.seq_resumed, old_seq, "seq resumes past every flushed incarnation");
+        assert!(flushes as usize >= live);
+
+        for i in 0..n {
+            assert_eq!(recovered.lookup(key(i)).unwrap().value, Some(i), "key {i}");
+        }
+        assert_eq!(recovered.stats().recoveries, 1);
+        assert_eq!(recovered.stats().recovered_incarnations, live as u64);
+
+        // The restored allocator and seq let the recovered CLAM keep
+        // writing: new inserts flush into the slots a never-crashed
+        // lifetime would have used, without clobbering live data.
+        for i in n..(n + 40_000) {
+            recovered.insert(key(i), i).unwrap();
+        }
+        recovered.flush_all().unwrap();
+        for i in (0..n + 40_000).step_by(211) {
+            assert_eq!(recovered.lookup(key(i)).unwrap().value, Some(i), "key {i}");
+        }
+    }
+
+    #[test]
+    fn recover_on_a_pristine_device_starts_empty() {
+        let cfg = ClamConfig::small_test(8 << 20, 2 << 20).unwrap();
+        let ssd = Ssd::intel(8 << 20).unwrap();
+        let (mut clam, report) = Clam::recover(ssd, cfg).unwrap();
+        assert_eq!(report.accepted, 0);
+        assert_eq!(report.torn, 0);
+        assert_eq!(report.empty as u64, report.slots_scanned);
+        assert_eq!(report.entries_recovered, 0);
+        assert_eq!(clam.lookup(key(1)).unwrap().value, None);
+        clam.insert(key(1), 1).unwrap();
+        assert_eq!(clam.lookup(key(1)).unwrap().value, Some(1));
     }
 
     #[test]

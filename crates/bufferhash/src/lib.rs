@@ -24,6 +24,11 @@
 //!   super table, the per-call overhead is paid once per batch, and flush
 //!   writes to contiguous log slots are coalesced into single sequential
 //!   device writes (see DESIGN.md "Batched operations").
+//! * The on-flash format is versioned and CRC-checksummed, and
+//!   [`Clam::recover`] rebuilds the entire in-DRAM state (filters, log
+//!   map, eviction queues) from flash contents alone after a crash,
+//!   discarding torn flushes by checksum and reporting what it found in a
+//!   [`RecoveryReport`] (see DESIGN.md "Crash consistency").
 //! * The read path is **queued** (see DESIGN.md "Queued lookups"): each
 //!   lookup key is a probe state machine, and every round of a batch
 //!   submits the next pending page read of all unresolved keys as one
@@ -62,6 +67,7 @@ mod eviction;
 mod filters;
 mod incarnation;
 mod log;
+mod recovery;
 mod shared;
 mod stats;
 mod supertable;
@@ -78,8 +84,13 @@ pub use cuckoo::{BufferInsert, CuckooBuffer};
 pub use error::{BufferHashError, Result};
 pub use eviction::{EvictionPolicy, PriorityFn, RetainDecision};
 pub use filters::{FilterBank, FilterMode};
-pub use incarnation::{lookup_in_page, parse_incarnation, IncarnationLayout, PageLookup};
+pub use incarnation::{
+    crc32, lookup_in_page, parse_incarnation, parse_page_header_checked, scan_incarnation,
+    IncarnationIdentity, IncarnationLayout, PageHeader, PageLookup, SlotScan, INCARNATION_VERSION,
+    PAGE_HEADER_SIZE,
+};
 pub use log::{LogAllocator, SlotAllocation, SlotOwner};
+pub use recovery::RecoveryReport;
 pub use shared::{SharedClam, StripedClam};
 pub use stats::ClamStats;
 pub use supertable::{IncarnationMeta, SuperTable};

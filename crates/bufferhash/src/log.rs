@@ -130,6 +130,81 @@ impl LogAllocator {
         }
     }
 
+    /// Rebuilds the allocator from a recovery scan: `owners` lists every
+    /// slot whose incarnation the scan accepted, with its owner. All other
+    /// slots become free, and the write position resumes immediately after
+    /// the highest-`seq` accepted slot — globally for the global log, per
+    /// partition for the partitioned layout — so the next flush lands on
+    /// exactly the slot a never-crashed lifetime would have written next
+    /// (which is where a torn mid-flush write, if any, sits).
+    pub fn restore(&mut self, owners: &[(u64, SlotOwner)]) {
+        self.owners.iter_mut().for_each(|o| *o = None);
+        self.next_slot = 0;
+        self.per_table_next.iter_mut().for_each(|n| *n = 0);
+        let mut newest: Option<(u64, u64)> = None;
+        let mut per_newest: Vec<Option<(u64, u64)>> = vec![None; self.per_table_next.len()];
+        for &(slot, owner) in owners {
+            let Some(o) = self.owners.get_mut(slot as usize) else { continue };
+            *o = Some(owner);
+            if newest.is_none_or(|(seq, _)| owner.seq > seq) {
+                newest = Some((owner.seq, slot));
+            }
+            if let Some(entry) = per_newest.get_mut(owner.table) {
+                if entry.is_none_or(|(seq, _)| owner.seq > seq) {
+                    *entry = Some((owner.seq, slot));
+                }
+            }
+        }
+        match self.mode {
+            FlashLayoutMode::GlobalLog => {
+                if let Some((_, slot)) = newest {
+                    self.next_slot = (slot + 1) % self.num_slots;
+                }
+            }
+            FlashLayoutMode::PartitionPerTable => {
+                for (table, entry) in per_newest.iter().enumerate() {
+                    if let Some((_, slot)) = entry {
+                        let within = slot - table as u64 * self.slots_per_table;
+                        self.per_table_next[table] = (within + 1) % self.slots_per_table;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Advances the write pointer past `dirty` slots (the half-programmed
+    /// remains of torn writes on raw flash, which cannot be programmed
+    /// again until their erase block is cycled). Each log — the global
+    /// log, or each table's partition — skips forward while its next slot
+    /// is dirty, so resumed flushes land on clean pages; the dirty slots
+    /// are reclaimed when the circular pointer next erases their block.
+    /// FTL-managed and seek media never need this: they overwrite in
+    /// place.
+    pub fn skip_dirty(&mut self, dirty: &[u64]) {
+        match self.mode {
+            FlashLayoutMode::GlobalLog => {
+                for _ in 0..self.num_slots {
+                    if !dirty.contains(&self.next_slot) {
+                        break;
+                    }
+                    self.next_slot = (self.next_slot + 1) % self.num_slots;
+                }
+            }
+            FlashLayoutMode::PartitionPerTable => {
+                for table in 0..self.per_table_next.len() {
+                    let base = table as u64 * self.slots_per_table;
+                    for _ in 0..self.slots_per_table {
+                        if !dirty.contains(&(base + self.per_table_next[table])) {
+                            break;
+                        }
+                        self.per_table_next[table] =
+                            (self.per_table_next[table] + 1) % self.slots_per_table;
+                    }
+                }
+            }
+        }
+    }
+
     fn allocate_global(&mut self, table: usize, seq: u64) -> Result<SlotAllocation> {
         let slot = self.next_slot;
         self.next_slot = (self.next_slot + 1) % self.num_slots;
@@ -310,6 +385,106 @@ mod tests {
         .unwrap();
         let alloc = a.allocate(0, 0).unwrap();
         assert_eq!(alloc.blocks_to_erase, vec![0, 1]);
+    }
+
+    #[test]
+    fn restore_resumes_the_global_log_after_the_newest_owner() {
+        let mut a = LogAllocator::new(
+            FlashLayoutMode::GlobalLog,
+            8 * 128 * 1024,
+            128 * 1024,
+            256 * 1024,
+            2,
+        )
+        .unwrap();
+        // Pretend a recovery scan accepted incarnations in slots 2, 3 and 5;
+        // the newest (seq 7) sits in slot 5.
+        a.restore(&[
+            (2, SlotOwner { table: 0, seq: 3 }),
+            (5, SlotOwner { table: 1, seq: 7 }),
+            (3, SlotOwner { table: 1, seq: 4 }),
+        ]);
+        assert_eq!(a.live_slots(), 3);
+        // The next flush lands on slot 6 — exactly where a never-crashed
+        // lifetime would have written next.
+        let alloc = a.allocate(0, 8).unwrap();
+        assert_eq!(alloc.offset, 6 * 128 * 1024);
+        assert!(alloc.displaced.is_empty());
+        // Wrapping far enough displaces the restored owners.
+        let mut displaced = Vec::new();
+        for seq in 9..15u64 {
+            displaced.extend(a.allocate(0, seq).unwrap().displaced);
+        }
+        assert!(displaced.contains(&SlotOwner { table: 0, seq: 3 }));
+    }
+
+    #[test]
+    fn restore_resumes_each_partition_independently() {
+        // 8 slots of 128 KiB over 2 tables -> 4 slots per partition.
+        let mut a = LogAllocator::new(
+            FlashLayoutMode::PartitionPerTable,
+            8 * 128 * 1024,
+            128 * 1024,
+            128 * 1024,
+            2,
+        )
+        .unwrap();
+        // Table 0's newest lives in slot 1 (within-partition 1); table 1's
+        // newest in slot 7 (within-partition 3, the last one).
+        a.restore(&[
+            (0, SlotOwner { table: 0, seq: 1 }),
+            (1, SlotOwner { table: 0, seq: 5 }),
+            (7, SlotOwner { table: 1, seq: 6 }),
+        ]);
+        let alloc = a.allocate(0, 8).unwrap();
+        assert_eq!(alloc.offset, 2 * 128 * 1024);
+        // Table 1 wraps back to the start of its partition.
+        let alloc = a.allocate(1, 9).unwrap();
+        assert_eq!(alloc.offset, 4 * 128 * 1024);
+    }
+
+    #[test]
+    fn restore_with_no_owners_resets_to_a_fresh_log() {
+        let mut a =
+            LogAllocator::new(FlashLayoutMode::GlobalLog, 4 * 64 * 1024, 64 * 1024, 64 * 1024, 1)
+                .unwrap();
+        for seq in 0..3u64 {
+            a.allocate(0, seq).unwrap();
+        }
+        a.restore(&[]);
+        assert_eq!(a.live_slots(), 0);
+        assert_eq!(a.allocate(0, 0).unwrap().offset, 0);
+    }
+
+    #[test]
+    fn skip_dirty_moves_the_global_pointer_past_torn_slots() {
+        let mut a =
+            LogAllocator::new(FlashLayoutMode::GlobalLog, 8 * 64 * 1024, 64 * 1024, 64 * 1024, 1)
+                .unwrap();
+        a.restore(&[(2, SlotOwner { table: 0, seq: 7 })]);
+        // The torn write sits where the next flush would land (slot 3);
+        // the pointer steps over it, and over a second dirty slot from an
+        // earlier crash, onto the first clean one.
+        a.skip_dirty(&[3, 4]);
+        assert_eq!(a.allocate(0, 8).unwrap().offset, 5 * 64 * 1024);
+    }
+
+    #[test]
+    fn skip_dirty_advances_each_partition_independently() {
+        let mut a = LogAllocator::new(
+            FlashLayoutMode::PartitionPerTable,
+            8 * 64 * 1024,
+            64 * 1024,
+            64 * 1024,
+            2,
+        )
+        .unwrap();
+        a.restore(&[(0, SlotOwner { table: 0, seq: 1 }), (4, SlotOwner { table: 1, seq: 2 })]);
+        // Table 0's next slot (1) is dirty; table 1's next slot (5) is
+        // clean and must not move.
+        a.skip_dirty(&[1]);
+        assert_eq!(a.allocate(0, 3).unwrap().offset, 2 * 64 * 1024);
+        assert_eq!(a.allocate(1, 4).unwrap().offset, 5 * 64 * 1024);
     }
 
     #[test]

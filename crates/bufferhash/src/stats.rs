@@ -99,6 +99,12 @@ pub struct ClamStats {
     /// writes). Merged with `max`; zero when reads and writes never shared
     /// a ring.
     pub mixed_ring_depth_high_water: u64,
+    /// Recovery scans performed (`Clam::recover` constructions).
+    pub recoveries: u64,
+    /// Incarnations accepted and re-registered across all recovery scans.
+    pub recovered_incarnations: u64,
+    /// Slots a recovery scan rejected as torn (checksum/identity failures).
+    pub recovery_torn_slots: u64,
 }
 
 /// Maximum histogram index tracked explicitly; larger values accumulate in
@@ -191,6 +197,9 @@ impl ClamStats {
         self.write_ring_admission_stalls += other.write_ring_admission_stalls;
         self.mixed_ring_depth_high_water =
             self.mixed_ring_depth_high_water.max(other.mixed_ring_depth_high_water);
+        self.recoveries += other.recoveries;
+        self.recovered_incarnations += other.recovered_incarnations;
+        self.recovery_torn_slots += other.recovery_torn_slots;
     }
 
     /// Fraction of queued lookup probes that overlapped another probe of
@@ -262,6 +271,13 @@ impl fmt::Display for ClamStats {
                 self.flush_ring_reaps,
                 self.write_ring_admission_stalls,
                 self.mixed_ring_depth_high_water
+            )?;
+        }
+        if self.recoveries > 0 {
+            write!(
+                f,
+                " | recovery: {} scans, {} incarnations, {} torn slots",
+                self.recoveries, self.recovered_incarnations, self.recovery_torn_slots
             )?;
         }
         Ok(())
@@ -424,6 +440,25 @@ mod tests {
         let mut pure = ClamStats::new();
         pure.flush_ring_reaps = 2;
         assert!(pure.to_string().contains("write ring: 2 reaps, 0 stalls, mixed depth hwm 0"));
+    }
+
+    #[test]
+    fn recovery_counters_merge_and_display() {
+        let mut a = ClamStats::new();
+        a.recoveries = 1;
+        a.recovered_incarnations = 5;
+        a.recovery_torn_slots = 1;
+        let mut b = ClamStats::new();
+        b.recoveries = 2;
+        b.recovered_incarnations = 3;
+        a.merge(&b);
+        assert_eq!(a.recoveries, 3);
+        assert_eq!(a.recovered_incarnations, 8);
+        assert_eq!(a.recovery_torn_slots, 1);
+        let text = a.to_string();
+        assert!(text.contains("recovery: 3 scans, 8 incarnations, 1 torn slots"), "{text}");
+        // A never-recovered CLAM elides the segment.
+        assert!(!ClamStats::new().to_string().contains("recovery:"));
     }
 
     #[test]

@@ -9,7 +9,9 @@
 //!   TS32GSSD25 class drives);
 //! * [`MagneticDisk`] — a rotating disk with seek/rotation costs;
 //! * [`DramDevice`] — DRAM;
-//! * [`FileDevice`] — a real-file backend reporting wall-clock latencies.
+//! * [`FileDevice`] — a real-file backend reporting wall-clock latencies;
+//! * [`CrashDevice`] — a crash-injection wrapper that cuts the power on any
+//!   inner backend at an arbitrary point in the request schedule.
 //!
 //! All media implement the [`Device`] trait and return simulated
 //! [`SimDuration`] latencies, so higher layers are *sans-I/O*: the same
@@ -48,6 +50,7 @@
 #![forbid(unsafe_code)]
 
 mod cost;
+mod crash;
 mod device;
 mod disk;
 mod dram;
@@ -64,6 +67,7 @@ mod store;
 mod time;
 
 pub use cost::LinearCost;
+pub use crash::{CrashDevice, CrashStats};
 pub use device::{execute_requests, ring_execute, Device};
 pub use disk::MagneticDisk;
 pub use dram::DramDevice;
