@@ -2,7 +2,9 @@
 //! Transcend SSD and a magnetic disk (40% LSR, interleaved lookups and
 //! inserts). Also covers §7.3.2 (the contribution of flash vs disk).
 
-use bench::{build_clam, bulk_load, ms, print_cdf, run_mixed_workload_continuing, Medium};
+use bench::{
+    build_clam, bulk_load, ms, print_cdf, run_mixed_workload_continuing, Medium, TailSummary,
+};
 
 fn main() {
     println!("Figure 6: CLAM latency CDFs (40% LSR, equal lookups and inserts)\n");
@@ -25,6 +27,8 @@ fn main() {
             ms(result.inserts.quantile(0.99)),
             ms(result.inserts.max())
         );
+        println!("  lookup tail: {}", TailSummary::from_recorder(&mut result.lookups));
+        println!("  insert tail: {}", TailSummary::from_recorder(&mut result.inserts));
         print_cdf(&format!("lookup latency, BH+{}", medium.label()), &mut result.lookups, 20);
         print_cdf(&format!("insert latency, BH+{}", medium.label()), &mut result.inserts, 20);
         println!();

@@ -2,7 +2,10 @@
 //! on a magnetic disk, under the same interleaved 40%-LSR workload as
 //! Figure 6.
 
-use bench::{build_bdb, ms, print_cdf, run_mixed_workload, run_mixed_workload_continuing, Medium};
+use bench::{
+    build_bdb, ms, print_cdf, run_mixed_workload, run_mixed_workload_continuing, Medium,
+    TailSummary,
+};
 
 fn main() {
     println!("Figure 7: BerkeleyDB-style index latency CDFs (40% LSR workload)\n");
@@ -21,6 +24,8 @@ fn main() {
             ms(result.inserts.mean()),
             ms(result.inserts.quantile(0.99))
         );
+        println!("  lookup tail: {}", TailSummary::from_recorder(&mut result.lookups));
+        println!("  insert tail: {}", TailSummary::from_recorder(&mut result.inserts));
         print_cdf(&format!("lookup latency, DB+{}", medium.label()), &mut result.lookups, 20);
         print_cdf(&format!("insert latency, DB+{}", medium.label()), &mut result.inserts, 20);
         println!();

@@ -447,6 +447,71 @@ pub fn ms(d: SimDuration) -> String {
     format!("{:.3}", d.as_millis_f64())
 }
 
+/// Head-and-tail quantile summary of a latency distribution: the numbers
+/// a serving system reports per load level (p50 for the common case,
+/// p99/p999 for the tail, max for the worst observed straggler).
+///
+/// Shared by the figure binaries (fig6/fig7 latency CDFs) and the `clamd`
+/// load generator, so simulated and client-observed wall-clock latencies
+/// are summarized identically. Wall-clock users store nanoseconds in the
+/// recorder via [`SimDuration::from_nanos`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TailSummary {
+    /// Number of samples summarized.
+    pub samples: usize,
+    /// Median.
+    pub p50: SimDuration,
+    /// 90th percentile.
+    pub p90: SimDuration,
+    /// 99th percentile.
+    pub p99: SimDuration,
+    /// 99.9th percentile.
+    pub p999: SimDuration,
+    /// Largest sample.
+    pub max: SimDuration,
+}
+
+impl TailSummary {
+    /// Summarizes a recorder (all zeros when it is empty).
+    pub fn from_recorder(recorder: &mut LatencyRecorder) -> Self {
+        if recorder.is_empty() {
+            return TailSummary {
+                samples: 0,
+                p50: SimDuration::ZERO,
+                p90: SimDuration::ZERO,
+                p99: SimDuration::ZERO,
+                p999: SimDuration::ZERO,
+                max: SimDuration::ZERO,
+            };
+        }
+        TailSummary {
+            samples: recorder.len(),
+            p50: recorder.quantile(0.50),
+            p90: recorder.quantile(0.90),
+            p99: recorder.quantile(0.99),
+            p999: recorder.quantile(0.999),
+            max: recorder.max(),
+        }
+    }
+
+    /// `true` when the distribution carries real spread: a non-zero p99
+    /// at least as large as the median. A degenerate recorder (empty, or
+    /// all-zero measurements from a too-coarse clock) fails this.
+    pub fn is_nondegenerate(&self) -> bool {
+        self.samples > 0 && self.p99 > SimDuration::ZERO && self.p99 >= self.p50
+    }
+}
+
+impl std::fmt::Display for TailSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "p50 {} | p90 {} | p99 {} | p999 {} | max {} ({} samples)",
+            self.p50, self.p90, self.p99, self.p999, self.max, self.samples
+        )
+    }
+}
+
 /// Prints a CDF as `latency_ms fraction` pairs at log-spaced points.
 pub fn print_cdf(label: &str, recorder: &mut LatencyRecorder, points: usize) {
     println!("# CDF: {label} ({} samples)", recorder.len());
@@ -487,6 +552,27 @@ mod tests {
         }
         assert_eq!(per_op.stats().flushes, batched.stats().flushes);
         assert_eq!(batched.stats().batched_inserts, 30_000);
+    }
+
+    #[test]
+    fn tail_summary_orders_quantiles() {
+        let mut rec = LatencyRecorder::new();
+        for i in 1..=1000u64 {
+            rec.record(SimDuration::from_micros(i));
+        }
+        let tail = TailSummary::from_recorder(&mut rec);
+        assert_eq!(tail.samples, 1000);
+        assert!(tail.p50 <= tail.p90 && tail.p90 <= tail.p99);
+        assert!(tail.p99 <= tail.p999 && tail.p999 <= tail.max);
+        assert_eq!(tail.max, SimDuration::from_micros(1000));
+        assert!(tail.is_nondegenerate());
+        let text = tail.to_string();
+        assert!(text.contains("p999") && text.contains("1000 samples"), "{text}");
+        // Empty and all-zero recorders are degenerate, not panics.
+        assert!(!TailSummary::from_recorder(&mut LatencyRecorder::new()).is_nondegenerate());
+        let mut zeros = LatencyRecorder::new();
+        zeros.record(SimDuration::ZERO);
+        assert!(!TailSummary::from_recorder(&mut zeros).is_nondegenerate());
     }
 
     #[test]

@@ -1,0 +1,551 @@
+//! The group-commit batcher: one thread that turns concurrent request
+//! arrivals into coalesced ring admissions.
+//!
+//! Every connection's reader thread pushes decoded requests into one
+//! FIFO queue. The batcher thread gathers the queue — lingering up to
+//! [`BatcherConfig::linger`] for concurrent arrivals when the queue is
+//! shallower than [`BatcherConfig::max_batch`] — then partitions the
+//! gather into **maximal same-kind runs in arrival order** and executes
+//! each run as one store call:
+//!
+//! * a run of inserts (scalar frames and `INSERT_BATCH` frames alike)
+//!   flattens into a single [`StripedClam::insert_batch`] — one
+//!   group-commit flush admission for the whole run;
+//! * a run of lookups flattens into a single
+//!   [`StripedClam::lookup_batch`], whose streaming ring pipeline
+//!   overlaps every key's flash probes;
+//! * deletes, flushes and stats execute per request.
+//!
+//! Run boundaries follow arrival order, so per-connection semantics are
+//! those of a serial server: a lookup that arrives after an insert of the
+//! same key observes it.
+//!
+//! **Acknowledgment invariant:** a response is sent only after its run's
+//! store call has *returned*. [`Clam::insert_batch`] returns only once
+//! the write ring has been fully reaped (flush writes durable in the
+//! simulated-device sense), so an acknowledged insert is never lost to a
+//! ring still in flight — "ack only after the group-commit flush reaps".
+//!
+//! [`StripedClam::insert_batch`]: bufferhash::StripedClam::insert_batch
+//! [`StripedClam::lookup_batch`]: bufferhash::StripedClam::lookup_batch
+//! [`Clam::insert_batch`]: bufferhash::Clam::insert_batch
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use bufferhash::{Key, RecoveryReport, StripedClam, Value};
+use flashsim::Device;
+
+use crate::proto::{ErrorCode, Op, Request, RespBody, Response};
+use crate::stats::ServerStats;
+
+/// Tuning knobs for the group-commit batcher.
+#[derive(Debug, Clone)]
+pub struct BatcherConfig {
+    /// Largest gather, in requests; a full queue fires immediately.
+    pub max_batch: usize,
+    /// How long a non-full gather lingers for concurrent arrivals.
+    pub linger: Duration,
+}
+
+impl Default for BatcherConfig {
+    fn default() -> Self {
+        BatcherConfig { max_batch: 512, linger: Duration::from_micros(100) }
+    }
+}
+
+/// One queued request: which connection it came from plus the frame.
+struct Submission {
+    conn: u64,
+    request: Request,
+}
+
+/// State shared between connection threads and the batcher thread.
+struct Shared<D: Device + 'static> {
+    store: StripedClam<D>,
+    recovery: Vec<RecoveryReport>,
+    config: BatcherConfig,
+    queue: Mutex<VecDeque<Submission>>,
+    arrivals: Condvar,
+    conns: Mutex<HashMap<u64, mpsc::Sender<Response>>>,
+    stats: Mutex<ServerStats>,
+    shutdown: AtomicBool,
+}
+
+/// A cloneable handle to the batcher engine.
+pub struct Engine<D: Device + 'static> {
+    shared: Arc<Shared<D>>,
+    worker: Arc<Mutex<Option<JoinHandle<()>>>>,
+}
+
+impl<D: Device + 'static> Clone for Engine<D> {
+    fn clone(&self) -> Self {
+        Engine { shared: Arc::clone(&self.shared), worker: Arc::clone(&self.worker) }
+    }
+}
+
+impl<D: Device + 'static> Engine<D> {
+    /// Starts the batcher thread over `store`. `recovery` carries the
+    /// per-stripe reports when the store was recovered from an existing
+    /// flash image (empty for a fresh boot); STATS responses include them.
+    pub fn start(
+        store: StripedClam<D>,
+        recovery: Vec<RecoveryReport>,
+        config: BatcherConfig,
+    ) -> Self {
+        let shared = Arc::new(Shared {
+            store,
+            recovery,
+            config,
+            queue: Mutex::new(VecDeque::new()),
+            arrivals: Condvar::new(),
+            conns: Mutex::new(HashMap::new()),
+            stats: Mutex::new(ServerStats::new()),
+            shutdown: AtomicBool::new(false),
+        });
+        let worker_shared = Arc::clone(&shared);
+        let worker = std::thread::Builder::new()
+            .name("clamd-batcher".to_string())
+            .spawn(move || batcher_loop(&worker_shared))
+            .expect("spawn batcher thread");
+        Engine { shared, worker: Arc::new(Mutex::new(Some(worker))) }
+    }
+
+    /// Registers a connection and returns the receiver its writer thread
+    /// drains. Responses for requests submitted under `conn` arrive on it
+    /// in per-connection request order.
+    pub fn register_conn(&self, conn: u64) -> mpsc::Receiver<Response> {
+        let (tx, rx) = mpsc::channel();
+        self.shared.conns.lock().expect("conns lock").insert(conn, tx);
+        self.shared.stats.lock().expect("stats lock").connections_opened += 1;
+        rx
+    }
+
+    /// Unregisters a connection; its pending responses are dropped and its
+    /// writer's receiver disconnects.
+    pub fn unregister_conn(&self, conn: u64) {
+        if self.shared.conns.lock().expect("conns lock").remove(&conn).is_some() {
+            self.shared.stats.lock().expect("stats lock").connections_closed += 1;
+        }
+    }
+
+    /// Unregisters every connection (server teardown): their writers'
+    /// receivers disconnect once buffered responses are drained.
+    pub fn unregister_all(&self) {
+        let mut conns = self.shared.conns.lock().expect("conns lock");
+        let dropped = conns.len() as u64;
+        conns.clear();
+        drop(conns);
+        self.shared.stats.lock().expect("stats lock").connections_closed += dropped;
+    }
+
+    /// Enqueues one decoded request for group commit.
+    pub fn submit(&self, conn: u64, request: Request) {
+        let mut queue = self.shared.queue.lock().expect("queue lock");
+        queue.push_back(Submission { conn, request });
+        drop(queue);
+        self.shared.arrivals.notify_all();
+    }
+
+    /// Sends a response directly to a connection's writer, bypassing the
+    /// queue (used for protocol-error frames before closing).
+    pub fn respond(&self, conn: u64, response: Response) {
+        self.shared.send(conn, response);
+    }
+
+    /// Counts one protocol violation.
+    pub fn record_wire_error(&self) {
+        self.shared.stats.lock().expect("stats lock").wire_errors += 1;
+    }
+
+    /// Snapshot of the server ledger.
+    pub fn stats(&self) -> ServerStats {
+        self.shared.stats.lock().expect("stats lock").clone()
+    }
+
+    /// Aggregated store statistics across all stripes.
+    pub fn clam_stats(&self) -> bufferhash::ClamStats {
+        self.shared.store.stats()
+    }
+
+    /// Per-stripe recovery reports from boot (empty for a fresh image).
+    pub fn recovery_reports(&self) -> &[RecoveryReport] {
+        &self.shared.recovery
+    }
+
+    /// Stops the batcher: the queue is drained fully (every submitted
+    /// request still gets its response) before the thread exits.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.arrivals.notify_all();
+        if let Some(worker) = self.worker.lock().expect("worker lock").take() {
+            worker.join().expect("batcher thread panicked");
+        }
+    }
+}
+
+impl<D: Device + 'static> Shared<D> {
+    fn send(&self, conn: u64, response: Response) {
+        let sender = self.conns.lock().expect("conns lock").get(&conn).cloned();
+        if let Some(sender) = sender {
+            // A disconnected writer just means the connection died first.
+            let _ = sender.send(response);
+        }
+    }
+}
+
+/// The request kinds the batcher coalesces runs over.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum RunKind {
+    Insert,
+    Lookup,
+    Delete,
+    Flush,
+    Stats,
+}
+
+fn kind_of(op: &Op) -> RunKind {
+    match op {
+        Op::Insert { .. } | Op::InsertBatch(_) => RunKind::Insert,
+        Op::Lookup { .. } | Op::LookupBatch(_) => RunKind::Lookup,
+        Op::Delete { .. } => RunKind::Delete,
+        Op::Flush => RunKind::Flush,
+        Op::Stats => RunKind::Stats,
+    }
+}
+
+fn batcher_loop<D: Device + 'static>(shared: &Shared<D>) {
+    loop {
+        let Some((gather, waited)) = gather(shared) else { return };
+        shared.stats.lock().expect("stats lock").record_batch(gather.len(), waited);
+        let mut i = 0;
+        while i < gather.len() {
+            let kind = kind_of(&gather[i].request.op);
+            let mut j = i + 1;
+            while j < gather.len() && kind_of(&gather[j].request.op) == kind {
+                j += 1;
+            }
+            execute_run(shared, &gather[i..j], kind);
+            i = j;
+        }
+    }
+}
+
+/// Blocks until the queue is non-empty, lingers for concurrent arrivals,
+/// and drains up to `max_batch` requests. Returns `None` when the engine
+/// is shut down *and* the queue is fully drained.
+fn gather<D: Device + 'static>(shared: &Shared<D>) -> Option<(Vec<Submission>, bool)> {
+    let mut queue = shared.queue.lock().expect("queue lock");
+    while queue.is_empty() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return None;
+        }
+        queue = shared.arrivals.wait(queue).expect("queue lock");
+    }
+    let mut waited = false;
+    if !shared.shutdown.load(Ordering::SeqCst) {
+        let deadline = Instant::now() + shared.config.linger;
+        while queue.len() < shared.config.max_batch && !shared.shutdown.load(Ordering::SeqCst) {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            waited = true;
+            let (guard, _) =
+                shared.arrivals.wait_timeout(queue, deadline - now).expect("queue lock");
+            queue = guard;
+        }
+    }
+    let take = queue.len().min(shared.config.max_batch);
+    Some((queue.drain(..take).collect(), waited))
+}
+
+fn internal_error(message: String) -> RespBody {
+    RespBody::Error { code: ErrorCode::Internal, message }
+}
+
+fn execute_run<D: Device + 'static>(shared: &Shared<D>, run: &[Submission], kind: RunKind) {
+    match kind {
+        RunKind::Insert => execute_insert_run(shared, run),
+        RunKind::Lookup => execute_lookup_run(shared, run),
+        RunKind::Delete => {
+            for sub in run {
+                let Op::Delete { key } = sub.request.op else { unreachable!("delete run") };
+                let body = match shared.store.delete(key) {
+                    Ok(()) => {
+                        let mut stats = shared.stats.lock().expect("stats lock");
+                        stats.deletes += 1;
+                        stats.delete_admissions += 1;
+                        RespBody::Deleted
+                    }
+                    Err(e) => internal_error(format!("delete failed: {e}")),
+                };
+                shared.send(sub.conn, Response { id: sub.request.id, body });
+            }
+        }
+        RunKind::Flush => {
+            for sub in run {
+                let body = match shared.store.flush_all() {
+                    Ok(_) => {
+                        shared.stats.lock().expect("stats lock").flushes += 1;
+                        RespBody::Flushed
+                    }
+                    Err(e) => internal_error(format!("flush failed: {e}")),
+                };
+                shared.send(sub.conn, Response { id: sub.request.id, body });
+            }
+        }
+        RunKind::Stats => {
+            for sub in run {
+                let fields = {
+                    let mut stats = shared.stats.lock().expect("stats lock");
+                    stats.stats_calls += 1;
+                    stats.to_fields()
+                };
+                let server_text = shared.stats.lock().expect("stats lock").to_string();
+                let mut text = format!("{server_text}\nstore: {}", shared.store.stats());
+                for (i, report) in shared.recovery.iter().enumerate() {
+                    text.push_str(&format!("\nstripe {i} recovery: {report}"));
+                }
+                shared.send(
+                    sub.conn,
+                    Response { id: sub.request.id, body: RespBody::Stats { fields, text } },
+                );
+            }
+        }
+    }
+}
+
+/// Flattens a run of insert requests into one `insert_batch` admission and
+/// acknowledges each request after the call returns (write ring reaped).
+fn execute_insert_run<D: Device + 'static>(shared: &Shared<D>, run: &[Submission]) {
+    let mut pairs: Vec<(Key, Value)> = Vec::new();
+    for sub in run {
+        match &sub.request.op {
+            Op::Insert { key, value } => pairs.push((*key, *value)),
+            Op::InsertBatch(ops) => pairs.extend_from_slice(ops),
+            _ => unreachable!("insert run"),
+        }
+    }
+    match shared.store.insert_batch(&pairs) {
+        Ok(_) => {
+            {
+                let mut stats = shared.stats.lock().expect("stats lock");
+                stats.inserts += pairs.len() as u64;
+                stats.insert_admissions += 1;
+            }
+            for sub in run {
+                let body = match &sub.request.op {
+                    Op::Insert { .. } => RespBody::Inserted,
+                    Op::InsertBatch(ops) => RespBody::InsertedBatch { count: ops.len() as u32 },
+                    _ => unreachable!("insert run"),
+                };
+                shared.send(sub.conn, Response { id: sub.request.id, body });
+            }
+        }
+        Err(e) => {
+            let message = format!("insert batch failed: {e}");
+            for sub in run {
+                shared.send(
+                    sub.conn,
+                    Response { id: sub.request.id, body: internal_error(message.clone()) },
+                );
+            }
+        }
+    }
+}
+
+/// Flattens a run of lookup requests into one `lookup_batch` admission and
+/// splits the in-order outcomes back out per request.
+fn execute_lookup_run<D: Device + 'static>(shared: &Shared<D>, run: &[Submission]) {
+    let mut keys: Vec<Key> = Vec::new();
+    for sub in run {
+        match &sub.request.op {
+            Op::Lookup { key } => keys.push(*key),
+            Op::LookupBatch(batch) => keys.extend_from_slice(batch),
+            _ => unreachable!("lookup run"),
+        }
+    }
+    match shared.store.lookup_batch(&keys) {
+        Ok(batch) => {
+            let hits = batch.outcomes.iter().filter(|o| o.value.is_some()).count() as u64;
+            {
+                let mut stats = shared.stats.lock().expect("stats lock");
+                stats.lookups += keys.len() as u64;
+                stats.lookup_hits += hits;
+                stats.lookup_misses += keys.len() as u64 - hits;
+                stats.lookup_admissions += 1;
+            }
+            let mut outcomes = batch.outcomes.into_iter();
+            for sub in run {
+                let body = match &sub.request.op {
+                    Op::Lookup { .. } => {
+                        let outcome = outcomes.next().expect("one outcome per key");
+                        RespBody::Value {
+                            found: outcome.value.is_some(),
+                            value: outcome.value.unwrap_or(0),
+                        }
+                    }
+                    Op::LookupBatch(batch_keys) => RespBody::Values(
+                        outcomes
+                            .by_ref()
+                            .take(batch_keys.len())
+                            .map(|o| (o.value.is_some(), o.value.unwrap_or(0)))
+                            .collect(),
+                    ),
+                    _ => unreachable!("lookup run"),
+                };
+                shared.send(sub.conn, Response { id: sub.request.id, body });
+            }
+        }
+        Err(e) => {
+            let message = format!("lookup batch failed: {e}");
+            for sub in run {
+                shared.send(
+                    sub.conn,
+                    Response { id: sub.request.id, body: internal_error(message.clone()) },
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bufferhash::{Clam, ClamConfig};
+    use flashsim::Ssd;
+
+    fn engine(linger: Duration) -> Engine<Ssd> {
+        let clam = |_| {
+            let cfg = ClamConfig::small_test(4 << 20, 1 << 20).unwrap();
+            Clam::new(Ssd::intel(4 << 20).unwrap(), cfg).unwrap()
+        };
+        let store = StripedClam::new((0..2).map(clam).collect());
+        Engine::start(store, Vec::new(), BatcherConfig { max_batch: 512, linger })
+    }
+
+    #[test]
+    fn responses_preserve_per_connection_order() {
+        let engine = engine(Duration::from_micros(200));
+        let rx = engine.register_conn(1);
+        for i in 0..100u64 {
+            engine.submit(1, Request { id: i, op: Op::Insert { key: i + 1, value: i * 2 } });
+        }
+        for i in 0..100u64 {
+            engine.submit(1, Request { id: 100 + i, op: Op::Lookup { key: i + 1 } });
+        }
+        for i in 0..100u64 {
+            let resp = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+            assert_eq!(resp.id, i, "in-order acks");
+            assert_eq!(resp.body, RespBody::Inserted);
+        }
+        for i in 0..100u64 {
+            let resp = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+            assert_eq!(resp.id, 100 + i);
+            assert_eq!(resp.body, RespBody::Value { found: true, value: i * 2 });
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.inserts, 100);
+        assert_eq!(stats.lookups, 100);
+        assert_eq!(stats.lookup_hits, 100);
+        assert!(stats.batches >= 1);
+        // The whole insert burst coalesced into far fewer admissions than
+        // requests — that is the group commit working.
+        assert!(
+            stats.insert_admissions < 100,
+            "100 inserts should not need 100 admissions: {stats}"
+        );
+        engine.shutdown();
+    }
+
+    #[test]
+    fn batch_frames_flatten_and_split_back() {
+        let engine = engine(Duration::from_micros(100));
+        let rx = engine.register_conn(7);
+        engine.submit(7, Request { id: 1, op: Op::InsertBatch(vec![(1, 10), (2, 20), (3, 30)]) });
+        engine.submit(7, Request { id: 2, op: Op::Insert { key: 4, value: 40 } });
+        engine.submit(7, Request { id: 3, op: Op::LookupBatch(vec![1, 2, 99]) });
+        engine.submit(7, Request { id: 4, op: Op::Lookup { key: 4 } });
+        assert_eq!(
+            rx.recv_timeout(Duration::from_secs(5)).unwrap().body,
+            RespBody::InsertedBatch { count: 3 }
+        );
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)).unwrap().body, RespBody::Inserted);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_secs(5)).unwrap().body,
+            RespBody::Values(vec![(true, 10), (true, 20), (false, 0)])
+        );
+        assert_eq!(
+            rx.recv_timeout(Duration::from_secs(5)).unwrap().body,
+            RespBody::Value { found: true, value: 40 }
+        );
+        let stats = engine.stats();
+        assert_eq!(stats.inserts, 4);
+        assert_eq!(stats.lookups, 4);
+        assert_eq!(stats.lookup_hits, 3);
+        assert_eq!(stats.lookup_misses, 1);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn flush_stats_and_delete_execute_in_order() {
+        let engine = engine(Duration::from_micros(100));
+        let rx = engine.register_conn(1);
+        engine.submit(1, Request { id: 1, op: Op::Insert { key: 5, value: 50 } });
+        engine.submit(1, Request { id: 2, op: Op::Flush });
+        engine.submit(1, Request { id: 3, op: Op::Delete { key: 5 } });
+        engine.submit(1, Request { id: 4, op: Op::Lookup { key: 5 } });
+        engine.submit(1, Request { id: 5, op: Op::Stats });
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)).unwrap().body, RespBody::Inserted);
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)).unwrap().body, RespBody::Flushed);
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)).unwrap().body, RespBody::Deleted);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_secs(5)).unwrap().body,
+            RespBody::Value { found: false, value: 0 }
+        );
+        let stats_resp = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        let RespBody::Stats { fields, text } = stats_resp.body else {
+            panic!("expected stats body")
+        };
+        assert_eq!(fields.flushes, 1);
+        assert_eq!(fields.deletes, 1);
+        assert!(text.contains("served:") && text.contains("store:"), "{text}");
+        engine.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_pending_requests() {
+        let engine = engine(Duration::from_millis(10));
+        let rx = engine.register_conn(1);
+        for i in 0..64u64 {
+            engine.submit(1, Request { id: i, op: Op::Insert { key: i + 1, value: i } });
+        }
+        engine.shutdown();
+        for i in 0..64u64 {
+            let resp = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+            assert_eq!(resp.id, i);
+            assert_eq!(resp.body, RespBody::Inserted);
+        }
+    }
+
+    #[test]
+    fn unregistered_connections_drop_responses_quietly() {
+        let engine = engine(Duration::from_micros(100));
+        let rx = engine.register_conn(1);
+        engine.unregister_conn(1);
+        engine.submit(1, Request { id: 1, op: Op::Flush });
+        // The batcher must not wedge on the missing connection.
+        engine.submit(1, Request { id: 2, op: Op::Flush });
+        assert!(rx.recv_timeout(Duration::from_millis(200)).is_err());
+        engine.shutdown();
+        let stats = engine.stats();
+        assert_eq!(stats.connections_opened, 1);
+        assert_eq!(stats.connections_closed, 1);
+        assert_eq!(stats.flushes, 2, "requests for dead conns still execute");
+    }
+}

@@ -1,0 +1,854 @@
+//! The `clamd` wire protocol: length-prefixed binary frames.
+//!
+//! Every message — request or response — is one **frame**: a fixed
+//! 20-byte header followed by an opcode-specific payload.
+//!
+//! ```text
+//!  byte  0               4      5      6        8              16        20
+//!        +---------------+------+------+--------+--------------+---------+----------+
+//!        | magic "CLMD"  | ver  | op   | rsvd=0 | request id   | payload | payload… |
+//!        | u32 LE        | u8   | u8   | u16 LE | u64 LE       | len u32 |          |
+//!        +---------------+------+------+--------+--------------+---------+----------+
+//! ```
+//!
+//! * The **request id** is chosen by the client and echoed verbatim in the
+//!   response, so pipelined connections can match completions to
+//!   submissions (the server additionally preserves per-connection
+//!   arrival order).
+//! * **All integers are little-endian.** Keys and values are the 8-byte
+//!   fingerprint entries of [`bufferhash`](bufferhash::ENTRY_SIZE).
+//! * Decoding is **strict**: wrong magic, unknown version, non-zero
+//!   reserved bytes, an oversized payload, a payload whose length
+//!   disagrees with its opcode, or an over-long batch all produce a
+//!   structured [`WireError`] — never a panic. Incomplete frames are not
+//!   errors; streaming decoders return `Ok(None)` until enough bytes
+//!   arrive.
+//!
+//! The op set mirrors the CLAM surface: INSERT / LOOKUP / DELETE /
+//! FLUSH / STATS plus the batch frames INSERT_BATCH / LOOKUP_BATCH that
+//! let one client-side frame carry many operations (server-side group
+//! commit batches *across* frames and connections either way — see
+//! [`crate::batcher`]).
+
+use std::fmt;
+
+use bufferhash::{Key, Value};
+
+/// Frame magic: `"CLMD"` in ASCII.
+pub const MAGIC: u32 = 0x444D_4C43; // b"CLMD" read little-endian
+/// Protocol version this build speaks.
+pub const VERSION: u8 = 1;
+/// Fixed frame-header length in bytes.
+pub const HEADER_LEN: usize = 20;
+/// Largest payload a peer may send; larger length fields are rejected as
+/// [`WireError::Oversized`] before any allocation.
+pub const MAX_PAYLOAD: usize = 1 << 20;
+/// Largest operation count in one batch frame.
+pub const MAX_BATCH_OPS: usize = 64 * 1024;
+
+/// Request opcodes (client → server).
+mod opcode {
+    pub const INSERT: u8 = 0x01;
+    pub const LOOKUP: u8 = 0x02;
+    pub const DELETE: u8 = 0x03;
+    pub const FLUSH: u8 = 0x04;
+    pub const STATS: u8 = 0x05;
+    pub const INSERT_BATCH: u8 = 0x06;
+    pub const LOOKUP_BATCH: u8 = 0x07;
+
+    pub const R_INSERTED: u8 = 0x81;
+    pub const R_VALUE: u8 = 0x82;
+    pub const R_DELETED: u8 = 0x83;
+    pub const R_FLUSHED: u8 = 0x84;
+    pub const R_STATS: u8 = 0x85;
+    pub const R_INSERTED_BATCH: u8 = 0x86;
+    pub const R_VALUES: u8 = 0x87;
+    pub const R_ERROR: u8 = 0xFF;
+}
+
+/// One client operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Op {
+    /// Insert (or update) one fingerprint.
+    Insert {
+        /// The fingerprint key.
+        key: Key,
+        /// The value to store.
+        value: Value,
+    },
+    /// Look up one fingerprint.
+    Lookup {
+        /// The fingerprint key.
+        key: Key,
+    },
+    /// Delete one fingerprint.
+    Delete {
+        /// The fingerprint key.
+        key: Key,
+    },
+    /// Flush every buffered entry to flash (durability barrier).
+    Flush,
+    /// Fetch the server's statistics ledgers.
+    Stats,
+    /// Insert many fingerprints in one frame.
+    InsertBatch(Vec<(Key, Value)>),
+    /// Look up many fingerprints in one frame.
+    LookupBatch(Vec<Key>),
+}
+
+impl Op {
+    /// The opcode byte this operation encodes to.
+    pub fn opcode(&self) -> u8 {
+        match self {
+            Op::Insert { .. } => opcode::INSERT,
+            Op::Lookup { .. } => opcode::LOOKUP,
+            Op::Delete { .. } => opcode::DELETE,
+            Op::Flush => opcode::FLUSH,
+            Op::Stats => opcode::STATS,
+            Op::InsertBatch(_) => opcode::INSERT_BATCH,
+            Op::LookupBatch(_) => opcode::LOOKUP_BATCH,
+        }
+    }
+
+    /// Number of CLAM operations this frame carries (1 for the scalar
+    /// ops, the batch length for batch frames).
+    pub fn ops(&self) -> usize {
+        match self {
+            Op::InsertBatch(v) => v.len(),
+            Op::LookupBatch(v) => v.len(),
+            _ => 1,
+        }
+    }
+}
+
+/// Structured error codes carried by [`RespBody::Error`] frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// Frame magic was not `"CLMD"`.
+    BadMagic,
+    /// Version byte newer than this server speaks.
+    BadVersion,
+    /// Opcode not defined in this direction of the protocol.
+    UnknownOp,
+    /// Payload length field exceeded [`MAX_PAYLOAD`].
+    Oversized,
+    /// Payload disagreed with its opcode (length mismatch, bad count,
+    /// non-zero reserved bytes, malformed fields).
+    Corrupt,
+    /// A batch frame carried more than [`MAX_BATCH_OPS`] operations.
+    TooManyOps,
+    /// The store itself failed the operation.
+    Internal,
+}
+
+impl ErrorCode {
+    /// Wire representation.
+    pub fn as_u16(self) -> u16 {
+        match self {
+            ErrorCode::BadMagic => 1,
+            ErrorCode::BadVersion => 2,
+            ErrorCode::UnknownOp => 3,
+            ErrorCode::Oversized => 4,
+            ErrorCode::Corrupt => 5,
+            ErrorCode::TooManyOps => 6,
+            ErrorCode::Internal => 7,
+        }
+    }
+
+    /// Parses a wire code; unknown codes are a corrupt payload.
+    pub fn from_u16(code: u16) -> Result<Self, WireError> {
+        Ok(match code {
+            1 => ErrorCode::BadMagic,
+            2 => ErrorCode::BadVersion,
+            3 => ErrorCode::UnknownOp,
+            4 => ErrorCode::Oversized,
+            5 => ErrorCode::Corrupt,
+            6 => ErrorCode::TooManyOps,
+            7 => ErrorCode::Internal,
+            _ => return Err(WireError::Corrupt("unknown error code")),
+        })
+    }
+}
+
+/// A decode-side protocol violation. Connection-fatal: the server answers
+/// with one [`RespBody::Error`] frame (request id 0 when the offending
+/// header could not be parsed) and closes the connection, because a
+/// misframed stream has no trustworthy resynchronization point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Frame magic mismatch (the observed value).
+    BadMagic(u32),
+    /// Unsupported protocol version (the observed value).
+    BadVersion(u8),
+    /// Opcode not valid in this direction (the observed value).
+    UnknownOpcode(u8),
+    /// Declared payload length beyond [`MAX_PAYLOAD`].
+    Oversized(usize),
+    /// Structurally invalid frame contents.
+    Corrupt(&'static str),
+    /// A batch frame declared more than [`MAX_BATCH_OPS`] operations.
+    TooManyOps(usize),
+}
+
+impl WireError {
+    /// The structured code a server reports for this violation.
+    pub fn code(&self) -> ErrorCode {
+        match self {
+            WireError::BadMagic(_) => ErrorCode::BadMagic,
+            WireError::BadVersion(_) => ErrorCode::BadVersion,
+            WireError::UnknownOpcode(_) => ErrorCode::UnknownOp,
+            WireError::Oversized(_) => ErrorCode::Oversized,
+            WireError::Corrupt(_) => ErrorCode::Corrupt,
+            WireError::TooManyOps(_) => ErrorCode::TooManyOps,
+        }
+    }
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::BadMagic(m) => write!(f, "bad frame magic {m:#010x}"),
+            WireError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            WireError::UnknownOpcode(o) => write!(f, "unknown opcode {o:#04x}"),
+            WireError::Oversized(n) => {
+                write!(f, "payload of {n} bytes exceeds the {MAX_PAYLOAD}-byte limit")
+            }
+            WireError::Corrupt(why) => write!(f, "corrupt frame: {why}"),
+            WireError::TooManyOps(n) => {
+                write!(f, "batch of {n} ops exceeds the {MAX_BATCH_OPS}-op limit")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// The numeric half of a STATS response: a fixed field vector the load
+/// generator can diff across snapshots (the human-readable ledger text
+/// follows it in the same payload). Field meanings are defined by the
+/// [`ServerStats`](crate::ServerStats) ledger they are copied from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsFields {
+    /// Inserts served (acknowledged after their group-commit flush).
+    pub inserts: u64,
+    /// Lookups served.
+    pub lookups: u64,
+    /// Deletes served.
+    pub deletes: u64,
+    /// FLUSH barriers served.
+    pub flushes: u64,
+    /// STATS requests served (including the one reporting this).
+    pub stats_calls: u64,
+    /// Lookups that found a value.
+    pub lookup_hits: u64,
+    /// Lookups that found nothing.
+    pub lookup_misses: u64,
+    /// Group-commit gathers executed by the batcher.
+    pub batches: u64,
+    /// Requests drained across all gathers.
+    pub batched_requests: u64,
+    /// Gathers that lingered waiting for concurrent arrivals.
+    pub group_commit_waits: u64,
+    /// Largest gather (in requests) observed.
+    pub batch_high_water: u64,
+    /// Coalesced `insert_batch` ring admissions.
+    pub insert_admissions: u64,
+    /// Coalesced `lookup_batch` ring admissions.
+    pub lookup_admissions: u64,
+    /// Per-key delete admissions.
+    pub delete_admissions: u64,
+    /// Connections rejected or dropped on protocol violations.
+    pub wire_errors: u64,
+}
+
+impl StatsFields {
+    /// Number of `u64` fields on the wire.
+    pub const COUNT: usize = 15;
+
+    fn to_words(self) -> [u64; Self::COUNT] {
+        [
+            self.inserts,
+            self.lookups,
+            self.deletes,
+            self.flushes,
+            self.stats_calls,
+            self.lookup_hits,
+            self.lookup_misses,
+            self.batches,
+            self.batched_requests,
+            self.group_commit_waits,
+            self.batch_high_water,
+            self.insert_admissions,
+            self.lookup_admissions,
+            self.delete_admissions,
+            self.wire_errors,
+        ]
+    }
+
+    fn from_words(w: &[u64]) -> Self {
+        StatsFields {
+            inserts: w[0],
+            lookups: w[1],
+            deletes: w[2],
+            flushes: w[3],
+            stats_calls: w[4],
+            lookup_hits: w[5],
+            lookup_misses: w[6],
+            batches: w[7],
+            batched_requests: w[8],
+            group_commit_waits: w[9],
+            batch_high_water: w[10],
+            insert_admissions: w[11],
+            lookup_admissions: w[12],
+            delete_admissions: w[13],
+            wire_errors: w[14],
+        }
+    }
+
+    /// Field-wise difference (`self - earlier`, saturating), for
+    /// per-load-level deltas between two snapshots.
+    pub fn delta(&self, earlier: &StatsFields) -> StatsFields {
+        let a = self.to_words();
+        let b = earlier.to_words();
+        let mut out = [0u64; Self::COUNT];
+        for i in 0..Self::COUNT {
+            out[i] = a[i].saturating_sub(b[i]);
+        }
+        // High-water marks are not differences; keep the later value.
+        let mut fields = StatsFields::from_words(&out);
+        fields.batch_high_water = self.batch_high_water;
+        fields
+    }
+
+    /// Mean requests per group-commit gather.
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.batched_requests as f64 / self.batches as f64
+        }
+    }
+}
+
+/// A server response body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RespBody {
+    /// The insert is durable in the store's acknowledgment sense (its
+    /// group-commit flush writes, if any, were reaped before this was
+    /// sent).
+    Inserted,
+    /// Lookup result.
+    Value {
+        /// Whether the key was found.
+        found: bool,
+        /// The value (0 when not found).
+        value: Value,
+    },
+    /// The delete was applied.
+    Deleted,
+    /// Every buffer was flushed to flash.
+    Flushed,
+    /// Statistics ledgers: the numeric fields plus the rendered text.
+    Stats {
+        /// Machine-readable counters.
+        fields: StatsFields,
+        /// Human-readable ledger (server + store + recovery).
+        text: String,
+    },
+    /// A batch of inserts is durable; `count` echoes the batch size.
+    InsertedBatch {
+        /// Operations acknowledged.
+        count: u32,
+    },
+    /// Batch lookup results, in request order.
+    Values(Vec<(bool, Value)>),
+    /// The request failed; see the code and message.
+    Error {
+        /// Structured error code.
+        code: ErrorCode,
+        /// Human-readable explanation.
+        message: String,
+    },
+}
+
+impl RespBody {
+    /// The opcode byte this response encodes to.
+    pub fn opcode(&self) -> u8 {
+        match self {
+            RespBody::Inserted => opcode::R_INSERTED,
+            RespBody::Value { .. } => opcode::R_VALUE,
+            RespBody::Deleted => opcode::R_DELETED,
+            RespBody::Flushed => opcode::R_FLUSHED,
+            RespBody::Stats { .. } => opcode::R_STATS,
+            RespBody::InsertedBatch { .. } => opcode::R_INSERTED_BATCH,
+            RespBody::Values(_) => opcode::R_VALUES,
+            RespBody::Error { .. } => opcode::R_ERROR,
+        }
+    }
+}
+
+/// One request frame: client-chosen id plus the operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Client-chosen id, echoed in the response.
+    pub id: u64,
+    /// The operation.
+    pub op: Op,
+}
+
+/// One response frame: the echoed request id plus the body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// The id of the request this answers (0 for connection-level
+    /// protocol errors whose request header could not be parsed).
+    pub id: u64,
+    /// The response body.
+    pub body: RespBody,
+}
+
+fn put_header(buf: &mut Vec<u8>, op: u8, id: u64, payload_len: usize) {
+    buf.extend_from_slice(&MAGIC.to_le_bytes());
+    buf.push(VERSION);
+    buf.push(op);
+    buf.extend_from_slice(&0u16.to_le_bytes());
+    buf.extend_from_slice(&id.to_le_bytes());
+    buf.extend_from_slice(&(payload_len as u32).to_le_bytes());
+}
+
+/// Appends the encoded frame for `request` to `buf`.
+pub fn encode_request(request: &Request, buf: &mut Vec<u8>) {
+    let payload_len = match &request.op {
+        Op::Insert { .. } => 16,
+        Op::Lookup { .. } | Op::Delete { .. } => 8,
+        Op::Flush | Op::Stats => 0,
+        Op::InsertBatch(v) => 4 + 16 * v.len(),
+        Op::LookupBatch(v) => 4 + 8 * v.len(),
+    };
+    put_header(buf, request.op.opcode(), request.id, payload_len);
+    match &request.op {
+        Op::Insert { key, value } => {
+            buf.extend_from_slice(&key.to_le_bytes());
+            buf.extend_from_slice(&value.to_le_bytes());
+        }
+        Op::Lookup { key } | Op::Delete { key } => buf.extend_from_slice(&key.to_le_bytes()),
+        Op::Flush | Op::Stats => {}
+        Op::InsertBatch(v) => {
+            buf.extend_from_slice(&(v.len() as u32).to_le_bytes());
+            for (key, value) in v {
+                buf.extend_from_slice(&key.to_le_bytes());
+                buf.extend_from_slice(&value.to_le_bytes());
+            }
+        }
+        Op::LookupBatch(v) => {
+            buf.extend_from_slice(&(v.len() as u32).to_le_bytes());
+            for key in v {
+                buf.extend_from_slice(&key.to_le_bytes());
+            }
+        }
+    }
+}
+
+/// Appends the encoded frame for `response` to `buf`.
+pub fn encode_response(response: &Response, buf: &mut Vec<u8>) {
+    let payload_len = match &response.body {
+        RespBody::Inserted | RespBody::Deleted | RespBody::Flushed => 0,
+        RespBody::Value { .. } => 9,
+        RespBody::Stats { text, .. } => 4 + 8 * StatsFields::COUNT + text.len(),
+        RespBody::InsertedBatch { .. } => 4,
+        RespBody::Values(v) => 4 + 9 * v.len(),
+        RespBody::Error { message, .. } => 2 + message.len(),
+    };
+    put_header(buf, response.body.opcode(), response.id, payload_len);
+    match &response.body {
+        RespBody::Inserted | RespBody::Deleted | RespBody::Flushed => {}
+        RespBody::Value { found, value } => {
+            buf.push(u8::from(*found));
+            buf.extend_from_slice(&value.to_le_bytes());
+        }
+        RespBody::Stats { fields, text } => {
+            buf.extend_from_slice(&(StatsFields::COUNT as u32).to_le_bytes());
+            for word in fields.to_words() {
+                buf.extend_from_slice(&word.to_le_bytes());
+            }
+            buf.extend_from_slice(text.as_bytes());
+        }
+        RespBody::InsertedBatch { count } => buf.extend_from_slice(&count.to_le_bytes()),
+        RespBody::Values(v) => {
+            buf.extend_from_slice(&(v.len() as u32).to_le_bytes());
+            for (found, value) in v {
+                buf.push(u8::from(*found));
+                buf.extend_from_slice(&value.to_le_bytes());
+            }
+        }
+        RespBody::Error { code, message } => {
+            buf.extend_from_slice(&code.as_u16().to_le_bytes());
+            buf.extend_from_slice(message.as_bytes());
+        }
+    }
+}
+
+/// A parsed header: opcode, request id, payload length.
+struct Header {
+    opcode: u8,
+    id: u64,
+    payload_len: usize,
+}
+
+/// Parses the fixed header. `Ok(None)` means more bytes are needed.
+fn parse_header(buf: &[u8]) -> Result<Option<Header>, WireError> {
+    if buf.len() < HEADER_LEN {
+        return Ok(None);
+    }
+    let magic = u32::from_le_bytes(buf[0..4].try_into().expect("4 bytes"));
+    if magic != MAGIC {
+        return Err(WireError::BadMagic(magic));
+    }
+    if buf[4] != VERSION {
+        return Err(WireError::BadVersion(buf[4]));
+    }
+    let reserved = u16::from_le_bytes(buf[6..8].try_into().expect("2 bytes"));
+    if reserved != 0 {
+        return Err(WireError::Corrupt("non-zero reserved header bytes"));
+    }
+    let id = u64::from_le_bytes(buf[8..16].try_into().expect("8 bytes"));
+    let payload_len = u32::from_le_bytes(buf[16..20].try_into().expect("4 bytes")) as usize;
+    if payload_len > MAX_PAYLOAD {
+        return Err(WireError::Oversized(payload_len));
+    }
+    Ok(Some(Header { opcode: buf[5], id, payload_len }))
+}
+
+/// Best-effort extraction of the request id from the front of `buf`, for
+/// correlating an error reply with the frame that caused it.
+///
+/// Returns `Some(id)` only when a full header is present and its magic
+/// and version match — i.e. the peer was speaking this protocol and the
+/// id field is trustworthy even if the rest of the frame is invalid.
+pub fn peek_request_id(buf: &[u8]) -> Option<u64> {
+    if buf.len() < HEADER_LEN || buf[0..4] != MAGIC.to_le_bytes() || buf[4] != VERSION {
+        return None;
+    }
+    Some(u64::from_le_bytes(buf[8..16].try_into().expect("8 bytes")))
+}
+
+fn u64_at(p: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(p[at..at + 8].try_into().expect("8 bytes"))
+}
+
+/// Reads a batch count and checks it against the remaining payload.
+fn batch_count(p: &[u8], elem_size: usize) -> Result<usize, WireError> {
+    if p.len() < 4 {
+        return Err(WireError::Corrupt("batch frame shorter than its count field"));
+    }
+    let count = u32::from_le_bytes(p[0..4].try_into().expect("4 bytes")) as usize;
+    if count > MAX_BATCH_OPS {
+        return Err(WireError::TooManyOps(count));
+    }
+    if p.len() != 4 + count * elem_size {
+        return Err(WireError::Corrupt("batch payload length disagrees with its count"));
+    }
+    Ok(count)
+}
+
+/// Decodes one request frame from the front of `buf`.
+///
+/// Returns `Ok(Some((request, consumed)))` for a complete frame,
+/// `Ok(None)` when `buf` holds only a prefix (read more and retry), and
+/// a [`WireError`] for a structurally invalid frame. Never panics on
+/// arbitrary input.
+pub fn decode_request(buf: &[u8]) -> Result<Option<(Request, usize)>, WireError> {
+    let Some(header) = parse_header(buf)? else { return Ok(None) };
+    if buf.len() < HEADER_LEN + header.payload_len {
+        return Ok(None);
+    }
+    let p = &buf[HEADER_LEN..HEADER_LEN + header.payload_len];
+    let exact = |want: usize, what: &'static str| -> Result<(), WireError> {
+        if p.len() == want {
+            Ok(())
+        } else {
+            Err(WireError::Corrupt(what))
+        }
+    };
+    let op = match header.opcode {
+        opcode::INSERT => {
+            exact(16, "INSERT payload must be exactly 16 bytes")?;
+            Op::Insert { key: u64_at(p, 0), value: u64_at(p, 8) }
+        }
+        opcode::LOOKUP => {
+            exact(8, "LOOKUP payload must be exactly 8 bytes")?;
+            Op::Lookup { key: u64_at(p, 0) }
+        }
+        opcode::DELETE => {
+            exact(8, "DELETE payload must be exactly 8 bytes")?;
+            Op::Delete { key: u64_at(p, 0) }
+        }
+        opcode::FLUSH => {
+            exact(0, "FLUSH carries no payload")?;
+            Op::Flush
+        }
+        opcode::STATS => {
+            exact(0, "STATS carries no payload")?;
+            Op::Stats
+        }
+        opcode::INSERT_BATCH => {
+            let count = batch_count(p, 16)?;
+            Op::InsertBatch(
+                (0..count).map(|i| (u64_at(p, 4 + 16 * i), u64_at(p, 12 + 16 * i))).collect(),
+            )
+        }
+        opcode::LOOKUP_BATCH => {
+            let count = batch_count(p, 8)?;
+            Op::LookupBatch((0..count).map(|i| u64_at(p, 4 + 8 * i)).collect())
+        }
+        other => return Err(WireError::UnknownOpcode(other)),
+    };
+    Ok(Some((Request { id: header.id, op }, HEADER_LEN + header.payload_len)))
+}
+
+/// Decodes one response frame from the front of `buf`; same contract as
+/// [`decode_request`].
+pub fn decode_response(buf: &[u8]) -> Result<Option<(Response, usize)>, WireError> {
+    let Some(header) = parse_header(buf)? else { return Ok(None) };
+    if buf.len() < HEADER_LEN + header.payload_len {
+        return Ok(None);
+    }
+    let p = &buf[HEADER_LEN..HEADER_LEN + header.payload_len];
+    let exact = |want: usize, what: &'static str| -> Result<(), WireError> {
+        if p.len() == want {
+            Ok(())
+        } else {
+            Err(WireError::Corrupt(what))
+        }
+    };
+    let body = match header.opcode {
+        opcode::R_INSERTED => {
+            exact(0, "INSERTED carries no payload")?;
+            RespBody::Inserted
+        }
+        opcode::R_DELETED => {
+            exact(0, "DELETED carries no payload")?;
+            RespBody::Deleted
+        }
+        opcode::R_FLUSHED => {
+            exact(0, "FLUSHED carries no payload")?;
+            RespBody::Flushed
+        }
+        opcode::R_VALUE => {
+            exact(9, "VALUE payload must be exactly 9 bytes")?;
+            if p[0] > 1 {
+                return Err(WireError::Corrupt("VALUE found flag must be 0 or 1"));
+            }
+            RespBody::Value { found: p[0] == 1, value: u64_at(p, 1) }
+        }
+        opcode::R_STATS => {
+            if p.len() < 4 {
+                return Err(WireError::Corrupt("STATS frame shorter than its field count"));
+            }
+            let count = u32::from_le_bytes(p[0..4].try_into().expect("4 bytes")) as usize;
+            if count != StatsFields::COUNT {
+                return Err(WireError::Corrupt("STATS field count mismatch for this version"));
+            }
+            let words_end = 4 + 8 * count;
+            if p.len() < words_end {
+                return Err(WireError::Corrupt("STATS frame truncates its field vector"));
+            }
+            let words: Vec<u64> = (0..count).map(|i| u64_at(p, 4 + 8 * i)).collect();
+            let text = std::str::from_utf8(&p[words_end..])
+                .map_err(|_| WireError::Corrupt("STATS ledger text is not UTF-8"))?
+                .to_string();
+            RespBody::Stats { fields: StatsFields::from_words(&words), text }
+        }
+        opcode::R_INSERTED_BATCH => {
+            exact(4, "INSERTED_BATCH payload must be exactly 4 bytes")?;
+            RespBody::InsertedBatch {
+                count: u32::from_le_bytes(p[0..4].try_into().expect("4 bytes")),
+            }
+        }
+        opcode::R_VALUES => {
+            if p.len() < 4 {
+                return Err(WireError::Corrupt("VALUES frame shorter than its count field"));
+            }
+            let count = u32::from_le_bytes(p[0..4].try_into().expect("4 bytes")) as usize;
+            if count > MAX_BATCH_OPS {
+                return Err(WireError::TooManyOps(count));
+            }
+            if p.len() != 4 + 9 * count {
+                return Err(WireError::Corrupt("VALUES payload length disagrees with its count"));
+            }
+            let mut values = Vec::with_capacity(count);
+            for i in 0..count {
+                let at = 4 + 9 * i;
+                if p[at] > 1 {
+                    return Err(WireError::Corrupt("VALUES found flag must be 0 or 1"));
+                }
+                values.push((p[at] == 1, u64_at(p, at + 1)));
+            }
+            RespBody::Values(values)
+        }
+        opcode::R_ERROR => {
+            if p.len() < 2 {
+                return Err(WireError::Corrupt("ERROR frame shorter than its code field"));
+            }
+            let code = ErrorCode::from_u16(u16::from_le_bytes(p[0..2].try_into().expect("2")))?;
+            let message = std::str::from_utf8(&p[2..])
+                .map_err(|_| WireError::Corrupt("ERROR message is not UTF-8"))?
+                .to_string();
+            RespBody::Error { code, message }
+        }
+        other => return Err(WireError::UnknownOpcode(other)),
+    };
+    Ok(Some((Response { id: header.id, body }, HEADER_LEN + header.payload_len)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn magic_spells_clmd() {
+        assert_eq!(&MAGIC.to_le_bytes(), b"CLMD");
+    }
+
+    #[test]
+    fn request_round_trip_all_ops() {
+        let ops = vec![
+            Op::Insert { key: 1, value: 2 },
+            Op::Lookup { key: u64::MAX },
+            Op::Delete { key: 0 },
+            Op::Flush,
+            Op::Stats,
+            Op::InsertBatch(vec![(1, 2), (3, 4)]),
+            Op::InsertBatch(Vec::new()),
+            Op::LookupBatch(vec![9, 8, 7]),
+        ];
+        for (i, op) in ops.into_iter().enumerate() {
+            let req = Request { id: i as u64 * 77 + 1, op };
+            let mut buf = Vec::new();
+            encode_request(&req, &mut buf);
+            let (decoded, consumed) = decode_request(&buf).unwrap().unwrap();
+            assert_eq!(consumed, buf.len());
+            assert_eq!(decoded, req);
+        }
+    }
+
+    #[test]
+    fn response_round_trip_all_bodies() {
+        let bodies = vec![
+            RespBody::Inserted,
+            RespBody::Value { found: true, value: 42 },
+            RespBody::Value { found: false, value: 0 },
+            RespBody::Deleted,
+            RespBody::Flushed,
+            RespBody::Stats {
+                fields: StatsFields { inserts: 5, lookup_hits: 3, ..Default::default() },
+                text: "served: …".to_string(),
+            },
+            RespBody::InsertedBatch { count: 1000 },
+            RespBody::Values(vec![(true, 1), (false, 0)]),
+            RespBody::Error { code: ErrorCode::Corrupt, message: "nope".to_string() },
+        ];
+        for (i, body) in bodies.into_iter().enumerate() {
+            let resp = Response { id: i as u64, body };
+            let mut buf = Vec::new();
+            encode_response(&resp, &mut buf);
+            let (decoded, consumed) = decode_response(&buf).unwrap().unwrap();
+            assert_eq!(consumed, buf.len());
+            assert_eq!(decoded, resp);
+        }
+    }
+
+    #[test]
+    fn truncated_frames_ask_for_more_bytes() {
+        let mut buf = Vec::new();
+        encode_request(&Request { id: 7, op: Op::InsertBatch(vec![(1, 2), (3, 4)]) }, &mut buf);
+        for cut in 0..buf.len() {
+            assert_eq!(decode_request(&buf[..cut]).unwrap(), None, "prefix of {cut} bytes");
+        }
+    }
+
+    #[test]
+    fn corrupt_headers_are_structured_errors() {
+        let mut buf = Vec::new();
+        encode_request(&Request { id: 1, op: Op::Flush }, &mut buf);
+        // Bad magic.
+        let mut bad = buf.clone();
+        bad[0] ^= 0xFF;
+        assert!(matches!(decode_request(&bad), Err(WireError::BadMagic(_))));
+        // Future version.
+        let mut bad = buf.clone();
+        bad[4] = 9;
+        assert_eq!(decode_request(&bad), Err(WireError::BadVersion(9)));
+        // Reserved bytes must be zero.
+        let mut bad = buf.clone();
+        bad[6] = 1;
+        assert!(matches!(decode_request(&bad), Err(WireError::Corrupt(_))));
+        // Unknown opcode (a response opcode in the request direction).
+        let mut bad = buf.clone();
+        bad[5] = 0x81;
+        assert_eq!(decode_request(&bad), Err(WireError::UnknownOpcode(0x81)));
+        // Oversized payload length field.
+        let mut bad = buf;
+        bad[16..20].copy_from_slice(&((MAX_PAYLOAD + 1) as u32).to_le_bytes());
+        assert_eq!(decode_request(&bad), Err(WireError::Oversized(MAX_PAYLOAD + 1)));
+    }
+
+    #[test]
+    fn payload_length_must_match_opcode() {
+        // An INSERT whose payload claims 8 bytes is corrupt, not a panic.
+        let mut buf = Vec::new();
+        encode_request(&Request { id: 1, op: Op::Lookup { key: 5 } }, &mut buf);
+        buf[5] = 0x01; // relabel LOOKUP as INSERT, payload stays 8 bytes
+        assert!(matches!(decode_request(&buf), Err(WireError::Corrupt(_))));
+    }
+
+    #[test]
+    fn batch_count_must_match_payload() {
+        let mut buf = Vec::new();
+        encode_request(&Request { id: 1, op: Op::LookupBatch(vec![1, 2, 3]) }, &mut buf);
+        // Claim one extra element without supplying its bytes.
+        buf[HEADER_LEN..HEADER_LEN + 4].copy_from_slice(&4u32.to_le_bytes());
+        assert!(matches!(decode_request(&buf), Err(WireError::Corrupt(_))));
+        // Claim an absurd count: structured TooManyOps.
+        let mut absurd = Vec::new();
+        encode_request(&Request { id: 1, op: Op::LookupBatch(vec![1]) }, &mut absurd);
+        absurd[HEADER_LEN..HEADER_LEN + 4]
+            .copy_from_slice(&((MAX_BATCH_OPS + 1) as u32).to_le_bytes());
+        assert!(matches!(decode_request(&absurd), Err(WireError::TooManyOps(_))));
+    }
+
+    #[test]
+    fn stats_fields_delta_and_mean() {
+        let early =
+            StatsFields { lookups: 10, batches: 2, batched_requests: 10, ..Default::default() };
+        let late = StatsFields {
+            lookups: 110,
+            batches: 12,
+            batched_requests: 110,
+            batch_high_water: 40,
+            ..Default::default()
+        };
+        let d = late.delta(&early);
+        assert_eq!(d.lookups, 100);
+        assert_eq!(d.batches, 10);
+        assert_eq!(d.batched_requests, 100);
+        assert_eq!(d.batch_high_water, 40, "high-water keeps the later value");
+        assert!((d.mean_batch() - 10.0).abs() < 1e-9);
+        assert_eq!(StatsFields::default().mean_batch(), 0.0);
+    }
+
+    #[test]
+    fn error_codes_round_trip() {
+        for code in [
+            ErrorCode::BadMagic,
+            ErrorCode::BadVersion,
+            ErrorCode::UnknownOp,
+            ErrorCode::Oversized,
+            ErrorCode::Corrupt,
+            ErrorCode::TooManyOps,
+            ErrorCode::Internal,
+        ] {
+            assert_eq!(ErrorCode::from_u16(code.as_u16()).unwrap(), code);
+        }
+        assert!(ErrorCode::from_u16(999).is_err());
+    }
+}

@@ -1,0 +1,241 @@
+//! The `clamd` server-side statistics ledger.
+//!
+//! [`ServerStats`] counts what the *service* did — requests served,
+//! group-commit gathers, ring admissions, wire errors — as opposed to
+//! [`ClamStats`](bufferhash::ClamStats), which counts what the *store*
+//! did underneath. A STATS request returns both ledgers (numeric fields
+//! plus rendered text), and the `Display` impl mirrors the pipe-separated
+//! ledger style used across the workspace, eliding segments that never
+//! fired.
+
+use std::fmt;
+
+use crate::proto::StatsFields;
+
+/// Maximum batch-size histogram index tracked explicitly; larger gathers
+/// accumulate in the final bucket (same cap policy as the CLAM's
+/// histograms).
+const HISTOGRAM_CAP: usize = 64;
+
+/// Counters for one `clamd` server instance.
+#[derive(Debug, Clone, Default)]
+pub struct ServerStats {
+    /// Insert operations acknowledged (batch frames count each op).
+    pub inserts: u64,
+    /// Lookup operations answered (batch frames count each key).
+    pub lookups: u64,
+    /// Delete operations applied.
+    pub deletes: u64,
+    /// FLUSH barriers served.
+    pub flushes: u64,
+    /// STATS requests served.
+    pub stats_calls: u64,
+    /// Lookups that found a value.
+    pub lookup_hits: u64,
+    /// Lookups that found nothing.
+    pub lookup_misses: u64,
+    /// Connections dropped after a protocol violation.
+    pub wire_errors: u64,
+    /// Group-commit gathers executed by the batcher thread.
+    pub batches: u64,
+    /// Requests drained across all gathers.
+    pub batched_requests: u64,
+    /// Gathers that lingered (waited out the group-commit window) for
+    /// concurrent arrivals instead of firing on a full queue.
+    pub group_commit_waits: u64,
+    /// Largest gather, in requests.
+    pub batch_high_water: u64,
+    /// Histogram of gather sizes: `batch_histogram[n]` is the number of
+    /// gathers that drained exactly `n` requests (the final bucket
+    /// accumulates everything at or beyond its index).
+    pub batch_histogram: Vec<u64>,
+    /// Coalesced `insert_batch` ring admissions (one per contiguous run of
+    /// insert requests in a gather).
+    pub insert_admissions: u64,
+    /// Coalesced `lookup_batch` ring admissions.
+    pub lookup_admissions: u64,
+    /// Per-key delete admissions.
+    pub delete_admissions: u64,
+    /// Connections accepted.
+    pub connections_opened: u64,
+    /// Connections closed (cleanly or after an error).
+    pub connections_closed: u64,
+}
+
+impl ServerStats {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one group-commit gather of `size` requests; `waited` marks
+    /// gathers that lingered for concurrent arrivals before firing.
+    pub fn record_batch(&mut self, size: usize, waited: bool) {
+        self.batches += 1;
+        self.batched_requests += size as u64;
+        self.batch_high_water = self.batch_high_water.max(size as u64);
+        if waited {
+            self.group_commit_waits += 1;
+        }
+        let idx = size.min(HISTOGRAM_CAP);
+        if self.batch_histogram.len() <= idx {
+            self.batch_histogram.resize(idx + 1, 0);
+        }
+        self.batch_histogram[idx] += 1;
+    }
+
+    /// Mean requests per gather.
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.batched_requests as f64 / self.batches as f64
+        }
+    }
+
+    /// The numeric field vector a STATS response carries.
+    pub fn to_fields(&self) -> StatsFields {
+        StatsFields {
+            inserts: self.inserts,
+            lookups: self.lookups,
+            deletes: self.deletes,
+            flushes: self.flushes,
+            stats_calls: self.stats_calls,
+            lookup_hits: self.lookup_hits,
+            lookup_misses: self.lookup_misses,
+            batches: self.batches,
+            batched_requests: self.batched_requests,
+            group_commit_waits: self.group_commit_waits,
+            batch_high_water: self.batch_high_water,
+            insert_admissions: self.insert_admissions,
+            lookup_admissions: self.lookup_admissions,
+            delete_admissions: self.delete_admissions,
+            wire_errors: self.wire_errors,
+        }
+    }
+}
+
+impl fmt::Display for ServerStats {
+    /// One-line operational summary in the workspace ledger style: served
+    /// op counts, group-commit shape, ring admissions, connection churn —
+    /// with untouched segments elided.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "served: {} inserts | {} lookups ({} hits / {} misses) | {} deletes | {} flushes | {} stats",
+            self.inserts, self.lookups, self.lookup_hits, self.lookup_misses, self.deletes,
+            self.flushes, self.stats_calls,
+        )?;
+        if self.batches > 0 {
+            write!(
+                f,
+                " | group commit: {} gathers, mean {:.1} reqs, hwm {}, {} lingered",
+                self.batches,
+                self.mean_batch(),
+                self.batch_high_water,
+                self.group_commit_waits
+            )?;
+        }
+        if self.insert_admissions + self.lookup_admissions + self.delete_admissions > 0 {
+            write!(
+                f,
+                " | admissions: {} insert, {} lookup, {} delete",
+                self.insert_admissions, self.lookup_admissions, self.delete_admissions
+            )?;
+        }
+        if self.connections_opened > 0 {
+            write!(
+                f,
+                " | conns: {} opened / {} closed",
+                self.connections_opened, self.connections_closed
+            )?;
+        }
+        if self.wire_errors > 0 {
+            write!(f, " | wire errors: {}", self.wire_errors)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batches_accumulate_histogram_and_high_water() {
+        let mut s = ServerStats::new();
+        s.record_batch(1, false);
+        s.record_batch(1, false);
+        s.record_batch(8, true);
+        s.record_batch(1000, true);
+        assert_eq!(s.batches, 4);
+        assert_eq!(s.batched_requests, 1010);
+        assert_eq!(s.batch_high_water, 1000);
+        assert_eq!(s.group_commit_waits, 2);
+        assert_eq!(s.batch_histogram[1], 2);
+        assert_eq!(s.batch_histogram[8], 1);
+        assert_eq!(*s.batch_histogram.last().unwrap(), 1, "cap bucket");
+        assert!((s.mean_batch() - 1010.0 / 4.0).abs() < 1e-9);
+        assert_eq!(ServerStats::new().mean_batch(), 0.0);
+    }
+
+    #[test]
+    fn to_fields_copies_every_counter() {
+        let mut s = ServerStats::new();
+        s.inserts = 1;
+        s.lookups = 2;
+        s.deletes = 3;
+        s.flushes = 4;
+        s.stats_calls = 5;
+        s.lookup_hits = 6;
+        s.lookup_misses = 7;
+        s.record_batch(10, true);
+        s.insert_admissions = 8;
+        s.lookup_admissions = 9;
+        s.delete_admissions = 10;
+        s.wire_errors = 11;
+        let f = s.to_fields();
+        assert_eq!(f.inserts, 1);
+        assert_eq!(f.lookups, 2);
+        assert_eq!(f.deletes, 3);
+        assert_eq!(f.flushes, 4);
+        assert_eq!(f.stats_calls, 5);
+        assert_eq!(f.lookup_hits, 6);
+        assert_eq!(f.lookup_misses, 7);
+        assert_eq!(f.batches, 1);
+        assert_eq!(f.batched_requests, 10);
+        assert_eq!(f.group_commit_waits, 1);
+        assert_eq!(f.batch_high_water, 10);
+        assert_eq!(f.insert_admissions, 8);
+        assert_eq!(f.lookup_admissions, 9);
+        assert_eq!(f.delete_admissions, 10);
+        assert_eq!(f.wire_errors, 11);
+    }
+
+    #[test]
+    fn display_elides_untouched_segments() {
+        let quiet = ServerStats::new().to_string();
+        assert!(quiet.starts_with("served:"), "{quiet}");
+        for absent in ["group commit:", "admissions:", "conns:", "wire errors:"] {
+            assert!(!quiet.contains(absent), "unexpected {absent:?} in {quiet}");
+        }
+        let mut s = ServerStats::new();
+        s.inserts = 100;
+        s.record_batch(25, true);
+        s.record_batch(75, false);
+        s.insert_admissions = 2;
+        s.connections_opened = 3;
+        s.connections_closed = 3;
+        s.wire_errors = 1;
+        let text = s.to_string();
+        for needle in [
+            "served: 100 inserts",
+            "group commit: 2 gathers, mean 50.0 reqs, hwm 75, 1 lingered",
+            "admissions: 2 insert, 0 lookup, 0 delete",
+            "conns: 3 opened / 3 closed",
+            "wire errors: 1",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in {text}");
+        }
+    }
+}

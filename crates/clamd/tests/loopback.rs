@@ -1,0 +1,216 @@
+//! Loopback integration tests: a real `clamd` server on an ephemeral
+//! port, real TCP clients, pipelining, batch frames, concurrent
+//! connections, and a full flush → shutdown → recover-from-flash-image
+//! cycle over the wire.
+
+use std::time::Duration;
+
+use clamd::batcher::BatcherConfig;
+use clamd::client::ClamdClient;
+use clamd::loadgen::{key_for, value_for};
+use clamd::proto::{ErrorCode, Op, RespBody};
+use clamd::server::{boot_file, ephemeral_sim_server, ClamdServer, ServerConfig};
+
+fn temp_path(name: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("clamd-test-{}-{}", std::process::id(), name));
+    p
+}
+
+fn file_server_config() -> ServerConfig {
+    ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        stripes: 2,
+        flash_bytes: 16 << 20,
+        dram_bytes: 4 << 20,
+        batcher: BatcherConfig::default(),
+    }
+}
+
+#[test]
+fn scalar_ops_round_trip_over_tcp() {
+    let server = ephemeral_sim_server(2, 16 << 20, 4 << 20).unwrap();
+    let mut client = ClamdClient::connect(server.local_addr()).unwrap();
+    client.insert(42, 4200).unwrap();
+    assert_eq!(client.lookup(42).unwrap(), Some(4200));
+    assert_eq!(client.lookup(43).unwrap(), None);
+    client.insert(42, 4300).unwrap();
+    assert_eq!(client.lookup(42).unwrap(), Some(4300), "update wins");
+    client.delete(42).unwrap();
+    assert_eq!(client.lookup(42).unwrap(), None);
+    client.flush().unwrap();
+    let (fields, text) = client.stats().unwrap();
+    assert_eq!(fields.inserts, 2);
+    assert_eq!(fields.deletes, 1);
+    assert_eq!(fields.flushes, 1);
+    assert_eq!(fields.lookup_hits, 2);
+    assert_eq!(fields.lookup_misses, 2);
+    assert!(text.contains("served:") && text.contains("store:"), "{text}");
+}
+
+#[test]
+fn batch_frames_round_trip_over_tcp() {
+    let server = ephemeral_sim_server(2, 16 << 20, 4 << 20).unwrap();
+    let mut client = ClamdClient::connect(server.local_addr()).unwrap();
+    let pairs: Vec<(u64, u64)> = (0..5_000).map(|i| (key_for(i + 1), value_for(i + 1))).collect();
+    assert_eq!(client.insert_batch(pairs.clone()).unwrap(), 5_000);
+    let keys: Vec<u64> = (0..1_000)
+        .map(|i| if i % 2 == 0 { key_for(i + 1) } else { key_for(1 << 44 | i) })
+        .collect();
+    let values = client.lookup_batch(keys.clone()).unwrap();
+    for (i, value) in values.iter().enumerate() {
+        if i % 2 == 0 {
+            assert_eq!(*value, Some(value_for(i as u64 + 1)), "index {i}");
+        } else {
+            assert_eq!(*value, None, "index {i}");
+        }
+    }
+    let (fields, _) = client.stats().unwrap();
+    assert_eq!(fields.inserts, 5_000);
+    assert_eq!(fields.lookups, 1_000);
+    assert_eq!(fields.lookup_hits, 500);
+    assert_eq!(fields.lookup_misses, 500);
+}
+
+#[test]
+fn pipelined_requests_answer_in_order() {
+    let server = ephemeral_sim_server(2, 16 << 20, 4 << 20).unwrap();
+    let mut client = ClamdClient::connect(server.local_addr()).unwrap();
+    let mut expected = Vec::new();
+    for i in 0..400u64 {
+        let id = client.send(Op::Insert { key: key_for(i + 1), value: value_for(i + 1) }).unwrap();
+        expected.push(id);
+    }
+    for i in 0..400u64 {
+        let id = client.send(Op::Lookup { key: key_for(i + 1) }).unwrap();
+        expected.push(id);
+    }
+    for (n, want_id) in expected.into_iter().enumerate() {
+        let response = client.recv().unwrap();
+        assert_eq!(response.id, want_id, "response {n} out of order");
+        if n < 400 {
+            assert_eq!(response.body, RespBody::Inserted);
+        } else {
+            let i = n as u64 - 400;
+            assert_eq!(
+                response.body,
+                RespBody::Value { found: true, value: value_for(i + 1) },
+                "lookup {i}"
+            );
+        }
+    }
+    // The pipelined burst coalesced: far fewer ring admissions than ops.
+    let stats = server.stats();
+    assert!(stats.batches > 0);
+    assert!(stats.insert_admissions < 400, "{stats}");
+}
+
+#[test]
+fn concurrent_connections_group_commit_together() {
+    let server = ephemeral_sim_server(2, 16 << 20, 4 << 20).unwrap();
+    let addr = server.local_addr();
+    std::thread::scope(|scope| {
+        for c in 0..6u64 {
+            scope.spawn(move || {
+                let mut client = ClamdClient::connect(addr).unwrap();
+                for i in 0..300u64 {
+                    let id = 1 + c * 1_000_000 + i;
+                    client.insert(key_for(id), value_for(id)).unwrap();
+                }
+                for i in (0..300u64).step_by(7) {
+                    let id = 1 + c * 1_000_000 + i;
+                    assert_eq!(client.lookup(key_for(id)).unwrap(), Some(value_for(id)));
+                }
+            });
+        }
+    });
+    let stats = server.stats();
+    assert_eq!(stats.inserts, 1_800);
+    assert_eq!(stats.connections_opened, 6);
+    assert_eq!(stats.wire_errors, 0);
+}
+
+#[test]
+fn protocol_violation_closes_only_the_offending_connection() {
+    use std::io::Write;
+    let server = ephemeral_sim_server(2, 16 << 20, 4 << 20).unwrap();
+    let addr = server.local_addr();
+    let mut good = ClamdClient::connect(addr).unwrap();
+    good.insert(7, 70).unwrap();
+
+    let mut bad = std::net::TcpStream::connect(addr).unwrap();
+    bad.write_all(&[0xde; 64]).unwrap();
+    bad.flush().unwrap();
+    // The server answers the violation with one structured error frame
+    // and then closes; the well-behaved connection keeps working.
+    let mut deadline = 100;
+    while server.stats().wire_errors == 0 && deadline > 0 {
+        std::thread::sleep(Duration::from_millis(10));
+        deadline -= 1;
+    }
+    assert_eq!(server.stats().wire_errors, 1);
+    assert_eq!(good.lookup(7).unwrap(), Some(70));
+}
+
+#[test]
+fn server_error_frames_surface_as_client_errors() {
+    let server = ephemeral_sim_server(2, 16 << 20, 4 << 20).unwrap();
+    let mut client = ClamdClient::connect(server.local_addr()).unwrap();
+    // A client that speaks the protocol but violates framing gets the
+    // structured code back before the connection closes.
+    client.send(Op::Insert { key: 1, value: 1 }).unwrap();
+    let first = client.recv().unwrap();
+    assert_eq!(first.body, RespBody::Inserted);
+    // Force a wire error by sending a corrupt frame through the raw op
+    // path: an oversized LookupBatch is rejected server-side.
+    let huge = vec![0u64; clamd::proto::MAX_BATCH_OPS + 1];
+    let err = client.call(Op::LookupBatch(huge));
+    match err {
+        Err(clamd::client::ClientError::Server { code, .. }) => {
+            assert_eq!(code, ErrorCode::TooManyOps);
+        }
+        other => panic!("expected a server error, got {other:?}"),
+    }
+}
+
+#[test]
+fn flush_shutdown_recover_cycle_preserves_acknowledged_inserts() {
+    let path = temp_path("recovery-image");
+    let _ = std::fs::remove_file(&path);
+    let config = file_server_config();
+
+    // Boot fresh, load over the wire, flush, shut down cleanly.
+    let addr;
+    {
+        let (store, reports) = boot_file(&path, &config, 4).unwrap();
+        assert!(reports.is_empty(), "fresh image must not report recovery");
+        let mut server = ClamdServer::start(store, reports, config.clone()).unwrap();
+        addr = server.local_addr();
+        let mut client = ClamdClient::connect(addr).unwrap();
+        let pairs: Vec<(u64, u64)> = (1..=4_000).map(|id| (key_for(id), value_for(id))).collect();
+        assert_eq!(client.insert_batch(pairs).unwrap(), 4_000);
+        client.flush().unwrap();
+        server.shutdown();
+    }
+
+    // Reboot from the image alone: every stripe recovers, reports are
+    // surfaced, and every acknowledged insert is served over the wire.
+    {
+        let (store, reports) = boot_file(&path, &config, 4).unwrap();
+        assert_eq!(reports.len(), config.stripes, "one report per stripe");
+        for report in &reports {
+            assert!(report.accepted > 0, "{report}");
+            assert_eq!(report.torn, 0, "{report}");
+        }
+        let server = ClamdServer::start(store, reports.clone(), config.clone()).unwrap();
+        assert_eq!(server.recovery_reports().len(), config.stripes);
+        let mut client = ClamdClient::connect(server.local_addr()).unwrap();
+        for id in (1..=4_000u64).step_by(13) {
+            assert_eq!(client.lookup(key_for(id)).unwrap(), Some(value_for(id)), "id {id}");
+        }
+        // STATS over the wire mentions the recovery.
+        let (_, text) = client.stats().unwrap();
+        assert!(text.contains("recovery"), "{text}");
+    }
+    let _ = std::fs::remove_file(&path);
+}

@@ -308,6 +308,25 @@ impl FileDevice {
         capacity: u64,
         queue_depth: usize,
     ) -> Result<Self> {
+        Self::build(path, capacity, queue_depth, true)
+    }
+
+    /// Opens an **existing** backing file without truncating it, with a
+    /// submission queue `queue_depth` deep. The file's current length is
+    /// the device capacity (it must be non-empty), so a device written by
+    /// an earlier process — e.g. a `clamd` flash image — comes back with
+    /// its contents intact, ready for `Clam::recover` to scan.
+    pub fn open_existing<P: AsRef<Path>>(path: P, queue_depth: usize) -> Result<Self> {
+        let capacity = std::fs::metadata(path.as_ref())?.len();
+        Self::build(path, capacity, queue_depth, false)
+    }
+
+    fn build<P: AsRef<Path>>(
+        path: P,
+        capacity: u64,
+        queue_depth: usize,
+        truncate: bool,
+    ) -> Result<Self> {
         if capacity == 0 {
             return Err(DeviceError::InvalidConfig("capacity must be non-zero".into()));
         }
@@ -316,8 +335,12 @@ impl FileDevice {
         }
         let page = 4096u32;
         let capacity = capacity.div_ceil(page as u64) * page as u64;
-        let file =
-            OpenOptions::new().read(true).write(true).create(true).truncate(true).open(path)?;
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(truncate)
+            .truncate(truncate)
+            .open(path)?;
         file.set_len(capacity)?;
         let file = Arc::new(file);
         let profile = DeviceProfile {
@@ -865,6 +888,30 @@ mod tests {
         let mut p = std::env::temp_dir();
         p.push(format!("flashsim-test-{}-{}", std::process::id(), name));
         p
+    }
+
+    #[test]
+    fn open_existing_preserves_contents() {
+        let path = temp_path("reopen");
+        {
+            let mut dev = FileDevice::create(&path, 1 << 20).unwrap();
+            dev.write_at(8192, b"survives reopen").unwrap();
+        }
+        {
+            let mut dev = FileDevice::open_existing(&path, 4).unwrap();
+            assert_eq!(dev.geometry().capacity, 1 << 20, "capacity comes from the file");
+            let mut buf = [0u8; 15];
+            dev.read_at(8192, &mut buf).unwrap();
+            assert_eq!(&buf, b"survives reopen");
+        }
+        // `create` on the same path truncates — the opposite contract.
+        let mut dev = FileDevice::create(&path, 1 << 20).unwrap();
+        let mut buf = [0u8; 15];
+        dev.read_at(8192, &mut buf).unwrap();
+        assert_eq!(buf, [0u8; 15]);
+        drop(dev);
+        std::fs::remove_file(&path).ok();
+        assert!(FileDevice::open_existing(&path, 4).is_err(), "missing image must not be created");
     }
 
     #[test]

@@ -88,6 +88,27 @@ impl<D: Device> SharedDevice<D> {
         })
     }
 
+    /// Splits this handle's window into `n` equal partitions (in offset
+    /// order). The per-partition size is rounded **down** to the erase
+    /// block, so every partition is aligned; trailing bytes that do not
+    /// divide evenly are left unassigned. This is the striping helper
+    /// behind serving layers that run one `Clam` per partition of a
+    /// single physical device (e.g. `clamd`'s `StripedClam` backend).
+    pub fn split(&self, n: usize) -> Result<Vec<SharedDevice<D>>> {
+        if n == 0 {
+            return Err(DeviceError::InvalidConfig("cannot split a device into 0 parts".into()));
+        }
+        let block = self.geometry.block_size as u64;
+        let per = self.geometry.capacity / n as u64 / block * block;
+        if per == 0 {
+            return Err(DeviceError::InvalidConfig(format!(
+                "{} bytes cannot host {n} block-aligned partitions (block {block})",
+                self.geometry.capacity
+            )));
+        }
+        (0..n as u64).map(|i| self.partition(i * per, per)).collect()
+    }
+
     /// Runs `f` with exclusive access to the underlying device (offsets
     /// un-translated — this is the whole device, not the window).
     pub fn with<R>(&self, f: impl FnOnce(&mut D) -> R) -> R {
@@ -285,6 +306,26 @@ mod tests {
         assert!(a.write_at(512 * 1024, &[1]).is_err());
         assert!(shared.partition(0, 1 << 21).is_err(), "window exceeds the device");
         assert!(shared.partition(7, 4096).is_err(), "unaligned base");
+    }
+
+    #[test]
+    fn split_yields_aligned_disjoint_partitions() {
+        let shared = SharedDevice::new(DramDevice::new(1 << 20).unwrap());
+        let mut parts = shared.split(3).unwrap();
+        assert_eq!(parts.len(), 3);
+        let per = parts[0].geometry().capacity;
+        assert!(per.is_multiple_of(shared.geometry().block_size as u64));
+        for (i, p) in parts.iter_mut().enumerate() {
+            assert_eq!(p.geometry().capacity, per);
+            p.write_at(0, &[i as u8 + 1]).unwrap();
+        }
+        for i in 0..3u64 {
+            let mut b = [0u8; 1];
+            shared.with(|d| d.read_at(i * per, &mut b).unwrap());
+            assert_eq!(b[0], i as u8 + 1, "partition {i} start");
+        }
+        assert!(shared.split(0).is_err());
+        assert!(shared.split(1 << 30).is_err(), "partitions would round to zero bytes");
     }
 
     #[test]

@@ -1,0 +1,159 @@
+//! Distributions beyond the uniform ones built into [`Rng`](crate::Rng).
+//!
+//! Currently just [`Zipf`], the rank-frequency distribution behind skewed
+//! key popularity in storage and serving workloads (YCSB's `zipfian`,
+//! CDN object popularity, fingerprint reuse in dedup streams).
+
+use crate::RngCore;
+
+/// Zipf-distributed ranks over `{1, …, n}`: rank `k` is drawn with
+/// probability proportional to `k^-s`.
+///
+/// Sampling is **rejection-free**, via the standard continuous
+/// approximation: the bounded-Pareto density `x^-s` on `[1, n + 1)` is
+/// inverted in closed form and the drawn real is truncated to a rank.
+/// For `s = 0` this degenerates to the exact uniform distribution; for
+/// `s > 0` the rank-frequency curve matches Zipf to within the
+/// discretization error of the approximation (a few percent on the head
+/// ranks), which is what workload generators need — every draw costs one
+/// `u64` of randomness and a couple of floating-point operations, with no
+/// retry loop whose iteration count depends on the parameters.
+///
+/// ```
+/// use rand::distributions::Zipf;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let zipf = Zipf::new(1_000, 1.1);
+/// let rank = zipf.sample(&mut rng);
+/// assert!((1..=1_000).contains(&rank));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Zipf {
+    n: u64,
+    s: f64,
+    /// `(n + 1)^(1 - s)` for `s != 1`, unused for `s == 1`.
+    t: f64,
+    /// `ln(n + 1)` for the `s == 1` branch.
+    ln_n1: f64,
+}
+
+impl Zipf {
+    /// Tolerance around `s = 1` where the logarithmic CDF branch is used
+    /// (the general branch divides by `1 - s`).
+    const S_ONE_EPS: f64 = 1e-9;
+
+    /// Creates a Zipf distribution over ranks `1..=n` with exponent `s`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`, or if `s` is negative or not finite — both are
+    /// static misconfigurations of a workload, not runtime conditions.
+    pub fn new(n: u64, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(s.is_finite() && s >= 0.0, "Zipf exponent must be finite and >= 0, got {s}");
+        let n1 = (n + 1) as f64;
+        Zipf { n, s, t: n1.powf(1.0 - s), ln_n1: n1.ln() }
+    }
+
+    /// Number of ranks.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Skew exponent.
+    pub fn s(&self) -> f64 {
+        self.s
+    }
+
+    /// Draws one rank in `1..=n` (rank 1 is the most popular).
+    pub fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+        // 53 uniform mantissa bits in [0, 1).
+        let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let x = if (self.s - 1.0).abs() < Self::S_ONE_EPS {
+            // CDF(x) = ln(x) / ln(n + 1)  =>  x = (n + 1)^u.
+            (u * self.ln_n1).exp()
+        } else {
+            // CDF(x) = (x^(1-s) - 1) / ((n + 1)^(1-s) - 1)
+            //   =>  x = (1 + u * ((n + 1)^(1-s) - 1))^(1 / (1-s)).
+            (1.0 + u * (self.t - 1.0)).powf(1.0 / (1.0 - self.s))
+        };
+        // x lies in [1, n + 1); truncation yields the rank. The clamp only
+        // guards floating-point edge rounding.
+        (x as u64).clamp(1, self.n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    fn frequencies(n: u64, s: f64, draws: usize) -> Vec<u64> {
+        let zipf = Zipf::new(n, s);
+        let mut rng = StdRng::seed_from_u64(0x21bf);
+        let mut counts = vec![0u64; n as usize + 1];
+        for _ in 0..draws {
+            let k = zipf.sample(&mut rng);
+            assert!((1..=n).contains(&k));
+            counts[k as usize] += 1;
+        }
+        counts
+    }
+
+    #[test]
+    fn skewed_draws_follow_the_rank_frequency_law() {
+        let counts = frequencies(1_000, 1.0, 200_000);
+        // Zipf s=1 over 1000 ranks: p(k) = (1/k)/H_1000, H_1000 ~ 7.485,
+        // so p(1) ~ 0.134. The approximation smears the head a little;
+        // accept a generous band around the analytic value.
+        let p1 = counts[1] as f64 / 200_000.0;
+        assert!((0.06..0.25).contains(&p1), "rank-1 mass {p1} out of band");
+        // Monotone decay across rank decades (the defining skew shape).
+        assert!(counts[1] > 2 * counts[10], "{} vs {}", counts[1], counts[10]);
+        assert!(counts[10] > 2 * counts[100].max(1), "{} vs {}", counts[10], counts[100]);
+        // The head dominates: top-10 ranks outweigh ranks 500..=1000.
+        let head: u64 = counts[1..=10].iter().sum();
+        let tail: u64 = counts[500..=1000].iter().sum();
+        assert!(head > tail, "head {head} should outweigh deep tail {tail}");
+    }
+
+    #[test]
+    fn zero_exponent_degenerates_to_uniform() {
+        let n = 64u64;
+        let draws = 128_000;
+        let counts = frequencies(n, 0.0, draws);
+        let expect = draws as u64 / n;
+        for (k, &c) in counts.iter().enumerate().skip(1) {
+            assert!(
+                c > expect / 2 && c < expect * 2,
+                "rank {k} count {c} far from uniform {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_rank_always_draws_one() {
+        let zipf = Zipf::new(1, 1.2);
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..100 {
+            assert_eq!(zipf.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let zipf = Zipf::new(500, 0.9);
+        let mut a = StdRng::seed_from_u64(3);
+        let mut b = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            assert_eq!(zipf.sample(&mut a), zipf.sample(&mut b));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_are_rejected() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

@@ -10,6 +10,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod distributions;
 pub mod rngs;
 
 /// Low-level source of random 64-bit words.
