@@ -140,6 +140,19 @@ pub enum LookupSource {
     Miss,
 }
 
+/// Verdict of a memory-only probe ([`Clam::probe_memory`]): either the key
+/// resolved entirely from DRAM state (buffer, delete list, or Bloom filters
+/// proving no live flash candidate), or the locked flash pipeline must run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemoryProbe {
+    /// The key resolved without touching flash; the outcome is exactly what
+    /// the locked lookup pipeline would have produced (`flash_reads == 0`).
+    Resolved(LookupOutcome),
+    /// At least one live flash incarnation may hold the key; only the
+    /// exclusive probe pipeline can decide.
+    NeedsFlash,
+}
+
 /// Outcome of a queued batch lookup ([`Clam::lookup_batch`]).
 ///
 /// Carries one [`LookupOutcome`] per key (in input order) plus batch-level
@@ -885,6 +898,20 @@ impl<D: Device> Clam<D> {
         self.lookup_batch_ring(keys, batch_dispatch(keys.len()))
     }
 
+    /// Batched-lookup entry point for callers that amortize dispatch over a
+    /// *larger* batch than `keys` — the `SharedClam` fast/locked split runs
+    /// memory-resolved keys outside the lock and sends only the flash-bound
+    /// remainder here, charging every key the full batch's amortized
+    /// dispatch so the accounting matches the all-locked reference path.
+    pub(crate) fn lookup_batch_amortized(
+        &mut self,
+        keys: &[Key],
+        dispatch: SimDuration,
+    ) -> Result<BatchLookupOutcome> {
+        self.stats.batched_lookups += keys.len() as u64;
+        self.lookup_batch_ring(keys, dispatch)
+    }
+
     /// The **barrier wave** reference pipeline: each round collects the
     /// next pending page read of every unresolved key into one
     /// [`Device::submit`](flashsim::Device::submit) wave, charged at the
@@ -910,6 +937,49 @@ impl<D: Device> Clam<D> {
     pub fn lookup(&mut self, key: Key) -> Result<LookupOutcome> {
         let mut batch = self.lookup_batch_ring(std::slice::from_ref(&key), BASE_OP_OVERHEAD)?;
         Ok(batch.outcomes.pop().expect("one outcome per key"))
+    }
+
+    /// Probes `key` against DRAM state only — buffer, delete list and Bloom
+    /// filters — through `&self`, without mutating anything.
+    ///
+    /// Returns [`MemoryProbe::Resolved`] when the verdict is decidable from
+    /// memory alone (buffer hit, delete shadow, or no live candidate
+    /// incarnation): the outcome carries the same value, source,
+    /// `flash_reads == 0` and per-op latency charge (`dispatch` + DRAM probe
+    /// words) that [`lookup`](Self::lookup) would report. Returns
+    /// [`MemoryProbe::NeedsFlash`] when a live incarnation may hold the key,
+    /// in which case the caller must fall back to the exclusive pipeline.
+    /// The caller is responsible for recording statistics for resolved
+    /// probes (this method cannot: it holds no `&mut`); keys that would
+    /// trigger LRU re-insertion never resolve here because re-insertion
+    /// only follows a flash hit.
+    pub fn probe_memory(&self, key: Key, dispatch: SimDuration) -> MemoryProbe {
+        let t = self.table_of(key);
+        let filter_words = self.tables[t].filter_words_per_query();
+        let latency = dispatch + self.mem_words_cost(BUFFER_PROBE_WORDS + filter_words);
+        if let Some(found) = self.tables[t].memory_lookup(key) {
+            let source = if found.is_some() { LookupSource::Buffer } else { LookupSource::Deleted };
+            return MemoryProbe::Resolved(LookupOutcome {
+                value: found,
+                latency,
+                flash_reads: 0,
+                source,
+            });
+        }
+        let live_candidate = self.tables[t]
+            .candidate_incarnations(key)
+            .into_iter()
+            .any(|age| self.tables[t].incarnation_at(age).is_some());
+        if live_candidate {
+            MemoryProbe::NeedsFlash
+        } else {
+            MemoryProbe::Resolved(LookupOutcome {
+                value: None,
+                latency,
+                flash_reads: 0,
+                source: LookupSource::Miss,
+            })
+        }
     }
 
     /// Buffer and delete-list checks plus probe planning, shared by the
@@ -1903,7 +1973,7 @@ impl<D: Device> Clam<D> {
 /// degrades to the per-op path (full `BASE_OP_OVERHEAD`, no residual),
 /// matching `FlashCostModel::insert_batch_amortized` at `b = 1`; larger
 /// batches amortize the dispatch and pay the residual per op.
-fn batch_dispatch(len: usize) -> SimDuration {
+pub(crate) fn batch_dispatch(len: usize) -> SimDuration {
     if len <= 1 {
         BASE_OP_OVERHEAD
     } else {

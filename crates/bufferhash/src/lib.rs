@@ -77,7 +77,7 @@ pub use bitslice::BitSlicedBloomSet;
 pub use bloom::BloomFilter;
 pub use clam::{
     BatchInsertOutcome, BatchLookupOutcome, Clam, InsertOutcome, LookupOutcome, LookupSource,
-    MemoryUsage, BASE_OP_OVERHEAD, BATCHED_OP_OVERHEAD,
+    MemoryProbe, MemoryUsage, BASE_OP_OVERHEAD, BATCHED_OP_OVERHEAD,
 };
 pub use config::{tuning, ClamConfig, FlashLayoutMode};
 pub use cuckoo::{BufferInsert, CuckooBuffer};

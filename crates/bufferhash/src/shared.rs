@@ -30,14 +30,33 @@
 //! run concurrently, and within each stripe the queued probe pipeline
 //! ([`Clam::lookup_batch`]) overlaps flash page reads on the device's
 //! submission-queue lanes.
+//!
+//! ## Intra-stripe read concurrency
+//!
+//! Since PR 9 the stripe lock is a [`parking_lot::RwLock`] guarded by a
+//! seqlock-style **write epoch**, and lookups take a lock-free-style fast
+//! path first: load the epoch (odd means a writer is pending — fall back),
+//! `try_read` the stripe (contended — fall back), probe DRAM state only
+//! ([`Clam::probe_memory`]: cuckoo buffer, delete list, Bloom filters),
+//! then re-validate the epoch (changed — discard and fall back). Keys
+//! whose verdict needs flash, and every fallback, go through the exclusive
+//! write-locked pipeline exactly as before, so outcomes are identical to
+//! the coarse path — only contention changes. Fast-path statistics land in
+//! a side ledger merged into [`SharedClam::stats`];
+//! [`SharedClam::set_coarse_locks`] restores the strict
+//! everything-exclusive baseline for A/B runs and equivalence tests.
 
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 
 use flashsim::{Device, SimDuration};
 
-use crate::clam::{BatchInsertOutcome, BatchLookupOutcome, Clam, InsertOutcome, LookupOutcome};
+use crate::clam::{
+    batch_dispatch, BatchInsertOutcome, BatchLookupOutcome, Clam, InsertOutcome, LookupOutcome,
+    MemoryProbe,
+};
 use crate::config::ClamConfig;
 use crate::error::Result;
 use crate::recovery::RecoveryReport;
@@ -46,7 +65,19 @@ use crate::types::{hash_with_seed, Key, Value};
 
 /// A cloneable, thread-safe handle to a single CLAM.
 pub struct SharedClam<D: Device> {
-    inner: Arc<Mutex<Clam<D>>>,
+    inner: Arc<SharedInner<D>>,
+}
+
+/// Shared state behind one stripe: the CLAM under a reader-writer lock,
+/// the seqlock-style write epoch (odd while a writer is pending or
+/// active), the coarse-mode switch, and the side ledger where fast-path
+/// reads record their statistics (they cannot touch the CLAM's own
+/// ledger, which sits behind the write lock).
+struct SharedInner<D: Device> {
+    clam: RwLock<Clam<D>>,
+    write_epoch: AtomicU64,
+    coarse: AtomicBool,
+    fast_ledger: Mutex<ClamStats>,
 }
 
 impl<D: Device> Clone for SharedClam<D> {
@@ -58,7 +89,14 @@ impl<D: Device> Clone for SharedClam<D> {
 impl<D: Device> SharedClam<D> {
     /// Wraps a CLAM for shared use.
     pub fn new(clam: Clam<D>) -> Self {
-        SharedClam { inner: Arc::new(Mutex::new(clam)) }
+        SharedClam {
+            inner: Arc::new(SharedInner {
+                clam: RwLock::new(clam),
+                write_epoch: AtomicU64::new(0),
+                coarse: AtomicBool::new(false),
+                fast_ledger: Mutex::new(ClamStats::new()),
+            }),
+        }
     }
 
     /// Recovers a CLAM from the flash contents of `device` (see
@@ -69,82 +107,257 @@ impl<D: Device> SharedClam<D> {
         Ok((SharedClam::new(clam), report))
     }
 
-    /// Inserts (or updates) a key.
-    pub fn insert(&self, key: Key, value: Value) -> Result<InsertOutcome> {
-        self.inner.lock().insert(key, value)
+    /// Runs `f` under the exclusive write lock, bracketing it with the
+    /// seqlock protocol: the epoch goes odd before the lock is requested
+    /// (so fast readers yield immediately instead of racing `try_read`
+    /// against a blocked writer) and even again after the guard drops.
+    fn with_write<R>(&self, f: impl FnOnce(&mut Clam<D>) -> R) -> R {
+        self.inner.write_epoch.fetch_add(1, Ordering::SeqCst);
+        let result = {
+            let mut guard = self.inner.clam.write();
+            f(&mut guard)
+        };
+        self.inner.write_epoch.fetch_add(1, Ordering::SeqCst);
+        result
     }
 
-    /// Looks up a key.
+    /// Counts one lost fast-path race in the side ledger.
+    fn note_conflict(&self) {
+        self.inner.fast_ledger.lock().fast_read_conflicts += 1;
+    }
+
+    /// Switches between the epoch-validated read fast path (default) and
+    /// the coarse everything-exclusive baseline. Coarse mode is kept for
+    /// A/B comparisons and the equivalence property tests.
+    pub fn set_coarse_locks(&self, coarse: bool) {
+        self.inner.coarse.store(coarse, Ordering::SeqCst);
+    }
+
+    /// `true` when the coarse everything-exclusive baseline is active.
+    pub fn coarse_locks(&self) -> bool {
+        self.inner.coarse.load(Ordering::SeqCst)
+    }
+
+    /// Attempts to resolve `key` on the read fast path: no write lock, no
+    /// queue, memory state only. Returns `None` — with the locked pipeline
+    /// as the caller's fallback — when coarse mode is on, when the key
+    /// needs a flash probe, or when the epoch/`try_read` race is lost to a
+    /// writer (counted in [`ClamStats::fast_read_conflicts`]).
+    pub fn try_fast_lookup(&self, key: Key) -> Option<LookupOutcome> {
+        let outcome = self.fast_probe(key, crate::clam::BASE_OP_OVERHEAD)?;
+        let mut ledger = self.inner.fast_ledger.lock();
+        record_fast_outcome(&mut ledger, &outcome, false);
+        Some(outcome)
+    }
+
+    /// The epoch-validated memory probe shared by the scalar and batched
+    /// fast paths. Returns the would-be outcome without recording any
+    /// statistics.
+    fn fast_probe(&self, key: Key, dispatch: SimDuration) -> Option<LookupOutcome> {
+        if self.inner.coarse.load(Ordering::SeqCst) {
+            return None;
+        }
+        let before = self.inner.write_epoch.load(Ordering::SeqCst);
+        if before % 2 == 1 {
+            self.note_conflict();
+            return None;
+        }
+        let probe = {
+            let Some(guard) = self.inner.clam.try_read() else {
+                self.note_conflict();
+                return None;
+            };
+            guard.probe_memory(key, dispatch)
+        };
+        let outcome = match probe {
+            MemoryProbe::Resolved(outcome) => outcome,
+            MemoryProbe::NeedsFlash => return None,
+        };
+        if self.inner.write_epoch.load(Ordering::SeqCst) != before {
+            self.note_conflict();
+            return None;
+        }
+        Some(outcome)
+    }
+
+    /// Inserts (or updates) a key.
+    pub fn insert(&self, key: Key, value: Value) -> Result<InsertOutcome> {
+        self.with_write(|c| c.insert(key, value))
+    }
+
+    /// Looks up a key: the epoch-validated fast path first (see
+    /// [`try_fast_lookup`](Self::try_fast_lookup)), the exclusive pipeline
+    /// when the key needs flash or the race is lost. Outcomes are
+    /// identical either way.
     pub fn lookup(&self, key: Key) -> Result<LookupOutcome> {
-        self.inner.lock().lookup(key)
+        if let Some(outcome) = self.try_fast_lookup(key) {
+            return Ok(outcome);
+        }
+        self.with_write(|c| c.lookup(key))
     }
 
     /// Inserts a batch of key/value pairs under one lock acquisition,
     /// using the batched CLAM pipeline (see [`Clam::insert_batch`]).
     pub fn insert_batch(&self, ops: &[(Key, Value)]) -> Result<BatchInsertOutcome> {
-        self.inner.lock().insert_batch(ops)
+        self.with_write(|c| c.insert_batch(ops))
     }
 
-    /// Looks up a batch of keys under one lock acquisition through the
-    /// streaming ring pipeline, returning one outcome per key in input
-    /// order plus the batch's makespan-accounted latency (see
-    /// [`Clam::lookup_batch`]).
+    /// Looks up a batch of keys through the streaming ring pipeline,
+    /// returning one outcome per key in input order plus the batch's
+    /// makespan-accounted latency (see [`Clam::lookup_batch`]).
+    ///
+    /// With the fast path enabled, memory-resolved keys are answered under
+    /// one shared (`try_read`) acquisition and only the flash-bound
+    /// remainder takes the write lock; every key is still charged the full
+    /// batch's amortized dispatch, so outcomes and per-op accounting match
+    /// the coarse path exactly (the batch latency adds the fast keys' host
+    /// time to the locked remainder's makespan, just as the all-locked
+    /// plan would).
     pub fn lookup_batch(&self, keys: &[Key]) -> Result<BatchLookupOutcome> {
-        self.inner.lock().lookup_batch(keys)
+        if self.inner.coarse.load(Ordering::SeqCst) {
+            return self.with_write(|c| c.lookup_batch(keys));
+        }
+        let dispatch = batch_dispatch(keys.len());
+        let mut resolved: Vec<Option<LookupOutcome>> = vec![None; keys.len()];
+        let fast_pass_valid = {
+            let before = self.inner.write_epoch.load(Ordering::SeqCst);
+            if before % 2 == 1 {
+                false
+            } else if let Some(guard) = self.inner.clam.try_read() {
+                for (slot, &key) in keys.iter().enumerate() {
+                    if let MemoryProbe::Resolved(outcome) = guard.probe_memory(key, dispatch) {
+                        resolved[slot] = Some(outcome);
+                    }
+                }
+                drop(guard);
+                self.inner.write_epoch.load(Ordering::SeqCst) == before
+            } else {
+                false
+            }
+        };
+        if !fast_pass_valid {
+            // One counted conflict for the whole batch; the entire batch
+            // re-runs on the locked reference path.
+            self.note_conflict();
+            return self.with_write(|c| c.lookup_batch(keys));
+        }
+        let mut rem_keys = Vec::new();
+        let mut rem_pos = Vec::new();
+        let mut fast_host_time = SimDuration::ZERO;
+        {
+            let mut ledger = self.inner.fast_ledger.lock();
+            for (slot, entry) in resolved.iter().enumerate() {
+                match entry {
+                    Some(outcome) => {
+                        record_fast_outcome(&mut ledger, outcome, true);
+                        fast_host_time += outcome.latency;
+                    }
+                    None => {
+                        rem_keys.push(keys[slot]);
+                        rem_pos.push(slot);
+                    }
+                }
+            }
+        }
+        let mut batch = if rem_keys.is_empty() {
+            BatchLookupOutcome::default()
+        } else {
+            self.with_write(|c| c.lookup_batch_amortized(&rem_keys, dispatch))?
+        };
+        let locked_outcomes = std::mem::take(&mut batch.outcomes);
+        for (outcome, &pos) in locked_outcomes.into_iter().zip(&rem_pos) {
+            resolved[pos] = Some(outcome);
+        }
+        batch.outcomes = resolved.into_iter().map(|o| o.expect("every key resolved")).collect();
+        batch.latency += fast_host_time;
+        Ok(batch)
     }
 
     /// The barrier wave reference path for
     /// [`lookup_batch`](Self::lookup_batch) (see
     /// [`Clam::lookup_batch_waves`]): identical outcomes, per-round
-    /// barrier timing.
+    /// barrier timing. Always runs under the exclusive lock.
     pub fn lookup_batch_waves(&self, keys: &[Key]) -> Result<BatchLookupOutcome> {
-        self.inner.lock().lookup_batch_waves(keys)
+        self.with_write(|c| c.lookup_batch_waves(keys))
     }
 
     /// Deletes a key.
     pub fn delete(&self, key: Key) -> Result<()> {
-        self.inner.lock().delete(key)?;
+        self.with_write(|c| c.delete(key))?;
         Ok(())
     }
 
     /// Updates a key (alias for [`insert`](Self::insert), like
     /// [`Clam::update`]).
     pub fn update(&self, key: Key, value: Value) -> Result<InsertOutcome> {
-        self.inner.lock().update(key, value)
+        self.with_write(|c| c.update(key, value))
     }
 
     /// Returns `true` if `key` currently maps to a value.
     pub fn contains(&self, key: Key) -> Result<bool> {
-        self.inner.lock().contains(key)
+        Ok(self.lookup(key)?.value.is_some())
     }
 
     /// Flushes every non-empty buffer to flash under one lock acquisition
     /// (see [`Clam::flush_all`]). Returns the total simulated latency.
     pub fn flush_all(&self) -> Result<SimDuration> {
-        self.inner.lock().flush_all()
+        self.with_write(|c| c.flush_all())
     }
 
     /// Declares `idle` simulated time to the underlying device (see
     /// [`Clam::idle`]).
     pub fn idle(&self, idle: SimDuration) {
-        self.inner.lock().idle(idle)
+        self.with_write(|c| c.idle(idle))
     }
 
-    /// Snapshot of the operation statistics.
+    /// Snapshot of the operation statistics: the CLAM's own ledger merged
+    /// with the fast-path side ledger (so per-lookup invariants — one
+    /// latency sample and one read-histogram entry per lookup — hold
+    /// regardless of which path served it).
     pub fn stats(&self) -> ClamStats {
-        self.inner.lock().stats().clone()
+        let mut total = self.inner.clam.read().stats().clone();
+        total.merge(&self.inner.fast_ledger.lock());
+        total
     }
 
     /// Switches the write path between the ring-driven default and the
     /// blocking barrier reference (see [`Clam::set_barrier_writes`]).
     pub fn set_barrier_writes(&self, barrier: bool) {
-        self.inner.lock().set_barrier_writes(barrier);
+        self.with_write(|c| c.set_barrier_writes(barrier));
     }
 
     /// Runs `f` with exclusive access to the underlying CLAM (e.g. for
-    /// `flush_all` or configuration inspection).
+    /// `flush_all` or configuration inspection). Bracketed by the write
+    /// epoch like every other exclusive entry point.
     pub fn with<R>(&self, f: impl FnOnce(&mut Clam<D>) -> R) -> R {
-        f(&mut self.inner.lock())
+        self.with_write(f)
+    }
+
+    /// Unwraps the sole handle back into the CLAM (for crash-simulation
+    /// tests that keep only the device). Panics if other clones exist.
+    /// The fast-path side ledger is discarded.
+    pub fn into_clam(self) -> Clam<D> {
+        match Arc::try_unwrap(self.inner) {
+            Ok(inner) => inner.clam.into_inner(),
+            Err(_) => panic!("SharedClam::into_clam requires sole ownership"),
+        }
+    }
+}
+
+/// Records one fast-path-resolved lookup into the side ledger, mirroring
+/// exactly what the locked pipeline's `plan_lookups`/`resolve_probe` would
+/// have recorded (fast-resolved keys never touch flash, hence zero reads).
+fn record_fast_outcome(ledger: &mut ClamStats, outcome: &LookupOutcome, batched: bool) {
+    if outcome.value.is_some() {
+        ledger.lookup_hits += 1;
+    } else {
+        ledger.lookup_misses += 1;
+    }
+    ledger.lookups.record(outcome.latency);
+    ledger.record_lookup_reads(0);
+    ledger.fast_lookups += 1;
+    if batched {
+        ledger.batched_lookups += 1;
     }
 }
 
@@ -187,7 +400,10 @@ impl<D: Device> StripedClam<D> {
         self.stripes.len()
     }
 
-    fn stripe_index(&self, key: Key) -> usize {
+    /// Stripe owning `key`. Routing is deterministic and public so upper
+    /// layers (the `clamd` sharded batcher) can key their own partitioning
+    /// off the same function — same key, same stripe, same shard.
+    pub fn stripe_index(&self, key: Key) -> usize {
         (hash_with_seed(key, 0x57_e19e) % self.stripes.len() as u64) as usize
     }
 
@@ -405,6 +621,22 @@ impl<D: Device> StripedClam<D> {
         for stripe in &self.stripes {
             stripe.set_barrier_writes(barrier);
         }
+    }
+
+    /// Switches every stripe between the epoch-validated read fast path
+    /// (default) and the coarse everything-exclusive baseline (see
+    /// [`SharedClam::set_coarse_locks`]).
+    pub fn set_coarse_locks(&self, coarse: bool) {
+        for stripe in &self.stripes {
+            stripe.set_coarse_locks(coarse);
+        }
+    }
+
+    /// Attempts to resolve `key` on its stripe's read fast path (see
+    /// [`SharedClam::try_fast_lookup`]); `None` means the caller must use
+    /// the locked path.
+    pub fn try_fast_lookup(&self, key: Key) -> Option<LookupOutcome> {
+        self.stripe_of(key).try_fast_lookup(key)
     }
 }
 
@@ -736,12 +968,7 @@ mod tests {
         let pairs: Vec<(Ssd, ClamConfig)> = striped
             .stripes
             .into_iter()
-            .map(|stripe| {
-                let clam = Arc::try_unwrap(stripe.inner)
-                    .unwrap_or_else(|_| panic!("sole owner"))
-                    .into_inner();
-                (clam.into_device(), cfg.clone())
-            })
+            .map(|stripe| (stripe.into_clam().into_device(), cfg.clone()))
             .collect();
         let (recovered, reports) = StripedClam::recover(pairs).unwrap();
         assert_eq!(reports.len(), 2);
@@ -753,6 +980,86 @@ mod tests {
             assert_eq!(recovered.lookup(*k).unwrap().value, Some(*v), "key {k:#x}");
         }
         assert_eq!(recovered.stats().recoveries, 2);
+    }
+
+    #[test]
+    fn fast_reads_resolve_buffered_keys_without_the_write_lock() {
+        let shared = SharedClam::new(clam());
+        shared.insert(key(1), 10).unwrap();
+        // Buffered key: resolves on the fast path, from DRAM, zero reads.
+        let outcome = shared.try_fast_lookup(key(1)).expect("buffered key resolves fast");
+        assert_eq!(outcome.value, Some(10));
+        assert_eq!(outcome.source, crate::clam::LookupSource::Buffer);
+        assert_eq!(outcome.flash_reads, 0);
+        // A key with no live candidate anywhere is a fast miss.
+        let miss = shared.try_fast_lookup(key(999_999)).expect("bloom-negative key is a fast miss");
+        assert_eq!(miss.value, None);
+        assert_eq!(miss.source, crate::clam::LookupSource::Miss);
+        let stats = shared.stats();
+        assert_eq!(stats.fast_lookups, 2);
+        assert_eq!(stats.lookup_hits, 1);
+        assert_eq!(stats.lookup_misses, 1);
+        // The per-lookup invariants hold across the merged ledgers.
+        assert_eq!(stats.flash_reads_histogram.iter().sum::<u64>(), stats.lookups.len() as u64);
+        // Coarse mode disables the fast path entirely.
+        shared.set_coarse_locks(true);
+        assert!(shared.coarse_locks());
+        assert!(shared.try_fast_lookup(key(1)).is_none());
+        assert_eq!(shared.lookup(key(1)).unwrap().value, Some(10), "locked path still serves");
+    }
+
+    #[test]
+    fn fast_reads_yield_to_writers_and_count_the_conflict() {
+        let shared = SharedClam::new(clam());
+        shared.insert(key(1), 1).unwrap();
+        let reader = shared.clone();
+        // While `with` holds the write lock the epoch is odd, so a
+        // concurrent fast read must fall back (and count the conflict).
+        shared.with(|_| {
+            std::thread::scope(|scope| {
+                scope.spawn(|| {
+                    assert!(reader.try_fast_lookup(key(1)).is_none());
+                });
+            });
+        });
+        let stats = shared.stats();
+        assert!(stats.fast_read_conflicts >= 1, "{stats}");
+        assert_eq!(shared.lookup(key(1)).unwrap().value, Some(1));
+    }
+
+    #[test]
+    fn fast_and_coarse_lookups_agree_after_flushes() {
+        // Same op sequence against a fast-path CLAM and a coarse baseline:
+        // identical values, sources and flash-read counts, per key.
+        let fast = SharedClam::new(clam());
+        let coarse = SharedClam::new(clam());
+        coarse.set_coarse_locks(true);
+        let ops: Vec<(u64, u64)> = (0..20_000u64).map(|i| (key(i), i)).collect();
+        for chunk in ops.chunks(512) {
+            fast.insert_batch(chunk).unwrap();
+            coarse.insert_batch(chunk).unwrap();
+        }
+        for i in (0..20_000u64).step_by(501) {
+            fast.delete(key(i)).unwrap();
+            coarse.delete(key(i)).unwrap();
+        }
+        let keys: Vec<u64> =
+            (0..3_000u64).map(|i| if i % 3 == 0 { key(i) } else { key(800_000 + i) }).collect();
+        let f = fast.lookup_batch(&keys).unwrap();
+        let c = coarse.lookup_batch(&keys).unwrap();
+        for i in 0..keys.len() {
+            assert_eq!(f[i].value, c[i].value, "key index {i}");
+            assert_eq!(f[i].source, c[i].source, "key index {i}");
+            assert_eq!(f[i].flash_reads, c[i].flash_reads, "key index {i}");
+        }
+        // Both ledgers saw every lookup, whichever path served it.
+        let (fs, cs) = (fast.stats(), coarse.stats());
+        assert_eq!(fs.lookups.len(), cs.lookups.len());
+        assert_eq!(fs.lookup_hits, cs.lookup_hits);
+        assert_eq!(fs.lookup_misses, cs.lookup_misses);
+        assert_eq!(fs.batched_lookups, cs.batched_lookups);
+        assert!(fs.fast_lookups > 0, "the fast path must have served the memory-resolved keys");
+        assert_eq!(cs.fast_lookups, 0, "coarse mode never uses the fast path");
     }
 
     #[test]

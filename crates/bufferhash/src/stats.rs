@@ -99,6 +99,13 @@ pub struct ClamStats {
     /// writes). Merged with `max`; zero when reads and writes never shared
     /// a ring.
     pub mixed_ring_depth_high_water: u64,
+    /// Lookups resolved on the epoch-validated read fast path
+    /// (`SharedClam::try_fast_lookup`) without taking the stripe's write
+    /// lock.
+    pub fast_lookups: u64,
+    /// Fast-path attempts that lost the epoch/try-read race to a
+    /// concurrent writer and fell back to the locked pipeline.
+    pub fast_read_conflicts: u64,
     /// Recovery scans performed (`Clam::recover` constructions).
     pub recoveries: u64,
     /// Incarnations accepted and re-registered across all recovery scans.
@@ -197,6 +204,8 @@ impl ClamStats {
         self.write_ring_admission_stalls += other.write_ring_admission_stalls;
         self.mixed_ring_depth_high_water =
             self.mixed_ring_depth_high_water.max(other.mixed_ring_depth_high_water);
+        self.fast_lookups += other.fast_lookups;
+        self.fast_read_conflicts += other.fast_read_conflicts;
         self.recoveries += other.recoveries;
         self.recovered_incarnations += other.recovered_incarnations;
         self.recovery_torn_slots += other.recovery_torn_slots;
@@ -271,6 +280,13 @@ impl fmt::Display for ClamStats {
                 self.flush_ring_reaps,
                 self.write_ring_admission_stalls,
                 self.mixed_ring_depth_high_water
+            )?;
+        }
+        if self.fast_lookups > 0 || self.fast_read_conflicts > 0 {
+            write!(
+                f,
+                " | fast reads: {} lock-free, {} conflicts",
+                self.fast_lookups, self.fast_read_conflicts
             )?;
         }
         if self.recoveries > 0 {
@@ -459,6 +475,22 @@ mod tests {
         assert!(text.contains("recovery: 3 scans, 8 incarnations, 1 torn slots"), "{text}");
         // A never-recovered CLAM elides the segment.
         assert!(!ClamStats::new().to_string().contains("recovery:"));
+    }
+
+    #[test]
+    fn fast_read_counters_merge_and_display() {
+        let mut a = ClamStats::new();
+        a.fast_lookups = 9;
+        let mut b = ClamStats::new();
+        b.fast_lookups = 3;
+        b.fast_read_conflicts = 2;
+        a.merge(&b);
+        assert_eq!(a.fast_lookups, 12);
+        assert_eq!(a.fast_read_conflicts, 2);
+        let text = a.to_string();
+        assert!(text.contains("fast reads: 12 lock-free, 2 conflicts"), "{text}");
+        // A coarse-locked CLAM elides the segment.
+        assert!(!ClamStats::new().to_string().contains("fast reads:"));
     }
 
     #[test]

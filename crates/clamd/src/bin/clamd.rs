@@ -6,7 +6,7 @@
 //! place** (the per-stripe recovery reports print at startup).
 //!
 //! ```text
-//! clamd [--addr 127.0.0.1:7979] [--stripes 4]
+//! clamd [--addr 127.0.0.1:7979] [--stripes 4] [--shards N]
 //!       [--flash-bytes 67108864] [--dram-bytes 8388608]
 //!       [--flash-file PATH] [--queue-depth N]
 //!       [--linger-us 100] [--max-batch 512]
@@ -39,6 +39,7 @@ fn main() {
              \n\
              --addr ADDR         listen address (default 127.0.0.1:7979; port 0 = ephemeral)\n\
              --stripes N         CLAM stripes over the device (default 4)\n\
+             --shards N          batcher shards / gather threads (default: stripes)\n\
              --flash-bytes N     total flash capacity (default 64 MiB)\n\
              --dram-bytes N      total DRAM budget (default 8 MiB)\n\
              --flash-file PATH   file-backed store; existing images are recovered\n\
@@ -49,14 +50,16 @@ fn main() {
         );
         return;
     }
+    let stripes = parse(&args, "--stripes", 4);
     let config = ServerConfig {
         addr: flag_value(&args, "--addr").unwrap_or_else(|| "127.0.0.1:7979".to_string()),
-        stripes: parse(&args, "--stripes", 4),
+        stripes,
         flash_bytes: parse(&args, "--flash-bytes", 64 << 20),
         dram_bytes: parse(&args, "--dram-bytes", 8 << 20),
         batcher: BatcherConfig {
             max_batch: parse(&args, "--max-batch", 512),
             linger: Duration::from_micros(parse(&args, "--linger-us", 100)),
+            shards: parse(&args, "--shards", stripes),
         },
     };
 

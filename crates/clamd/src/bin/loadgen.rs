@@ -9,28 +9,43 @@
 //! window. Unless `--addr` points at a running server, an in-process
 //! sim-backed server is spawned on an ephemeral loopback port.
 //!
+//! The in-process server can be sharded (`--shards`) and file-backed
+//! (`--flash-file`; an existing image is recovered in place before the
+//! run). `--connect HOST:PORT` (alias: `--addr`) skips the in-process
+//! server entirely and drives an already-running `clamd` — start one
+//! `clamd` process and point several `clamd-loadgen --connect` processes
+//! at it for a multi-process load test.
+//!
 //! `--smoke` runs the CI loopback check instead: a deterministic
 //! preload / mixed-pipeline / verify sequence with **exact** count
-//! assertions against the server's ledger, including that every
-//! acknowledged insert is subsequently served with the correct value
-//! over the wire.
+//! assertions against the server's ledger — once over the single-shard
+//! baseline, once over a four-shard batcher (whose per-shard ledgers
+//! must sum to the baseline's totals and whose read-heavy verify phase
+//! must take the batcher bypass) — and, when this host has at least 4
+//! cores, a saturation bar asserting the sharded server sustains >=
+//! 1.2x the single-shard flood throughput.
 //!
 //! ```text
-//! clamd-loadgen [--addr HOST:PORT] [--connections 4] [--ops 20000]
+//! clamd-loadgen [--connect HOST:PORT] [--connections 4] [--ops 20000]
 //!               [--key-space 20000] [--zipf-s 0.99]
 //!               [--lookup-fraction 0.8] [--hit-fraction 0.5]
-//!               [--stripes 4] [--flash-bytes 67108864] [--dram-bytes 8388608]
+//!               [--stripes 4] [--shards N] [--flash-bytes 67108864]
+//!               [--dram-bytes 8388608] [--flash-file PATH] [--queue-depth N]
 //!               [--multiples 0.5,0.9,1.5] [--seed N] [--smoke]
 //! ```
 
 use std::net::SocketAddr;
 
 use bench::{ms, print_cdf, print_header, print_row, TailSummary};
+use clamd::batcher::BatcherConfig;
 use clamd::client::ClamdClient;
 use clamd::loadgen::{self, key_for, value_for, LoadgenConfig};
-use clamd::proto::{Op, RespBody};
-use clamd::server::{ephemeral_sim_server, BootError};
-use flashsim::{LatencyRecorder, SimDuration};
+use clamd::proto::{Op, RespBody, StatsFields};
+use clamd::server::{
+    boot_file, ephemeral_sim_server_sharded, BootError, ClamdServer, ServerConfig,
+};
+use clamd::stats::ServerStats;
+use flashsim::{FileDevice, LatencyRecorder, SharedDevice, SimDuration, Ssd};
 
 fn flag_value(args: &[String], name: &str) -> Option<String> {
     args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
@@ -43,6 +58,28 @@ fn parse<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T {
             std::process::exit(2);
         }),
         None => default,
+    }
+}
+
+/// An in-process server of either backing, kept alive for the run.
+enum SpawnedServer {
+    Sim(ClamdServer<SharedDevice<Ssd>>),
+    File(ClamdServer<SharedDevice<FileDevice>>),
+}
+
+impl SpawnedServer {
+    fn local_addr(&self) -> SocketAddr {
+        match self {
+            SpawnedServer::Sim(s) => s.local_addr(),
+            SpawnedServer::File(s) => s.local_addr(),
+        }
+    }
+
+    fn num_shards(&self) -> usize {
+        match self {
+            SpawnedServer::Sim(s) => s.num_shards(),
+            SpawnedServer::File(s) => s.num_shards(),
+        }
     }
 }
 
@@ -82,16 +119,48 @@ fn sweep_main(args: &[String]) -> Result<(), BootError> {
         .collect();
     assert!(multiples.len() >= 3, "a sweep needs at least 3 load levels to span saturation");
 
-    // Either aim at a running server or spawn one in-process.
-    let (addr, server): (SocketAddr, Option<_>) = match flag_value(args, "--addr") {
+    // Either aim at a running server (multi-process client mode) or
+    // spawn one in-process — sim-backed by default, file-backed (with
+    // in-place recovery of an existing image) under --flash-file.
+    let connect = flag_value(args, "--connect").or_else(|| flag_value(args, "--addr"));
+    let (addr, server): (SocketAddr, Option<SpawnedServer>) = match connect {
         Some(addr) => (addr.parse()?, None),
         None => {
-            let server = ephemeral_sim_server(
-                parse(args, "--stripes", 4),
-                parse(args, "--flash-bytes", 64u64 << 20),
-                parse(args, "--dram-bytes", 8u64 << 20),
-            )?;
-            println!("spawned in-process clamd on {}", server.local_addr());
+            let stripes = parse(args, "--stripes", 4);
+            let server_config = ServerConfig {
+                addr: "127.0.0.1:0".to_string(),
+                stripes,
+                flash_bytes: parse(args, "--flash-bytes", 64u64 << 20),
+                dram_bytes: parse(args, "--dram-bytes", 8u64 << 20),
+                batcher: BatcherConfig {
+                    shards: parse(args, "--shards", stripes),
+                    ..BatcherConfig::default()
+                },
+            };
+            let server = match flag_value(args, "--flash-file") {
+                Some(path) => {
+                    let path = std::path::PathBuf::from(path);
+                    let existed = path.exists();
+                    let queue_depth =
+                        parse(args, "--queue-depth", flashsim::DEFAULT_FILE_QUEUE_DEPTH);
+                    let (store, reports) = boot_file(&path, &server_config, queue_depth)?;
+                    if existed {
+                        println!("recovered {} stripes from {}", reports.len(), path.display());
+                        for (i, report) in reports.iter().enumerate() {
+                            println!("  stripe {i}: {report}");
+                        }
+                    } else {
+                        println!("created fresh store at {}", path.display());
+                    }
+                    SpawnedServer::File(ClamdServer::start(store, reports, server_config)?)
+                }
+                None => SpawnedServer::Sim(ClamdServer::start_sim(server_config)?),
+            };
+            println!(
+                "spawned in-process clamd on {} ({} batcher shards)",
+                server.local_addr(),
+                server.num_shards()
+            );
             (server.local_addr(), Some(server))
         }
     };
@@ -175,19 +244,68 @@ fn sweep_main(args: &[String]) -> Result<(), BootError> {
     Ok(())
 }
 
-/// The CI loopback smoke check. Every count asserted here is exact: the
-/// key-id ranges are disjoint by construction, so hits, misses and
-/// inserts are fully determined.
-fn smoke() -> Result<(), BootError> {
-    const PRELOAD: u64 = 2_000;
-    const CONNS: u64 = 4;
-    const PER_CONN: u64 = 500;
-    /// Key-id base for smoke-phase misses (disjoint from every other range).
-    const SMOKE_MISS_BASE: u64 = 1 << 50;
-    /// Key-id base for smoke-phase inserts.
-    const SMOKE_INSERT_BASE: u64 = 1 << 51;
+/// Smoke workload shape, shared by both arms.
+const PRELOAD: u64 = 2_000;
+const CONNS: u64 = 4;
+const PER_CONN: u64 = 500;
+/// Key-id base for smoke-phase misses (disjoint from every other range).
+const SMOKE_MISS_BASE: u64 = 1 << 50;
+/// Key-id base for smoke-phase inserts.
+const SMOKE_INSERT_BASE: u64 = 1 << 51;
+/// Stripes both smoke arms run over (so `--shards 4` is not clamped).
+const SMOKE_STRIPES: usize = 4;
 
-    let server = ephemeral_sim_server(2, 16 << 20, 4 << 20)?;
+/// The CI loopback smoke check: the full deterministic sequence over the
+/// single-shard baseline, the same sequence over a four-shard batcher
+/// (per-shard ledgers must sum to the baseline's totals and the serial
+/// verify phase must take the bypass), then — on hosts with enough
+/// cores — the sharded-vs-single saturation bar.
+fn smoke() -> Result<(), BootError> {
+    let baseline = smoke_arm(1)?;
+    let sharded = smoke_arm(4)?;
+
+    // Both arms served the identical op sequence, so the merged service
+    // counts must agree exactly — sharding changes who commits, not what.
+    assert_eq!(sharded.fields.inserts, baseline.fields.inserts, "arm insert totals");
+    assert_eq!(sharded.fields.lookups, baseline.fields.lookups, "arm lookup totals");
+    assert_eq!(sharded.fields.lookup_hits, baseline.fields.lookup_hits, "arm hit totals");
+    assert_eq!(sharded.fields.lookup_misses, baseline.fields.lookup_misses, "arm miss totals");
+
+    // The sharded arm's per-shard gather ledgers must sum back to its
+    // merged totals (which equal the single-shard arm's).
+    assert_eq!(sharded.per_shard.len(), 4, "four shard ledgers");
+    let shard_inserts: u64 = sharded.per_shard.iter().map(|s| s.inserts).sum();
+    let shard_lookups: u64 = sharded.per_shard.iter().map(|s| s.lookups).sum();
+    assert_eq!(shard_inserts, baseline.fields.inserts, "shard insert ledgers sum to baseline");
+    assert_eq!(shard_lookups, baseline.fields.lookups, "shard lookup ledgers sum to baseline");
+    assert!(
+        sharded.per_shard.iter().filter(|s| s.inserts > 0).count() > 1,
+        "the key space must spread over more than one shard"
+    );
+
+    // The serial verify phase is read-heavy over an idle server: the
+    // four-shard arm must have answered some of it on the bypass.
+    assert!(
+        sharded.fields.bypass_hits > 0,
+        "read-heavy phase should take the batcher bypass: {:?}",
+        sharded.fields
+    );
+
+    saturation_bar()
+}
+
+/// What one smoke arm observed.
+struct SmokeArm {
+    fields: StatsFields,
+    per_shard: Vec<ServerStats>,
+}
+
+/// One full preload / mixed-pipeline / verify sequence against a fresh
+/// server with `shards` batcher shards. Every count asserted here is
+/// exact: the key-id ranges are disjoint by construction, so hits,
+/// misses and inserts are fully determined.
+fn smoke_arm(shards: usize) -> Result<SmokeArm, BootError> {
+    let server = ephemeral_sim_server_sharded(SMOKE_STRIPES, shards, 16 << 20, 4 << 20)?;
     let addr = server.local_addr();
 
     // Preload over the wire, in batch frames.
@@ -294,15 +412,74 @@ fn smoke() -> Result<(), BootError> {
     assert_eq!(tail.samples as u64, CONNS * PER_CONN * 3, "every pipelined op measured");
 
     println!(
-        "smoke: {} inserts, {} lookups ({} hits / {} misses), {} gathers (mean {:.1}), tail {}",
+        "smoke [{} shard{}]: {} inserts, {} lookups ({} hits / {} misses), {} gathers \
+         (mean {:.1}), {} bypassed, tail {}",
+        shards,
+        if shards == 1 { "" } else { "s" },
         fields.inserts,
         fields.lookups,
         fields.lookup_hits,
         fields.lookup_misses,
         fields.batches,
         fields.mean_batch(),
+        fields.bypass_hits,
         tail
     );
+    let per_shard = server.per_shard_stats();
     drop(server);
-    Ok(())
+    Ok(SmokeArm { fields, per_shard })
+}
+
+/// Floods a fresh server at the given shard count with a read-heavy
+/// closed-loop workload and returns the sustained throughput.
+fn flood_throughput(shards: usize) -> Result<f64, BootError> {
+    let server = ephemeral_sim_server_sharded(SMOKE_STRIPES, shards, 64 << 20, 8 << 20)?;
+    let addr = server.local_addr();
+    let config = LoadgenConfig {
+        connections: 4,
+        ops: 24_000,
+        rate: f64::INFINITY,
+        lookup_fraction: 0.9,
+        hit_fraction: 0.8,
+        key_space: 8_000,
+        zipf_s: 0.99,
+        seed: 0x5a7b,
+    };
+    let preloaded = loadgen::preload(addr, config.key_space)?;
+    assert_eq!(preloaded, config.key_space, "saturation-bar preload");
+    // Warm-up flood absorbs thread spin-up and first-touch costs, then
+    // the measured flood.
+    let _ = loadgen::run(addr, &LoadgenConfig { ops: 4_000, ..config.clone() })?;
+    let report = loadgen::run(addr, &config)?;
+    assert_eq!(report.errors, 0, "flood must not provoke server errors");
+    drop(server);
+    Ok(report.achieved)
+}
+
+/// The sharded-vs-single saturation bar: on hosts with at least 4 cores
+/// (one per shard, so the gather threads can actually run concurrently),
+/// a 4-shard server must sustain >= 1.2x the single-shard flood
+/// throughput. Fewer cores cannot express the concurrency, so the bar
+/// is skipped there rather than asserting a number the host cannot hit.
+fn saturation_bar() -> Result<(), BootError> {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if cores < 4 {
+        println!(
+            "saturation bar: skipped ({cores} core(s); needs >= 4 to run shards concurrently)"
+        );
+        return Ok(());
+    }
+    let single = flood_throughput(1)?;
+    let sharded = flood_throughput(4)?;
+    let speedup = sharded / single.max(1e-9);
+    println!("saturation: 1 shard {single:.0} ops/s, 4 shards {sharded:.0} ops/s ({speedup:.2}x)");
+    if speedup >= 1.2 {
+        println!("PASS: sharded group commit sustains {speedup:.2}x the single-shard flood (target >= 1.2x)");
+        Ok(())
+    } else {
+        Err(format!(
+            "FAIL: 4-shard flood only {speedup:.2}x the single-shard flood (target >= 1.2x)"
+        )
+        .into())
+    }
 }

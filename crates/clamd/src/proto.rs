@@ -259,11 +259,26 @@ pub struct StatsFields {
     pub delete_admissions: u64,
     /// Connections rejected or dropped on protocol violations.
     pub wire_errors: u64,
+    /// Lookups answered on the lock-free fast path, bypassing the
+    /// batcher queue entirely (v2 field).
+    pub bypass_hits: u64,
+    /// Number of batcher shards serving the store (v2 field; a gauge,
+    /// not a counter).
+    pub shards: u64,
+    /// Requests admitted to shard gathers but not yet completed, summed
+    /// across shards (v2 field; a gauge, not a counter).
+    pub shard_inflight: u64,
 }
 
 impl StatsFields {
-    /// Number of `u64` fields on the wire.
-    pub const COUNT: usize = 15;
+    /// Number of `u64` fields on the wire (protocol minor version 2).
+    pub const COUNT: usize = 18;
+
+    /// Field count written by minor-version-1 servers. The count word in
+    /// the STATS payload doubles as the field-vector version: decoders
+    /// accept either [`Self::V1_COUNT`] (zero-filling the newer fields)
+    /// or [`Self::COUNT`].
+    pub const V1_COUNT: usize = 15;
 
     fn to_words(self) -> [u64; Self::COUNT] {
         [
@@ -282,10 +297,16 @@ impl StatsFields {
             self.lookup_admissions,
             self.delete_admissions,
             self.wire_errors,
+            self.bypass_hits,
+            self.shards,
+            self.shard_inflight,
         ]
     }
 
+    /// `w` must hold at least [`Self::V1_COUNT`] words; fields beyond the
+    /// slice's length (a v1 snapshot) are zero-filled.
     fn from_words(w: &[u64]) -> Self {
+        let at = |i: usize| w.get(i).copied().unwrap_or(0);
         StatsFields {
             inserts: w[0],
             lookups: w[1],
@@ -302,6 +323,9 @@ impl StatsFields {
             lookup_admissions: w[12],
             delete_admissions: w[13],
             wire_errors: w[14],
+            bypass_hits: at(15),
+            shards: at(16),
+            shard_inflight: at(17),
         }
     }
 
@@ -314,9 +338,12 @@ impl StatsFields {
         for i in 0..Self::COUNT {
             out[i] = a[i].saturating_sub(b[i]);
         }
-        // High-water marks are not differences; keep the later value.
+        // High-water marks and gauges are not differences; keep the
+        // later value.
         let mut fields = StatsFields::from_words(&out);
         fields.batch_high_water = self.batch_high_water;
+        fields.shards = self.shards;
+        fields.shard_inflight = self.shard_inflight;
         fields
     }
 
@@ -645,7 +672,10 @@ pub fn decode_response(buf: &[u8]) -> Result<Option<(Response, usize)>, WireErro
                 return Err(WireError::Corrupt("STATS frame shorter than its field count"));
             }
             let count = u32::from_le_bytes(p[0..4].try_into().expect("4 bytes")) as usize;
-            if count != StatsFields::COUNT {
+            // The count word is the field-vector minor version: accept
+            // the current layout and the 15-field v1 layout (older
+            // servers), zero-filling the fields v1 lacks.
+            if count != StatsFields::COUNT && count != StatsFields::V1_COUNT {
                 return Err(WireError::Corrupt("STATS field count mismatch for this version"));
             }
             let words_end = 4 + 8 * count;
@@ -740,7 +770,14 @@ mod tests {
             RespBody::Deleted,
             RespBody::Flushed,
             RespBody::Stats {
-                fields: StatsFields { inserts: 5, lookup_hits: 3, ..Default::default() },
+                fields: StatsFields {
+                    inserts: 5,
+                    lookup_hits: 3,
+                    bypass_hits: 7,
+                    shards: 4,
+                    shard_inflight: 2,
+                    ..Default::default()
+                },
                 text: "served: …".to_string(),
             },
             RespBody::InsertedBatch { count: 1000 },
@@ -825,6 +862,9 @@ mod tests {
             batches: 12,
             batched_requests: 110,
             batch_high_water: 40,
+            bypass_hits: 25,
+            shards: 4,
+            shard_inflight: 3,
             ..Default::default()
         };
         let d = late.delta(&early);
@@ -832,8 +872,40 @@ mod tests {
         assert_eq!(d.batches, 10);
         assert_eq!(d.batched_requests, 100);
         assert_eq!(d.batch_high_water, 40, "high-water keeps the later value");
+        assert_eq!(d.bypass_hits, 25, "bypass hits diff like any counter");
+        assert_eq!(d.shards, 4, "shard count is a gauge: keep the later value");
+        assert_eq!(d.shard_inflight, 3, "in-flight depth is a gauge: keep the later value");
         assert!((d.mean_batch() - 10.0).abs() < 1e-9);
         assert_eq!(StatsFields::default().mean_batch(), 0.0);
+    }
+
+    #[test]
+    fn stats_decoder_accepts_the_v1_field_count() {
+        // A v1 server writes 15 words; the 3 v2 fields zero-fill.
+        let fields = StatsFields { inserts: 9, wire_errors: 2, ..Default::default() };
+        let words = fields.to_words();
+        let text = "legacy ledger";
+        let payload_len = 4 + 8 * StatsFields::V1_COUNT + text.len();
+        let mut buf = Vec::new();
+        put_header(&mut buf, opcode::R_STATS, 3, payload_len);
+        buf.extend_from_slice(&(StatsFields::V1_COUNT as u32).to_le_bytes());
+        for word in &words[..StatsFields::V1_COUNT] {
+            buf.extend_from_slice(&word.to_le_bytes());
+        }
+        buf.extend_from_slice(text.as_bytes());
+
+        let (decoded, consumed) = decode_response(&buf).unwrap().unwrap();
+        assert_eq!(consumed, buf.len());
+        let RespBody::Stats { fields: got, text: got_text } = decoded.body else {
+            panic!("expected a STATS body");
+        };
+        assert_eq!(got, fields);
+        assert_eq!(got_text, text);
+
+        // Any other count is still a structured corruption error.
+        let mut bad = buf;
+        bad[HEADER_LEN..HEADER_LEN + 4].copy_from_slice(&16u32.to_le_bytes());
+        assert!(matches!(decode_response(&bad), Err(WireError::Corrupt(_))));
     }
 
     #[test]

@@ -2,11 +2,14 @@
 //! [`Engine`].
 //!
 //! Each accepted connection gets a **reader** thread (decode frames,
-//! submit to the batcher queue) and a **writer** thread (drain that
+//! submit to the batcher) and a **writer** thread (drain that
 //! connection's response channel, encode, flush). Requests from all
-//! connections funnel through one queue, so concurrent arrivals — whether
-//! pipelined on one connection or spread across many — coalesce into the
-//! same group-commit gathers.
+//! connections funnel into the batcher's per-stripe shard queues
+//! ([`BatcherConfig::shards`]), so concurrent arrivals — whether
+//! pipelined on one connection or spread across many — coalesce into
+//! per-shard group-commit gathers that commit independent stripes
+//! concurrently. `shards: 1` (the default) is the single-gather
+//! baseline.
 //!
 //! A protocol violation ([`WireError`](crate::proto::WireError)) is
 //! connection-fatal: the server counts it, answers with one structured
@@ -195,9 +198,19 @@ impl<D: Device + 'static> ClamdServer<D> {
         self.local_addr
     }
 
-    /// Snapshot of the server ledger.
+    /// Snapshot of the server ledger (per-shard gather ledgers merged).
     pub fn stats(&self) -> ServerStats {
         self.engine.stats()
+    }
+
+    /// Each batcher shard's own gather ledger, in shard order.
+    pub fn per_shard_stats(&self) -> Vec<ServerStats> {
+        self.engine.per_shard_stats()
+    }
+
+    /// Number of batcher shards actually running.
+    pub fn num_shards(&self) -> usize {
+        self.engine.num_shards()
     }
 
     /// Aggregated store statistics across all stripes.
@@ -353,12 +366,23 @@ pub fn ephemeral_sim_server(
     flash_bytes: u64,
     dram_bytes: u64,
 ) -> Result<ClamdServer<SharedDevice<Ssd>>, BootError> {
+    ephemeral_sim_server_sharded(stripes, 1, flash_bytes, dram_bytes)
+}
+
+/// Like [`ephemeral_sim_server`] but with an explicit batcher shard
+/// count (clamped to `[1, stripes]` by the engine).
+pub fn ephemeral_sim_server_sharded(
+    stripes: usize,
+    shards: usize,
+    flash_bytes: u64,
+    dram_bytes: u64,
+) -> Result<ClamdServer<SharedDevice<Ssd>>, BootError> {
     ClamdServer::start_sim(ServerConfig {
         addr: "127.0.0.1:0".to_string(),
         stripes,
         flash_bytes,
         dram_bytes,
-        batcher: BatcherConfig::default(),
+        batcher: BatcherConfig { shards, ..BatcherConfig::default() },
     })
 }
 

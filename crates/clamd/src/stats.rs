@@ -60,6 +60,14 @@ pub struct ServerStats {
     pub connections_opened: u64,
     /// Connections closed (cleanly or after an error).
     pub connections_closed: u64,
+    /// Scalar lookups answered on the batcher bypass: the shard's linger
+    /// queue was empty and the store's epoch-validated read fast path
+    /// resolved the key without a gather or a ring admission.
+    pub bypass_hits: u64,
+    /// Most recent per-shard in-flight depth snapshot (queued plus
+    /// executing requests), refreshed by STATS requests and captured at
+    /// shutdown entry. Empty until the first snapshot.
+    pub shard_depths: Vec<u64>,
 }
 
 impl ServerStats {
@@ -93,6 +101,41 @@ impl ServerStats {
         }
     }
 
+    /// Folds another ledger into this one — used to merge the per-shard
+    /// gather ledgers into the STATS view. Counters sum, the batch-size
+    /// histogram merges bucket-wise, the high-water mark takes the max,
+    /// and the `shard_depths` gauge keeps whichever side has a snapshot
+    /// (shard ledgers never carry one).
+    pub fn absorb(&mut self, other: &ServerStats) {
+        self.inserts += other.inserts;
+        self.lookups += other.lookups;
+        self.deletes += other.deletes;
+        self.flushes += other.flushes;
+        self.stats_calls += other.stats_calls;
+        self.lookup_hits += other.lookup_hits;
+        self.lookup_misses += other.lookup_misses;
+        self.wire_errors += other.wire_errors;
+        self.batches += other.batches;
+        self.batched_requests += other.batched_requests;
+        self.group_commit_waits += other.group_commit_waits;
+        self.batch_high_water = self.batch_high_water.max(other.batch_high_water);
+        if self.batch_histogram.len() < other.batch_histogram.len() {
+            self.batch_histogram.resize(other.batch_histogram.len(), 0);
+        }
+        for (d, s) in self.batch_histogram.iter_mut().zip(&other.batch_histogram) {
+            *d += s;
+        }
+        self.insert_admissions += other.insert_admissions;
+        self.lookup_admissions += other.lookup_admissions;
+        self.delete_admissions += other.delete_admissions;
+        self.connections_opened += other.connections_opened;
+        self.connections_closed += other.connections_closed;
+        self.bypass_hits += other.bypass_hits;
+        if self.shard_depths.is_empty() {
+            self.shard_depths = other.shard_depths.clone();
+        }
+    }
+
     /// The numeric field vector a STATS response carries.
     pub fn to_fields(&self) -> StatsFields {
         StatsFields {
@@ -111,6 +154,9 @@ impl ServerStats {
             lookup_admissions: self.lookup_admissions,
             delete_admissions: self.delete_admissions,
             wire_errors: self.wire_errors,
+            bypass_hits: self.bypass_hits,
+            shards: self.shard_depths.len() as u64,
+            shard_inflight: self.shard_depths.iter().sum(),
         }
     }
 }
@@ -142,6 +188,12 @@ impl fmt::Display for ServerStats {
                 " | admissions: {} insert, {} lookup, {} delete",
                 self.insert_admissions, self.lookup_admissions, self.delete_admissions
             )?;
+        }
+        if self.bypass_hits > 0 {
+            write!(f, " | bypass: {} fast-path lookups", self.bypass_hits)?;
+        }
+        if !self.shard_depths.is_empty() {
+            write!(f, " | shard depths: {:?}", self.shard_depths)?;
         }
         if self.connections_opened > 0 {
             write!(
@@ -194,6 +246,8 @@ mod tests {
         s.lookup_admissions = 9;
         s.delete_admissions = 10;
         s.wire_errors = 11;
+        s.bypass_hits = 12;
+        s.shard_depths = vec![3, 0, 4];
         let f = s.to_fields();
         assert_eq!(f.inserts, 1);
         assert_eq!(f.lookups, 2);
@@ -210,6 +264,54 @@ mod tests {
         assert_eq!(f.lookup_admissions, 9);
         assert_eq!(f.delete_admissions, 10);
         assert_eq!(f.wire_errors, 11);
+        assert_eq!(f.bypass_hits, 12);
+        assert_eq!(f.shards, 3);
+        assert_eq!(f.shard_inflight, 7);
+    }
+
+    #[test]
+    fn absorb_merges_shard_ledgers() {
+        let mut total = ServerStats::new();
+        total.inserts = 10;
+        total.flushes = 1;
+        total.connections_opened = 2;
+        total.record_batch(4, true);
+        let mut shard = ServerStats::new();
+        shard.inserts = 5;
+        shard.lookups = 7;
+        shard.lookup_hits = 4;
+        shard.lookup_misses = 3;
+        shard.bypass_hits = 2;
+        shard.insert_admissions = 1;
+        shard.record_batch(8, false);
+        total.absorb(&shard);
+        assert_eq!(total.inserts, 15);
+        assert_eq!(total.lookups, 7);
+        assert_eq!(total.bypass_hits, 2);
+        assert_eq!(total.batches, 2);
+        assert_eq!(total.batched_requests, 12);
+        assert_eq!(total.batch_high_water, 8, "high water takes the max");
+        assert_eq!(total.batch_histogram[4], 1);
+        assert_eq!(total.batch_histogram[8], 1);
+        assert_eq!(total.group_commit_waits, 1);
+        assert_eq!(total.connections_opened, 2, "shard ledgers carry no connections");
+        // The depth gauge survives the merge from whichever side has it.
+        total.shard_depths = vec![1, 2];
+        let mut merged = ServerStats::new();
+        merged.absorb(&total);
+        assert_eq!(merged.shard_depths, vec![1, 2]);
+    }
+
+    #[test]
+    fn bypass_and_shard_depths_display() {
+        let mut s = ServerStats::new();
+        s.bypass_hits = 5;
+        s.shard_depths = vec![0, 3];
+        let text = s.to_string();
+        assert!(text.contains("bypass: 5 fast-path lookups"), "{text}");
+        assert!(text.contains("shard depths: [0, 3]"), "{text}");
+        let quiet = ServerStats::new().to_string();
+        assert!(!quiet.contains("bypass:") && !quiet.contains("shard depths:"), "{quiet}");
     }
 
     #[test]

@@ -1,0 +1,288 @@
+//! Sharded group commit and the seqlock read fast path must be
+//! invisible except for speed: every outcome a client (or a store
+//! caller) observes has to be identical to the single-gather,
+//! coarse-locked baseline. Three angles:
+//!
+//! * store level — the same op sequence through a fast-path
+//!   [`StripedClam`] and a coarse one over **all five** flashsim
+//!   backends, comparing per-key values, sources and flash reads;
+//! * wire level — two real `clamd` servers (shards=1 + coarse locks vs
+//!   shards=4 + fast path) answering identical per-connection scripts
+//!   with identical response streams;
+//! * starvation — one stripe hammered with inserts while lookups run on
+//!   the other stripes, with a bounded tail as the liveness check.
+
+use std::time::{Duration, Instant};
+
+use bufferhash::{hash_with_seed, Clam, ClamConfig, StripedClam};
+use clamd::batcher::BatcherConfig;
+use clamd::client::ClamdClient;
+use clamd::proto::{Op, RespBody};
+use clamd::server::{boot_sim, ephemeral_sim_server_sharded, ClamdServer, ServerConfig};
+use flashsim::{Device, DramDevice, FileDevice, FlashChip, MagneticDisk, SharedDevice, Ssd};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+const STRIPES: usize = 4;
+const FLASH: u64 = 8 << 20;
+const DRAM: u64 = 2 << 20;
+/// Seed of [`StripedClam::stripe_index`]'s routing hash; the starvation
+/// test uses it to aim keys at specific stripes.
+const STRIPE_SEED: u64 = 0x57_e19e;
+
+/// Stripes `device` exactly the way the server boot path does.
+fn striped<D: Device>(device: D) -> StripedClam<SharedDevice<D>> {
+    let cfg = ClamConfig::small_test(FLASH / STRIPES as u64, DRAM / STRIPES as u64).unwrap();
+    let shared = SharedDevice::new(device);
+    let stripes = shared
+        .split(STRIPES)
+        .unwrap()
+        .into_iter()
+        .map(|partition| Clam::new(partition, cfg.clone()).unwrap())
+        .collect();
+    StripedClam::new(stripes)
+}
+
+fn temp_path(name: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("clamd-equiv-{}-{}", std::process::id(), name));
+    p
+}
+
+/// Drives the sampled op sequence through both stores and asserts every
+/// observable outcome matches, then audits the whole keyspace.
+fn assert_stores_agree<A: Device, B: Device>(
+    fast: &StripedClam<A>,
+    coarse: &StripedClam<B>,
+    ops: &[(u8, u64)],
+    seed: u64,
+    label: &str,
+) {
+    coarse.set_coarse_locks(true);
+    let key = |raw: u64| hash_with_seed(raw % 192, seed);
+    for (i, &(kind, raw)) in ops.iter().enumerate() {
+        match kind % 10 {
+            0..=2 => {
+                fast.insert(key(raw), raw).unwrap();
+                coarse.insert(key(raw), raw).unwrap();
+            }
+            3 => {
+                fast.delete(key(raw)).unwrap();
+                coarse.delete(key(raw)).unwrap();
+            }
+            4 => {
+                let pairs: Vec<(u64, u64)> =
+                    (0..32).map(|j| (key(raw.wrapping_add(j)), raw ^ j)).collect();
+                fast.insert_batch(&pairs).unwrap();
+                coarse.insert_batch(&pairs).unwrap();
+            }
+            5 => {
+                let keys: Vec<u64> = (0..24).map(|j| key(raw.wrapping_add(j * 3))).collect();
+                let f = fast.lookup_batch(&keys).unwrap();
+                let c = coarse.lookup_batch(&keys).unwrap();
+                for (j, (fo, co)) in f.outcomes.iter().zip(c.outcomes.iter()).enumerate() {
+                    assert_eq!(fo.value, co.value, "{label}: op {i} batch slot {j}");
+                    assert_eq!(fo.source, co.source, "{label}: op {i} batch slot {j}");
+                    assert_eq!(fo.flash_reads, co.flash_reads, "{label}: op {i} batch slot {j}");
+                }
+            }
+            6 => {
+                fast.flush_all().unwrap();
+                coarse.flush_all().unwrap();
+            }
+            _ => {
+                let f = fast.lookup(key(raw)).unwrap();
+                let c = coarse.lookup(key(raw)).unwrap();
+                assert_eq!(f.value, c.value, "{label}: op {i}");
+                assert_eq!(f.source, c.source, "{label}: op {i}");
+                assert_eq!(f.flash_reads, c.flash_reads, "{label}: op {i}");
+            }
+        }
+    }
+    // Full-keyspace audit: both stores hold exactly the same map.
+    let keys: Vec<u64> = (0..192).map(key).collect();
+    let f = fast.lookup_batch(&keys).unwrap();
+    let c = coarse.lookup_batch(&keys).unwrap();
+    for (j, (fo, co)) in f.outcomes.iter().zip(c.outcomes.iter()).enumerate() {
+        assert_eq!(fo.value, co.value, "{label}: audit slot {j}");
+        assert_eq!(fo.source, co.source, "{label}: audit slot {j}");
+    }
+    // Both ledgers counted every lookup; only the fast store used the
+    // epoch-validated path, and only when writes left it room to.
+    let (fs, cs) = (fast.stats(), coarse.stats());
+    assert_eq!(fs.lookup_hits, cs.lookup_hits, "{label}");
+    assert_eq!(fs.lookup_misses, cs.lookup_misses, "{label}");
+    assert_eq!(cs.fast_lookups, 0, "{label}: coarse mode must never take the fast path");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The fast-path store and the coarse-locked baseline are
+    /// indistinguishable — per value, per source, per flash read — on
+    /// every one of the five flashsim backends.
+    #[test]
+    fn fast_and_coarse_stores_agree_on_every_backend(
+        seed in any::<u64>(),
+        ops in vec((0u8..10, any::<u64>()), 150..300),
+    ) {
+        assert_stores_agree(
+            &striped(Ssd::intel(FLASH).unwrap()),
+            &striped(Ssd::intel(FLASH).unwrap()),
+            &ops, seed, "ssd",
+        );
+        assert_stores_agree(
+            &striped(DramDevice::new(FLASH).unwrap()),
+            &striped(DramDevice::new(FLASH).unwrap()),
+            &ops, seed, "dram",
+        );
+        assert_stores_agree(
+            &striped(FlashChip::new(FLASH).unwrap()),
+            &striped(FlashChip::new(FLASH).unwrap()),
+            &ops, seed, "flash-chip",
+        );
+        assert_stores_agree(
+            &striped(MagneticDisk::new(FLASH).unwrap()),
+            &striped(MagneticDisk::new(FLASH).unwrap()),
+            &ops, seed, "disk",
+        );
+        let (pf, pc) = (temp_path(&format!("f-{seed:x}")), temp_path(&format!("c-{seed:x}")));
+        let _ = std::fs::remove_file(&pf);
+        let _ = std::fs::remove_file(&pc);
+        assert_stores_agree(
+            &striped(FileDevice::with_queue_depth(&pf, FLASH, 4).unwrap()),
+            &striped(FileDevice::with_queue_depth(&pc, FLASH, 4).unwrap()),
+            &ops, seed, "file",
+        );
+        let _ = std::fs::remove_file(&pf);
+        let _ = std::fs::remove_file(&pc);
+    }
+}
+
+/// A deterministic per-connection op script over a keyspace disjoint
+/// from every other connection's, so the response stream is a pure
+/// function of the script — whatever the server's shard count.
+fn script(conn: u64) -> Vec<Op> {
+    let key = |r: u64| hash_with_seed(conn * 10_000 + r % 90, 7);
+    (0..180u64)
+        .map(|i| match i % 10 {
+            0..=3 => Op::Insert { key: key(i), value: conn * 1_000_000 + i },
+            4 => Op::Delete { key: key(i * 7) },
+            5 => Op::InsertBatch(
+                (0..16).map(|j| (key(i + j), conn * 1_000_000 + i * 100 + j)).collect(),
+            ),
+            6 => Op::LookupBatch((0..24).map(|j| key(i * 3 + j)).collect()),
+            7 => Op::Flush,
+            _ => Op::Lookup { key: key(i * 5) },
+        })
+        .collect()
+}
+
+fn run_scripts<D: Device + 'static>(server: &ClamdServer<D>) -> Vec<Vec<RespBody>> {
+    let addr = server.local_addr();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..3u64)
+            .map(|conn| {
+                scope.spawn(move || {
+                    let mut client = ClamdClient::connect(addr).unwrap();
+                    script(conn).into_iter().map(|op| client.call(op).unwrap()).collect()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+}
+
+/// The sharded fast-path server answers every connection with exactly
+/// the byte-identical response stream of the single-gather,
+/// coarse-locked baseline.
+#[test]
+fn sharded_server_matches_coarse_single_gather_baseline_over_tcp() {
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        stripes: STRIPES,
+        flash_bytes: 16 << 20,
+        dram_bytes: 4 << 20,
+        batcher: BatcherConfig { shards: 1, ..BatcherConfig::default() },
+    };
+    let baseline_store = boot_sim(&config).unwrap();
+    baseline_store.set_coarse_locks(true);
+    let baseline = ClamdServer::start(baseline_store, Vec::new(), config).unwrap();
+    let sharded = ephemeral_sim_server_sharded(STRIPES, STRIPES, 16 << 20, 4 << 20).unwrap();
+    assert_eq!(sharded.num_shards(), STRIPES);
+
+    let base_streams = run_scripts(&baseline);
+    let shard_streams = run_scripts(&sharded);
+    for (conn, (b, s)) in base_streams.iter().zip(shard_streams.iter()).enumerate() {
+        assert_eq!(b.len(), s.len(), "conn {conn}");
+        for (i, (bb, ss)) in b.iter().zip(s.iter()).enumerate() {
+            assert_eq!(bb, ss, "conn {conn} response {i}");
+        }
+    }
+    // Same work, counted identically, whichever engine did it.
+    let (bs, ss) = (baseline.stats(), sharded.stats());
+    assert_eq!(bs.inserts, ss.inserts);
+    assert_eq!(bs.lookups, ss.lookups);
+    assert_eq!(bs.lookup_hits, ss.lookup_hits);
+    assert_eq!(bs.lookup_misses, ss.lookup_misses);
+    assert_eq!(bs.deletes, ss.deletes);
+    assert_eq!(bs.flushes, ss.flushes);
+    // Only the sharded server's store ever took the epoch-validated path.
+    assert_eq!(baseline.clam_stats().fast_lookups, 0);
+    assert!(sharded.clam_stats().fast_lookups > 0, "{:?}", sharded.stats());
+}
+
+/// Hammering one stripe with inserts must not starve lookups on the
+/// other stripes: with per-stripe shards the readers' p99 stays bounded
+/// (the bound is liveness-grade generous — the point is that readers
+/// are not serialized behind the writer's stripe).
+#[test]
+fn insert_hammer_on_one_stripe_does_not_starve_reads_on_others() {
+    let server = ephemeral_sim_server_sharded(STRIPES, STRIPES, 32 << 20, 8 << 20).unwrap();
+    let addr = server.local_addr();
+    let stripe_of = |key: u64| (hash_with_seed(key, STRIPE_SEED) % STRIPES as u64) as usize;
+
+    // Preload read targets on stripes 1..4 only.
+    let read_keys: Vec<u64> = (0..).filter(|&k| stripe_of(k) != 0).take(2_000).collect();
+    let mut loader = ClamdClient::connect(addr).unwrap();
+    loader.insert_batch(read_keys.iter().map(|&k| (k, k + 1)).collect()).unwrap();
+
+    let p99 = std::thread::scope(|scope| {
+        // Hammer stripe 0 with inserts for the whole measurement window.
+        let hammer = scope.spawn(move || {
+            let mut client = ClamdClient::connect(addr).unwrap();
+            let keys: Vec<u64> = (1 << 32..).filter(|&k| stripe_of(k) == 0).take(512).collect();
+            for i in 0..6_000u64 {
+                let key = keys[(i % keys.len() as u64) as usize];
+                client.insert(key, i).unwrap();
+            }
+        });
+        let readers: Vec<_> = (0..2)
+            .map(|r| {
+                let read_keys = &read_keys;
+                scope.spawn(move || {
+                    let mut client = ClamdClient::connect(addr).unwrap();
+                    let mut lat = Vec::with_capacity(2_000);
+                    for i in 0..2_000usize {
+                        let key = read_keys[(i * 7 + r * 13) % read_keys.len()];
+                        let start = Instant::now();
+                        assert_eq!(client.lookup(key).unwrap(), Some(key + 1));
+                        lat.push(start.elapsed());
+                    }
+                    lat
+                })
+            })
+            .collect();
+        let mut lat: Vec<Duration> = readers.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        hammer.join().unwrap();
+        lat.sort_unstable();
+        lat[lat.len() * 99 / 100]
+    });
+    assert!(p99 < Duration::from_millis(250), "reader p99 {p99:?} under insert hammer");
+
+    // The hammer really was confined to one shard's ledger.
+    let per_shard = server.per_shard_stats();
+    let hammered: Vec<usize> =
+        (0..per_shard.len()).filter(|&i| per_shard[i].inserts >= 6_000).collect();
+    assert_eq!(hammered.len(), 1, "exactly one shard absorbed the hammer: {per_shard:?}");
+}

@@ -44,6 +44,9 @@ fn build_body(
                 inserts: value,
                 lookups: value.rotate_left(7),
                 batches: u64::from(count),
+                bypass_hits: value.rotate_left(13),
+                shards: u64::from(count % 17),
+                shard_inflight: value.rotate_left(29),
                 ..Default::default()
             },
             text,
@@ -187,6 +190,35 @@ proptest! {
         let bad_count = MAX_BATCH_OPS as u32 + count_over;
         overcounted[HEADER_LEN..HEADER_LEN + 4].copy_from_slice(&bad_count.to_le_bytes());
         prop_assert!(matches!(decode_request(&overcounted), Err(WireError::TooManyOps(_))));
+    }
+
+    /// A minor-version-1 STATS frame (15-word field vector) still
+    /// decodes, zero-filling the v2 fields — the count word doubles as
+    /// the field-vector version.
+    #[test]
+    fn legacy_v1_stats_frames_decode(
+        id in any::<u64>(),
+        inserts in any::<u64>(),
+        wire_errors in any::<u64>(),
+        text_bytes in vec(any::<u8>(), 0..40),
+    ) {
+        let text: String = text_bytes.iter().map(|b| char::from(b'a' + b % 26)).collect();
+        let fields = StatsFields { inserts, wire_errors, ..Default::default() };
+        let mut buf = Vec::new();
+        let body = RespBody::Stats { fields, text: text.clone() };
+        encode_response(&Response { id, body }, &mut buf);
+        // Surgically rewrite the v2 frame into its v1 form: drop the
+        // last three (zero) field words, rewrite the count word and the
+        // header's payload length.
+        let words_start = HEADER_LEN + 4;
+        let v1 = StatsFields::V1_COUNT;
+        buf.drain(words_start + 8 * v1..words_start + 8 * StatsFields::COUNT);
+        buf[HEADER_LEN..HEADER_LEN + 4].copy_from_slice(&(v1 as u32).to_le_bytes());
+        let payload_len = (buf.len() - HEADER_LEN) as u32;
+        buf[16..20].copy_from_slice(&payload_len.to_le_bytes());
+        let (decoded, consumed) = decode_response(&buf).unwrap().unwrap();
+        prop_assert_eq!(consumed, buf.len());
+        prop_assert_eq!(decoded, Response { id, body: RespBody::Stats { fields, text } });
     }
 
     /// A batch whose count field disagrees with its payload length is

@@ -37,7 +37,12 @@ use crate::time::SimDuration;
 /// so the trait stays implementable with per-op logic alone. All built-in
 /// backends override `submit` natively to model queue overlap (SSD/DRAM
 /// lanes), seek-order scheduling (disk) or real overlapped file I/O.
-pub trait Device: Send {
+///
+/// `Send + Sync` is required so higher layers can share devices across
+/// threads behind reader-writer locks (the `bufferhash` read fast path
+/// probes DRAM state under a shared borrow). All mutation goes through
+/// `&mut self`, so `Sync` costs implementors nothing.
+pub trait Device: Send + Sync {
     /// The parameter set this device was built from.
     fn profile(&self) -> &DeviceProfile;
 
