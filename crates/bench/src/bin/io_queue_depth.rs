@@ -3,7 +3,8 @@
 //! Companion to ROADMAP's "async / io_uring-style device backend",
 //! "true parallel stripe dispatch", "drive lookups through the
 //! submission queue", "completion ring", "ring-driven write path" and
-//! "crash consistency" items, in seven parts:
+//! "crash consistency" and "intra-stripe write concurrency" items, in
+//! eight parts:
 //!
 //! 1. **Real overlapped I/O** — flush-sized writes are submitted to a
 //!    [`flashsim::FileDevice`] at several queue depths. The device spreads
@@ -49,6 +50,16 @@
 //!    `FlashCostModel::recovery_scan_makespan` **exactly** at every queue
 //!    depth, and scan throughput must scale with depth (>= 2x at the
 //!    deepest queue vs depth 1).
+//! 8. **Intra-stripe write concurrency** — `StripedClam::insert_batch` on
+//!    a single stripe through the per-super-table write locks vs the
+//!    `set_coarse_locks(true)` stripe-global baseline, over several batch
+//!    sizes, with the fine arm forced through multi-chunk scoped-thread
+//!    dispatch. Wall clock is informational (overlap needs spare cores);
+//!    the acceptance is **exact cross-arm ledger sums**: identical
+//!    per-batch outcomes, identical summed ledgers (flushes, forced
+//!    evictions, coalesced runs, insert/delete recorder sums) and
+//!    identical flash traffic, with the fine arm's table-lock ledger
+//!    filled and the coarse arm's empty.
 //!
 //! `--smoke` runs a reduced sweep for CI.
 
@@ -137,7 +148,7 @@ fn file_device_sweep(scale: &Scale) -> bool {
     let capacity = (scale.requests * scale.request_bytes) as u64;
     let path = std::env::temp_dir().join(format!("clam-io-queue-depth-{}", std::process::id()));
     println!(
-        "[1/7] FileDevice: {} flush writes x {} KiB per submission, best of {} trials",
+        "[1/8] FileDevice: {} flush writes x {} KiB per submission, best of {} trials",
         scale.requests,
         scale.request_bytes >> 10,
         scale.trials
@@ -219,7 +230,7 @@ fn file_device_sweep(scale: &Scale) -> bool {
 /// Part 2: simulated SSD sweep against the closed-form queue model.
 fn simulated_sweep(scale: &Scale) {
     const PAGES: usize = 64;
-    println!("[2/7] Simulated Intel-class SSD: {PAGES} page writes per submission vs model");
+    println!("[2/8] Simulated Intel-class SSD: {PAGES} page writes per submission vs model");
     let widths = [8, 16, 16, 10];
     print_header(&["depth", "measured (ms)", "model (ms)", "speedup"], &widths);
     let mut base = SimDuration::ZERO;
@@ -285,7 +296,7 @@ fn striped_dispatch(scale: &Scale) {
     }
     assert_eq!(parallel.stats().flushes, serial.stats().flushes, "outcomes must not change");
     println!(
-        "[3/7] StripedClam ({STRIPES} stripes, {} inserts): parallel dispatch {} \
+        "[3/8] StripedClam ({STRIPES} stripes, {} inserts): parallel dispatch {} \
          (max-over-stripes) vs serial {} (summed) -> {:.2}x",
         scale.striped_ops,
         ms(par_total),
@@ -341,7 +352,7 @@ fn queued_lookup_sweep(scale: &Scale) -> bool {
     const KEYS: usize = 64;
     const ROUNDS: usize = 4;
     println!(
-        "[4/7] Queued lookups: {KEYS} misses x {ROUNDS} probes each on the simulated SSD vs model"
+        "[4/8] Queued lookups: {KEYS} misses x {ROUNDS} probes each on the simulated SSD vs model"
     );
     let widths = [8, 16, 16, 10];
     print_header(&["depth", "measured (ms)", "model (ms)", "speedup"], &widths);
@@ -470,7 +481,7 @@ fn ring_vs_barrier_sweep(scale: &Scale) -> bool {
     const ROUNDS: usize = 16;
     let path = std::env::temp_dir().join(format!("clam-ring-barrier-{}", std::process::id()));
     println!(
-        "[5/7] Ring vs barrier on FileDevice: {} batches x {} absent keys probing {ROUNDS} \
+        "[5/8] Ring vs barrier on FileDevice: {} batches x {} absent keys probing {ROUNDS} \
          incarnations each, best of {} trials",
         scale.ring_batches, scale.ring_batch, scale.trials
     );
@@ -635,7 +646,7 @@ fn mixed_ring_sweep(scale: &Scale) -> bool {
     const KEYS: usize = 48;
     const PROBES: usize = 4;
     println!(
-        "[6/7] Mixed ring: {FLUSHES} flush writes then {KEYS} misses x {PROBES} probes \
+        "[6/8] Mixed ring: {FLUSHES} flush writes then {KEYS} misses x {PROBES} probes \
          through one ring on the simulated SSD vs model"
     );
     let widths = [8, 16, 16, 10];
@@ -816,7 +827,7 @@ fn recovery_sweep(scale: &Scale) -> bool {
     const SLOT_BYTES: usize = 32 << 10;
     const LOAD: u64 = 40_000;
     println!(
-        "[7/7] Recovery scan: power cut + torn write at ~70% of a {LOAD}-insert run, then \
+        "[7/8] Recovery scan: power cut + torn write at ~70% of a {LOAD}-insert run, then \
          Clam::recover ring-scans all {SLOTS} slots vs FlashCostModel::recovery_scan_makespan"
     );
     let widths = [8, 12, 14, 14, 10, 12, 10];
@@ -905,6 +916,112 @@ fn recovery_sweep(scale: &Scale) -> bool {
     pass
 }
 
+/// Part 8: per-super-table write concurrency inside one stripe — the
+/// fine-grained write-lock path vs the `set_coarse_locks(true)`
+/// stripe-global baseline, over several batch sizes. The fine arm is
+/// forced through multi-chunk scoped-thread dispatch so the gate +
+/// rendezvous machinery runs regardless of this host's core count; wall
+/// clock is informational (overlap needs spare cores). Acceptance is
+/// exactness, asserted batch by batch and again over the summed
+/// ledgers: the fine path must replay the coarse baseline's write
+/// history — flushes, forced evictions, coalesced runs, recorder sums
+/// and raw flash traffic — while filling the table-lock ledger the
+/// coarse arm must leave empty.
+fn write_concurrency_sweep(scale: &Scale) {
+    const CHUNK_SIZES: &[usize] = &[512, 4096, 16384];
+    // Small enough that the insert volume overruns the buffers: the sweep
+    // must drive flush chains (and their allocator grants) through the
+    // batch gate, not just buffer-resident commits.
+    let stripe = || {
+        let cfg = ClamConfig::small_test(4 << 20, 1 << 20).expect("cfg");
+        Clam::new(Ssd::intel(4 << 20).expect("ssd"), cfg).expect("clam")
+    };
+    println!(
+        "[8/8] Intra-stripe write concurrency: {} inserts on one stripe, per-table write \
+         locks (4 forced chunks) vs set_coarse_locks(true), per batch size",
+        scale.striped_ops
+    );
+    let widths = [8, 11, 13, 10, 14, 11, 9];
+    print_header(
+        &["batch", "fine wall", "coarse wall", "lock hwm", "acquisitions", "contended", "flushes"],
+        &widths,
+    );
+    for &chunk_size in CHUNK_SIZES {
+        let fine = StripedClam::new(vec![stripe()]);
+        let coarse = StripedClam::new(vec![stripe()]);
+        fine.set_batch_parallelism(Some(4));
+        coarse.set_coarse_locks(true);
+        let ops: Vec<(u64, u64)> = (0..scale.striped_ops).map(|i| (workload_key(i), i)).collect();
+        let mut fine_wall = 0.0f64;
+        let mut coarse_wall = 0.0f64;
+        for chunk in ops.chunks(chunk_size) {
+            let t = std::time::Instant::now();
+            let f = fine.insert_batch(chunk).expect("fine batch");
+            fine_wall += t.elapsed().as_secs_f64() * 1e3;
+            let t = std::time::Instant::now();
+            let c = coarse.insert_batch(chunk).expect("coarse batch");
+            coarse_wall += t.elapsed().as_secs_f64() * 1e3;
+            assert_eq!(
+                (f.flushed_ops, f.evictions, f.coalesced_writes, f.latency),
+                (c.flushed_ops, c.evictions, c.coalesced_writes, c.latency),
+                "fine and coarse batch outcomes diverge at batch size {chunk_size}"
+            );
+            // A scalar delete + re-insert per batch keeps the per-table
+            // delete path in the measured mix.
+            let (key, value) = chunk[0];
+            fine.delete(key).expect("fine delete");
+            coarse.delete(key).expect("coarse delete");
+            fine.insert(key, value).expect("fine re-insert");
+            coarse.insert(key, value).expect("coarse re-insert");
+        }
+        let fs = fine.stats();
+        let cs = coarse.stats();
+        assert_eq!(fs.flushes, cs.flushes, "flush ledger sums diverge");
+        assert_eq!(fs.forced_evictions, cs.forced_evictions, "eviction ledger sums diverge");
+        assert_eq!(
+            fs.coalesced_flush_writes, cs.coalesced_flush_writes,
+            "coalesced-run ledger sums diverge"
+        );
+        assert_eq!(fs.batched_inserts, cs.batched_inserts, "batched-insert ledger sums diverge");
+        assert_eq!(
+            (fs.inserts.len(), fs.inserts.total()),
+            (cs.inserts.len(), cs.inserts.total()),
+            "insert recorder sums diverge"
+        );
+        assert_eq!(
+            (fs.deletes.len(), fs.deletes.total()),
+            (cs.deletes.len(), cs.deletes.total()),
+            "delete recorder sums diverge"
+        );
+        let f_dev = fine.stripe(0).expect("stripe").with(|c| c.device().stats());
+        let c_dev = coarse.stripe(0).expect("stripe").with(|c| c.device().stats());
+        assert_eq!(
+            (f_dev.writes, f_dev.bytes_written, f_dev.trims, f_dev.erases),
+            (c_dev.writes, c_dev.bytes_written, c_dev.trims, c_dev.erases),
+            "flash traffic diverges"
+        );
+        assert!(fs.table_write_acquisitions > 0, "fine arm must take table locks");
+        assert!(fs.table_lock_high_water >= 2, "forced chunks must overlap: {fs}");
+        assert_eq!(cs.table_write_acquisitions, 0, "coarse arm must not take table locks");
+        print_row(
+            &[
+                format!("{chunk_size}"),
+                wall_cell(fine_wall),
+                wall_cell(coarse_wall),
+                format!("{}", fs.table_lock_high_water),
+                format!("{}", fs.table_write_acquisitions),
+                format!("{}", fs.table_write_contended),
+                format!("{}", fs.flushes),
+            ],
+            &widths,
+        );
+    }
+    println!(
+        "exact: per-batch outcomes, summed ledgers and flash traffic matched across arms at\n\
+         every batch size (wall clock informational — overlap needs spare cores)\n"
+    );
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let scale = if smoke { &SMOKE } else { &FULL };
@@ -916,6 +1033,7 @@ fn main() {
     let ring_pass = ring_vs_barrier_sweep(scale);
     let mixed_pass = mixed_ring_sweep(scale);
     let recovery_pass = recovery_sweep(scale);
+    write_concurrency_sweep(scale);
     if !write_pass || !lookup_pass || !ring_pass || !mixed_pass || !recovery_pass {
         println!(
             "\noverall: FAIL (write scaling: {}, queued lookup scaling: {}, ring vs barrier: {}, \

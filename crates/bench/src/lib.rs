@@ -137,8 +137,9 @@ impl AnyClam {
         }
     }
 
-    /// Read-only view of the CLAM statistics.
-    pub fn stats(&self) -> &bufferhash::ClamStats {
+    /// Snapshot of the CLAM statistics (owned; the per-table lock ledger
+    /// is merged in at snapshot time).
+    pub fn stats(&self) -> bufferhash::ClamStats {
         match self {
             AnyClam::Intel(c) | AnyClam::Transcend(c) => c.stats(),
             AnyClam::Disk(c) => c.stats(),

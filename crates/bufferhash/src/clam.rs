@@ -31,7 +31,9 @@
 //! `io_queue_depth` harness sweeps ring-vs-barrier.
 
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+
+use parking_lot::{Condvar, Mutex, MutexGuard};
 
 use flashsim::queue::{
     batch_latency, overlapped_requests, page_read_batch, IoCompletion, IoTicket, RingCompletion,
@@ -274,16 +276,213 @@ impl MemoryUsage {
 /// epoch found on flash, covering images written by earlier processes.
 static CLAM_EPOCH: AtomicU32 = AtomicU32::new(0);
 
-/// A cheap and large CAM: BufferHash on DRAM plus a flash [`Device`].
-pub struct Clam<D: Device> {
+/// One super table plus its per-table concurrency state (see DESIGN.md
+/// "Per-table write locks").
+///
+/// * `op` — the **operation lock**: serializes whole logical mutations on
+///   this table. A fine-grained writer holds it across its entire op
+///   (insert including any flush chain), so per-table op order is well
+///   defined even though the data lock below is released between steps.
+/// * `state` — the **state lock**: protects the table's mutable data (the
+///   cuckoo buffer, delete list, Bloom filters and incarnation queue). It
+///   is a *leaf* lock, held only for the duration of single `SuperTable`
+///   method calls — which is what lets a flush of one table force-evict
+///   incarnations of *another* table (cross-table log-slot reclamation)
+///   without any lock-ordering concerns.
+/// * `epoch` — a per-table seqlock epoch, odd while a fine-grained writer
+///   holds the op lock. Lock-free readers ([`Clam::try_probe_memory`])
+///   validate against it so they never build a verdict from a half-applied
+///   logical op (e.g. between a buffer drain and the matching incarnation
+///   registration).
+struct TableSlot {
+    state: Mutex<SuperTable>,
+    op: Mutex<()>,
+    epoch: AtomicU64,
+}
+
+/// The stripe's super tables behind per-table locks, plus the table-lock
+/// ledger (acquisitions, contended acquisitions, and the high-water mark
+/// of concurrently write-locked tables) that [`Clam::stats`] folds into
+/// [`ClamStats`].
+struct TableSet {
+    slots: Vec<TableSlot>,
+    /// Fine-path write-lock acquisitions.
+    acquisitions: AtomicU64,
+    /// Acquisitions that found the op lock already held.
+    contended: AtomicU64,
+    /// Number of tables currently write-locked (fine path).
+    locked: AtomicU64,
+    /// High-water mark of `locked`: how many tables of this stripe were
+    /// ever write-locked at the same instant.
+    high_water: AtomicU64,
+}
+
+impl TableSet {
+    fn new(tables: Vec<SuperTable>) -> Self {
+        TableSet {
+            slots: tables
+                .into_iter()
+                .map(|t| TableSlot {
+                    state: Mutex::new(t),
+                    op: Mutex::new(()),
+                    epoch: AtomicU64::new(0),
+                })
+                .collect(),
+            acquisitions: AtomicU64::new(0),
+            contended: AtomicU64::new(0),
+            locked: AtomicU64::new(0),
+            high_water: AtomicU64::new(0),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Runs `f` with table `t`'s state lock held. The lock is a leaf:
+    /// `f` must not acquire any other lock.
+    fn with<R>(&self, t: usize, f: impl FnOnce(&mut SuperTable) -> R) -> R {
+        f(&mut self.slots[t].state.lock())
+    }
+
+    /// Current seqlock epoch of table `t` (odd while a fine-grained
+    /// writer's logical op is in progress).
+    fn epoch_of(&self, t: usize) -> u64 {
+        self.slots[t].epoch.load(Ordering::SeqCst)
+    }
+
+    /// Acquires table `t`'s operation lock for a fine-grained logical
+    /// write, recording the lock ledger and marking the table's epoch odd
+    /// until the guard drops.
+    fn lock_for_write(&self, t: usize) -> TableWriteGuard<'_> {
+        let slot = &self.slots[t];
+        let op = match slot.op.try_lock() {
+            Some(guard) => guard,
+            None => {
+                self.contended.fetch_add(1, Ordering::Relaxed);
+                slot.op.lock()
+            }
+        };
+        self.acquisitions.fetch_add(1, Ordering::Relaxed);
+        let now_locked = self.locked.fetch_add(1, Ordering::Relaxed) + 1;
+        self.high_water.fetch_max(now_locked, Ordering::Relaxed);
+        slot.epoch.fetch_add(1, Ordering::SeqCst);
+        TableWriteGuard { set: self, slot, _op: op }
+    }
+
+    /// Folds the table-lock ledger into `stats`.
+    fn merge_lock_ledger(&self, stats: &mut ClamStats) {
+        stats.table_write_acquisitions += self.acquisitions.load(Ordering::Relaxed);
+        stats.table_write_contended += self.contended.load(Ordering::Relaxed);
+        stats.table_lock_high_water =
+            stats.table_lock_high_water.max(self.high_water.load(Ordering::Relaxed));
+    }
+
+    /// Clears the table-lock ledger (for [`Clam::reset_stats`]).
+    fn reset_lock_ledger(&self) {
+        self.acquisitions.store(0, Ordering::Relaxed);
+        self.contended.store(0, Ordering::Relaxed);
+        self.high_water.store(self.locked.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+}
+
+/// RAII guard of one table's operation lock (fine-grained write path).
+/// Dropping it marks the table's epoch even again and decrements the
+/// concurrently-locked count.
+struct TableWriteGuard<'a> {
+    set: &'a TableSet,
+    slot: &'a TableSlot,
+    _op: MutexGuard<'a, ()>,
+}
+
+impl Drop for TableWriteGuard<'_> {
+    fn drop(&mut self) {
+        self.slot.epoch.fetch_add(1, Ordering::SeqCst);
+        self.set.locked.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Orders the *flush* side-effects of a parallel batch insert: chunk `j`'s
+/// first flush waits until every chunk `< j` has fully completed, so
+/// allocator grants, flush sequence numbers and forced evictions happen in
+/// exactly the order the sequential (coarse) batch would produce them —
+/// that is what makes `set_coarse_locks(true)` a bit-identical baseline.
+/// Buffer inserts (the common case) never wait: only a full buffer parks
+/// on the gate, and it does so *before* taking the core lock, so a waiting
+/// chunk holds nothing another chunk needs (its own table op locks only).
+struct FlushGate {
+    done: Mutex<Vec<bool>>,
+    cv: Condvar,
+}
+
+impl FlushGate {
+    fn new(chunks: usize) -> Self {
+        FlushGate { done: Mutex::new(vec![false; chunks]), cv: Condvar::new() }
+    }
+
+    /// Blocks until every chunk before `chunk` has completed.
+    fn wait_turn(&self, chunk: usize) {
+        let mut done = self.done.lock();
+        while !done[..chunk].iter().all(|&d| d) {
+            done = self.cv.wait(done);
+        }
+    }
+
+    /// Marks `chunk` complete and wakes waiters.
+    fn complete(&self, chunk: usize) {
+        let mut done = self.done.lock();
+        done[chunk] = true;
+        self.cv.notify_all();
+    }
+}
+
+/// Drop guard that completes a chunk's gate slot on every exit path —
+/// success, error return or panic — so one failing chunk can never
+/// deadlock the chunks gated behind it.
+struct GateCompletion<'a> {
+    gate: &'a FlushGate,
+    chunk: usize,
+}
+
+impl Drop for GateCompletion<'_> {
+    fn drop(&mut self) {
+        self.gate.complete(self.chunk);
+    }
+}
+
+/// Per-chunk accumulator of a parallel batch insert.
+struct ChunkOutcome {
+    latency: SimDuration,
+    flushed_ops: usize,
+    evictions: usize,
+}
+
+impl ChunkOutcome {
+    fn new() -> Self {
+        ChunkOutcome { latency: SimDuration::ZERO, flushed_ops: 0, evictions: 0 }
+    }
+}
+
+/// The shared, short-critical-section core of a [`Clam`]: everything that
+/// is *not* per-table state — the device and its completion ring, the log
+/// allocator (slot grants), the flush sequence counter and the
+/// [`ClamStats`] ledger. Fine-grained writers take this lock only around
+/// flush chains and ring drains; buffer-resident inserts, deletes and
+/// memory probes never touch it. Because a flush chain runs entirely under
+/// one core lock, allocator grant order equals ring admission order, which
+/// is the invariant the PR-7 acknowledgment point rests on (admission
+/// order = data-effect order on the device).
+struct ClamCore<D: Device> {
     device: D,
     config: ClamConfig,
-    tables: Vec<SuperTable>,
-    allocator: LogAllocator,
-    seq: u64,
     /// The lifetime epoch stamped into every page this CLAM flushes; see
     /// [`CLAM_EPOCH`] and DESIGN.md "Crash consistency".
     epoch: u32,
+    /// The (table-uniform) incarnation serialization layout.
+    layout: IncarnationLayout,
+    num_tables: usize,
+    allocator: LogAllocator,
+    seq: u64,
     stats: ClamStats,
     /// DRAM access cost model used for in-memory latency accounting.
     mem_cost: LinearCost,
@@ -298,8 +497,8 @@ pub struct Clam<D: Device> {
     /// coalescing.
     coalesce_writes: bool,
     /// True routes flushes, evictions and drains through the blocking
-    /// barrier write path ([`Clam::flush_table_barrier`]) instead of the
-    /// shared completion ring.
+    /// barrier write path ([`ClamCore::flush_table_barrier`]) instead of
+    /// the shared completion ring.
     barrier_writes: bool,
     /// The shared read/write completion ring of the current top-level call
     /// (`None` between calls): lookup probes, flush writes, eviction reads
@@ -317,6 +516,38 @@ pub struct Clam<D: Device> {
     ring_wrote: bool,
     /// See [`ring_wrote`](Self::ring_wrote).
     ring_read: bool,
+}
+
+/// A cheap and large CAM: BufferHash on DRAM plus a flash [`Device`].
+///
+/// Since PR 10 the store is internally split for **per-super-table write
+/// concurrency**: each [`SuperTable`]'s mutable state lives behind its own
+/// lock (a [`TableSet`]), and the shared pieces — device, completion ring,
+/// log allocator, stats ledger — live in a small mutex-protected
+/// [`ClamCore`]. The classic `&mut self` API below is unchanged and takes
+/// no locks (exclusive access reaches both halves directly); the `fine_*`
+/// methods ([`fine_insert`](Self::fine_insert),
+/// [`fine_insert_batch`](Self::fine_insert_batch),
+/// [`fine_delete`](Self::fine_delete)) run through `&self` so writers to
+/// *different* tables of one stripe commit in parallel.
+pub struct Clam<D: Device> {
+    tables: TableSet,
+    core: Mutex<ClamCore<D>>,
+    /// Copy of the core's configuration, readable without locking.
+    config: ClamConfig,
+    /// Copy of the core's lifetime epoch, readable without locking.
+    epoch: u32,
+    /// Copy of the core's DRAM cost model, usable without locking.
+    mem_cost: LinearCost,
+    /// Serializes concurrent [`fine_insert_batch`](Self::fine_insert_batch)
+    /// calls: a batch owns the coalescing window (`coalesce_writes`) for
+    /// its duration.
+    batch_lock: Mutex<()>,
+    /// Chunk-count override for [`fine_insert_batch`](Self::fine_insert_batch):
+    /// 0 means "use [`std::thread::available_parallelism`]". Tests force a
+    /// value > 1 to exercise the multi-chunk gate/rendezvous path even on
+    /// single-core hosts (the scoped threads still run, time-sliced).
+    batch_parallelism: AtomicUsize,
 }
 
 impl<D: Device> Clam<D> {
@@ -367,15 +598,18 @@ impl<D: Device> Clam<D> {
             geometry.block_size as u64,
             num_tables,
         )?;
-        Ok(Clam {
+        let epoch = CLAM_EPOCH.fetch_add(1, Ordering::Relaxed) + 1;
+        let mem_cost = LinearCost::new(0, 0.5);
+        let core = ClamCore {
             device,
-            config,
-            tables,
+            config: config.clone(),
+            epoch,
+            layout,
+            num_tables,
             allocator,
             seq: 0,
-            epoch: CLAM_EPOCH.fetch_add(1, Ordering::Relaxed) + 1,
             stats: ClamStats::new(),
-            mem_cost: LinearCost::new(0, 0.5),
+            mem_cost,
             pending_writes: Vec::new(),
             coalesce_writes: false,
             barrier_writes: false,
@@ -384,6 +618,15 @@ impl<D: Device> Clam<D> {
             ring_read_marks: (0, 0),
             ring_wrote: false,
             ring_read: false,
+        };
+        Ok(Clam {
+            tables: TableSet::new(tables),
+            core: Mutex::new(core),
+            config,
+            epoch,
+            mem_cost,
+            batch_lock: Mutex::new(()),
+            batch_parallelism: AtomicUsize::new(0),
         })
     }
 
@@ -419,175 +662,11 @@ impl<D: Device> Clam<D> {
     /// DESIGN.md "Crash consistency" for the durability contract.
     pub fn recover(device: D, config: ClamConfig) -> Result<(Self, RecoveryReport)> {
         let mut clam = Clam::new(device, config)?;
-        let layout = clam.tables[0].layout();
-        let slot_size = clam.allocator.slot_size();
-        let num_slots = clam.allocator.num_slots();
-
-        // Ring-driven scan: every slot read admitted without waiting and
-        // reaped as it retires, so the scan costs the overlapped ring
-        // makespan, not the summed per-read time.
-        let mut ring = CompletionRing::for_queue(clam.device.queue());
-        let requests: Vec<RingRequest> = (0..num_slots)
-            .map(|slot| RingRequest::new(IoRequest::read(slot * slot_size, slot_size as usize)))
-            .collect();
-        let tickets = clam.device.submit_nowait(requests, &mut ring)?;
-        let mut completions = Vec::with_capacity(tickets.len());
-        while ring.in_flight() > 0 {
-            completions.extend(clam.device.reap(&mut ring, 1)?);
-        }
-        let scan_makespan = ring.makespan();
-        let slot_of: HashMap<u64, usize> =
-            tickets.iter().enumerate().map(|(i, t)| (t.id(), i)).collect();
-        let mut images: Vec<Option<Vec<u8>>> = vec![None; num_slots as usize];
-        for completion in completions {
-            if let Some(&slot) = slot_of.get(&completion.ticket.id()) {
-                images[slot] = Some(completion.result?);
-            }
-        }
-
-        let mut torn = 0usize;
-        let mut torn_slots: Vec<u64> = Vec::new();
-        let mut empty = 0usize;
-        let mut valid: Vec<(u64, IncarnationIdentity, Vec<Entry>)> = Vec::new();
-        let mut max_seq_seen = 0u64;
-        let mut max_epoch_seen = 0u32;
-        for (slot, image) in images.iter().enumerate() {
-            let bytes = image.as_ref().ok_or_else(|| {
-                BufferHashError::InvalidConfig("recovery scan lost a slot read".into())
-            })?;
-            // Harvest identity watermarks from every CRC-valid page, torn
-            // slots included: a re-issued (epoch, seq) must never shadow
-            // data that survived elsewhere.
-            for page in bytes.chunks_exact(layout.page_size) {
-                if let Ok(header) = parse_page_header_checked(page) {
-                    max_seq_seen = max_seq_seen.max(header.identity.seq);
-                    max_epoch_seen = max_epoch_seen.max(header.identity.epoch);
-                }
-            }
-            match scan_incarnation(bytes, &layout) {
-                SlotScan::Empty => empty += 1,
-                SlotScan::Torn { .. } => {
-                    torn += 1;
-                    torn_slots.push(slot as u64);
-                }
-                SlotScan::Valid { identity, entries } => {
-                    if (identity.table as usize) < clam.tables.len() {
-                        valid.push((slot as u64, identity, entries));
-                    } else {
-                        // An identity naming a table this configuration
-                        // does not have is foreign data, not recoverable.
-                        torn += 1;
-                        torn_slots.push(slot as u64);
-                    }
-                }
-            }
-        }
-
-        // Youngest-first by (epoch, seq): a higher-epoch copy of the same
-        // flush sequence shadows the lower one (a later lifetime re-wrote
-        // the slot), and each table keeps only its youngest `k`.
-        valid.sort_by_key(|v| std::cmp::Reverse((v.1.epoch, v.1.seq)));
-        let mut stale = 0usize;
-        let mut kept: Vec<Vec<(u64, IncarnationIdentity, Vec<Entry>)>> =
-            (0..clam.tables.len()).map(|_| Vec::new()).collect();
-        let mut seen_seqs: Vec<HashSet<u64>> =
-            (0..clam.tables.len()).map(|_| HashSet::new()).collect();
-        for (slot, identity, entries) in valid {
-            let t = identity.table as usize;
-            if !seen_seqs[t].insert(identity.seq) {
-                stale += 1;
-                continue;
-            }
-            if kept[t].len() >= clam.tables[t].max_incarnations() {
-                stale += 1;
-                continue;
-            }
-            kept[t].push((slot, identity, entries));
-        }
-
-        let mut accepted = 0usize;
-        let mut entries_recovered = 0usize;
-        let mut owners: Vec<(u64, SlotOwner)> = Vec::new();
-        for (t, list) in kept.iter().enumerate() {
-            // Register oldest first so the filter bank's sliding window
-            // and the incarnation queue come out youngest-first, exactly
-            // as steady-state flushes build them.
-            for (slot, identity, entries) in list.iter().rev() {
-                let keys: Vec<Key> = entries.iter().map(|e| e.key).collect();
-                clam.tables[t].register_incarnation(
-                    IncarnationMeta {
-                        flash_offset: slot * slot_size,
-                        entries: entries.len(),
-                        seq: identity.seq,
-                    },
-                    &keys,
-                );
-                owners.push((*slot, SlotOwner { table: t, seq: identity.seq }));
-                accepted += 1;
-                entries_recovered += entries.len();
-            }
-        }
-        clam.allocator.restore(&owners);
-
-        // Scrub torn slots on raw flash: a power-cut write leaves pages
-        // programmed, and a mid-block slot in a partitioned layout is only
-        // erased when the write pointer next crosses its block boundary —
-        // so an un-scrubbed torn slot would fail its next program with
-        // dirty pages. Erase every fully-managed block that overlaps a
-        // torn slot and no accepted one (FTL and seek media reject or
-        // ignore the hint; dirty pages are their problem, not the log's).
-        if !torn_slots.is_empty() {
-            let block_size = clam.device.geometry().block_size as u64;
-            let managed_end = num_slots * slot_size;
-            let blocks_of = |slot: u64| {
-                (slot * slot_size) / block_size..=(slot * slot_size + slot_size - 1) / block_size
-            };
-            let live: HashSet<u64> = owners.iter().flat_map(|(s, _)| blocks_of(*s)).collect();
-            let mut scrubbed: HashSet<u64> = HashSet::new();
-            for &slot in &torn_slots {
-                for block in blocks_of(slot) {
-                    let fully_managed = (block + 1) * block_size <= managed_end;
-                    if fully_managed && !live.contains(&block) && scrubbed.insert(block) {
-                        let _ = clam.device.erase_block(block);
-                    }
-                }
-            }
-            // A torn slot whose block shares accepted data cannot be
-            // scrubbed; on raw flash its half-programmed pages also cannot
-            // be programmed again. Step the write pointer past such slots
-            // so resumed flushes land on clean pages — the circular log
-            // reclaims them when it next erases their block. FTL and seek
-            // media overwrite in place, so their pointers stay put (and
-            // resume exactly where a never-crashed lifetime would).
-            if clam.device.profile().kind == MediumKind::FlashChip {
-                let dirty: Vec<u64> = torn_slots
-                    .iter()
-                    .copied()
-                    .filter(|&slot| blocks_of(slot).any(|b| !scrubbed.contains(&b)))
-                    .collect();
-                clam.allocator.skip_dirty(&dirty);
-            }
-        }
-
-        clam.seq = clam.seq.max(max_seq_seen);
-        clam.epoch = clam.epoch.max(max_epoch_seen.saturating_add(1));
-        CLAM_EPOCH.fetch_max(clam.epoch, Ordering::Relaxed);
-        clam.stats.recoveries += 1;
-        clam.stats.recovered_incarnations += accepted as u64;
-        clam.stats.recovery_torn_slots += torn as u64;
-
-        let report = RecoveryReport {
-            slots_scanned: num_slots,
-            bytes_scanned: num_slots * slot_size,
-            accepted,
-            torn,
-            stale,
-            empty,
-            entries_recovered,
-            epoch: clam.epoch,
-            seq_resumed: clam.seq,
-            scan_makespan,
+        let report = {
+            let tables = &clam.tables;
+            clam.core.get_mut().recover_scan(tables)?
         };
+        clam.epoch = clam.core.get_mut().epoch;
         Ok((clam, report))
     }
 
@@ -603,7 +682,7 @@ impl<D: Device> Clam<D> {
     /// as the reference implementation for equivalence testing and the
     /// ring-vs-barrier write sweep in the `io_queue_depth` harness.
     pub fn set_barrier_writes(&mut self, barrier: bool) {
-        self.barrier_writes = barrier;
+        self.core.get_mut().barrier_writes = barrier;
     }
 
     /// The configuration this CLAM was built with.
@@ -611,36 +690,50 @@ impl<D: Device> Clam<D> {
         &self.config
     }
 
-    /// Operation statistics collected so far.
-    pub fn stats(&self) -> &ClamStats {
-        &self.stats
+    /// Operation statistics collected so far, with the table-lock ledger
+    /// folded in. Returned by value (the stats live inside the core lock).
+    pub fn stats(&self) -> ClamStats {
+        let mut stats = self.core.lock().stats.clone();
+        self.tables.merge_lock_ledger(&mut stats);
+        stats
     }
 
     /// Mutable access to the statistics (e.g. to compute quantiles, which
     /// require sorting the recorded samples).
     pub fn stats_mut(&mut self) -> &mut ClamStats {
-        &mut self.stats
+        &mut self.core.get_mut().stats
     }
 
-    /// Clears the operation statistics and the device counters.
+    /// Clears the operation statistics, the table-lock ledger and the
+    /// device counters.
     pub fn reset_stats(&mut self) {
-        self.stats.reset();
-        self.device.reset_stats();
+        let core = self.core.get_mut();
+        core.stats.reset();
+        core.device.reset_stats();
+        self.tables.reset_lock_ledger();
     }
 
-    /// Immutable access to the underlying device.
-    pub fn device(&self) -> &D {
-        &self.device
+    /// Immutable access to the underlying device. Takes `&mut self`
+    /// because the device lives inside the core lock; lock-free callers
+    /// use [`with_device`](Self::with_device).
+    pub fn device(&mut self) -> &D {
+        &self.core.get_mut().device
     }
 
     /// Mutable access to the underlying device (e.g. to declare idle time).
     pub fn device_mut(&mut self) -> &mut D {
-        &mut self.device
+        &mut self.core.get_mut().device
+    }
+
+    /// Runs `f` with a shared reference to the device (locks the core for
+    /// the duration of `f`).
+    pub fn with_device<R>(&self, f: impl FnOnce(&D) -> R) -> R {
+        f(&self.core.lock().device)
     }
 
     /// Consumes the CLAM and returns the device.
     pub fn into_device(self) -> D {
-        self.device
+        self.core.into_inner().device
     }
 
     /// Number of super tables.
@@ -651,14 +744,15 @@ impl<D: Device> Clam<D> {
     /// Approximate number of live entries (buffered plus on flash; lazily
     /// superseded duplicates are counted once per copy).
     pub fn approximate_entries(&self) -> usize {
-        self.tables
-            .iter()
+        (0..self.tables.len())
             .map(|t| {
-                t.buffer_len()
-                    + (0..t.num_incarnations())
-                        .filter_map(|age| t.incarnation_at(age))
-                        .map(|m| m.entries)
-                        .sum::<usize>()
+                self.tables.with(t, |table| {
+                    table.buffer_len()
+                        + (0..table.num_incarnations())
+                            .filter_map(|age| table.incarnation_at(age))
+                            .map(|m| m.entries)
+                            .sum::<usize>()
+                })
             })
             .sum()
     }
@@ -666,9 +760,13 @@ impl<D: Device> Clam<D> {
     /// Current DRAM footprint.
     pub fn memory_usage(&self) -> MemoryUsage {
         let buffers = self.tables.len() * self.config.buffer_bytes_per_table as usize;
-        let delete_lists: usize =
-            self.tables.iter().map(|t| t.delete_list_len() * std::mem::size_of::<Key>()).sum();
-        let total: usize = self.tables.iter().map(|t| t.memory_bytes()).sum();
+        let (delete_lists, total) = (0..self.tables.len())
+            .map(|t| {
+                self.tables.with(t, |table| {
+                    (table.delete_list_len() * std::mem::size_of::<Key>(), table.memory_bytes())
+                })
+            })
+            .fold((0usize, 0usize), |(d, m), (dl, mb)| (d + dl, m + mb));
         MemoryUsage { buffers, filters: total.saturating_sub(buffers + delete_lists), delete_lists }
     }
 
@@ -685,7 +783,7 @@ impl<D: Device> Clam<D> {
     }
 
     // ------------------------------------------------------------------
-    // Public hash-table operations
+    // Public hash-table operations (exclusive `&mut self` path)
     // ------------------------------------------------------------------
 
     /// Inserts (or updates) `key` with `value`.
@@ -694,65 +792,7 @@ impl<D: Device> Clam<D> {
     /// on flash it is left there; lookups return the newest value because
     /// incarnations are examined youngest-first.
     pub fn insert(&mut self, key: Key, value: Value) -> Result<InsertOutcome> {
-        self.insert_with_dispatch(key, value, BASE_OP_OVERHEAD)
-    }
-
-    /// Insert body shared by the per-op and batched paths; `dispatch` is the
-    /// fixed overhead charged to this op (full for per-op calls, amortized
-    /// for batched ones).
-    fn insert_with_dispatch(
-        &mut self,
-        key: Key,
-        value: Value,
-        dispatch: SimDuration,
-    ) -> Result<InsertOutcome> {
-        let t = self.table_of(key);
-        let mut latency = dispatch + self.mem_words_cost(BUFFER_PROBE_WORDS + 2);
-        let mut flushed = false;
-        let mut evictions = 0usize;
-        // `attempts` doubles as the cascade depth: when partial-discard
-        // eviction keeps retaining whole incarnations the policy degrades to
-        // full discard after `k` rounds (§7.4), guaranteeing termination.
-        let mut attempts = 0usize;
-        loop {
-            match self.tables[t].buffer_insert(key, value) {
-                BufferInsert::Stored(_) => break,
-                BufferInsert::Full => match self.flush_table(t, attempts) {
-                    Ok(flush) => {
-                        latency += flush.latency;
-                        evictions += flush.evictions;
-                        flushed = true;
-                        attempts += 1;
-                    }
-                    Err(e) => {
-                        // Close the op's ring even on failure so in-flight
-                        // writes are reaped and the device stays usable.
-                        if !self.coalesce_writes {
-                            self.drain_write_ring().ok();
-                        }
-                        return Err(e);
-                    }
-                },
-            }
-        }
-        if flushed {
-            self.stats.record_cascade(evictions.max(1));
-        }
-        // A per-op call owns its ring: the flush chain's device time (its
-        // makespan, overlap-accounted) is charged to this insert. Batched
-        // calls leave the ring open; the batch-end drain charges it.
-        if !self.coalesce_writes {
-            latency += self.drain_write_ring()?;
-            // The acknowledgment point (DESIGN.md "Crash consistency"): a
-            // per-op insert is acked only once nothing of its flush chain
-            // remains deferred or in flight on the ring.
-            debug_assert!(
-                self.pending_writes.is_empty() && self.ring.is_none(),
-                "insert acked with flush writes still in flight"
-            );
-        }
-        self.stats.inserts.record(latency);
-        Ok(InsertOutcome { latency, flushed, evictions })
+        self.core.get_mut().insert_with_dispatch(&self.tables, key, value, BASE_OP_OVERHEAD)
     }
 
     /// Alias for [`insert`](Self::insert); updates use the same lazy path.
@@ -777,6 +817,11 @@ impl<D: Device> Clam<D> {
     /// that land on contiguous log slots are coalesced into a single
     /// sequential device write.
     ///
+    /// This is the sequential (coarse) batch path; the parallel
+    /// fine-grained twin is [`fine_insert_batch`](Self::fine_insert_batch),
+    /// which dispatches per-table groups onto scoped threads and is
+    /// bit-identical to this path by construction (property-tested).
+    ///
     /// ```
     /// use bufferhash::{Clam, ClamConfig};
     /// use flashsim::Ssd;
@@ -792,51 +837,10 @@ impl<D: Device> Clam<D> {
     /// assert_eq!(clam.lookup(8).unwrap().value, Some(1));
     /// ```
     pub fn insert_batch(&mut self, ops: &[(Key, Value)]) -> Result<BatchInsertOutcome> {
-        let mut outcome = BatchInsertOutcome { ops: ops.len(), ..Default::default() };
-        if ops.is_empty() {
-            return Ok(outcome);
-        }
         let mut order: Vec<usize> = (0..ops.len()).collect();
         // Stable sort: ops for one super table keep their input order.
         order.sort_by_key(|&i| self.table_of(ops[i].0));
-        let dispatch = batch_dispatch(ops.len());
-        let coalesced_before = self.stats.coalesced_flush_writes;
-        self.stats.batched_inserts += ops.len() as u64;
-        self.coalesce_writes = true;
-        let mut failure = None;
-        for &i in &order {
-            let (key, value) = ops[i];
-            match self.insert_with_dispatch(key, value, dispatch) {
-                Ok(op) => {
-                    outcome.latency += op.latency;
-                    if op.flushed {
-                        outcome.flushed_ops += 1;
-                    }
-                    outcome.evictions += op.evictions;
-                }
-                Err(e) => {
-                    failure = Some(e);
-                    break;
-                }
-            }
-        }
-        // Close the write ring even on failure so the device stays
-        // consistent with the in-memory incarnation metadata. Finished
-        // coalesced runs were already *admitted* as they formed (so flush
-        // traffic streams out mid-batch and inserts keep flowing); this
-        // end-of-batch drain admits the final run and reaps the ring, and
-        // only its makespan is "deferred" time (charged to the batch, not
-        // to any triggering insert). Eviction reads mid-batch sync the
-        // ring and are charged to their op like a sequential flush.
-        self.coalesce_writes = false;
-        let drained = self.drain_write_ring()?;
-        self.stats.deferred_flush_time += drained;
-        if let Some(e) = failure {
-            return Err(e);
-        }
-        outcome.latency += drained;
-        outcome.coalesced_writes = (self.stats.coalesced_flush_writes - coalesced_before) as usize;
-        Ok(outcome)
+        self.core.get_mut().insert_batch_ordered(&self.tables, ops, &order)
     }
 
     /// Looks up a batch of keys in one call through the **streaming ring
@@ -894,8 +898,9 @@ impl<D: Device> Clam<D> {
     /// assert_eq!(found.hits(), 2);
     /// ```
     pub fn lookup_batch(&mut self, keys: &[Key]) -> Result<BatchLookupOutcome> {
-        self.stats.batched_lookups += keys.len() as u64;
-        self.lookup_batch_ring(keys, batch_dispatch(keys.len()))
+        let core = self.core.get_mut();
+        core.stats.batched_lookups += keys.len() as u64;
+        core.lookup_batch_ring(&self.tables, keys, batch_dispatch(keys.len()))
     }
 
     /// Batched-lookup entry point for callers that amortize dispatch over a
@@ -908,8 +913,9 @@ impl<D: Device> Clam<D> {
         keys: &[Key],
         dispatch: SimDuration,
     ) -> Result<BatchLookupOutcome> {
-        self.stats.batched_lookups += keys.len() as u64;
-        self.lookup_batch_ring(keys, dispatch)
+        let core = self.core.get_mut();
+        core.stats.batched_lookups += keys.len() as u64;
+        core.lookup_batch_ring(&self.tables, keys, dispatch)
     }
 
     /// The **barrier wave** reference pipeline: each round collects the
@@ -926,8 +932,9 @@ impl<D: Device> Clam<D> {
     /// the next round starts, so `probe_latency` is the *sum of per-wave
     /// maxima* instead of the ring makespan.
     pub fn lookup_batch_waves(&mut self, keys: &[Key]) -> Result<BatchLookupOutcome> {
-        self.stats.batched_lookups += keys.len() as u64;
-        self.lookup_batch_waves_with_dispatch(keys, batch_dispatch(keys.len()))
+        let core = self.core.get_mut();
+        core.stats.batched_lookups += keys.len() as u64;
+        core.lookup_batch_waves_with_dispatch(&self.tables, keys, batch_dispatch(keys.len()))
     }
 
     /// Looks up `key`: a batch of one over the streaming ring pipeline, so
@@ -935,12 +942,18 @@ impl<D: Device> Clam<D> {
     /// of one-request admissions, whose makespan is exactly the summed
     /// read latency).
     pub fn lookup(&mut self, key: Key) -> Result<LookupOutcome> {
-        let mut batch = self.lookup_batch_ring(std::slice::from_ref(&key), BASE_OP_OVERHEAD)?;
+        let mut batch = self.core.get_mut().lookup_batch_ring(
+            &self.tables,
+            std::slice::from_ref(&key),
+            BASE_OP_OVERHEAD,
+        )?;
         Ok(batch.outcomes.pop().expect("one outcome per key"))
     }
 
     /// Probes `key` against DRAM state only — buffer, delete list and Bloom
-    /// filters — through `&self`, without mutating anything.
+    /// filters — through `&self`, without mutating anything. Blocks on the
+    /// table's state lock if a writer holds it; the lock-free variant is
+    /// [`try_probe_memory`](Self::try_probe_memory).
     ///
     /// Returns [`MemoryProbe::Resolved`] when the verdict is decidable from
     /// memory alone (buffer hit, delete shadow, or no live candidate
@@ -955,9 +968,44 @@ impl<D: Device> Clam<D> {
     /// only follows a flash hit.
     pub fn probe_memory(&self, key: Key, dispatch: SimDuration) -> MemoryProbe {
         let t = self.table_of(key);
-        let filter_words = self.tables[t].filter_words_per_query();
+        self.tables.with(t, |table| self.probe_memory_in(table, key, dispatch))
+    }
+
+    /// Seqlock-validated variant of [`probe_memory`](Self::probe_memory):
+    /// returns `None` instead of a verdict when a fine-grained writer's
+    /// logical op on the key's table is in progress (the table epoch is
+    /// odd) or completed while the probe ran (the epoch moved) — the
+    /// caller must retry or fall back to a locked path. One state-lock
+    /// critical section; never blocks on a whole-op lock.
+    pub fn try_probe_memory(&self, key: Key, dispatch: SimDuration) -> Option<MemoryProbe> {
+        let t = self.table_of(key);
+        let before = self.tables.epoch_of(t);
+        if before & 1 == 1 {
+            return None;
+        }
+        let probe = self.tables.with(t, |table| self.probe_memory_in(table, key, dispatch));
+        if self.tables.epoch_of(t) != before {
+            return None;
+        }
+        Some(probe)
+    }
+
+    /// Returns `true` while a fine-grained writer's logical op on `key`'s
+    /// table is in progress (the table's seqlock epoch is odd). The
+    /// `clamd` engine's idle-shard bypass consults this so a bypassed
+    /// scalar LOOKUP never races a table-local writer's half-applied
+    /// mutation.
+    pub fn table_writer_active(&self, key: Key) -> bool {
+        self.tables.epoch_of(self.table_of(key)) & 1 == 1
+    }
+
+    /// The memory-probe verdict for `key` against one table's state;
+    /// shared by [`probe_memory`](Self::probe_memory) and
+    /// [`try_probe_memory`](Self::try_probe_memory).
+    fn probe_memory_in(&self, table: &SuperTable, key: Key, dispatch: SimDuration) -> MemoryProbe {
+        let filter_words = table.filter_words_per_query();
         let latency = dispatch + self.mem_words_cost(BUFFER_PROBE_WORDS + filter_words);
-        if let Some(found) = self.tables[t].memory_lookup(key) {
+        if let Some(found) = table.memory_lookup(key) {
             let source = if found.is_some() { LookupSource::Buffer } else { LookupSource::Deleted };
             return MemoryProbe::Resolved(LookupOutcome {
                 value: found,
@@ -966,10 +1014,10 @@ impl<D: Device> Clam<D> {
                 source,
             });
         }
-        let live_candidate = self.tables[t]
+        let live_candidate = table
             .candidate_incarnations(key)
             .into_iter()
-            .any(|age| self.tables[t].incarnation_at(age).is_some());
+            .any(|age| table.incarnation_at(age).is_some());
         if live_candidate {
             MemoryProbe::NeedsFlash
         } else {
@@ -982,11 +1030,636 @@ impl<D: Device> Clam<D> {
         }
     }
 
+    /// Returns `true` if `key` currently maps to a value.
+    pub fn contains(&mut self, key: Key) -> Result<bool> {
+        Ok(self.lookup(key)?.value.is_some())
+    }
+
+    /// Deletes `key` (lazily: flash copies are shadowed by the delete list
+    /// and reclaimed at eviction time).
+    pub fn delete(&mut self, key: Key) -> Result<SimDuration> {
+        let t = self.table_of(key);
+        let latency = BASE_OP_OVERHEAD + self.mem_words_cost(BUFFER_PROBE_WORDS + 2);
+        self.tables.with(t, |table| table.delete(key));
+        self.core.get_mut().stats.deletes.record(latency);
+        Ok(latency)
+    }
+
+    /// Flushes every non-empty buffer to flash (e.g. before a bulk merge or
+    /// shutdown). Returns the total simulated latency.
+    ///
+    /// The per-table incarnation writes coalesce into contiguous runs that
+    /// stream into the device's completion ring as they form (contiguous
+    /// log slots merge into sequential writes, independent runs overlap on
+    /// the ring's lanes), so a whole-index flush costs the makespan of the
+    /// ring schedule rather than the sum of blocking per-table writes. On
+    /// the barrier reference path the runs pool and drain as one blocking
+    /// submission instead.
+    pub fn flush_all(&mut self) -> Result<SimDuration> {
+        self.core.get_mut().flush_all(&self.tables)
+    }
+
+    /// Declares `idle` simulated time during which the device may perform
+    /// background work (SSD garbage collection).
+    pub fn idle(&mut self, idle: SimDuration) {
+        self.core.get_mut().device.on_idle(idle);
+    }
+
+    // ------------------------------------------------------------------
+    // Fine-grained write path (`&self`: per-table op locks + core lock)
+    // ------------------------------------------------------------------
+
+    /// Per-op insert through the fine-grained path: takes only `key`'s
+    /// table op lock plus (on flush or for the ack drain) the short core
+    /// lock, so concurrent inserts to *different* tables of this stripe
+    /// commit in parallel. Observationally identical to
+    /// [`insert`](Self::insert) when ops are serialized (property-tested).
+    pub fn fine_insert(&self, key: Key, value: Value) -> Result<InsertOutcome> {
+        let t = self.table_of(key);
+        let _guard = self.tables.lock_for_write(t);
+        let mut stats = ClamStats::new();
+        let outcome = self.fine_insert_locked(t, key, value, BASE_OP_OVERHEAD, None, &mut stats);
+        self.core.lock().stats.merge(&stats);
+        outcome
+    }
+
+    /// Per-op delete through the fine-grained path (op lock + a brief core
+    /// lock for the ledger only — deletes never touch flash).
+    pub fn fine_delete(&self, key: Key) -> Result<SimDuration> {
+        let t = self.table_of(key);
+        let _guard = self.tables.lock_for_write(t);
+        let latency = BASE_OP_OVERHEAD + self.mem_words_cost(BUFFER_PROBE_WORDS + 2);
+        self.tables.with(t, |table| table.delete(key));
+        self.core.lock().stats.deletes.record(latency);
+        Ok(latency)
+    }
+
+    /// Overrides how many chunks [`fine_insert_batch`](Self::fine_insert_batch)
+    /// splits a batch into. `None` (the default) uses
+    /// [`std::thread::available_parallelism`]. Tests pass `Some(n > 1)` to
+    /// exercise the multi-chunk gate/rendezvous path deterministically,
+    /// core count notwithstanding.
+    pub fn set_batch_parallelism(&self, chunks: Option<usize>) {
+        self.batch_parallelism.store(chunks.unwrap_or(0), Ordering::Relaxed);
+    }
+
+    /// Parallel fine-grained twin of [`insert_batch`](Self::insert_batch):
+    /// partitions the batch into per-super-table groups, splits the groups
+    /// into up to `available_parallelism` chunks, and runs the chunks on
+    /// scoped threads — each chunk holding one table op lock at a time, so
+    /// buffer-resident inserts of different tables proceed concurrently.
+    ///
+    /// **Bit-identical to the coarse path by construction.** Two mechanisms
+    /// make that true: ops of one table keep input order under the table's
+    /// op lock, and a [`FlushGate`] orders flush chains across chunks —
+    /// chunk *j*'s first flush waits for chunks *< j* to complete, so
+    /// allocator grants, flush sequence numbers, forced evictions and the
+    /// device timeline replay exactly the sequential (table-ascending)
+    /// order. Stats recorded per chunk merge into the ledger at batch end
+    /// (recorder statistics are order-insensitive multisets). The chunks
+    /// rendezvous on a barrier after taking their first table op lock,
+    /// which is what makes the `table_lock_high_water` ledger deterministic
+    /// on multi-core hosts.
+    pub fn fine_insert_batch(&self, ops: &[(Key, Value)]) -> Result<BatchInsertOutcome>
+    where
+        D: Send,
+    {
+        let mut outcome = BatchInsertOutcome { ops: ops.len(), ..Default::default() };
+        if ops.is_empty() {
+            return Ok(outcome);
+        }
+        let _batch = self.batch_lock.lock();
+        // Partition into per-table groups; ops of one table keep input
+        // order, and tables are processed in ascending id order, exactly
+        // like the coarse path's stable sort.
+        let mut groups: Vec<Vec<(Key, Value)>> = vec![Vec::new(); self.tables.len()];
+        for &(key, value) in ops {
+            groups[self.table_of(key)].push((key, value));
+        }
+        let occupied: Vec<(usize, Vec<(Key, Value)>)> =
+            groups.into_iter().enumerate().filter(|(_, g)| !g.is_empty()).collect();
+        let dispatch = batch_dispatch(ops.len());
+        let coalesced_before = {
+            let mut core = self.core.lock();
+            core.stats.batched_inserts += ops.len() as u64;
+            core.coalesce_writes = true;
+            core.stats.coalesced_flush_writes
+        };
+        // Contiguous chunks of whole per-table groups, balanced by op
+        // count, one scoped thread each.
+        let parallelism = match self.batch_parallelism.load(Ordering::Relaxed) {
+            0 => std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1),
+            n => n,
+        };
+        let chunks = split_balanced(occupied, parallelism);
+        let gate = FlushGate::new(chunks.len());
+        let rendezvous = std::sync::Barrier::new(chunks.len());
+        let results: Vec<(ClamStats, Result<ChunkOutcome>)> = if chunks.len() == 1 {
+            vec![self.run_batch_chunk(&chunks[0], dispatch, &gate, 0, &rendezvous)]
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = chunks
+                    .iter()
+                    .enumerate()
+                    .map(|(i, chunk)| {
+                        let (gate, rendezvous) = (&gate, &rendezvous);
+                        scope.spawn(move || {
+                            self.run_batch_chunk(chunk, dispatch, gate, i, rendezvous)
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("batch chunk panicked")).collect()
+            })
+        };
+        // One core lock to merge chunk ledgers (in chunk order), close the
+        // coalescing window and drain the write ring, mirroring the coarse
+        // batch-end drain.
+        let mut failure = None;
+        let mut core = self.core.lock();
+        for (stats, result) in results {
+            core.stats.merge(&stats);
+            match result {
+                Ok(chunk) => {
+                    outcome.latency += chunk.latency;
+                    outcome.flushed_ops += chunk.flushed_ops;
+                    outcome.evictions += chunk.evictions;
+                }
+                Err(e) => failure = failure.or(Some(e)),
+            }
+        }
+        core.coalesce_writes = false;
+        let drained = core.drain_write_ring()?;
+        core.stats.deferred_flush_time += drained;
+        if let Some(e) = failure {
+            return Err(e);
+        }
+        outcome.latency += drained;
+        outcome.coalesced_writes = (core.stats.coalesced_flush_writes - coalesced_before) as usize;
+        Ok(outcome)
+    }
+
+    /// One chunk of a [`fine_insert_batch`](Self::fine_insert_batch): runs
+    /// its per-table groups in ascending table order, holding each table's
+    /// op lock across that table's ops. The first table's lock is taken
+    /// *before* the rendezvous barrier so every chunk demonstrably holds a
+    /// lock at the same instant (deterministic lock high-water).
+    fn run_batch_chunk(
+        &self,
+        groups: &[(usize, Vec<(Key, Value)>)],
+        dispatch: SimDuration,
+        gate: &FlushGate,
+        chunk: usize,
+        rendezvous: &std::sync::Barrier,
+    ) -> (ClamStats, Result<ChunkOutcome>) {
+        let mut stats = ClamStats::new();
+        let _completion = GateCompletion { gate, chunk };
+        let mut first_guard = Some(self.tables.lock_for_write(groups[0].0));
+        rendezvous.wait();
+        let mut outcome = ChunkOutcome::new();
+        for (t, ops) in groups {
+            let _guard = first_guard.take().unwrap_or_else(|| self.tables.lock_for_write(*t));
+            for &(key, value) in ops {
+                match self.fine_insert_locked(
+                    *t,
+                    key,
+                    value,
+                    dispatch,
+                    Some((gate, chunk)),
+                    &mut stats,
+                ) {
+                    Ok(op) => {
+                        outcome.latency += op.latency;
+                        if op.flushed {
+                            outcome.flushed_ops += 1;
+                        }
+                        outcome.evictions += op.evictions;
+                    }
+                    Err(e) => return (stats, Err(e)),
+                }
+            }
+        }
+        (stats, Ok(outcome))
+    }
+
+    /// Fine-grained insert body; the caller holds table `t`'s op lock.
+    /// Replays the coarse [`insert_with_dispatch`](ClamCore::insert_with_dispatch)
+    /// sequence exactly: try the buffer, and only on `Full` park on the
+    /// flush gate (batch mode), take the core lock and run the
+    /// flush-then-retry loop under it — so allocator grant order equals
+    /// ring admission order and the per-op ack point is untouched. Op
+    /// recorder samples land in `stats` (a scratch ledger merged into the
+    /// core ledger by the caller); flush-side counters are recorded by the
+    /// core itself.
+    fn fine_insert_locked(
+        &self,
+        t: usize,
+        key: Key,
+        value: Value,
+        dispatch: SimDuration,
+        gate: Option<(&FlushGate, usize)>,
+        stats: &mut ClamStats,
+    ) -> Result<InsertOutcome> {
+        let mut latency = dispatch + self.mem_words_cost(BUFFER_PROBE_WORDS + 2);
+        let mut flushed = false;
+        let mut evictions = 0usize;
+        let mut attempts = 0usize;
+        let mut stored = matches!(
+            self.tables.with(t, |table| table.buffer_insert(key, value)),
+            BufferInsert::Stored(_)
+        );
+        if !stored {
+            // Never wait on the gate while holding the core lock: the gate
+            // orders this op's flush chain behind earlier chunks' chains.
+            if let Some((gate, chunk)) = gate {
+                gate.wait_turn(chunk);
+            }
+            let mut core = self.core.lock();
+            while !stored {
+                match core.flush_table(&self.tables, t, attempts) {
+                    Ok(flush) => {
+                        latency += flush.latency;
+                        evictions += flush.evictions;
+                        flushed = true;
+                        attempts += 1;
+                    }
+                    Err(e) => {
+                        // Close the op's ring even on failure so in-flight
+                        // writes are reaped and the device stays usable.
+                        if !core.coalesce_writes {
+                            core.drain_write_ring().ok();
+                        }
+                        return Err(e);
+                    }
+                }
+                stored = matches!(
+                    self.tables.with(t, |table| table.buffer_insert(key, value)),
+                    BufferInsert::Stored(_)
+                );
+            }
+            if !core.coalesce_writes {
+                latency += core.drain_write_ring()?;
+                // The acknowledgment point (DESIGN.md "Crash consistency"):
+                // a per-op insert is acked only once nothing of its flush
+                // chain remains deferred or in flight on the ring.
+                debug_assert!(
+                    core.pending_writes.is_empty() && core.ring.is_none(),
+                    "insert acked with flush writes still in flight"
+                );
+            }
+        }
+        if flushed {
+            stats.record_cascade(evictions.max(1));
+        }
+        stats.inserts.record(latency);
+        Ok(InsertOutcome { latency, flushed, evictions })
+    }
+}
+
+/// One super table's slice of a batch: the table id and its ops in input
+/// order.
+type TableGroup = (usize, Vec<(Key, Value)>);
+
+/// Splits per-table groups into at most `parallelism` contiguous chunks,
+/// balanced by op count (each chunk gets whole groups; a chunk closes once
+/// it reaches its fair share of the remaining ops).
+fn split_balanced(groups: Vec<TableGroup>, parallelism: usize) -> Vec<Vec<TableGroup>> {
+    let chunk_count = parallelism.min(groups.len()).max(1);
+    let total_ops: usize = groups.iter().map(|(_, g)| g.len()).sum();
+    let mut chunks: Vec<Vec<TableGroup>> = Vec::with_capacity(chunk_count);
+    let mut current: Vec<TableGroup> = Vec::new();
+    let mut current_ops = 0usize;
+    let mut placed_ops = 0usize;
+    let groups_len = groups.len();
+    for (idx, group) in groups.into_iter().enumerate() {
+        let remaining_chunks = chunk_count - chunks.len();
+        let remaining_groups = groups_len - idx;
+        let target = (total_ops - placed_ops).div_ceil(remaining_chunks);
+        current_ops += group.1.len();
+        current.push(group);
+        // Close the chunk at its fair share, but never strand later chunks
+        // without a group each.
+        if chunks.len() + 1 < chunk_count
+            && (current_ops >= target || remaining_groups - 1 < chunk_count - chunks.len())
+        {
+            placed_ops += current_ops;
+            chunks.push(std::mem::take(&mut current));
+            current_ops = 0;
+        }
+    }
+    if !current.is_empty() {
+        chunks.push(current);
+    }
+    chunks
+}
+
+impl<D: Device> ClamCore<D> {
+    /// Super table responsible for `key`; must agree with
+    /// [`Clam::table_of`] (same seed, same table count).
+    fn table_of(&self, key: Key) -> usize {
+        (hash_with_seed(key, 0x7a_b1e5) % self.num_tables as u64) as usize
+    }
+
+    /// Cost of touching `words` 64-bit words of DRAM.
+    fn mem_words_cost(&self, words: usize) -> SimDuration {
+        WORD_COST * words as u64 + self.mem_cost.cost(words * 8)
+    }
+
+    /// The recovery scan behind [`Clam::recover`]; see its documentation.
+    fn recover_scan(&mut self, tables: &TableSet) -> Result<RecoveryReport> {
+        let layout = self.layout;
+        let slot_size = self.allocator.slot_size();
+        let num_slots = self.allocator.num_slots();
+
+        // Ring-driven scan: every slot read admitted without waiting and
+        // reaped as it retires, so the scan costs the overlapped ring
+        // makespan, not the summed per-read time.
+        let mut ring = CompletionRing::for_queue(self.device.queue());
+        let requests: Vec<RingRequest> = (0..num_slots)
+            .map(|slot| RingRequest::new(IoRequest::read(slot * slot_size, slot_size as usize)))
+            .collect();
+        let tickets = self.device.submit_nowait(requests, &mut ring)?;
+        let mut completions = Vec::with_capacity(tickets.len());
+        while ring.in_flight() > 0 {
+            completions.extend(self.device.reap(&mut ring, 1)?);
+        }
+        let scan_makespan = ring.makespan();
+        let slot_of: HashMap<u64, usize> =
+            tickets.iter().enumerate().map(|(i, t)| (t.id(), i)).collect();
+        let mut images: Vec<Option<Vec<u8>>> = vec![None; num_slots as usize];
+        for completion in completions {
+            if let Some(&slot) = slot_of.get(&completion.ticket.id()) {
+                images[slot] = Some(completion.result?);
+            }
+        }
+
+        let mut torn = 0usize;
+        let mut torn_slots: Vec<u64> = Vec::new();
+        let mut empty = 0usize;
+        let mut valid: Vec<(u64, IncarnationIdentity, Vec<Entry>)> = Vec::new();
+        let mut max_seq_seen = 0u64;
+        let mut max_epoch_seen = 0u32;
+        for (slot, image) in images.iter().enumerate() {
+            let bytes = image.as_ref().ok_or_else(|| {
+                BufferHashError::InvalidConfig("recovery scan lost a slot read".into())
+            })?;
+            // Harvest identity watermarks from every CRC-valid page, torn
+            // slots included: a re-issued (epoch, seq) must never shadow
+            // data that survived elsewhere.
+            for page in bytes.chunks_exact(layout.page_size) {
+                if let Ok(header) = parse_page_header_checked(page) {
+                    max_seq_seen = max_seq_seen.max(header.identity.seq);
+                    max_epoch_seen = max_epoch_seen.max(header.identity.epoch);
+                }
+            }
+            match scan_incarnation(bytes, &layout) {
+                SlotScan::Empty => empty += 1,
+                SlotScan::Torn { .. } => {
+                    torn += 1;
+                    torn_slots.push(slot as u64);
+                }
+                SlotScan::Valid { identity, entries } => {
+                    if (identity.table as usize) < self.num_tables {
+                        valid.push((slot as u64, identity, entries));
+                    } else {
+                        // An identity naming a table this configuration
+                        // does not have is foreign data, not recoverable.
+                        torn += 1;
+                        torn_slots.push(slot as u64);
+                    }
+                }
+            }
+        }
+
+        // Youngest-first by (epoch, seq): a higher-epoch copy of the same
+        // flush sequence shadows the lower one (a later lifetime re-wrote
+        // the slot), and each table keeps only its youngest `k`.
+        valid.sort_by_key(|v| std::cmp::Reverse((v.1.epoch, v.1.seq)));
+        let mut stale = 0usize;
+        let mut kept: Vec<Vec<(u64, IncarnationIdentity, Vec<Entry>)>> =
+            (0..self.num_tables).map(|_| Vec::new()).collect();
+        let mut seen_seqs: Vec<HashSet<u64>> =
+            (0..self.num_tables).map(|_| HashSet::new()).collect();
+        for (slot, identity, entries) in valid {
+            let t = identity.table as usize;
+            if !seen_seqs[t].insert(identity.seq) {
+                stale += 1;
+                continue;
+            }
+            if kept[t].len() >= tables.with(t, |table| table.max_incarnations()) {
+                stale += 1;
+                continue;
+            }
+            kept[t].push((slot, identity, entries));
+        }
+
+        let mut accepted = 0usize;
+        let mut entries_recovered = 0usize;
+        let mut owners: Vec<(u64, SlotOwner)> = Vec::new();
+        for (t, list) in kept.iter().enumerate() {
+            // Register oldest first so the filter bank's sliding window
+            // and the incarnation queue come out youngest-first, exactly
+            // as steady-state flushes build them.
+            for (slot, identity, entries) in list.iter().rev() {
+                let keys: Vec<Key> = entries.iter().map(|e| e.key).collect();
+                tables.with(t, |table| {
+                    table.register_incarnation(
+                        IncarnationMeta {
+                            flash_offset: slot * slot_size,
+                            entries: entries.len(),
+                            seq: identity.seq,
+                        },
+                        &keys,
+                    )
+                });
+                owners.push((*slot, SlotOwner { table: t, seq: identity.seq }));
+                accepted += 1;
+                entries_recovered += entries.len();
+            }
+        }
+        self.allocator.restore(&owners);
+
+        // Scrub torn slots on raw flash: a power-cut write leaves pages
+        // programmed, and a mid-block slot in a partitioned layout is only
+        // erased when the write pointer next crosses its block boundary —
+        // so an un-scrubbed torn slot would fail its next program with
+        // dirty pages. Erase every fully-managed block that overlaps a
+        // torn slot and no accepted one (FTL and seek media reject or
+        // ignore the hint; dirty pages are their problem, not the log's).
+        if !torn_slots.is_empty() {
+            let block_size = self.device.geometry().block_size as u64;
+            let managed_end = num_slots * slot_size;
+            let blocks_of = |slot: u64| {
+                (slot * slot_size) / block_size..=(slot * slot_size + slot_size - 1) / block_size
+            };
+            let live: HashSet<u64> = owners.iter().flat_map(|(s, _)| blocks_of(*s)).collect();
+            let mut scrubbed: HashSet<u64> = HashSet::new();
+            for &slot in &torn_slots {
+                for block in blocks_of(slot) {
+                    let fully_managed = (block + 1) * block_size <= managed_end;
+                    if fully_managed && !live.contains(&block) && scrubbed.insert(block) {
+                        let _ = self.device.erase_block(block);
+                    }
+                }
+            }
+            // A torn slot whose block shares accepted data cannot be
+            // scrubbed; on raw flash its half-programmed pages also cannot
+            // be programmed again. Step the write pointer past such slots
+            // so resumed flushes land on clean pages — the circular log
+            // reclaims them when it next erases their block. FTL and seek
+            // media overwrite in place, so their pointers stay put (and
+            // resume exactly where a never-crashed lifetime would).
+            if self.device.profile().kind == MediumKind::FlashChip {
+                let dirty: Vec<u64> = torn_slots
+                    .iter()
+                    .copied()
+                    .filter(|&slot| blocks_of(slot).any(|b| !scrubbed.contains(&b)))
+                    .collect();
+                self.allocator.skip_dirty(&dirty);
+            }
+        }
+
+        self.seq = self.seq.max(max_seq_seen);
+        self.epoch = self.epoch.max(max_epoch_seen.saturating_add(1));
+        CLAM_EPOCH.fetch_max(self.epoch, Ordering::Relaxed);
+        self.stats.recoveries += 1;
+        self.stats.recovered_incarnations += accepted as u64;
+        self.stats.recovery_torn_slots += torn as u64;
+
+        Ok(RecoveryReport {
+            slots_scanned: num_slots,
+            bytes_scanned: num_slots * slot_size,
+            accepted,
+            torn,
+            stale,
+            empty,
+            entries_recovered,
+            epoch: self.epoch,
+            seq_resumed: self.seq,
+            scan_makespan,
+        })
+    }
+
+    /// Insert body shared by the per-op and batched paths; `dispatch` is the
+    /// fixed overhead charged to this op (full for per-op calls, amortized
+    /// for batched ones).
+    fn insert_with_dispatch(
+        &mut self,
+        tables: &TableSet,
+        key: Key,
+        value: Value,
+        dispatch: SimDuration,
+    ) -> Result<InsertOutcome> {
+        let t = self.table_of(key);
+        let mut latency = dispatch + self.mem_words_cost(BUFFER_PROBE_WORDS + 2);
+        let mut flushed = false;
+        let mut evictions = 0usize;
+        // `attempts` doubles as the cascade depth: when partial-discard
+        // eviction keeps retaining whole incarnations the policy degrades to
+        // full discard after `k` rounds (§7.4), guaranteeing termination.
+        let mut attempts = 0usize;
+        loop {
+            match tables.with(t, |table| table.buffer_insert(key, value)) {
+                BufferInsert::Stored(_) => break,
+                BufferInsert::Full => match self.flush_table(tables, t, attempts) {
+                    Ok(flush) => {
+                        latency += flush.latency;
+                        evictions += flush.evictions;
+                        flushed = true;
+                        attempts += 1;
+                    }
+                    Err(e) => {
+                        // Close the op's ring even on failure so in-flight
+                        // writes are reaped and the device stays usable.
+                        if !self.coalesce_writes {
+                            self.drain_write_ring().ok();
+                        }
+                        return Err(e);
+                    }
+                },
+            }
+        }
+        if flushed {
+            self.stats.record_cascade(evictions.max(1));
+        }
+        // A per-op call owns its ring: the flush chain's device time (its
+        // makespan, overlap-accounted) is charged to this insert. Batched
+        // calls leave the ring open; the batch-end drain charges it.
+        if !self.coalesce_writes {
+            latency += self.drain_write_ring()?;
+            // The acknowledgment point (DESIGN.md "Crash consistency"): a
+            // per-op insert is acked only once nothing of its flush chain
+            // remains deferred or in flight on the ring.
+            debug_assert!(
+                self.pending_writes.is_empty() && self.ring.is_none(),
+                "insert acked with flush writes still in flight"
+            );
+        }
+        self.stats.inserts.record(latency);
+        Ok(InsertOutcome { latency, flushed, evictions })
+    }
+
+    /// The sequential batch-insert body behind [`Clam::insert_batch`];
+    /// `order` is the stable table-sorted index order.
+    fn insert_batch_ordered(
+        &mut self,
+        tables: &TableSet,
+        ops: &[(Key, Value)],
+        order: &[usize],
+    ) -> Result<BatchInsertOutcome> {
+        let mut outcome = BatchInsertOutcome { ops: ops.len(), ..Default::default() };
+        if ops.is_empty() {
+            return Ok(outcome);
+        }
+        let dispatch = batch_dispatch(ops.len());
+        let coalesced_before = self.stats.coalesced_flush_writes;
+        self.stats.batched_inserts += ops.len() as u64;
+        self.coalesce_writes = true;
+        let mut failure = None;
+        for &i in order {
+            let (key, value) = ops[i];
+            match self.insert_with_dispatch(tables, key, value, dispatch) {
+                Ok(op) => {
+                    outcome.latency += op.latency;
+                    if op.flushed {
+                        outcome.flushed_ops += 1;
+                    }
+                    outcome.evictions += op.evictions;
+                }
+                Err(e) => {
+                    failure = Some(e);
+                    break;
+                }
+            }
+        }
+        // Close the write ring even on failure so the device stays
+        // consistent with the in-memory incarnation metadata. Finished
+        // coalesced runs were already *admitted* as they formed (so flush
+        // traffic streams out mid-batch and inserts keep flowing); this
+        // end-of-batch drain admits the final run and reaps the ring, and
+        // only its makespan is "deferred" time (charged to the batch, not
+        // to any triggering insert). Eviction reads mid-batch sync the
+        // ring and are charged to their op like a sequential flush.
+        self.coalesce_writes = false;
+        let drained = self.drain_write_ring()?;
+        self.stats.deferred_flush_time += drained;
+        if let Some(e) = failure {
+            return Err(e);
+        }
+        outcome.latency += drained;
+        outcome.coalesced_writes = (self.stats.coalesced_flush_writes - coalesced_before) as usize;
+        Ok(outcome)
+    }
+
     /// Buffer and delete-list checks plus probe planning, shared by the
     /// ring and wave pipelines: resolves every key it can from memory
     /// (recording its stats) and returns a probe state machine for each
     /// key that must touch flash.
-    fn plan_lookups(&mut self, keys: &[Key], dispatch: SimDuration) -> LookupPlan {
+    fn plan_lookups(
+        &mut self,
+        tables: &TableSet,
+        keys: &[Key],
+        dispatch: SimDuration,
+    ) -> LookupPlan {
         let mut order: Vec<usize> = (0..keys.len()).collect();
         // Stable sort: keys for one super table keep their input order.
         order.sort_by_key(|&i| self.table_of(keys[i]));
@@ -999,10 +1672,17 @@ impl<D: Device> Clam<D> {
         for &slot in &order {
             let key = keys[slot];
             let t = self.table_of(key);
-            let filter_words = self.tables[t].filter_words_per_query();
+            let (filter_words, found_in_memory, candidates) = tables.with(t, |table| {
+                let found = table.memory_lookup(key);
+                // Candidate incarnations, youngest first, guided by the
+                // Bloom filters (only needed when memory has no verdict).
+                let candidates =
+                    if found.is_none() { table.candidate_incarnations(key) } else { Vec::new() };
+                (table.filter_words_per_query(), found, candidates)
+            });
             let latency = dispatch + self.mem_words_cost(BUFFER_PROBE_WORDS + filter_words);
             plan.host_time += latency;
-            if let Some(found) = self.tables[t].memory_lookup(key) {
+            if let Some(found) = found_in_memory {
                 let source =
                     if found.is_some() { LookupSource::Buffer } else { LookupSource::Deleted };
                 if found.is_some() {
@@ -1016,20 +1696,19 @@ impl<D: Device> Clam<D> {
                     Some(LookupOutcome { value: found, latency, flash_reads: 0, source });
                 continue;
             }
-            // Candidate incarnations, youngest first, guided by the Bloom
-            // filters; keys with no live candidate are misses without I/O.
+            // Keys with no live candidate are misses without I/O.
             let mut state = ProbeState {
                 slot,
                 key,
                 table: t,
                 latency,
                 flash_reads: 0,
-                candidates: self.tables[t].candidate_incarnations(key).into_iter(),
+                candidates: candidates.into_iter(),
                 meta: None,
                 page_idx: 0,
                 hops_left: 0,
             };
-            if self.advance_probe(&mut state) {
+            if self.advance_probe(tables, &mut state) {
                 plan.pending.push(state);
             } else {
                 plan.out[slot] = Some(self.resolve_probe(state, None, &mut plan.reinserts));
@@ -1040,9 +1719,8 @@ impl<D: Device> Clam<D> {
 
     /// Flash offset of the page a probe state reads next.
     fn probe_offset(&self, state: &ProbeState) -> u64 {
-        let layout = self.tables[state.table].layout();
         let meta = state.meta.expect("pending probes hold a candidate");
-        layout.page_offset(meta.flash_offset, state.page_idx)
+        self.layout.page_offset(meta.flash_offset, state.page_idx)
     }
 
     /// Steps one probe state machine on the page it just read (at
@@ -1051,6 +1729,7 @@ impl<D: Device> Clam<D> {
     /// re-insertions) otherwise.
     fn step_probe(
         &mut self,
+        tables: &TableSet,
         mut state: ProbeState,
         page: &[u8],
         offset: u64,
@@ -1059,7 +1738,7 @@ impl<D: Device> Clam<D> {
     ) -> Result<Option<(ProbeState, u64)>> {
         state.flash_reads += 1;
         let slot = state.slot;
-        let layout = self.tables[state.table].layout();
+        let layout = self.layout;
         match lookup_in_page(page, state.key).map_err(|e| annotate_offset(e, offset))? {
             PageLookup::Found(v) => {
                 out[slot] = Some(self.resolve_probe(state, Some(v), reinserts));
@@ -1067,7 +1746,7 @@ impl<D: Device> Clam<D> {
             }
             PageLookup::Absent => {
                 self.stats.spurious_flash_reads += 1;
-                if self.advance_probe(&mut state) {
+                if self.advance_probe(tables, &mut state) {
                     let next = self.probe_offset(&state);
                     Ok(Some((state, next)))
                 } else {
@@ -1084,7 +1763,7 @@ impl<D: Device> Clam<D> {
                 } else {
                     // Exhausted the overflow chain without a verdict.
                     self.stats.spurious_flash_reads += 1;
-                    if self.advance_probe(&mut state) {
+                    if self.advance_probe(tables, &mut state) {
                         let next = self.probe_offset(&state);
                         Ok(Some((state, next)))
                     } else {
@@ -1096,12 +1775,12 @@ impl<D: Device> Clam<D> {
         }
     }
 
-    /// The streaming ring pipeline behind [`lookup`](Self::lookup) and
-    /// [`lookup_batch`](Self::lookup_batch); `dispatch` is the fixed
-    /// overhead charged to each key (full for per-op calls, amortized for
-    /// batched ones).
+    /// The streaming ring pipeline behind [`Clam::lookup`] and
+    /// [`Clam::lookup_batch`]; `dispatch` is the fixed overhead charged to
+    /// each key (full for per-op calls, amortized for batched ones).
     fn lookup_batch_ring(
         &mut self,
+        tables: &TableSet,
         keys: &[Key],
         dispatch: SimDuration,
     ) -> Result<BatchLookupOutcome> {
@@ -1109,9 +1788,9 @@ impl<D: Device> Clam<D> {
         if keys.is_empty() {
             return Ok(batch);
         }
-        let page_size = self.tables[0].layout().page_size;
+        let page_size = self.layout.page_size;
         let LookupPlan { mut out, pending, mut reinserts, host_time } =
-            self.plan_lookups(keys, dispatch);
+            self.plan_lookups(tables, keys, dispatch);
 
         if !pending.is_empty() {
             // The probes run on the call's *shared* ring: LRU re-insertion
@@ -1170,7 +1849,7 @@ impl<D: Device> Clam<D> {
                         }
                     };
                     state.latency += completion.latency;
-                    match self.step_probe(state, &page, offset, &mut out, &mut reinserts) {
+                    match self.step_probe(tables, state, &page, offset, &mut out, &mut reinserts) {
                         Ok(Some((state, next))) => {
                             requests.push(RingRequest::after(
                                 IoRequest::read(next, page_size),
@@ -1223,7 +1902,7 @@ impl<D: Device> Clam<D> {
         //    re-insertion flushes admit into the same ring as the probes
         //    (see above); `apply_reinserts` closes the ring when it has
         //    work, and a reinsert-free call closes it right after.
-        self.apply_reinserts(reinserts)?;
+        self.apply_reinserts(tables, reinserts)?;
         self.finish_ring()?;
 
         batch.latency = host_time + batch.probe_latency;
@@ -1233,10 +1912,10 @@ impl<D: Device> Clam<D> {
         Ok(batch)
     }
 
-    /// The barrier wave pipeline behind
-    /// [`lookup_batch_waves`](Self::lookup_batch_waves).
+    /// The barrier wave pipeline behind [`Clam::lookup_batch_waves`].
     fn lookup_batch_waves_with_dispatch(
         &mut self,
+        tables: &TableSet,
         keys: &[Key],
         dispatch: SimDuration,
     ) -> Result<BatchLookupOutcome> {
@@ -1244,9 +1923,9 @@ impl<D: Device> Clam<D> {
         if keys.is_empty() {
             return Ok(batch);
         }
-        let page_size = self.tables[0].layout().page_size;
+        let page_size = self.layout.page_size;
         let LookupPlan { mut out, mut pending, mut reinserts, host_time } =
-            self.plan_lookups(keys, dispatch);
+            self.plan_lookups(tables, keys, dispatch);
 
         // Probe waves: submit the next pending page read of every
         // unresolved key as one request batch, charge the wave makespan,
@@ -1268,7 +1947,7 @@ impl<D: Device> Clam<D> {
                 let page = completion.result?;
                 state.latency += completion.latency;
                 if let Some((state, _)) =
-                    self.step_probe(state, &page, offset, &mut out, &mut reinserts)?
+                    self.step_probe(tables, state, &page, offset, &mut out, &mut reinserts)?
                 {
                     unresolved.push(state);
                 }
@@ -1280,7 +1959,7 @@ impl<D: Device> Clam<D> {
         }
 
         // LRU re-insertions, as in the ring pipeline.
-        self.apply_reinserts(reinserts)?;
+        self.apply_reinserts(tables, reinserts)?;
 
         batch.latency = host_time + batch.probe_latency;
         batch.outcomes = out.into_iter().map(|o| o.expect("every key resolved")).collect();
@@ -1290,10 +1969,10 @@ impl<D: Device> Clam<D> {
     /// Advances a probe to its next live candidate incarnation, resetting
     /// the page-chain cursor; returns `false` when the candidate list is
     /// exhausted (the key cannot be on flash).
-    fn advance_probe(&self, state: &mut ProbeState) -> bool {
-        let layout = self.tables[state.table].layout();
+    fn advance_probe(&self, tables: &TableSet, state: &mut ProbeState) -> bool {
+        let layout = self.layout;
         for age in state.candidates.by_ref() {
-            if let Some(meta) = self.tables[state.table].incarnation_at(age) {
+            if let Some(meta) = tables.with(state.table, |table| table.incarnation_at(age)) {
                 state.meta = Some(meta);
                 state.page_idx = layout.page_of_key(state.key);
                 state.hops_left = layout.num_pages;
@@ -1345,7 +2024,11 @@ impl<D: Device> Clam<D> {
     /// makespan growth — makespan-accounted like every other flush. On
     /// the barrier reference path the writes pool and drain as one
     /// blocking [`Device::submit`](flashsim::Device::submit) batch.
-    fn apply_reinserts(&mut self, reinserts: Vec<(usize, Key, Value)>) -> Result<()> {
+    fn apply_reinserts(
+        &mut self,
+        tables: &TableSet,
+        reinserts: Vec<(usize, Key, Value)>,
+    ) -> Result<()> {
         if reinserts.is_empty() {
             return Ok(());
         }
@@ -1356,9 +2039,9 @@ impl<D: Device> Clam<D> {
         'reinserts: for (t, key, value) in reinserts {
             let mut attempts = 0usize;
             loop {
-                match self.tables[t].buffer_insert(key, value) {
+                match tables.with(t, |table| table.buffer_insert(key, value)) {
                     BufferInsert::Stored(_) => break,
-                    BufferInsert::Full => match self.flush_table(t, attempts) {
+                    BufferInsert::Full => match self.flush_table(tables, t, attempts) {
                         Ok(flush) => {
                             cost += flush.latency;
                             attempts += 1;
@@ -1384,39 +2067,15 @@ impl<D: Device> Clam<D> {
         Ok(())
     }
 
-    /// Returns `true` if `key` currently maps to a value.
-    pub fn contains(&mut self, key: Key) -> Result<bool> {
-        Ok(self.lookup(key)?.value.is_some())
-    }
-
-    /// Deletes `key` (lazily: flash copies are shadowed by the delete list
-    /// and reclaimed at eviction time).
-    pub fn delete(&mut self, key: Key) -> Result<SimDuration> {
-        let t = self.table_of(key);
-        let latency = BASE_OP_OVERHEAD + self.mem_words_cost(BUFFER_PROBE_WORDS + 2);
-        self.tables[t].delete(key);
-        self.stats.deletes.record(latency);
-        Ok(latency)
-    }
-
-    /// Flushes every non-empty buffer to flash (e.g. before a bulk merge or
-    /// shutdown). Returns the total simulated latency.
-    ///
-    /// The per-table incarnation writes coalesce into contiguous runs that
-    /// stream into the device's completion ring as they form (contiguous
-    /// log slots merge into sequential writes, independent runs overlap on
-    /// the ring's lanes), so a whole-index flush costs the makespan of the
-    /// ring schedule rather than the sum of blocking per-table writes. On
-    /// the barrier reference path the runs pool and drain as one blocking
-    /// submission instead.
-    pub fn flush_all(&mut self) -> Result<SimDuration> {
+    /// The whole-index flush behind [`Clam::flush_all`].
+    fn flush_all(&mut self, tables: &TableSet) -> Result<SimDuration> {
         let mut total = SimDuration::ZERO;
         let was_coalescing = self.coalesce_writes;
         self.coalesce_writes = true;
         let mut failure = None;
-        for t in 0..self.tables.len() {
-            if self.tables[t].buffer_len() > 0 {
-                match self.flush_table(t, 0) {
+        for t in 0..tables.len() {
+            if tables.with(t, |table| table.buffer_len()) > 0 {
+                match self.flush_table(tables, t, 0) {
                     Ok(flush) => total += flush.latency,
                     Err(e) => {
                         failure = Some(e);
@@ -1435,13 +2094,9 @@ impl<D: Device> Clam<D> {
         total += drained?;
         Ok(total)
     }
+}
 
-    /// Declares `idle` simulated time during which the device may perform
-    /// background work (SSD garbage collection).
-    pub fn idle(&mut self, idle: SimDuration) {
-        self.device.on_idle(idle);
-    }
-
+impl<D: Device> ClamCore<D> {
     // ------------------------------------------------------------------
     // Flush and eviction orchestration
     // ------------------------------------------------------------------
@@ -1452,10 +2107,15 @@ impl<D: Device> Clam<D> {
     /// (the default: writes are admitted to the call's shared completion
     /// ring without waiting, so they overlap each other and any probe
     /// traffic on the same ring) or to the blocking **barrier** reference
-    /// path when [`set_barrier_writes`](Self::set_barrier_writes) is on.
-    fn flush_table(&mut self, t: usize, depth: usize) -> Result<FlushOutcome> {
+    /// path when [`Clam::set_barrier_writes`] is on.
+    ///
+    /// Runs entirely under one core lock on the fine-grained path, so the
+    /// allocator grant and the ring admission of the resulting write are
+    /// atomic — grant order *is* admission order, which devices apply as
+    /// data-effect order (the PR-7 ack invariant).
+    fn flush_table(&mut self, tables: &TableSet, t: usize, depth: usize) -> Result<FlushOutcome> {
         if self.barrier_writes {
-            return self.flush_table_barrier(t, depth);
+            return self.flush_table_barrier(tables, t, depth);
         }
         let mut latency = SimDuration::ZERO;
         let mut evictions = 0usize;
@@ -1464,23 +2124,22 @@ impl<D: Device> Clam<D> {
         // configured eviction policy. Beyond `k` cascades fall back to full
         // discard to guarantee termination (§7.4).
         let mut retained: Vec<Entry> = Vec::new();
-        if self.tables[t].num_incarnations() >= self.tables[t].max_incarnations() {
-            let policy = if depth >= self.tables[t].max_incarnations() {
-                EvictionPolicy::Fifo
-            } else {
-                self.config.eviction
-            };
-            let (evict_lat, kept) = self.evict_oldest(t, &policy)?;
+        let (num_incarnations, max_incarnations) =
+            tables.with(t, |table| (table.num_incarnations(), table.max_incarnations()));
+        if num_incarnations >= max_incarnations {
+            let policy =
+                if depth >= max_incarnations { EvictionPolicy::Fifo } else { self.config.eviction };
+            let (evict_lat, kept) = self.evict_oldest(tables, t, &policy)?;
             latency += evict_lat;
             retained = kept;
             evictions += 1;
         }
 
         // Write the buffer out as a new incarnation.
-        let entries = self.tables[t].drain_buffer();
+        let entries = tables.with(t, |table| table.drain_buffer());
         if !entries.is_empty() {
             let keys: Vec<Key> = entries.iter().map(|e| e.key).collect();
-            let layout = self.tables[t].layout();
+            let layout = self.layout;
             self.seq += 1;
             let seq = self.seq;
             let image = layout.serialize_identified(
@@ -1489,8 +2148,10 @@ impl<D: Device> Clam<D> {
             )?;
             let alloc = self.allocator.allocate(t, seq)?;
             // Force-evict incarnations whose slots this write reclaims.
+            // The victim table's state lock is a leaf, so reclaiming
+            // across tables never orders against another table's op.
             for owner in &alloc.displaced {
-                let dropped = self.tables[owner.table].force_evict_up_to(owner.seq);
+                let dropped = tables.with(owner.table, |table| table.force_evict_up_to(owner.seq));
                 for meta in dropped {
                     self.allocator.release(meta.flash_offset);
                     self.stats.forced_evictions += 1;
@@ -1521,11 +2182,13 @@ impl<D: Device> Clam<D> {
                 requests.push(RingRequest::new(IoRequest::write(alloc.offset, image)));
                 self.ring_admit(requests)?;
             }
-            self.tables[t].register_incarnation(
-                IncarnationMeta { flash_offset: alloc.offset, entries: entries.len(), seq },
-                &keys,
-            );
-            self.tables[t].prune_delete_list();
+            tables.with(t, |table| {
+                table.register_incarnation(
+                    IncarnationMeta { flash_offset: alloc.offset, entries: entries.len(), seq },
+                    &keys,
+                );
+                table.prune_delete_list();
+            });
             self.stats.flushes += 1;
         }
 
@@ -1534,10 +2197,10 @@ impl<D: Device> Clam<D> {
         for e in retained {
             self.stats.reinsertions += 1;
             loop {
-                match self.tables[t].buffer_insert(e.key, e.value) {
+                match tables.with(t, |table| table.buffer_insert(e.key, e.value)) {
                     BufferInsert::Stored(_) => break,
                     BufferInsert::Full => {
-                        let inner = self.flush_table(t, depth + 1)?;
+                        let inner = self.flush_table(tables, t, depth + 1)?;
                         latency += inner.latency;
                         evictions += inner.evictions;
                     }
@@ -1549,14 +2212,19 @@ impl<D: Device> Clam<D> {
     }
 
     /// The blocking **barrier** reference implementation of
-    /// [`flush_table`]: every incarnation write goes through
-    /// [`Device::submit`](flashsim::Device::submit) (or pools for a
+    /// [`flush_table`](Self::flush_table): every incarnation write goes
+    /// through [`Device::submit`](flashsim::Device::submit) (or pools for a
     /// blocking batch-end drain), paying each submission's full latency
     /// before the next starts. Kept verbatim as the baseline the
     /// ring-driven path is property-tested against (observationally
     /// equivalent on stored state and device counters) and raced against
     /// in the `io_queue_depth` harness.
-    fn flush_table_barrier(&mut self, t: usize, depth: usize) -> Result<FlushOutcome> {
+    fn flush_table_barrier(
+        &mut self,
+        tables: &TableSet,
+        t: usize,
+        depth: usize,
+    ) -> Result<FlushOutcome> {
         let mut latency = SimDuration::ZERO;
         let mut evictions = 0usize;
 
@@ -1564,23 +2232,22 @@ impl<D: Device> Clam<D> {
         // configured eviction policy. Beyond `k` cascades fall back to full
         // discard to guarantee termination (§7.4).
         let mut retained: Vec<Entry> = Vec::new();
-        if self.tables[t].num_incarnations() >= self.tables[t].max_incarnations() {
-            let policy = if depth >= self.tables[t].max_incarnations() {
-                EvictionPolicy::Fifo
-            } else {
-                self.config.eviction
-            };
-            let (evict_lat, kept) = self.evict_oldest_barrier(t, &policy)?;
+        let (num_incarnations, max_incarnations) =
+            tables.with(t, |table| (table.num_incarnations(), table.max_incarnations()));
+        if num_incarnations >= max_incarnations {
+            let policy =
+                if depth >= max_incarnations { EvictionPolicy::Fifo } else { self.config.eviction };
+            let (evict_lat, kept) = self.evict_oldest_barrier(tables, t, &policy)?;
             latency += evict_lat;
             retained = kept;
             evictions += 1;
         }
 
         // Write the buffer out as a new incarnation.
-        let entries = self.tables[t].drain_buffer();
+        let entries = tables.with(t, |table| table.drain_buffer());
         if !entries.is_empty() {
             let keys: Vec<Key> = entries.iter().map(|e| e.key).collect();
-            let layout = self.tables[t].layout();
+            let layout = self.layout;
             self.seq += 1;
             let seq = self.seq;
             let image = layout.serialize_identified(
@@ -1590,7 +2257,7 @@ impl<D: Device> Clam<D> {
             let alloc = self.allocator.allocate(t, seq)?;
             // Force-evict incarnations whose slots this write reclaims.
             for owner in &alloc.displaced {
-                let dropped = self.tables[owner.table].force_evict_up_to(owner.seq);
+                let dropped = tables.with(owner.table, |table| table.force_evict_up_to(owner.seq));
                 for meta in dropped {
                     self.allocator.release(meta.flash_offset);
                     self.stats.forced_evictions += 1;
@@ -1614,11 +2281,13 @@ impl<D: Device> Clam<D> {
                 requests.push(IoRequest::write(alloc.offset, image));
                 latency += self.submit_checked(&mut requests)?.0;
             }
-            self.tables[t].register_incarnation(
-                IncarnationMeta { flash_offset: alloc.offset, entries: entries.len(), seq },
-                &keys,
-            );
-            self.tables[t].prune_delete_list();
+            tables.with(t, |table| {
+                table.register_incarnation(
+                    IncarnationMeta { flash_offset: alloc.offset, entries: entries.len(), seq },
+                    &keys,
+                );
+                table.prune_delete_list();
+            });
             self.stats.flushes += 1;
         }
 
@@ -1627,10 +2296,10 @@ impl<D: Device> Clam<D> {
         for e in retained {
             self.stats.reinsertions += 1;
             loop {
-                match self.tables[t].buffer_insert(e.key, e.value) {
+                match tables.with(t, |table| table.buffer_insert(e.key, e.value)) {
                     BufferInsert::Stored(_) => break,
                     BufferInsert::Full => {
-                        let inner = self.flush_table_barrier(t, depth + 1)?;
+                        let inner = self.flush_table_barrier(tables, t, depth + 1)?;
                         latency += inner.latency;
                         evictions += inner.evictions;
                     }
@@ -1646,10 +2315,11 @@ impl<D: Device> Clam<D> {
     /// the eviction and any entries to retain (re-insert).
     fn evict_oldest(
         &mut self,
+        tables: &TableSet,
         t: usize,
         policy: &EvictionPolicy,
     ) -> Result<(SimDuration, Vec<Entry>)> {
-        let Some(oldest) = self.tables[t].oldest_incarnation() else {
+        let Some(oldest) = tables.with(t, |table| table.oldest_incarnation()) else {
             return Ok((SimDuration::ZERO, Vec::new()));
         };
         let mut latency = SimDuration::ZERO;
@@ -1664,7 +2334,7 @@ impl<D: Device> Clam<D> {
             // The reclaiming TRIM is admitted behind the read for the same
             // reason (write-write floor against the read's range).
             self.admit_pending_writes()?;
-            let layout = self.tables[t].layout();
+            let layout = self.layout;
             let tickets = self.ring_admit(vec![
                 RingRequest::new(IoRequest::read(oldest.flash_offset, layout.total_bytes())),
                 RingRequest::new(IoRequest::Trim {
@@ -1689,38 +2359,44 @@ impl<D: Device> Clam<D> {
             latency += self.mem_words_cost(oldest.entries * 2);
             let entries = parse_incarnation(&image, &layout)
                 .map_err(|e| annotate_offset(e, oldest.flash_offset))?;
-            for e in entries {
-                if self.tables[t].retain_decision(&e, policy) == RetainDecision::Retain {
-                    retained.push(e);
+            tables.with(t, |table| {
+                for e in entries {
+                    if table.retain_decision(&e, policy) == RetainDecision::Retain {
+                        retained.push(e);
+                    }
                 }
-            }
+            });
         } else {
             // Full discard reclaims the slot with a TRIM admitted to the
             // ring; it is floored behind any in-flight write of the same
             // range, and its (zero or small) device time lands in the next
             // sync's makespan delta.
-            let total = self.tables[t].layout().total_bytes() as u64;
+            let total = self.layout.total_bytes() as u64;
             self.ring_admit(vec![RingRequest::new(IoRequest::Trim {
                 offset: oldest.flash_offset,
                 len: total,
             })])?;
         }
 
-        self.tables[t].drop_oldest_incarnation();
-        self.tables[t].prune_delete_list();
+        tables.with(t, |table| {
+            table.drop_oldest_incarnation();
+            table.prune_delete_list();
+        });
         self.allocator.release(oldest.flash_offset);
         Ok((latency, retained))
     }
 
     /// The blocking barrier reference implementation of
-    /// [`evict_oldest`]: drains deferred writes, then scans and trims via
-    /// blocking submissions. Used by [`flush_table_barrier`].
+    /// [`evict_oldest`](Self::evict_oldest): drains deferred writes, then
+    /// scans and trims via blocking submissions. Used by
+    /// [`flush_table_barrier`](Self::flush_table_barrier).
     fn evict_oldest_barrier(
         &mut self,
+        tables: &TableSet,
         t: usize,
         policy: &EvictionPolicy,
     ) -> Result<(SimDuration, Vec<Entry>)> {
-        let Some(oldest) = self.tables[t].oldest_incarnation() else {
+        let Some(oldest) = tables.with(t, |table| table.oldest_incarnation()) else {
             return Ok((SimDuration::ZERO, Vec::new()));
         };
         let mut latency = SimDuration::ZERO;
@@ -1733,7 +2409,7 @@ impl<D: Device> Clam<D> {
             // incarnation may still sit in the batch's deferred-write queue,
             // so make the device current before submitting.
             latency += self.drain_pending_writes_barrier()?;
-            let layout = self.tables[t].layout();
+            let layout = self.layout;
             let mut requests = vec![
                 IoRequest::read(oldest.flash_offset, layout.total_bytes()),
                 IoRequest::Trim { offset: oldest.flash_offset, len: layout.total_bytes() as u64 },
@@ -1749,19 +2425,21 @@ impl<D: Device> Clam<D> {
             latency += self.mem_words_cost(oldest.entries * 2);
             let entries = parse_incarnation(&image, &layout)
                 .map_err(|e| annotate_offset(e, oldest.flash_offset))?;
-            for e in entries {
-                if self.tables[t].retain_decision(&e, policy) == RetainDecision::Retain {
-                    retained.push(e);
+            tables.with(t, |table| {
+                for e in entries {
+                    if table.retain_decision(&e, policy) == RetainDecision::Retain {
+                        retained.push(e);
+                    }
                 }
-            }
+            });
         } else {
-            latency += self
-                .device
-                .trim(oldest.flash_offset, self.tables[t].layout().total_bytes() as u64)?;
+            latency += self.device.trim(oldest.flash_offset, self.layout.total_bytes() as u64)?;
         }
 
-        self.tables[t].drop_oldest_incarnation();
-        self.tables[t].prune_delete_list();
+        tables.with(t, |table| {
+            table.drop_oldest_incarnation();
+            table.prune_delete_list();
+        });
         self.allocator.release(oldest.flash_offset);
         Ok((latency, retained))
     }
@@ -2076,8 +2754,8 @@ mod tests {
         clam.flush_all().unwrap();
         let flushes = clam.stats().flushes;
         let old_epoch = clam.epoch();
-        let old_seq = clam.seq;
-        let live = clam.allocator.live_slots();
+        let old_seq = clam.core.get_mut().seq;
+        let live = clam.core.get_mut().allocator.live_slots();
         let config = clam.config().clone();
 
         // Lose every byte of DRAM; recover from the flash image alone.
@@ -2311,7 +2989,7 @@ mod tests {
         }
         assert!(clam.stats().reinsertions > 0, "partial discard should retain some entries");
         // Cascades are possible but most evictions should be shallow.
-        let hist = &clam.stats().cascade_histogram;
+        let hist = clam.stats().cascade_histogram.clone();
         let total: u64 = hist.iter().sum();
         let deep: u64 = hist.iter().skip(4).sum();
         assert!(total > 0);

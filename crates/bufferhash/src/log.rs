@@ -13,6 +13,12 @@
 //! When the log wraps onto a slot whose incarnation is still live, that
 //! incarnation must be force-evicted from its owning super table; the
 //! allocator reports those owners so the CLAM can do so before the write.
+//!
+//! The allocator is shared by every super table of a stripe and does not
+//! synchronize itself: it lives inside `Clam`'s core mutex, and each flush
+//! chain holds that mutex from slot grant through ring admission — grant
+//! order *is* admission order, the invariant the fine-grained per-table
+//! write path relies on (see DESIGN.md "Per-table write locks").
 
 use serde::{Deserialize, Serialize};
 

@@ -45,6 +45,24 @@
 //! a side ledger merged into [`SharedClam::stats`];
 //! [`SharedClam::set_coarse_locks`] restores the strict
 //! everything-exclusive baseline for A/B runs and equivalence tests.
+//!
+//! ## Intra-stripe write concurrency
+//!
+//! Since PR 10 writes use the same shared/exclusive split. Fine-grained
+//! inserts and deletes hold the stripe's **read** lock for the whole
+//! logical op and serialize per super table inside the [`Clam`]
+//! ([`Clam::fine_insert`], [`Clam::fine_insert_batch`]): two writers
+//! whose keys land on different tables of one stripe commit in parallel,
+//! coordinated only through the short core critical section that orders
+//! allocator grants and ring admissions. The global write epoch stays
+//! even while fine writers run — the read fast path instead validates
+//! against the **per-table** seqlock epochs via
+//! [`Clam::try_probe_memory`], so a fast read conflicts exactly with
+//! writers on *its* table, not with every writer on the stripe.
+//! Exclusive entry points ([`SharedClam::with`], `flush_all`, recovery)
+//! still take the write lock, which drains all fine writers first.
+//! Coarse mode routes writes through the exclusive path too, restoring
+//! the strict stripe-global baseline bit for bit.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -126,9 +144,11 @@ impl<D: Device> SharedClam<D> {
         self.inner.fast_ledger.lock().fast_read_conflicts += 1;
     }
 
-    /// Switches between the epoch-validated read fast path (default) and
-    /// the coarse everything-exclusive baseline. Coarse mode is kept for
-    /// A/B comparisons and the equivalence property tests.
+    /// Switches between the fine-grained default — epoch-validated read
+    /// fast path plus per-super-table write locks — and the coarse
+    /// everything-exclusive baseline, where every op takes the stripe's
+    /// write lock. Coarse mode is kept for A/B comparisons and the
+    /// equivalence property tests; outcomes are identical in both modes.
     pub fn set_coarse_locks(&self, coarse: bool) {
         self.inner.coarse.store(coarse, Ordering::SeqCst);
     }
@@ -136,6 +156,12 @@ impl<D: Device> SharedClam<D> {
     /// `true` when the coarse everything-exclusive baseline is active.
     pub fn coarse_locks(&self) -> bool {
         self.inner.coarse.load(Ordering::SeqCst)
+    }
+
+    /// Forwards [`Clam::set_batch_parallelism`]: overrides the chunk count
+    /// of fine-grained batch inserts (`None` = `available_parallelism`).
+    pub fn set_batch_parallelism(&self, chunks: Option<usize>) {
+        self.inner.clam.read().set_batch_parallelism(chunks);
     }
 
     /// Attempts to resolve `key` on the read fast path: no write lock, no
@@ -167,7 +193,14 @@ impl<D: Device> SharedClam<D> {
                 self.note_conflict();
                 return None;
             };
-            guard.probe_memory(key, dispatch)
+            // Per-table seqlock validation: a fine-grained writer on the
+            // key's table (which holds the *read* lock, so `try_read`
+            // cannot see it) makes the probe return `None`.
+            let Some(probe) = guard.try_probe_memory(key, dispatch) else {
+                self.note_conflict();
+                return None;
+            };
+            probe
         };
         let outcome = match probe {
             MemoryProbe::Resolved(outcome) => outcome,
@@ -180,9 +213,17 @@ impl<D: Device> SharedClam<D> {
         Some(outcome)
     }
 
-    /// Inserts (or updates) a key.
+    /// Inserts (or updates) a key. By default this is a **fine-grained**
+    /// write: it holds the stripe's shared (read) lock and serializes only
+    /// on the key's super-table op lock ([`Clam::fine_insert`]), so
+    /// inserts landing on different tables of this stripe commit in
+    /// parallel. Coarse mode routes through the exclusive stripe lock
+    /// instead; outcomes are identical either way.
     pub fn insert(&self, key: Key, value: Value) -> Result<InsertOutcome> {
-        self.with_write(|c| c.insert(key, value))
+        if self.inner.coarse.load(Ordering::SeqCst) {
+            return self.with_write(|c| c.insert(key, value));
+        }
+        self.inner.clam.read().fine_insert(key, value)
     }
 
     /// Looks up a key: the epoch-validated fast path first (see
@@ -196,10 +237,19 @@ impl<D: Device> SharedClam<D> {
         self.with_write(|c| c.lookup(key))
     }
 
-    /// Inserts a batch of key/value pairs under one lock acquisition,
-    /// using the batched CLAM pipeline (see [`Clam::insert_batch`]).
+    /// Inserts a batch of key/value pairs using the batched CLAM
+    /// pipeline. By default the batch runs through the **fine-grained**
+    /// parallel path ([`Clam::fine_insert_batch`]): the stripe lock is
+    /// held shared and the batch's per-super-table groups execute on
+    /// scoped threads, each serializing only on its table op locks, with
+    /// a flush gate replaying the coarse path's flush order so results,
+    /// flash traffic and ledgers are bit-identical to the exclusive
+    /// baseline ([`Clam::insert_batch`], used in coarse mode).
     pub fn insert_batch(&self, ops: &[(Key, Value)]) -> Result<BatchInsertOutcome> {
-        self.with_write(|c| c.insert_batch(ops))
+        if self.inner.coarse.load(Ordering::SeqCst) {
+            return self.with_write(|c| c.insert_batch(ops));
+        }
+        self.inner.clam.read().fine_insert_batch(ops)
     }
 
     /// Looks up a batch of keys through the streaming ring pipeline,
@@ -225,7 +275,13 @@ impl<D: Device> SharedClam<D> {
                 false
             } else if let Some(guard) = self.inner.clam.try_read() {
                 for (slot, &key) in keys.iter().enumerate() {
-                    if let MemoryProbe::Resolved(outcome) = guard.probe_memory(key, dispatch) {
+                    // `None` (a fine-grained writer is active on the key's
+                    // table) leaves the key unresolved; it joins the
+                    // flash-bound remainder and resolves under the write
+                    // lock, which drains that writer first.
+                    if let Some(MemoryProbe::Resolved(outcome)) =
+                        guard.try_probe_memory(key, dispatch)
+                    {
                         resolved[slot] = Some(outcome);
                     }
                 }
@@ -281,16 +337,22 @@ impl<D: Device> SharedClam<D> {
         self.with_write(|c| c.lookup_batch_waves(keys))
     }
 
-    /// Deletes a key.
+    /// Deletes a key. Fine-grained by default (shared stripe lock +
+    /// the key's table op lock, [`Clam::fine_delete`]); exclusive in
+    /// coarse mode.
     pub fn delete(&self, key: Key) -> Result<()> {
-        self.with_write(|c| c.delete(key))?;
+        if self.inner.coarse.load(Ordering::SeqCst) {
+            self.with_write(|c| c.delete(key))?;
+        } else {
+            self.inner.clam.read().fine_delete(key)?;
+        }
         Ok(())
     }
 
     /// Updates a key (alias for [`insert`](Self::insert), like
     /// [`Clam::update`]).
     pub fn update(&self, key: Key, value: Value) -> Result<InsertOutcome> {
-        self.with_write(|c| c.update(key, value))
+        self.insert(key, value)
     }
 
     /// Returns `true` if `key` currently maps to a value.
@@ -315,9 +377,26 @@ impl<D: Device> SharedClam<D> {
     /// latency sample and one read-histogram entry per lookup — hold
     /// regardless of which path served it).
     pub fn stats(&self) -> ClamStats {
-        let mut total = self.inner.clam.read().stats().clone();
+        let mut total = self.inner.clam.read().stats();
         total.merge(&self.inner.fast_ledger.lock());
         total
+    }
+
+    /// Returns `true` while a write may be in flight for `key`'s super
+    /// table: the stripe-global epoch is odd (an exclusive writer is
+    /// pending or active), the stripe is write-locked, or a fine-grained
+    /// writer's logical op on that table is in progress (its seqlock
+    /// epoch is odd; see [`Clam::table_writer_active`]). The `clamd`
+    /// engine's idle-shard bypass consults this so a bypassed scalar
+    /// LOOKUP never races a half-applied mutation.
+    pub fn table_writer_active(&self, key: Key) -> bool {
+        if self.inner.write_epoch.load(Ordering::SeqCst) % 2 == 1 {
+            return true;
+        }
+        let Some(guard) = self.inner.clam.try_read() else {
+            return true;
+        };
+        guard.table_writer_active(key)
     }
 
     /// Switches the write path between the ring-driven default and the
@@ -632,11 +711,25 @@ impl<D: Device> StripedClam<D> {
         }
     }
 
+    /// Overrides the fine-batch chunk count on every stripe (see
+    /// [`SharedClam::set_batch_parallelism`]).
+    pub fn set_batch_parallelism(&self, chunks: Option<usize>) {
+        for stripe in &self.stripes {
+            stripe.set_batch_parallelism(chunks);
+        }
+    }
+
     /// Attempts to resolve `key` on its stripe's read fast path (see
     /// [`SharedClam::try_fast_lookup`]); `None` means the caller must use
     /// the locked path.
     pub fn try_fast_lookup(&self, key: Key) -> Option<LookupOutcome> {
         self.stripe_of(key).try_fast_lookup(key)
+    }
+
+    /// Returns `true` while a write may be in flight for `key`'s super
+    /// table on its stripe (see [`SharedClam::table_writer_active`]).
+    pub fn table_writer_active(&self, key: Key) -> bool {
+        self.stripe_of(key).table_writer_active(key)
     }
 }
 
@@ -1060,6 +1153,56 @@ mod tests {
         assert_eq!(fs.batched_lookups, cs.batched_lookups);
         assert!(fs.fast_lookups > 0, "the fast path must have served the memory-resolved keys");
         assert_eq!(cs.fast_lookups, 0, "coarse mode never uses the fast path");
+    }
+
+    #[test]
+    fn fine_and_coarse_writes_agree_and_fill_the_lock_ledger() {
+        let fine = SharedClam::new(clam());
+        let coarse = SharedClam::new(clam());
+        coarse.set_coarse_locks(true);
+        for i in 0..8_000u64 {
+            fine.insert(key(i), i).unwrap();
+            coarse.insert(key(i), i).unwrap();
+        }
+        for i in (0..8_000u64).step_by(97) {
+            fine.delete(key(i)).unwrap();
+            coarse.delete(key(i)).unwrap();
+        }
+        for i in (0..8_000u64).step_by(53) {
+            assert_eq!(
+                fine.lookup(key(i)).unwrap().value,
+                coarse.lookup(key(i)).unwrap().value,
+                "key {i}"
+            );
+        }
+        let (fs, cs) = (fine.stats(), coarse.stats());
+        assert_eq!(fs.flushes, cs.flushes);
+        assert_eq!(fs.inserts.len(), cs.inserts.len());
+        assert_eq!(fs.deletes.len(), cs.deletes.len());
+        assert_eq!(fs.forced_evictions, cs.forced_evictions);
+        assert_eq!(fs.coalesced_flush_writes, cs.coalesced_flush_writes);
+        // Every fine-grained op went through a table op lock; the coarse
+        // baseline never touches them.
+        assert!(fs.table_write_acquisitions >= 8_000, "{fs}");
+        assert_eq!(cs.table_write_acquisitions, 0, "{cs}");
+    }
+
+    #[test]
+    fn table_writer_active_tracks_exclusive_and_fine_writers() {
+        let shared = SharedClam::new(clam());
+        shared.insert(key(1), 1).unwrap();
+        assert!(!shared.table_writer_active(key(1)), "idle stripe has no writer");
+        // An exclusive section makes every table's writer flag trip
+        // (stripe-global epoch is odd while `with` runs).
+        let probe = shared.clone();
+        shared.with(|_| {
+            std::thread::scope(|scope| {
+                scope.spawn(|| {
+                    assert!(probe.table_writer_active(key(1)));
+                });
+            });
+        });
+        assert!(!shared.table_writer_active(key(1)));
     }
 
     #[test]

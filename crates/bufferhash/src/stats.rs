@@ -112,6 +112,18 @@ pub struct ClamStats {
     pub recovered_incarnations: u64,
     /// Slots a recovery scan rejected as torn (checksum/identity failures).
     pub recovery_torn_slots: u64,
+    /// Per-table write-lock acquisitions on the fine-grained write path
+    /// (`Clam::fine_insert` / `fine_delete` / `fine_insert_batch`). Zero
+    /// while `set_coarse_locks(true)` routes everything through the
+    /// stripe-global lock.
+    pub table_write_acquisitions: u64,
+    /// Table write-lock acquisitions that found the op lock already held
+    /// (another fine-grained writer was mid-op on the same table).
+    pub table_write_contended: u64,
+    /// High-water mark of tables of one stripe write-locked at the same
+    /// instant — direct evidence of intra-stripe write concurrency.
+    /// Merged with `max` across stripes.
+    pub table_lock_high_water: u64,
 }
 
 /// Maximum histogram index tracked explicitly; larger values accumulate in
@@ -209,6 +221,9 @@ impl ClamStats {
         self.recoveries += other.recoveries;
         self.recovered_incarnations += other.recovered_incarnations;
         self.recovery_torn_slots += other.recovery_torn_slots;
+        self.table_write_acquisitions += other.table_write_acquisitions;
+        self.table_write_contended += other.table_write_contended;
+        self.table_lock_high_water = self.table_lock_high_water.max(other.table_lock_high_water);
     }
 
     /// Fraction of queued lookup probes that overlapped another probe of
@@ -296,6 +311,15 @@ impl fmt::Display for ClamStats {
                 self.recoveries, self.recovered_incarnations, self.recovery_torn_slots
             )?;
         }
+        if self.table_write_acquisitions > 0 {
+            write!(
+                f,
+                " | table locks: {} acquisitions, {} contended, concurrency hwm {}",
+                self.table_write_acquisitions,
+                self.table_write_contended,
+                self.table_lock_high_water
+            )?;
+        }
         Ok(())
     }
 }
@@ -337,6 +361,27 @@ mod tests {
         s.record_cascade(3);
         assert_eq!(s.cascade_histogram[1], 1);
         assert_eq!(s.cascade_histogram[3], 2);
+    }
+
+    #[test]
+    fn table_lock_ledger_merges_and_displays() {
+        let mut a = ClamStats::new();
+        a.table_write_acquisitions = 10;
+        a.table_write_contended = 2;
+        a.table_lock_high_water = 3;
+        let mut b = ClamStats::new();
+        b.table_write_acquisitions = 5;
+        b.table_write_contended = 1;
+        b.table_lock_high_water = 7;
+        a.merge(&b);
+        assert_eq!(a.table_write_acquisitions, 15);
+        assert_eq!(a.table_write_contended, 3);
+        // High-water is a max across stripes, not a sum.
+        assert_eq!(a.table_lock_high_water, 7);
+        let line = a.to_string();
+        assert!(line.contains("table locks: 15 acquisitions, 3 contended, concurrency hwm 7"));
+        // The segment is elided while the fine path has never run.
+        assert!(!ClamStats::new().to_string().contains("table locks"));
     }
 
     #[test]

@@ -268,16 +268,29 @@ pub struct StatsFields {
     /// Requests admitted to shard gathers but not yet completed, summed
     /// across shards (v2 field; a gauge, not a counter).
     pub shard_inflight: u64,
+    /// Per-super-table write-lock acquisitions across the store's
+    /// stripes (v3 field).
+    pub table_write_acquisitions: u64,
+    /// Table write acquisitions that had to wait for another fine-grained
+    /// writer on the same table (v3 field).
+    pub table_write_contended: u64,
+    /// High-water mark of concurrently write-locked super tables within
+    /// any single stripe (v3 field; a gauge, not a counter).
+    pub table_lock_high_water: u64,
 }
 
 impl StatsFields {
-    /// Number of `u64` fields on the wire (protocol minor version 2).
-    pub const COUNT: usize = 18;
+    /// Number of `u64` fields on the wire (protocol minor version 3).
+    pub const COUNT: usize = 21;
 
-    /// Field count written by minor-version-1 servers. The count word in
-    /// the STATS payload doubles as the field-vector version: decoders
-    /// accept either [`Self::V1_COUNT`] (zero-filling the newer fields)
-    /// or [`Self::COUNT`].
+    /// Field count written by minor-version-2 servers (before the
+    /// table-write-lock ledger). The count word in the STATS payload
+    /// doubles as the field-vector version: decoders accept
+    /// [`Self::V1_COUNT`], [`Self::V2_COUNT`] (zero-filling the newer
+    /// fields) or [`Self::COUNT`].
+    pub const V2_COUNT: usize = 18;
+
+    /// Field count written by minor-version-1 servers.
     pub const V1_COUNT: usize = 15;
 
     fn to_words(self) -> [u64; Self::COUNT] {
@@ -300,6 +313,9 @@ impl StatsFields {
             self.bypass_hits,
             self.shards,
             self.shard_inflight,
+            self.table_write_acquisitions,
+            self.table_write_contended,
+            self.table_lock_high_water,
         ]
     }
 
@@ -326,6 +342,9 @@ impl StatsFields {
             bypass_hits: at(15),
             shards: at(16),
             shard_inflight: at(17),
+            table_write_acquisitions: at(18),
+            table_write_contended: at(19),
+            table_lock_high_water: at(20),
         }
     }
 
@@ -344,6 +363,7 @@ impl StatsFields {
         fields.batch_high_water = self.batch_high_water;
         fields.shards = self.shards;
         fields.shard_inflight = self.shard_inflight;
+        fields.table_lock_high_water = self.table_lock_high_water;
         fields
     }
 
@@ -673,9 +693,12 @@ pub fn decode_response(buf: &[u8]) -> Result<Option<(Response, usize)>, WireErro
             }
             let count = u32::from_le_bytes(p[0..4].try_into().expect("4 bytes")) as usize;
             // The count word is the field-vector minor version: accept
-            // the current layout and the 15-field v1 layout (older
-            // servers), zero-filling the fields v1 lacks.
-            if count != StatsFields::COUNT && count != StatsFields::V1_COUNT {
+            // the current layout plus the 18-field v2 and 15-field v1
+            // layouts (older servers), zero-filling the missing fields.
+            if count != StatsFields::COUNT
+                && count != StatsFields::V2_COUNT
+                && count != StatsFields::V1_COUNT
+            {
                 return Err(WireError::Corrupt("STATS field count mismatch for this version"));
             }
             let words_end = 4 + 8 * count;
@@ -776,6 +799,9 @@ mod tests {
                     bypass_hits: 7,
                     shards: 4,
                     shard_inflight: 2,
+                    table_write_acquisitions: 11,
+                    table_write_contended: 1,
+                    table_lock_high_water: 3,
                     ..Default::default()
                 },
                 text: "served: …".to_string(),
@@ -865,6 +891,9 @@ mod tests {
             bypass_hits: 25,
             shards: 4,
             shard_inflight: 3,
+            table_write_acquisitions: 60,
+            table_write_contended: 5,
+            table_lock_high_water: 6,
             ..Default::default()
         };
         let d = late.delta(&early);
@@ -875,6 +904,9 @@ mod tests {
         assert_eq!(d.bypass_hits, 25, "bypass hits diff like any counter");
         assert_eq!(d.shards, 4, "shard count is a gauge: keep the later value");
         assert_eq!(d.shard_inflight, 3, "in-flight depth is a gauge: keep the later value");
+        assert_eq!(d.table_write_acquisitions, 60, "lock acquisitions diff like counters");
+        assert_eq!(d.table_write_contended, 5);
+        assert_eq!(d.table_lock_high_water, 6, "lock hwm is a gauge: keep the later value");
         assert!((d.mean_batch() - 10.0).abs() < 1e-9);
         assert_eq!(StatsFields::default().mean_batch(), 0.0);
     }
@@ -906,6 +938,39 @@ mod tests {
         let mut bad = buf;
         bad[HEADER_LEN..HEADER_LEN + 4].copy_from_slice(&16u32.to_le_bytes());
         assert!(matches!(decode_response(&bad), Err(WireError::Corrupt(_))));
+    }
+
+    #[test]
+    fn stats_decoder_accepts_the_v2_field_count() {
+        // A v2 server writes 18 words; the 3 v3 table-lock fields
+        // zero-fill on decode.
+        let fields = StatsFields {
+            inserts: 4,
+            bypass_hits: 6,
+            shards: 2,
+            shard_inflight: 1,
+            ..Default::default()
+        };
+        let words = fields.to_words();
+        let text = "v2 ledger";
+        let payload_len = 4 + 8 * StatsFields::V2_COUNT + text.len();
+        let mut buf = Vec::new();
+        put_header(&mut buf, opcode::R_STATS, 3, payload_len);
+        buf.extend_from_slice(&(StatsFields::V2_COUNT as u32).to_le_bytes());
+        for word in &words[..StatsFields::V2_COUNT] {
+            buf.extend_from_slice(&word.to_le_bytes());
+        }
+        buf.extend_from_slice(text.as_bytes());
+
+        let (decoded, consumed) = decode_response(&buf).unwrap().unwrap();
+        assert_eq!(consumed, buf.len());
+        let RespBody::Stats { fields: got, text: got_text } = decoded.body else {
+            panic!("expected a STATS body");
+        };
+        assert_eq!(got, fields);
+        assert_eq!(got_text, text);
+        assert_eq!(got.table_write_acquisitions, 0, "v3 fields zero-fill");
+        assert_eq!(got.table_lock_high_water, 0);
     }
 
     #[test]

@@ -3,9 +3,11 @@
 //! caller) observes has to be identical to the single-gather,
 //! coarse-locked baseline. Three angles:
 //!
-//! * store level — the same op sequence through a fast-path
-//!   [`StripedClam`] and a coarse one over **all five** flashsim
-//!   backends, comparing per-key values, sources and flash reads;
+//! * store level — the same op sequence through a fine-grained
+//!   [`StripedClam`] (per-table write locks + seqlock read fast path)
+//!   and a coarse one over **all five** flashsim backends, comparing
+//!   per-key values, sources, flash reads, the stores' flush/eviction
+//!   ledgers and the devices' raw write/trim/erase traffic;
 //! * wire level — two real `clamd` servers (shards=1 + coarse locks vs
 //!   shards=4 + fast path) answering identical per-connection scripts
 //!   with identical response streams;
@@ -30,8 +32,9 @@ const DRAM: u64 = 2 << 20;
 /// test uses it to aim keys at specific stripes.
 const STRIPE_SEED: u64 = 0x57_e19e;
 
-/// Stripes `device` exactly the way the server boot path does.
-fn striped<D: Device>(device: D) -> StripedClam<SharedDevice<D>> {
+/// Stripes `device` exactly the way the server boot path does, keeping a
+/// handle on the underlying device so tests can audit its I/O ledger.
+fn striped<D: Device>(device: D) -> (StripedClam<SharedDevice<D>>, SharedDevice<D>) {
     let cfg = ClamConfig::small_test(FLASH / STRIPES as u64, DRAM / STRIPES as u64).unwrap();
     let shared = SharedDevice::new(device);
     let stripes = shared
@@ -40,7 +43,7 @@ fn striped<D: Device>(device: D) -> StripedClam<SharedDevice<D>> {
         .into_iter()
         .map(|partition| Clam::new(partition, cfg.clone()).unwrap())
         .collect();
-    StripedClam::new(stripes)
+    (StripedClam::new(stripes), shared)
 }
 
 fn temp_path(name: &str) -> std::path::PathBuf {
@@ -50,15 +53,20 @@ fn temp_path(name: &str) -> std::path::PathBuf {
 }
 
 /// Drives the sampled op sequence through both stores and asserts every
-/// observable outcome matches, then audits the whole keyspace.
+/// observable outcome matches, then audits the whole keyspace, the two
+/// stores' ledgers, and the raw flash traffic on the backing devices.
 fn assert_stores_agree<A: Device, B: Device>(
-    fast: &StripedClam<A>,
-    coarse: &StripedClam<B>,
+    (fast, fast_dev): &(StripedClam<SharedDevice<A>>, SharedDevice<A>),
+    (coarse, coarse_dev): &(StripedClam<SharedDevice<B>>, SharedDevice<B>),
     ops: &[(u8, u64)],
     seed: u64,
     label: &str,
 ) {
     coarse.set_coarse_locks(true);
+    // Force the fine store's batches through the multi-chunk scoped-thread
+    // dispatch (gate + rendezvous) even on single-core hosts, so the
+    // identity claim is tested against the genuinely concurrent path.
+    fast.set_batch_parallelism(Some(3));
     let key = |raw: u64| hash_with_seed(raw % 192, seed);
     for (i, &(kind, raw)) in ops.iter().enumerate() {
         match kind % 10 {
@@ -113,6 +121,31 @@ fn assert_stores_agree<A: Device, B: Device>(
     assert_eq!(fs.lookup_hits, cs.lookup_hits, "{label}");
     assert_eq!(fs.lookup_misses, cs.lookup_misses, "{label}");
     assert_eq!(cs.fast_lookups, 0, "{label}: coarse mode must never take the fast path");
+    // Write-side identity: the fine-grained per-table write path must
+    // replay the coarse baseline's flush/eviction history exactly —
+    // same flush count and sequence effects, same forced evictions,
+    // same coalesced write runs, same cuckoo cascade shape, and the
+    // same per-op latency totals (simulated time is deterministic).
+    assert_eq!(fs.flushes, cs.flushes, "{label}: flush count");
+    assert_eq!(fs.forced_evictions, cs.forced_evictions, "{label}: forced evictions");
+    assert_eq!(fs.coalesced_flush_writes, cs.coalesced_flush_writes, "{label}: coalesced runs");
+    assert_eq!(fs.cascade_histogram, cs.cascade_histogram, "{label}: cascade shape");
+    assert_eq!(fs.inserts.len(), cs.inserts.len(), "{label}: insert count");
+    assert_eq!(fs.inserts.total(), cs.inserts.total(), "{label}: summed insert latency");
+    assert_eq!(fs.deletes.len(), cs.deletes.len(), "{label}: delete count");
+    assert_eq!(fs.deletes.total(), cs.deletes.total(), "{label}: summed delete latency");
+    // Only the fine store exercises the table-lock ledger.
+    assert!(fs.table_write_acquisitions > 0, "{label}: fine writes must take table locks");
+    assert_eq!(cs.table_write_acquisitions, 0, "{label}: coarse mode takes no table locks");
+    // Device-level identity: byte-for-byte the same flash write, trim
+    // and erase traffic (reads too — lookup outcomes already matched).
+    let (fio, cio) = (fast_dev.with(|d| d.stats()), coarse_dev.with(|d| d.stats()));
+    assert_eq!(fio.writes, cio.writes, "{label}: flash writes");
+    assert_eq!(fio.bytes_written, cio.bytes_written, "{label}: flash bytes written");
+    assert_eq!(fio.trims, cio.trims, "{label}: trims");
+    assert_eq!(fio.erases, cio.erases, "{label}: erases");
+    assert_eq!(fio.reads, cio.reads, "{label}: flash reads");
+    assert_eq!(fio.bytes_read, cio.bytes_read, "{label}: flash bytes read");
 }
 
 proptest! {
@@ -156,6 +189,33 @@ proptest! {
         );
         let _ = std::fs::remove_file(&pf);
         let _ = std::fs::remove_file(&pc);
+    }
+}
+
+/// Two tables of **one stripe** must hold their write locks at the same
+/// time during a fine-grained batch: the per-stripe concurrency
+/// high-water ledger proves the commits overlapped instead of
+/// serializing behind a stripe-global lock. The forced chunk count makes
+/// this deterministic on any host — the chunks rendezvous on a barrier
+/// with their first table lock held, so all of them demonstrably hold a
+/// lock at one instant even when the OS time-slices them on one core.
+#[test]
+fn fine_batch_write_locks_overlap_within_one_stripe() {
+    let cfg = ClamConfig::small_test(4 << 20, 1 << 20).unwrap();
+    let store = StripedClam::new(vec![Clam::new(Ssd::intel(4 << 20).unwrap(), cfg).unwrap()]);
+    store.set_batch_parallelism(Some(4));
+    // Enough keys to populate several super tables of the single stripe.
+    let ops: Vec<(u64, u64)> = (0..4_000u64).map(|i| (hash_with_seed(i, 0x5eed), i)).collect();
+    store.insert_batch(&ops).unwrap();
+    let stats = store.stats();
+    assert!(
+        stats.table_lock_high_water >= 2,
+        "a fine batch over one stripe must write-lock >= 2 tables concurrently: {stats}"
+    );
+    assert!(stats.table_write_acquisitions > 0, "{stats}");
+    // The batch's effects are intact despite the concurrent commits.
+    for (k, v) in ops.iter().rev().take(500) {
+        assert_eq!(store.lookup(*k).unwrap().value, Some(*v), "key {k:#x}");
     }
 }
 

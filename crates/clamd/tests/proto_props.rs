@@ -47,6 +47,9 @@ fn build_body(
                 bypass_hits: value.rotate_left(13),
                 shards: u64::from(count % 17),
                 shard_inflight: value.rotate_left(29),
+                table_write_acquisitions: value.rotate_left(37),
+                table_write_contended: value.rotate_left(41),
+                table_lock_high_water: u64::from(count % 31),
                 ..Default::default()
             },
             text,
@@ -193,8 +196,8 @@ proptest! {
     }
 
     /// A minor-version-1 STATS frame (15-word field vector) still
-    /// decodes, zero-filling the v2 fields — the count word doubles as
-    /// the field-vector version.
+    /// decodes, zero-filling the v2 and v3 fields — the count word
+    /// doubles as the field-vector version.
     #[test]
     fn legacy_v1_stats_frames_decode(
         id in any::<u64>(),
@@ -207,13 +210,46 @@ proptest! {
         let mut buf = Vec::new();
         let body = RespBody::Stats { fields, text: text.clone() };
         encode_response(&Response { id, body }, &mut buf);
-        // Surgically rewrite the v2 frame into its v1 form: drop the
-        // last three (zero) field words, rewrite the count word and the
-        // header's payload length.
+        // Surgically rewrite the current frame into its v1 form: drop
+        // the trailing (zero) field words, rewrite the count word and
+        // the header's payload length.
         let words_start = HEADER_LEN + 4;
         let v1 = StatsFields::V1_COUNT;
         buf.drain(words_start + 8 * v1..words_start + 8 * StatsFields::COUNT);
         buf[HEADER_LEN..HEADER_LEN + 4].copy_from_slice(&(v1 as u32).to_le_bytes());
+        let payload_len = (buf.len() - HEADER_LEN) as u32;
+        buf[16..20].copy_from_slice(&payload_len.to_le_bytes());
+        let (decoded, consumed) = decode_response(&buf).unwrap().unwrap();
+        prop_assert_eq!(consumed, buf.len());
+        prop_assert_eq!(decoded, Response { id, body: RespBody::Stats { fields, text } });
+    }
+
+    /// A minor-version-2 STATS frame (18-word field vector, no
+    /// table-write-lock ledger) still decodes, zero-filling the three v3
+    /// fields, with every v2 field — including the v2 additions
+    /// (`bypass_hits`, `shards`, `shard_inflight`) — intact.
+    #[test]
+    fn legacy_v2_stats_frames_decode(
+        id in any::<u64>(),
+        inserts in any::<u64>(),
+        bypass_hits in any::<u64>(),
+        shards in any::<u64>(),
+        shard_inflight in any::<u64>(),
+        text_bytes in vec(any::<u8>(), 0..40),
+    ) {
+        let text: String = text_bytes.iter().map(|b| char::from(b'a' + b % 26)).collect();
+        let fields =
+            StatsFields { inserts, bypass_hits, shards, shard_inflight, ..Default::default() };
+        let mut buf = Vec::new();
+        let body = RespBody::Stats { fields, text: text.clone() };
+        encode_response(&Response { id, body }, &mut buf);
+        // Rewrite the current frame into its v2 form: drop the three
+        // (zero) table-lock words, rewrite the count word and the
+        // header's payload length.
+        let words_start = HEADER_LEN + 4;
+        let v2 = StatsFields::V2_COUNT;
+        buf.drain(words_start + 8 * v2..words_start + 8 * StatsFields::COUNT);
+        buf[HEADER_LEN..HEADER_LEN + 4].copy_from_slice(&(v2 as u32).to_le_bytes());
         let payload_len = (buf.len() - HEADER_LEN) as u32;
         buf[16..20].copy_from_slice(&payload_len.to_le_bytes());
         let (decoded, consumed) = decode_response(&buf).unwrap().unwrap();

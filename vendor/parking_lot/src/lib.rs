@@ -106,10 +106,60 @@ impl<T: ?Sized> RwLock<T> {
     }
 }
 
+/// A condition variable usable with [`Mutex`]. Because [`MutexGuard`] is
+/// the `std` guard type, this is a thin non-poisoning wrapper over
+/// `std::sync::Condvar`: `wait` re-acquires the lock even if another
+/// waiter panicked while holding it.
+#[derive(Debug, Default)]
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub fn new() -> Self {
+        Condvar { inner: std::sync::Condvar::new() }
+    }
+
+    /// Atomically releases `guard`'s lock and blocks until notified,
+    /// returning the re-acquired guard.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        self.inner.wait(guard).unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Wakes one thread blocked on this condition variable.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wakes every thread blocked on this condition variable.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::sync::Arc;
+
+    #[test]
+    fn condvar_signals_waiter() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = Arc::clone(&pair);
+        let t = std::thread::spawn(move || {
+            let (lock, cv) = &*pair2;
+            *lock.lock() = true;
+            cv.notify_all();
+        });
+        let (lock, cv) = &*pair;
+        let mut ready = lock.lock();
+        while !*ready {
+            ready = cv.wait(ready);
+        }
+        assert!(*ready);
+        t.join().unwrap();
+    }
 
     #[test]
     fn mutex_basic() {
